@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figures 10 and 11: area decomposition of one Slice, without and with
+ * a 64 KB L2 bank, plus the headline sharing-overhead percentages the
+ * paper reports from its Verilog implementation (section 5.1).
+ */
+
+#include "bench_util.hh"
+
+using namespace sharch;
+using namespace sharch::bench;
+
+namespace {
+
+void
+printBreakdown(const AreaModel &model, bool include_l2)
+{
+    std::printf("%-28s %12s %8s %8s\n", "component", "area (um^2)",
+                "percent", "sharing");
+    double total = 0.0;
+    for (const AreaEntry &e : model.breakdown(include_l2)) {
+        // Identify sharing-overhead rows by name lookup.
+        bool sharing = false;
+        for (int i = 0;
+             i < static_cast<int>(SliceComponent::NumComponents); ++i) {
+            const auto c = static_cast<SliceComponent>(i);
+            if (e.name == sliceComponentName(c))
+                sharing = isSharingOverhead(c);
+        }
+        std::printf("%-28s %12.0f %7.1f%% %8s\n", e.name.c_str(),
+                    e.areaUm2, e.percent, sharing ? "yes" : "");
+        total += e.areaUm2;
+    }
+    std::printf("%-28s %12.0f %7.1f%%\n", "total", total, 100.0);
+    std::printf("sharing overhead: %.1f%% (paper: %s)\n",
+                100.0 * model.sharingOverheadFraction(include_l2),
+                include_l2 ? "5%" : "8%");
+}
+
+} // namespace
+
+int
+main()
+{
+    const AreaModel model;
+
+    printHeader("Figure 10", "Slice area decomposition without L2");
+    printBreakdown(model, false);
+
+    std::printf("\n");
+    printHeader("Figure 11",
+                "Area decomposition including one 64 KB L2 bank");
+    printBreakdown(model, true);
+
+    std::printf("\nanchors: slice = %.3f mm^2, 64 KB bank = %.3f mm^2, "
+                "bank/slice = %.2f (market parity: 128 KB ~ 1 Slice)\n",
+                model.sliceAreaUm2() * 1e-6, model.l2BankAreaUm2() * 1e-6,
+                model.l2BankAreaUm2() / model.sliceAreaUm2());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 16: utility gain of the Sharing Architecture over a
+ * heterogeneous multicore whose core types are fixed per utility
+ * class at design time (section 5.8, following Guevara et al. [18]).
+ * The paper reports gains over 3x.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_util.hh"
+#include "econ/efficiency.hh"
+
+using namespace sharch;
+using namespace sharch::bench;
+
+int
+main()
+{
+    PerfModel pm = makePerfModel();
+    AreaModel am;
+    UtilityOptimizer opt(pm, am);
+    EfficiencyStudy study(opt);
+
+    printHeader("Figure 16",
+                "Utility gain vs. heterogeneous per-utility designs");
+
+    const std::vector<OptResult> cores = study.bestPerUtilityConfigs();
+    std::printf("heterogeneous core types (one per utility class):\n");
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        std::printf("  Utility%zu core: (%u KB, %u Slices)\n", i + 1,
+                    cores[i].banks * 64, cores[i].slices);
+    }
+
+    const EfficiencyResult res = study.vsHeterogeneous();
+    std::vector<double> gains;
+    for (const PairGain &g : res.gains)
+        gains.push_back(g.gain);
+    std::sort(gains.begin(), gains.end());
+    auto pct = [&](double p) {
+        return gains[static_cast<std::size_t>(p * (gains.size() - 1))];
+    };
+    std::printf("\ncustomer pairs evaluated: %zu\n", res.gains.size());
+    std::printf("gain distribution: min %.2f  p25 %.2f  median %.2f  "
+                "p75 %.2f  p95 %.2f  max %.2f\n",
+                gains.front(), pct(0.25), pct(0.50), pct(0.75),
+                pct(0.95), gains.back());
+    std::printf("mean gain: %.2f\n", res.meanGain);
+    std::printf("\npaper shape: over 3x market-efficiency gains can "
+                "be achieved even\nagainst a per-utility-optimized "
+                "heterogeneous multicore.\n");
+    return 0;
+}

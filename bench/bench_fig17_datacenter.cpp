@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 17: datacenter heterogeneity comparison (section 5.9).
+ *
+ * A fixed heterogeneous datacenter mixes big cores (gobmk's peak
+ * Utility1 shape) and small cores (hmmer's).  Sweeping the big-core
+ * area fraction for several hmmer:gobmk mixes shows the optimal
+ * ratio moving with the mix -- no static mixture serves all
+ * workloads, which is the Sharing Architecture's opening.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "econ/datacenter.hh"
+
+using namespace sharch;
+using namespace sharch::bench;
+
+int
+main()
+{
+    PerfModel pm = makePerfModel();
+    AreaModel am;
+    UtilityOptimizer opt(pm, am);
+
+    printHeader("Figure 17",
+                "Utility of hmmer/gobmk mixes vs. big/small core "
+                "ratio");
+
+    const std::vector<double> mixes = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const DatacenterResult res =
+        datacenterStudy(opt, "hmmer", "gobmk", mixes, 11);
+
+    std::printf("big core: %s, small core: %s\n",
+                res.big.label.c_str(), res.small.label.c_str());
+    std::printf("%-18s", "big-core frac");
+    for (double m : mixes)
+        std::printf("  hmmer=%3.0f%%", 100.0 * m);
+    std::printf("\n");
+    for (unsigned i = 0; i < 11; ++i) {
+        const double f = i / 10.0;
+        std::printf("%-18.2f", f);
+        for (double m : mixes) {
+            for (const MixPoint &p : res.points) {
+                if (std::abs(p.bigCoreAreaFrac - f) < 1e-9 &&
+                    std::abs(p.appAMix - m) < 1e-9) {
+                    std::printf("  %10.3f", p.utilityPerArea);
+                }
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\noptimal big-core fraction per mix:\n");
+    for (double m : mixes) {
+        std::printf("  hmmer %3.0f%% / gobmk %3.0f%% -> %.1f\n",
+                    100.0 * m, 100.0 * (1.0 - m),
+                    res.optimalBigFrac(m));
+    }
+    std::printf("\npaper shape: the optimal big/small ratio moves "
+                "with the application mix,\nso a fixed heterogeneous "
+                "mixture cannot serve all cloud workloads "
+                "optimally.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate:
+ * trace generation, cache model, network scheduling, and end-to-end
+ * SSim throughput (simulated instructions per second).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_model.hh"
+#include "common/random.hh"
+#include "common/scheduling.hh"
+#include "core/vm_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+using namespace sharch;
+
+namespace {
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const BenchmarkProfile &p = profileFor("gcc");
+    TraceGenerator gen(p, 1);
+    for (auto _ : state) {
+        Trace t = gen.generate(
+            static_cast<std::size_t>(state.range(0)));
+        benchmark::DoNotOptimize(t.instructions.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000)->Arg(100000);
+
+void
+BM_CacheModel(benchmark::State &state)
+{
+    CacheConfig cfg{64 * 1024, 64, 4, 4};
+    CacheModel cache(cfg);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.nextBounded(1 << 22) * 8, false));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModel);
+
+void
+BM_SlottedPort(benchmark::State &state)
+{
+    SlottedPort port(1);
+    Rng rng(3);
+    Cycles base = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            port.schedule(base + rng.nextBounded(64)));
+        ++base;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlottedPort);
+
+void
+BM_SimulatorEndToEnd(benchmark::State &state)
+{
+    const BenchmarkProfile &p = profileFor("gcc");
+    TraceGenerator gen(p, 1);
+    const Trace trace =
+        gen.generate(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        SimConfig cfg;
+        cfg.numSlices = static_cast<unsigned>(state.range(1));
+        cfg.numL2Banks = 4;
+        VmSim vm(cfg, 1);
+        VmResult res = vm.run({trace});
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEndToEnd)
+    ->Args({20000, 1})
+    ->Args({20000, 4})
+    ->Args({20000, 8});
+
+} // namespace
+
+BENCHMARK_MAIN();

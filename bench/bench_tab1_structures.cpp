@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1: which intra-core structures are replicated per Slice and
+ * which are partitioned across the Slices of a VCore, and the
+ * resulting aggregate capacities as the VCore grows.
+ */
+
+#include "bench_util.hh"
+#include "config/sim_config.hh"
+#include "uarch/structure_policy.hh"
+
+using namespace sharch;
+using namespace sharch::bench;
+
+int
+main()
+{
+    printHeader("Table 1", "Replicated vs. Partitioned structures");
+
+    const SimConfig cfg;
+    std::printf("%-18s %-12s %10s %10s %10s\n", "structure", "policy",
+                "1 Slice", "4 Slices", "8 Slices");
+    for (const StructurePolicyRow &row : structurePolicyTable()) {
+        std::uint64_t per_slice = 0;
+        switch (row.structure) {
+          case CoreStructure::BranchPredictor:
+            per_slice = cfg.slice.bimodalEntries; break;
+          case CoreStructure::Btb:
+            per_slice = cfg.slice.btbEntries; break;
+          case CoreStructure::Scoreboard:
+          case CoreStructure::GlobalRat:
+            per_slice = cfg.slice.numGlobalRegisters; break;
+          case CoreStructure::IssueWindow:
+            per_slice = cfg.slice.issueWindowSize; break;
+          case CoreStructure::LoadQueue:
+          case CoreStructure::StoreQueue:
+            per_slice = cfg.slice.lsqSize / 2; break;
+          case CoreStructure::Rob:
+            per_slice = cfg.slice.robSize; break;
+          case CoreStructure::LocalRat:
+            per_slice = 32; break;
+          case CoreStructure::PhysicalRegisterFile:
+            per_slice = cfg.slice.numLocalRegisters; break;
+          default: break;
+        }
+        std::printf("%-18s %-12s %10llu %10llu %10llu\n",
+            coreStructureName(row.structure),
+            row.policy == SharingPolicy::Replicated ? "replicated"
+                                                    : "partitioned",
+            static_cast<unsigned long long>(
+                aggregateCapacity(row.structure, per_slice, 1)),
+            static_cast<unsigned long long>(
+                aggregateCapacity(row.structure, per_slice, 4)),
+            static_cast<unsigned long long>(
+                aggregateCapacity(row.structure, per_slice, 8)));
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction harnesses.
+ *
+ * All harnesses sweep the same performance surface; a CSV disk cache
+ * in the working directory lets them share simulation results, so the
+ * first harness pays for a configuration and the rest reuse it.
+ *
+ * Environment:
+ *   SHARCH_BENCH_INSTRUCTIONS  trace length per thread (default 40000)
+ *   SHARCH_BENCH_SEED          generation seed (default 1)
+ */
+
+#ifndef SHARCH_BENCH_BENCH_UTIL_HH
+#define SHARCH_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "econ/optimizer.hh"
+
+namespace sharch::bench {
+
+inline std::size_t
+benchInstructions()
+{
+    if (const char *env = std::getenv("SHARCH_BENCH_INSTRUCTIONS"))
+        return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    return 40000;
+}
+
+inline std::uint64_t
+benchSeed()
+{
+    if (const char *env = std::getenv("SHARCH_BENCH_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return 1;
+}
+
+/** The shared, disk-cached performance model. */
+inline PerfModel
+makePerfModel()
+{
+    PerfModel pm(benchInstructions(), benchSeed());
+    pm.enableDiskCache("sharch_perf_cache.csv");
+    return pm;
+}
+
+inline void
+printHeader(const char *id, const char *title)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s -- %s\n", id, title);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+} // namespace sharch::bench
+
+#endif // SHARCH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: compose a Virtual Core, run a workload, vary its shape.
+ *
+ * Usage: quickstart [benchmark] [slices] [l2_banks]
+ *
+ * Builds a VCore from `slices` Slices and `l2_banks` 64 KB L2 banks,
+ * replays a synthetic trace of the named benchmark through SSim, and
+ * prints the run statistics, then shows how performance moves as the
+ * same workload runs on a few other VCore shapes -- the one-minute
+ * tour of what the Sharing Architecture is for.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/perf_model.hh"
+#include "core/vm_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+using namespace sharch;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "gcc";
+    const unsigned slices = argc > 2 ? std::stoul(argv[2]) : 2;
+    const unsigned banks = argc > 3 ? std::stoul(argv[3]) : 2;
+
+    if (!hasProfile(bench)) {
+        std::printf("unknown benchmark '%s'; available:\n",
+                    bench.c_str());
+        for (const auto &n : benchmarkNames())
+            std::printf("  %s\n", n.c_str());
+        return 1;
+    }
+
+    std::printf("=== Sharing Architecture quickstart ===\n");
+    std::printf("benchmark: %s, VCore: %u Slice(s) + %u x 64 KB L2\n\n",
+                bench.c_str(), slices, banks);
+
+    // Run one VM in full detail.
+    PerfModel pm(60000);
+    const VmResult res = pm.detailedRun(profileFor(bench), banks,
+                                        slices);
+    std::printf("%s\n", res.aggregate.report().c_str());
+
+    // The same binary, re-run on differently shaped VCores: no
+    // recompilation, just a different lease from the provider.
+    std::printf("reshaping the VCore (same trace, no recompilation):\n");
+    std::printf("  %-28s %10s\n", "configuration", "IPC");
+    const unsigned shapes[][2] = {
+        {1, 0}, {1, 2}, {2, 2}, {4, 8}, {8, 16}};
+    for (const auto &sh : shapes) {
+        const double ipc = pm.performance(bench, sh[1], sh[0]);
+        std::printf("  %u Slice(s) + %4u KB L2     %10.3f\n", sh[0],
+                    sh[1] * 64, ipc);
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A provider's day on the spot market (sections 2.3 and 4).
+ *
+ * A FabricManager owns a chip; customers bid for Slices and banks
+ * under dynamic prices; an auto-tuned newcomer without a performance
+ * model finds its shape by hill climbing on heartbeats.  Shows the
+ * full hypervisor story: market clearing, allocation, fragmentation,
+ * and defragmentation.
+ *
+ * Usage: spot_market [chip_width] [chip_height]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "econ/optimizer.hh"
+#include "hyper/autotuner.hh"
+#include "hyper/fabric_manager.hh"
+#include "hyper/spot_market.hh"
+
+using namespace sharch;
+
+int
+main(int argc, char **argv)
+{
+    const int width = argc > 1 ? std::stoi(argv[1]) : 16;
+    const int height = argc > 2 ? std::stoi(argv[2]) : 8;
+
+    PerfModel pm(30000);
+    AreaModel am;
+    UtilityOptimizer opt(pm, am);
+    FabricManager fabric(width, height);
+
+    std::printf("=== Spot market on a %dx%d fabric ===\n", width,
+                height);
+    std::printf("chip: %u Slices, %u x 64 KB banks\n\n",
+                fabric.totalSlices(), fabric.totalBanks());
+
+    // --- 1. Price discovery ---------------------------------------
+    SpotMarket market(opt, fabric.totalSlices(), fabric.totalBanks());
+    market.addCustomer({"web-farm", "apache",
+                        UtilityKind::Throughput, 400.0});
+    market.addCustomer({"ci-fleet", "gcc", UtilityKind::Balanced,
+                        400.0});
+    market.addCustomer({"oldi-search", "omnetpp",
+                        UtilityKind::SingleStream, 400.0});
+
+    const auto history = market.runToClearing();
+    std::printf("tatonnement: %zu rounds to clear\n", history.size());
+    std::printf("%-6s %12s %12s %14s %14s\n", "round", "slice price",
+                "bank price", "slice excess", "bank excess");
+    for (const SpotRound &r : history) {
+        std::printf("%-6u %12.2f %12.2f %+13.1f%% %+13.1f%%\n",
+                    r.round, r.prices.slicePrice, r.prices.bankPrice,
+                    100.0 * r.sliceExcess, 100.0 * r.bankExcess);
+    }
+
+    // --- 2. Allocation at clearing prices --------------------------
+    std::printf("\nallocations at clearing prices:\n");
+    const SpotRound &last = history.back();
+    for (const SpotBid &bid : last.bids) {
+        const unsigned vms = static_cast<unsigned>(bid.choice.cores);
+        unsigned placed = 0;
+        for (unsigned i = 0; i < vms; ++i) {
+            if (fabric.allocate(bid.choice.slices, bid.choice.banks))
+                ++placed;
+        }
+        std::printf("  %-12s wanted %2u x (%4u KB, %u Slices), "
+                    "placed %2u\n",
+                    bid.customer->name.c_str(), vms,
+                    bid.choice.cacheKb(), bid.choice.slices, placed);
+    }
+    std::printf("fabric: %.0f%% of Slices, %.0f%% of banks leased; "
+                "fragmentation %.2f\n",
+                100.0 * fabric.sliceUtilization(),
+                100.0 * fabric.bankUtilization(),
+                fabric.fragmentation());
+
+    // --- 3. Churn and defragmentation ------------------------------
+    const auto all = fabric.allocations();
+    for (std::size_t i = 0; i < all.size(); i += 2)
+        fabric.release(all[i].id);
+    std::printf("\nafter releasing every other VM: fragmentation "
+                "%.2f, largest free run %u\n",
+                fabric.fragmentation(), fabric.largestFreeRun());
+    const auto moves = fabric.defragment();
+    Cycles defrag_cost = 0;
+    for (const DefragMove &m : moves)
+        defrag_cost += m.cost;
+    std::printf("defragmentation: %zu Slice-run moves, %llu cycles of "
+                "Register Flushes,\n  largest free run now %u "
+                "(fragmentation %.2f)\n",
+                moves.size(),
+                static_cast<unsigned long long>(defrag_cost),
+                fabric.largestFreeRun(), fabric.fragmentation());
+
+    // --- 4. A newcomer auto-tunes its shape ------------------------
+    std::printf("\nauto-tuning a newcomer (bzip, Utility2) from "
+                "(128 KB, 1 Slice):\n");
+    AutoTuner tuner(UtilityKind::Balanced, last.prices, 400.0);
+    while (auto shape = tuner.nextShape()) {
+        const double perf =
+            pm.performance("bzip", shape->banks, shape->slices);
+        tuner.report(perf);
+    }
+    std::printf("  %zu trials, %llu reconfiguration cycles, settled "
+                "on (%u KB, %u Slices)\n",
+                tuner.history().size(),
+                static_cast<unsigned long long>(
+                    tuner.reconfigurationSpent()),
+                tuner.best().shape.banks * 64,
+                tuner.best().shape.slices);
+    const auto exact = opt.peakUtility("bzip", UtilityKind::Balanced,
+                                       last.prices, 400.0);
+    std::printf("  (exhaustive search would pick (%u KB, %u Slices); "
+                "tuner utility is %.0f%% of optimal)\n",
+                exact.cacheKb(), exact.slices,
+                100.0 * tuner.best().utility / exact.objective);
+    return 0;
+}

@@ -1,0 +1,204 @@
+#include "area/area_model.hh"
+
+#include "area/cacti_lite.hh"
+#include "common/logging.hh"
+
+namespace sharch {
+
+namespace {
+
+constexpr std::size_t kNumComponents =
+    static_cast<std::size_t>(SliceComponent::NumComponents);
+
+/**
+ * Published Fig. 10 weights (percent of a base Slice without L2).
+ * The "Sharing Overhead 8%" wedge in the figure is the sum of the
+ * GlobalRename..AddedPipeline entries below.  AddedPipeline is shown
+ * as 0% (it rounds to zero); we carry a small non-zero area for it.
+ */
+constexpr std::array<double, kNumComponents> kFig10Weights = {
+    24.0, // L1ICache
+    24.0, // L1DCache
+    11.0, // InstructionBuffer
+    8.0,  // Lsq
+    6.0,  // Rob
+    6.0,  // RegisterFile
+    4.0,  // BtbPredictor
+    4.0,  // IssueWindow
+    2.0,  // Multiplier
+    1.0,  // Alus
+    1.0,  // GlobalRename
+    2.0,  // LocalRename
+    2.0,  // Routers
+    1.0,  // Waitlist
+    2.0,  // Scoreboard
+    0.2,  // AddedPipeline (rounds to 0% in the paper)
+};
+
+double
+weightSum()
+{
+    double s = 0.0;
+    for (double w : kFig10Weights)
+        s += w;
+    return s;
+}
+
+} // namespace
+
+const char *
+sliceComponentName(SliceComponent c)
+{
+    switch (c) {
+      case SliceComponent::L1ICache: return "16 KB 2-way L1 Icache";
+      case SliceComponent::L1DCache: return "16 KB 2-way L1 Dcache";
+      case SliceComponent::InstructionBuffer: return "Instruction Buffer";
+      case SliceComponent::Lsq: return "LSQ";
+      case SliceComponent::Rob: return "ROB";
+      case SliceComponent::RegisterFile: return "Register File";
+      case SliceComponent::BtbPredictor: return "BTB&Predictor";
+      case SliceComponent::IssueWindow: return "Issue Window";
+      case SliceComponent::Multiplier: return "Multiplier";
+      case SliceComponent::Alus: return "ALUs";
+      case SliceComponent::GlobalRename: return "Global Rename";
+      case SliceComponent::LocalRename: return "Local Rename";
+      case SliceComponent::Routers: return "Routers";
+      case SliceComponent::Waitlist: return "Waitlist";
+      case SliceComponent::Scoreboard: return "Scoreboard";
+      case SliceComponent::AddedPipeline: return "Added Pipeline";
+      default: return "unknown";
+    }
+}
+
+bool
+isSharingOverhead(SliceComponent c)
+{
+    switch (c) {
+      case SliceComponent::GlobalRename:
+      case SliceComponent::LocalRename:
+      case SliceComponent::Routers:
+      case SliceComponent::Waitlist:
+      case SliceComponent::Scoreboard:
+      case SliceComponent::AddedPipeline:
+        return true;
+      default:
+        return false;
+    }
+}
+
+AreaModel::AreaModel(const SimConfig &cfg) : cfg_(cfg)
+{
+    // SRAM components come straight from CactiLite under the current
+    // configuration.
+    const double l1d = CactiLite::cacheAreaUm2(
+        cfg_.l1d.sizeBytes, cfg_.l1d.blockBytes, cfg_.l1d.associativity);
+    const double l1i = CactiLite::cacheAreaUm2(
+        cfg_.l1i.sizeBytes, cfg_.l1i.blockBytes, cfg_.l1i.associativity);
+
+    // Non-SRAM logic is fitted against the *base* Slice so the Fig. 10
+    // percentages are reproduced exactly at the published design point.
+    const SimConfig base;
+    const double baseL1d = CactiLite::cacheAreaUm2(
+        base.l1d.sizeBytes, base.l1d.blockBytes, base.l1d.associativity);
+    const double baseSlice =
+        baseL1d * weightSum() /
+        kFig10Weights[static_cast<std::size_t>(SliceComponent::L1DCache)];
+
+    for (std::size_t i = 0; i < kNumComponents; ++i)
+        areas_[i] = baseSlice * kFig10Weights[i] / weightSum();
+    areas_[static_cast<std::size_t>(SliceComponent::L1DCache)] = l1d;
+    areas_[static_cast<std::size_t>(SliceComponent::L1ICache)] = l1i;
+
+    // Structures whose capacity the configuration can change scale
+    // linearly with their entry counts relative to the base config.
+    auto scale = [&](SliceComponent c, double ratio) {
+        areas_[static_cast<std::size_t>(c)] *= ratio;
+    };
+    const SliceConfig &s = cfg_.slice;
+    const SliceConfig &bs = base.slice;
+    scale(SliceComponent::IssueWindow,
+          double(s.issueWindowSize) / bs.issueWindowSize);
+    scale(SliceComponent::Lsq, double(s.lsqSize) / bs.lsqSize);
+    scale(SliceComponent::Rob, double(s.robSize) / bs.robSize);
+    scale(SliceComponent::RegisterFile,
+          double(s.numLocalRegisters) / bs.numLocalRegisters);
+    scale(SliceComponent::BtbPredictor,
+          0.5 * (double(s.bimodalEntries) / bs.bimodalEntries +
+                 double(s.btbEntries) / bs.btbEntries));
+}
+
+double
+AreaModel::componentAreaUm2(SliceComponent c) const
+{
+    SHARCH_ASSERT(c < SliceComponent::NumComponents, "bad component");
+    return areas_[static_cast<std::size_t>(c)];
+}
+
+double
+AreaModel::sliceAreaUm2() const
+{
+    double total = 0.0;
+    for (double a : areas_)
+        total += a;
+    return total;
+}
+
+double
+AreaModel::l2BankAreaUm2() const
+{
+    return CactiLite::cacheAreaUm2(cfg_.l2Bank.sizeBytes,
+                                   cfg_.l2Bank.blockBytes,
+                                   cfg_.l2Bank.associativity);
+}
+
+double
+AreaModel::vcoreAreaUm2(unsigned num_slices, unsigned num_banks) const
+{
+    return num_slices * sliceAreaUm2() + num_banks * l2BankAreaUm2();
+}
+
+double
+AreaModel::vcoreAreaMm2(unsigned num_slices, unsigned num_banks) const
+{
+    return vcoreAreaUm2(num_slices, num_banks) * 1e-6;
+}
+
+double
+AreaModel::sharingOverheadFraction(bool include_l2_bank) const
+{
+    double overhead = 0.0;
+    for (std::size_t i = 0; i < kNumComponents; ++i) {
+        if (isSharingOverhead(static_cast<SliceComponent>(i)))
+            overhead += areas_[i];
+    }
+    double total = sliceAreaUm2();
+    if (include_l2_bank)
+        total += l2BankAreaUm2();
+    return overhead / total;
+}
+
+std::vector<AreaEntry>
+AreaModel::breakdown(bool include_l2_bank) const
+{
+    std::vector<AreaEntry> rows;
+    double total = sliceAreaUm2();
+    if (include_l2_bank)
+        total += l2BankAreaUm2();
+    for (std::size_t i = 0; i < kNumComponents; ++i) {
+        AreaEntry e;
+        e.name = sliceComponentName(static_cast<SliceComponent>(i));
+        e.areaUm2 = areas_[i];
+        e.percent = 100.0 * areas_[i] / total;
+        rows.push_back(std::move(e));
+    }
+    if (include_l2_bank) {
+        AreaEntry e;
+        e.name = "64 KB 4-way L2 Dcache";
+        e.areaUm2 = l2BankAreaUm2();
+        e.percent = 100.0 * e.areaUm2 / total;
+        rows.push_back(std::move(e));
+    }
+    return rows;
+}
+
+} // namespace sharch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Area model of a Sharing Architecture Slice, L2 bank, and VCore.
+ *
+ * The paper implements the Slice in synthesizable Verilog, synthesizes
+ * it with the Synopsys flow at TSMC 45 nm, and reports the component
+ * breakdown in Figures 10 (without L2) and 11 (with one 64 KB bank).
+ * We reproduce that breakdown analytically: SRAM structures come from
+ * CactiLite, and the non-SRAM logic components are fitted so the base
+ * Slice configuration reproduces the published percentages.
+ *
+ * Every downstream experiment (performance/area metrics, market costs)
+ * consumes areas through this class.
+ */
+
+#ifndef SHARCH_AREA_AREA_MODEL_HH
+#define SHARCH_AREA_AREA_MODEL_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "config/sim_config.hh"
+
+namespace sharch {
+
+/** Every area-bearing component of a Slice (Fig. 10). */
+enum class SliceComponent
+{
+    L1ICache,
+    L1DCache,
+    InstructionBuffer,
+    Lsq,
+    Rob,
+    RegisterFile,
+    BtbPredictor,
+    IssueWindow,
+    Multiplier,
+    Alus,
+    // --- components below exist only to support sharing (Fig. 10's
+    //     "Sharing Overhead" wedge aggregates them) ---
+    GlobalRename,
+    LocalRename,
+    Routers,
+    Waitlist,
+    Scoreboard,
+    AddedPipeline,
+    NumComponents
+};
+
+/** Printable component name matching the paper's figure labels. */
+const char *sliceComponentName(SliceComponent c);
+
+/** True for components that exist only to support Slice sharing. */
+bool isSharingOverhead(SliceComponent c);
+
+/** One row of an area breakdown. */
+struct AreaEntry
+{
+    std::string name;
+    double areaUm2 = 0.0;
+    double percent = 0.0;
+};
+
+/** Area of Slices, banks, VCores, and the published breakdowns. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const SimConfig &cfg = SimConfig{});
+
+    /** Area of one named component under the current config. */
+    double componentAreaUm2(SliceComponent c) const;
+
+    /** Total area of one Slice (no L2) in um^2. */
+    double sliceAreaUm2() const;
+
+    /** Area of one 64 KB (configurable) L2 bank in um^2. */
+    double l2BankAreaUm2() const;
+
+    /** Area of a VCore with the given composition. */
+    double vcoreAreaUm2(unsigned num_slices, unsigned num_banks) const;
+
+    /** Same, in mm^2. */
+    double vcoreAreaMm2(unsigned num_slices, unsigned num_banks) const;
+
+    /**
+     * Fraction of the Slice devoted to sharing support -- the paper's
+     * headline "Sharing Overhead" figure (~8% without L2, ~5% with).
+     */
+    double sharingOverheadFraction(bool include_l2_bank) const;
+
+    /**
+     * Component breakdown as in Fig. 10 (@p include_l2_bank == false)
+     * or Fig. 11 (true; adds one L2 bank row). Percentages sum to 100.
+     */
+    std::vector<AreaEntry> breakdown(bool include_l2_bank) const;
+
+  private:
+    SimConfig cfg_;
+    std::array<double, static_cast<std::size_t>(
+        SliceComponent::NumComponents)> areas_{};
+};
+
+} // namespace sharch
+
+#endif // SHARCH_AREA_AREA_MODEL_HH

@@ -1,0 +1,97 @@
+#include "area/cacti_lite.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace sharch {
+
+namespace {
+
+/** Multi-ported cells grow roughly quadratically with total ports. */
+double
+portFactor(std::uint32_t read_ports, std::uint32_t write_ports)
+{
+    const double ports = read_ports + write_ports;
+    // A 1R1W cell is the baseline; each extra port adds wordlines and
+    // bitlines, growing both cell dimensions.
+    const double extra = ports - 2.0;
+    return extra <= 0.0 ? 1.0 : 1.0 + 0.45 * extra + 0.05 * extra * extra;
+}
+
+/** Peripheral overhead shrinks (relatively) as arrays grow. */
+double
+peripheryFactor(std::uint64_t bits)
+{
+    // Small arrays are decoder/sense-amp dominated; big arrays approach
+    // the cell-limited floor.  Calibrated so a 16 KB 2-way L1 and a
+    // 64 KB 4-way L2 bank land on the paper's Fig. 10/11 proportions
+    // (L1 = 24% of a Slice, one bank = 35% of Slice + bank).
+    const double kb = static_cast<double>(bits) / 1024.0;
+    const double knee = kb / 98.3;
+    return 1.1 + 3.3 / (1.0 + knee * knee);
+}
+
+} // namespace
+
+double
+CactiLite::areaUm2(const SramSpec &spec)
+{
+    SHARCH_ASSERT(spec.dataBytes > 0, "empty SRAM array");
+    double bits = static_cast<double>(spec.dataBytes) * 8.0;
+    if (spec.blockBytes > 0 && spec.associativity > 0) {
+        const double blocks =
+            static_cast<double>(spec.dataBytes) / spec.blockBytes;
+        bits += blocks * spec.tagBits;
+        // Way comparators / mux overhead per extra way.
+        bits *= 1.0 + 0.02 * (spec.associativity > 1
+                                  ? floorLog2(spec.associativity)
+                                  : 0);
+    }
+    const double cell = kCellUm2 *
+                        portFactor(spec.readPorts, spec.writePorts);
+    return bits * cell *
+           peripheryFactor(static_cast<std::uint64_t>(bits));
+}
+
+double
+CactiLite::cacheAreaUm2(std::uint64_t size_bytes,
+                        std::uint32_t block_bytes,
+                        std::uint32_t associativity)
+{
+    SramSpec spec;
+    spec.dataBytes = size_bytes;
+    spec.blockBytes = block_bytes;
+    spec.associativity = associativity;
+    return areaUm2(spec);
+}
+
+double
+CactiLite::ramAreaUm2(std::uint64_t size_bytes, std::uint32_t read_ports,
+                      std::uint32_t write_ports)
+{
+    SramSpec spec;
+    spec.dataBytes = size_bytes;
+    spec.blockBytes = 0; // tagless
+    spec.readPorts = read_ports;
+    spec.writePorts = write_ports;
+    return areaUm2(spec);
+}
+
+std::uint64_t
+CactiLite::accessCycles(std::uint64_t size_bytes)
+{
+    // Anchored to Table 3: 16 KB -> 3 cycles, 64 KB -> 4 cycles.
+    if (size_bytes <= 16 * 1024)
+        return 3;
+    if (size_bytes <= 64 * 1024)
+        return 4;
+    if (size_bytes <= 256 * 1024)
+        return 5;
+    if (size_bytes <= 1024 * 1024)
+        return 6;
+    return 7;
+}
+
+} // namespace sharch

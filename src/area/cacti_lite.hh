@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CactiLite: an analytical SRAM/cache area model at the 45 nm node.
+ *
+ * The paper derives cache sizes, timing and power with CACTI 6.0 at
+ * 45 nm (section 5.1).  CACTI itself is a large external tool; this
+ * module implements the small slice of it the experiments consume --
+ * the area of an SRAM array as a function of capacity, associativity,
+ * block size and port count -- using the standard decomposition into
+ * cell area, tag overhead, and peripheral (decoder/sense-amp) overhead.
+ *
+ * Constants are calibrated so that the published anchor points hold:
+ *  - a 16 KB 2-way cache (L1) is 24% of a Slice's logic area (Fig. 10),
+ *  - a 64 KB 4-way bank is about half a Slice, preserving the paper's
+ *    equal-area market anchor "1 Slice costs the same as 128 KB Cache".
+ */
+
+#ifndef SHARCH_AREA_CACTI_LITE_HH
+#define SHARCH_AREA_CACTI_LITE_HH
+
+#include <cstdint>
+
+namespace sharch {
+
+/** Parameters of one SRAM array / cache structure. */
+struct SramSpec
+{
+    std::uint64_t dataBytes = 0;
+    std::uint32_t blockBytes = 64; //!< tag granularity; 0 = tagless RAM
+    std::uint32_t associativity = 1;
+    std::uint32_t readPorts = 1;
+    std::uint32_t writePorts = 1;
+    std::uint32_t tagBits = 30;    //!< tag width per block when tagged
+};
+
+/** Analytical area model at 45 nm. */
+class CactiLite
+{
+  public:
+    /** 6T SRAM cell area at 45 nm in um^2 (ITRS-style value). */
+    static constexpr double kCellUm2 = 0.35;
+
+    /** Area in um^2 of the given array, including tags and periphery. */
+    static double areaUm2(const SramSpec &spec);
+
+    /** Convenience: area of a tagged cache. */
+    static double cacheAreaUm2(std::uint64_t size_bytes,
+                               std::uint32_t block_bytes,
+                               std::uint32_t associativity);
+
+    /** Convenience: area of a tagless RAM (register file, buffers). */
+    static double ramAreaUm2(std::uint64_t size_bytes,
+                             std::uint32_t read_ports = 1,
+                             std::uint32_t write_ports = 1);
+
+    /**
+     * Access latency in cycles for a cache of the given capacity,
+     * matching the paper's Table 3 anchors (16 KB -> 3 cycles,
+     * 64 KB bank -> 4 cycles base).
+     */
+    static std::uint64_t accessCycles(std::uint64_t size_bytes);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_AREA_CACTI_LITE_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A set-associative, write-back, LRU cache tag model.
+ *
+ * Used for the per-Slice L1 I/D caches and for each 64 KB L2 bank.
+ * Only tags are modelled (timing simulation does not need data).
+ */
+
+#ifndef SHARCH_CACHE_CACHE_MODEL_HH
+#define SHARCH_CACHE_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "config/sim_config.hh"
+
+namespace sharch {
+
+/** Result of a cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    bool writebackVictim = false; //!< a dirty line was evicted
+    Addr victimLine = 0;          //!< line address of the victim
+};
+
+/** Tag-only set-associative cache with true-LRU replacement. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig &cfg);
+
+    /**
+     * Access @p addr; on a miss the line is filled (allocate-on-miss
+     * for both reads and writes) and the LRU victim evicted.
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** True when the line holding @p addr is present (no LRU update). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the line holding @p addr if present.
+     *  @return true when an invalidation happened. */
+    bool invalidate(Addr addr);
+
+    /** Invalidate everything; @return number of dirty lines flushed. */
+    std::size_t flushAll();
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t associativity() const { return cfg_.associativity; }
+    std::uint64_t sizeBytes() const { return cfg_.sizeBytes; }
+
+    Count accesses() const { return accesses_; }
+    Count misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    CacheConfig cfg_;
+    std::uint32_t numSets_;
+    unsigned blockShift_;
+    std::vector<Line> lines_; //!< numSets_ x associativity, row-major
+    std::uint64_t stamp_ = 0;
+    Count accesses_ = 0;
+    Count misses_ = 0;
+
+    Addr lineAddr(Addr addr) const { return addr >> blockShift_; }
+
+    /**
+     * Hashed set index.  Slices and L2 banks receive line-interleaved
+     * address streams (every numSlices-th / numBanks-th line), so a
+     * plain `line % numSets` would strand most sets; a multiplicative
+     * hash spreads any interleaved stream over all sets.
+     */
+    std::uint32_t setIndex(Addr line) const
+    {
+        const Addr h = line * 0x9e3779b97f4a7c15ULL;
+        return static_cast<std::uint32_t>(h >> 32) % numSets_;
+    }
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_CACHE_CACHE_MODEL_HH

@@ -1,0 +1,142 @@
+#include "cache/l2_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+L2System::L2System(const SimConfig &cfg,
+                   std::vector<FabricPlacement> placements)
+    : cfg_(cfg), placements_(std::move(placements))
+{
+    SHARCH_ASSERT(!placements_.empty(), "L2System needs >= 1 VCore");
+    banks_.reserve(cfg_.numL2Banks);
+    for (std::uint32_t b = 0; b < cfg_.numL2Banks; ++b) {
+        banks_.emplace_back(cfg_.l2Bank);
+        bankPort_.emplace_back(1);
+    }
+    l1ds_.resize(placements_.size());
+}
+
+void
+L2System::registerL1s(VCoreId vc, std::vector<CacheModel *> l1ds)
+{
+    SHARCH_ASSERT(vc < l1ds_.size(), "VCore id out of range");
+    l1ds_[vc] = std::move(l1ds);
+}
+
+BankId
+L2System::bankFor(Addr addr) const
+{
+    SHARCH_ASSERT(!banks_.empty(), "no banks attached");
+    const Addr line = addr / cfg_.l2Bank.blockBytes;
+    return static_cast<BankId>(line % banks_.size());
+}
+
+unsigned
+L2System::hopsTo(VCoreId vc, SliceId slice, BankId bank) const
+{
+    SHARCH_ASSERT(vc < placements_.size(), "VCore id out of range");
+    return placements_[vc].sliceToBankHops(slice, bank);
+}
+
+L2AccessResult
+L2System::access(VCoreId vc, SliceId slice, Addr addr, bool is_write,
+                 Cycles now)
+{
+    L2AccessResult res;
+    const bool multi_vcore = placements_.size() > 1;
+    const Addr line = addr / cfg_.l2Bank.blockBytes;
+
+    // Directory maintenance (coherence point between L1 and L2).
+    if (multi_vcore) {
+        std::uint32_t &sharers = directory_[line];
+        if (is_write) {
+            for (std::size_t other = 0; other < l1ds_.size(); ++other) {
+                if (other == vc || !(sharers & (1u << other)))
+                    continue;
+                for (CacheModel *l1 : l1ds_[other]) {
+                    if (l1 && l1->invalidate(addr)) {
+                        ++res.invalidations;
+                        ++invalidations_;
+                    }
+                }
+            }
+            sharers = 1u << vc;
+        } else {
+            sharers |= 1u << vc;
+        }
+    }
+
+    if (banks_.empty()) {
+        // No L2 attached: every L1 miss goes to main memory.
+        ++memoryAccesses_;
+        res.wentToMemory = true;
+        res.doneCycle = now + 4 + cfg_.memoryLatency;
+        if (res.invalidations > 0)
+            res.doneCycle += 6;
+        return res;
+    }
+
+    const BankId bank = bankFor(addr);
+    const unsigned hops = hopsTo(vc, slice, bank);
+    // One access per cycle per bank, slots claimable out of order.
+    const Cycles start = bankPort_[bank].schedule(now);
+
+    ++accesses_;
+    const AccessResult bank_res = banks_[bank].access(addr, is_write);
+    // Table 3: hit delay = distance*2 + 4.
+    Cycles done = start + hops * cfg_.l2DistanceCyclesPerHop +
+                  cfg_.l2Bank.hitLatency;
+    if (!bank_res.hit) {
+        ++misses_;
+        ++memoryAccesses_;
+        res.wentToMemory = true;
+        done += cfg_.memoryLatency;
+    }
+    if (res.invalidations > 0)
+        done += 6; // invalidation round-trip before data is usable
+    res.l2Hit = bank_res.hit;
+    res.doneCycle = done;
+    return res;
+}
+
+bool
+L2System::probeHit(Addr addr) const
+{
+    if (banks_.empty())
+        return false;
+    return banks_[bankFor(addr)].probe(addr);
+}
+
+void
+L2System::prefill(VCoreId vc, Addr addr)
+{
+    if (banks_.empty())
+        return;
+    banks_[bankFor(addr)].access(addr, false);
+    if (placements_.size() > 1) {
+        const Addr line = addr / cfg_.l2Bank.blockBytes;
+        directory_[line] |= 1u << vc;
+    }
+}
+
+std::size_t
+L2System::flushBank(BankId bank)
+{
+    SHARCH_ASSERT(bank < banks_.size(), "bank id out of range");
+    return banks_[bank].flushAll();
+}
+
+std::size_t
+L2System::flushAll()
+{
+    std::size_t dirty = 0;
+    for (auto &b : banks_)
+        dirty += b.flushAll();
+    directory_.clear();
+    return dirty;
+}
+
+} // namespace sharch

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The configurable, banked L2 of the Sharing Architecture.
+ *
+ * Any 64 KB L2 Cache Bank can serve any VCore; a VM attaches a set of
+ * banks, addresses are low-order interleaved by cache line across the
+ * banks, and the hit latency grows with the mesh distance between the
+ * missing Slice and the bank: distance*2 + 4 (Table 3).  For VMs with
+ * several VCores the coherence point sits between the L1s and the
+ * shared L2: a directory in the L2 tracks which VCores hold each line
+ * and invalidates remote L1 copies on writes (section 3.5).
+ *
+ * Reallocating a bank to a different VM requires flushing its dirty
+ * state to memory (section 3.8); flushBank/flushAll support that and
+ * the reconfiguration experiments charge the 10,000-cycle penalty.
+ */
+
+#ifndef SHARCH_CACHE_L2_SYSTEM_HH
+#define SHARCH_CACHE_L2_SYSTEM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "common/scheduling.hh"
+#include "common/types.hh"
+#include "config/sim_config.hh"
+#include "noc/placement.hh"
+#include "stats/stats.hh"
+
+namespace sharch {
+
+/** Timing and coherence outcome of one L2 access. */
+struct L2AccessResult
+{
+    Cycles doneCycle = 0;   //!< data available at the requesting Slice
+    bool l2Hit = false;
+    bool wentToMemory = false;
+    unsigned invalidations = 0; //!< remote L1 lines invalidated
+};
+
+/**
+ * A VM's shared L2: banks + directory.
+ *
+ * The owner registers each VCore's per-Slice L1 D-caches so that
+ * directory-driven invalidations actually remove remote copies.
+ */
+class L2System
+{
+  public:
+    /**
+     * @param cfg        bank geometry, latencies
+     * @param placement  per-VCore placements (index = VCore id); used
+     *                   for Slice-to-bank distances
+     */
+    L2System(const SimConfig &cfg,
+             std::vector<FabricPlacement> placements);
+
+    /** Register one VCore's L1Ds (one per Slice) for invalidations. */
+    void registerL1s(VCoreId vc, std::vector<CacheModel *> l1ds);
+
+    /** Number of banks attached to this VM. */
+    unsigned numBanks() const
+    { return static_cast<unsigned>(banks_.size()); }
+
+    /** The bank serving @p addr (low-order line interleave). */
+    BankId bankFor(Addr addr) const;
+
+    /**
+     * Handle an L1 miss from Slice @p slice of VCore @p vc at time
+     * @p now.  Performs the L2 lookup (with bank-port contention), a
+     * memory access on L2 miss, and any directory invalidations.
+     */
+    L2AccessResult access(VCoreId vc, SliceId slice, Addr addr,
+                          bool is_write, Cycles now);
+
+    /**
+     * Install @p addr's line functionally (no timing, no statistics)
+     * -- used to start runs from steady-state cache contents.
+     */
+    void prefill(VCoreId vc, Addr addr);
+
+    /** Tag peek: would @p addr hit right now?  False with no banks. */
+    bool probeHit(Addr addr) const;
+
+    /** Flush one bank; @return dirty lines written back. */
+    std::size_t flushBank(BankId bank);
+
+    /** Flush all banks and the directory. */
+    std::size_t flushAll();
+
+    Count accesses() const { return accesses_; }
+    Count misses() const { return misses_; }
+    Count invalidations() const { return invalidations_; }
+    Count memoryAccesses() const { return memoryAccesses_; }
+
+  private:
+    SimConfig cfg_;
+    std::vector<FabricPlacement> placements_;
+    std::vector<CacheModel> banks_;
+    std::vector<SlottedPort> bankPort_; //!< 1 access/cycle per bank
+    /** line address -> bitmask of VCores caching it in an L1. */
+    std::unordered_map<Addr, std::uint32_t> directory_;
+    std::vector<std::vector<CacheModel *>> l1ds_; //!< [vcore][slice]
+
+    Count accesses_ = 0;
+    Count misses_ = 0;
+    Count invalidations_ = 0;
+    Count memoryAccesses_ = 0;
+
+    unsigned hopsTo(VCoreId vc, SliceId slice, BankId bank) const;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_CACHE_L2_SYSTEM_HH

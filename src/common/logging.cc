@@ -1,0 +1,66 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+
+namespace sharch {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace sharch

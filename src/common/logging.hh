@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Logging and error-reporting facilities in the gem5 style.
+ *
+ * panic()  -- an internal invariant of the simulator was violated; this
+ *             is a bug in sharch itself.  Aborts.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments).  Exits cleanly
+ *             with an error code.
+ * warn()   -- something is suspicious but the simulation continues.
+ * inform() -- a purely informational status message.
+ */
+
+#ifndef SHARCH_COMMON_LOGGING_HH
+#define SHARCH_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sharch {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Get the process-wide log level. */
+LogLevel logLevel();
+
+/** Set the process-wide log level (defaults to Warn). */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace sharch
+
+/** Abort: internal simulator bug. */
+#define SHARCH_PANIC(...) \
+    ::sharch::detail::panicImpl(__FILE__, __LINE__, \
+                                ::sharch::detail::concat(__VA_ARGS__))
+
+/** Exit: unrecoverable user/configuration error. */
+#define SHARCH_FATAL(...) \
+    ::sharch::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::sharch::detail::concat(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define SHARCH_WARN(...) \
+    ::sharch::detail::warnImpl(::sharch::detail::concat(__VA_ARGS__))
+
+/** Informational message. */
+#define SHARCH_INFORM(...) \
+    ::sharch::detail::informImpl(::sharch::detail::concat(__VA_ARGS__))
+
+/** Debug-level message. */
+#define SHARCH_DEBUG(...) \
+    ::sharch::detail::debugImpl(::sharch::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds; panics with a message. */
+#define SHARCH_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::sharch::detail::panicImpl(__FILE__, __LINE__, \
+                ::sharch::detail::concat("assertion failed: ", #cond, \
+                                         " ", ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // SHARCH_COMMON_LOGGING_HH

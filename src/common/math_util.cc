@@ -1,0 +1,68 @@
+#include "common/math_util.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+double
+geometricMean(std::span<const double> values)
+{
+    SHARCH_ASSERT(!values.empty(), "geometricMean of empty set");
+    double acc = 0.0;
+    for (double v : values) {
+        SHARCH_ASSERT(v > 0.0, "geometricMean requires positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(std::span<const double> values)
+{
+    SHARCH_ASSERT(!values.empty(), "arithmeticMean of empty set");
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+bool
+isPow2(std::uint64_t x)
+{
+    return (x & (x - 1)) == 0;
+}
+
+unsigned
+floorLog2(std::uint64_t x)
+{
+    SHARCH_ASSERT(x > 0, "floorLog2(0)");
+    unsigned r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+unsigned
+ceilLog2(std::uint64_t x)
+{
+    SHARCH_ASSERT(x > 0, "ceilLog2(0)");
+    const unsigned f = floorLog2(x);
+    return isPow2(x) ? f : f + 1;
+}
+
+std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    SHARCH_ASSERT(b > 0, "divCeil by zero");
+    return (a + b - 1) / b;
+}
+
+double
+safeDiv(double a, double b, double fallback)
+{
+    return b == 0.0 ? fallback : a / b;
+}
+
+} // namespace sharch

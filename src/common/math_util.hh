@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small numeric helpers shared across sharch: geometric means (the
+ * paper aggregates benchmark results the way SPEC does, with GME),
+ * log2 helpers, and safe division.
+ */
+
+#ifndef SHARCH_COMMON_MATH_UTIL_HH
+#define SHARCH_COMMON_MATH_UTIL_HH
+
+#include <cstdint>
+#include <span>
+
+namespace sharch {
+
+/**
+ * Geometric mean of a set of positive values.
+ *
+ * @param values non-empty span of strictly positive values
+ * @return exp(mean(log(values)))
+ */
+double geometricMean(std::span<const double> values);
+
+/** Arithmetic mean of a non-empty span. */
+double arithmeticMean(std::span<const double> values);
+
+/** True if x is zero or a power of two. */
+bool isPow2(std::uint64_t x);
+
+/** floor(log2(x)) for x > 0. */
+unsigned floorLog2(std::uint64_t x);
+
+/** ceil(log2(x)) for x > 0. */
+unsigned ceilLog2(std::uint64_t x);
+
+/** Integer division rounding up; b > 0. */
+std::uint64_t divCeil(std::uint64_t a, std::uint64_t b);
+
+/** a/b, or fallback when b == 0. */
+double safeDiv(double a, double b, double fallback = 0.0);
+
+} // namespace sharch
+
+#endif // SHARCH_COMMON_MATH_UTIL_HH

@@ -1,0 +1,114 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    SHARCH_ASSERT(bound > 0, "nextBounded requires a positive bound");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    SHARCH_ASSERT(p > 0.0 && p <= 1.0, "geometric parameter out of range");
+    if (p >= 1.0)
+        return 0;
+    const double u = nextDouble();
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    SHARCH_ASSERT(mean > 0.0, "exponential mean must be positive");
+    return -mean * std::log1p(-nextDouble());
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double alpha)
+{
+    SHARCH_ASSERT(n > 0, "zipf needs a nonempty range");
+    if (n == 1)
+        return 0;
+    // Approximate inversion for a continuous power-law, clamped to range.
+    const double u = nextDouble();
+    if (alpha == 1.0) {
+        const double v = std::pow(static_cast<double>(n), u);
+        const auto k = static_cast<std::uint64_t>(v) - 1;
+        return k >= n ? n - 1 : k;
+    }
+    const double exp = 1.0 - alpha;
+    const double nmax = std::pow(static_cast<double>(n), exp);
+    const double v = std::pow(u * (nmax - 1.0) + 1.0, 1.0 / exp);
+    auto k = static_cast<std::uint64_t>(v);
+    if (k >= n)
+        k = n - 1;
+    return k;
+}
+
+} // namespace sharch

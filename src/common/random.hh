@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in sharch (trace synthesis, tie breaking)
+ * flows through Rng so that a given seed reproduces a simulation
+ * cycle-for-cycle.  The generator is xoshiro256**, which is fast,
+ * well-distributed, and trivially serializable.
+ */
+
+#ifndef SHARCH_COMMON_RANDOM_HH
+#define SHARCH_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace sharch {
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) without modulo bias. bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p in (0, 1]; returns a value >= 0.
+     */
+    std::uint64_t nextGeometric(double p);
+
+    /** Exponentially distributed draw with the given mean (> 0). */
+    double nextExponential(double mean);
+
+    /** Zipf-like draw over [0, n) with exponent alpha via inversion. */
+    std::uint64_t nextZipf(std::uint64_t n, double alpha);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_COMMON_RANDOM_HH

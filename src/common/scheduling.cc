@@ -1,0 +1,48 @@
+#include "common/scheduling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+SlottedPort::SlottedPort(std::uint32_t width) : width_(width)
+{
+    SHARCH_ASSERT(width > 0, "unit needs at least one port");
+}
+
+Cycles
+SlottedPort::schedule(Cycles ready)
+{
+    Cycles c = std::max(ready, watermark_);
+    auto it = used_.lower_bound(c);
+    while (it != used_.end() && it->first == c && it->second >= width_) {
+        ++c;
+        ++it;
+    }
+    ++used_[c];
+    prune(c);
+    return c;
+}
+
+void
+SlottedPort::prune(Cycles now)
+{
+    // Entries far behind the scheduling frontier can never be claimed
+    // again (ready times trail the frontier by a bounded window).
+    constexpr Cycles kLag = 4096;
+    if (now < watermark_ + 2 * kLag)
+        return;
+    const Cycles new_mark = now - kLag;
+    used_.erase(used_.begin(), used_.lower_bound(new_mark));
+    watermark_ = new_mark;
+}
+
+void
+SlottedPort::reset()
+{
+    used_.clear();
+    watermark_ = 0;
+}
+
+} // namespace sharch

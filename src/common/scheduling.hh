@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Generic cycle-slot scheduling primitives shared by the
+ * microarchitecture structures and the on-chip networks.
+ */
+
+#ifndef SHARCH_COMMON_SCHEDULING_HH
+#define SHARCH_COMMON_SCHEDULING_HH
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hh"
+
+namespace sharch {
+
+/**
+ * A unit with @p width issue slots per cycle that may be claimed out
+ * of order: an operation ready at cycle t takes the first cycle >= t
+ * with a free slot, even if later operations already claimed later
+ * cycles.  Used for ALU/LSU/cache ports and network injection ports,
+ * all of which see non-monotonic request times from the program-order
+ * timing walk.
+ */
+class SlottedPort
+{
+  public:
+    explicit SlottedPort(std::uint32_t width = 1);
+
+    /** Claim a slot at the first free cycle >= @p ready. */
+    Cycles schedule(Cycles ready);
+
+    void reset();
+
+  private:
+    std::uint32_t width_;
+    std::map<Cycles, std::uint32_t> used_; //!< cycle -> slots taken
+    Cycles watermark_ = 0;                 //!< prune below this
+
+    void prune(Cycles now);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_COMMON_SCHEDULING_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all sharch libraries.
+ */
+
+#ifndef SHARCH_COMMON_TYPES_HH
+#define SHARCH_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace sharch {
+
+/** Simulation time in cycles. */
+using Cycles = std::uint64_t;
+
+/** A (virtual) memory address. */
+using Addr = std::uint64_t;
+
+/** Count of instructions, entries, etc. */
+using Count = std::uint64_t;
+
+/** Architectural / logical / physical register numbers. */
+using RegIndex = std::uint16_t;
+
+/** Identifier of a Slice within the fabric. */
+using SliceId = std::uint16_t;
+
+/** Identifier of an L2 cache bank within the fabric. */
+using BankId = std::uint16_t;
+
+/** Identifier of a VCore within a VM. */
+using VCoreId = std::uint16_t;
+
+/** A sequence number used to order instructions in program order. */
+using SeqNum = std::uint64_t;
+
+/** Sentinel for "no register". */
+inline constexpr RegIndex kNoReg = 0xffff;
+
+/** Sentinel for "invalid slice". */
+inline constexpr SliceId kNoSlice = 0xffff;
+
+} // namespace sharch
+
+#endif // SHARCH_COMMON_TYPES_HH

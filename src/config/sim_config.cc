@@ -1,0 +1,196 @@
+#include "config/sim_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "config/xml.hh"
+
+namespace sharch {
+
+std::string
+SimConfig::validate() const
+{
+    std::ostringstream err;
+    if (numSlices < 1 || numSlices > kMaxSlices)
+        err << "numSlices must be in [1, " << kMaxSlices << "]; ";
+    if (numL2Banks > kMaxL2Banks)
+        err << "numL2Banks must be <= " << kMaxL2Banks << "; ";
+    if (!isPow2(l1d.sizeBytes) || !isPow2(l1i.sizeBytes) ||
+        !isPow2(l2Bank.sizeBytes)) {
+        err << "cache sizes must be powers of two; ";
+    }
+    if (l1d.blockBytes == 0 || !isPow2(l1d.blockBytes))
+        err << "block size must be a nonzero power of two; ";
+    if (l1d.associativity == 0 || l2Bank.associativity == 0)
+        err << "associativity must be nonzero; ";
+    if (slice.issueWindowSize == 0 || slice.robSize == 0 ||
+        slice.lsqSize == 0) {
+        err << "issue window, ROB and LSQ must be nonempty; ";
+    }
+    if (slice.numLocalRegisters < 32)
+        err << "LRF must hold at least the architectural registers; ";
+    if (slice.fetchWidth == 0)
+        err << "fetchWidth must be positive; ";
+    if (network.operandNetworks < 1)
+        err << "at least one operand network is required; ";
+    return err.str();
+}
+
+namespace {
+
+void
+readCache(const XmlNode *node, CacheConfig &c, std::string *error)
+{
+    if (!node)
+        return;
+    auto check = [&](const char *tag, auto &dst) {
+        auto v = node->childLong(tag);
+        if (node->child(tag) && !v && error && error->empty())
+            *error = std::string("malformed <") + tag + ">";
+        if (v)
+            dst = static_cast<std::remove_reference_t<decltype(dst)>>(*v);
+    };
+    check("size_bytes", c.sizeBytes);
+    check("block_bytes", c.blockBytes);
+    check("associativity", c.associativity);
+    check("hit_latency", c.hitLatency);
+}
+
+} // namespace
+
+SimConfig
+simConfigFromXml(const XmlNode &root, std::string *error)
+{
+    SimConfig cfg;
+    if (error)
+        error->clear();
+
+    auto readU32 = [&](const XmlNode &n, const char *tag, auto &dst) {
+        auto v = n.childLong(tag);
+        if (n.child(tag) && !v && error && error->empty())
+            *error = std::string("malformed <") + tag + ">";
+        if (v)
+            dst = static_cast<std::remove_reference_t<decltype(dst)>>(*v);
+    };
+
+    if (const XmlNode *s = root.child("slice")) {
+        readU32(*s, "issue_window", cfg.slice.issueWindowSize);
+        readU32(*s, "lsq_size", cfg.slice.lsqSize);
+        readU32(*s, "functional_units", cfg.slice.numFunctionalUnits);
+        readU32(*s, "rob_size", cfg.slice.robSize);
+        readU32(*s, "global_registers", cfg.slice.numGlobalRegisters);
+        readU32(*s, "store_buffer", cfg.slice.storeBufferSize);
+        readU32(*s, "local_registers", cfg.slice.numLocalRegisters);
+        readU32(*s, "max_inflight_loads", cfg.slice.maxInflightLoads);
+        readU32(*s, "fetch_width", cfg.slice.fetchWidth);
+        readU32(*s, "mul_latency", cfg.slice.mulLatency);
+        readU32(*s, "mispredict_penalty",
+                cfg.slice.branchMispredictPenalty);
+        readU32(*s, "bimodal_entries", cfg.slice.bimodalEntries);
+        readU32(*s, "btb_entries", cfg.slice.btbEntries);
+    }
+    readCache(root.child("l1d"), cfg.l1d, error);
+    readCache(root.child("l1i"), cfg.l1i, error);
+    readCache(root.child("l2_bank"), cfg.l2Bank, error);
+    if (const XmlNode *n = root.child("network")) {
+        readU32(*n, "base_operand_latency",
+                cfg.network.baseOperandLatency);
+        readU32(*n, "per_hop_latency", cfg.network.perHopLatency);
+        readU32(*n, "operand_networks", cfg.network.operandNetworks);
+        readU32(*n, "injections_per_cycle",
+                cfg.network.injectionsPerCycle);
+    }
+    readU32(root, "num_slices", cfg.numSlices);
+    readU32(root, "num_l2_banks", cfg.numL2Banks);
+    readU32(root, "memory_latency", cfg.memoryLatency);
+    readU32(root, "l2_distance_cycles_per_hop",
+            cfg.l2DistanceCyclesPerHop);
+    readU32(root, "reconfig_cache_flush_cycles",
+            cfg.reconfigCacheFlushCycles);
+    readU32(root, "reconfig_slice_only_cycles",
+            cfg.reconfigSliceOnlyCycles);
+    readU32(root, "seed", cfg.seed);
+
+    if (error && error->empty()) {
+        const std::string v = cfg.validate();
+        if (!v.empty())
+            *error = v;
+    }
+    return cfg;
+}
+
+SimConfig
+loadSimConfig(const std::string &path)
+{
+    XmlResult r = parseXmlFile(path);
+    if (!r.ok())
+        SHARCH_FATAL("cannot parse config ", path, ": ", r.error,
+                     " (line ", r.errorLine, ")");
+    std::string error;
+    SimConfig cfg = simConfigFromXml(*r.root, &error);
+    if (!error.empty())
+        SHARCH_FATAL("invalid config ", path, ": ", error);
+    return cfg;
+}
+
+namespace {
+
+void
+addScalar(XmlNode &parent, const char *tag, std::uint64_t value)
+{
+    parent.addChild(tag).setText(std::to_string(value));
+}
+
+void
+addCache(XmlNode &parent, const char *tag, const CacheConfig &c)
+{
+    XmlNode &n = parent.addChild(tag);
+    addScalar(n, "size_bytes", c.sizeBytes);
+    addScalar(n, "block_bytes", c.blockBytes);
+    addScalar(n, "associativity", c.associativity);
+    addScalar(n, "hit_latency", c.hitLatency);
+}
+
+} // namespace
+
+std::string
+simConfigToXml(const SimConfig &cfg)
+{
+    XmlNode root("ssim");
+    XmlNode &s = root.addChild("slice");
+    addScalar(s, "issue_window", cfg.slice.issueWindowSize);
+    addScalar(s, "lsq_size", cfg.slice.lsqSize);
+    addScalar(s, "functional_units", cfg.slice.numFunctionalUnits);
+    addScalar(s, "rob_size", cfg.slice.robSize);
+    addScalar(s, "global_registers", cfg.slice.numGlobalRegisters);
+    addScalar(s, "store_buffer", cfg.slice.storeBufferSize);
+    addScalar(s, "local_registers", cfg.slice.numLocalRegisters);
+    addScalar(s, "max_inflight_loads", cfg.slice.maxInflightLoads);
+    addScalar(s, "fetch_width", cfg.slice.fetchWidth);
+    addScalar(s, "mul_latency", cfg.slice.mulLatency);
+    addScalar(s, "mispredict_penalty", cfg.slice.branchMispredictPenalty);
+    addScalar(s, "bimodal_entries", cfg.slice.bimodalEntries);
+    addScalar(s, "btb_entries", cfg.slice.btbEntries);
+    addCache(root, "l1d", cfg.l1d);
+    addCache(root, "l1i", cfg.l1i);
+    addCache(root, "l2_bank", cfg.l2Bank);
+    XmlNode &n = root.addChild("network");
+    addScalar(n, "base_operand_latency", cfg.network.baseOperandLatency);
+    addScalar(n, "per_hop_latency", cfg.network.perHopLatency);
+    addScalar(n, "operand_networks", cfg.network.operandNetworks);
+    addScalar(n, "injections_per_cycle", cfg.network.injectionsPerCycle);
+    addScalar(root, "num_slices", cfg.numSlices);
+    addScalar(root, "num_l2_banks", cfg.numL2Banks);
+    addScalar(root, "memory_latency", cfg.memoryLatency);
+    addScalar(root, "l2_distance_cycles_per_hop",
+              cfg.l2DistanceCyclesPerHop);
+    addScalar(root, "reconfig_cache_flush_cycles",
+              cfg.reconfigCacheFlushCycles);
+    addScalar(root, "reconfig_slice_only_cycles",
+              cfg.reconfigSliceOnlyCycles);
+    addScalar(root, "seed", cfg.seed);
+    return writeXml(root);
+}
+
+} // namespace sharch

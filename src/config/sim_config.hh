@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Typed simulator configuration.
+ *
+ * Defaults follow the paper exactly:
+ *   Table 2 (Base Slice Configuration):
+ *     issue window 32, LSQ 32, 2 functional units per Slice, ROB 64,
+ *     128 physical (global logical) registers, store buffer 8, 64 local
+ *     registers per Slice, 8 in-flight loads, 100-cycle memory.
+ *   Table 3 (Base Cache Configurations):
+ *     L1D/L1I 16 KB, 64 B lines, 2-way, 3-cycle hit;
+ *     L2 composed of 64 KB banks, 64 B lines, 4-way,
+ *     hit delay = distance*2 + 4.
+ *   Section 3.4: SON latency = 2 cycles nearest neighbour, +1/hop.
+ *   Section 5.10: reconfiguration costs 10,000 cycles when the L2
+ *     configuration changes, 500 cycles for Slice-count-only changes.
+ */
+
+#ifndef SHARCH_CONFIG_SIM_CONFIG_HH
+#define SHARCH_CONFIG_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace sharch {
+
+class XmlNode;
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 16 * 1024;
+    std::uint32_t blockBytes = 64;
+    std::uint32_t associativity = 2;
+    Cycles hitLatency = 3;
+};
+
+/** Per-Slice microarchitecture parameters (Table 2). */
+struct SliceConfig
+{
+    std::uint32_t issueWindowSize = 32;
+    std::uint32_t lsqSize = 32;
+    std::uint32_t numFunctionalUnits = 2;   //!< 1 ALU + 1 LSU
+    std::uint32_t robSize = 64;
+    std::uint32_t numGlobalRegisters = 128; //!< global logical space
+    std::uint32_t storeBufferSize = 8;
+    std::uint32_t numLocalRegisters = 64;   //!< LRF entries per Slice
+    std::uint32_t maxInflightLoads = 8;
+    std::uint32_t fetchWidth = 2;           //!< instructions/cycle/Slice
+    Cycles mulLatency = 4;                  //!< multiplier pipeline depth
+    Cycles branchMispredictPenalty = 7;     //!< local flush/refill cost
+
+    /** Branch predictor: bimodal table entries (per Slice). */
+    std::uint32_t bimodalEntries = 2048;
+    /** BTB entries per Slice (includes replicated fake entries). */
+    std::uint32_t btbEntries = 512;
+};
+
+/** Network parameters (section 3.4, Tilera latencies). */
+struct NetworkConfig
+{
+    Cycles baseOperandLatency = 2;  //!< nearest-neighbour SON cost
+    Cycles perHopLatency = 1;       //!< each extra hop
+    std::uint32_t operandNetworks = 1; //!< ablation: add a 2nd SON
+    /** Operand-network injections per Slice per cycle per network. */
+    std::uint32_t injectionsPerCycle = 1;
+};
+
+/** Full VCore + memory-system configuration. */
+struct SimConfig
+{
+    SliceConfig slice;
+    CacheConfig l1d;
+    CacheConfig l1i{.sizeBytes = 16 * 1024, .blockBytes = 64,
+                    .associativity = 2, .hitLatency = 3};
+    /** One L2 bank; a VCore attaches zero or more of these. */
+    CacheConfig l2Bank{.sizeBytes = 64 * 1024, .blockBytes = 64,
+                       .associativity = 4, .hitLatency = 4};
+    NetworkConfig network;
+
+    std::uint32_t numSlices = 1;        //!< Slices in the VCore [1, 8]
+    std::uint32_t numL2Banks = 2;       //!< 64 KB banks (base: 128 KB)
+    Cycles memoryLatency = 100;         //!< Table 2 "Memory Delay"
+
+    /** L2 hit latency multiplier per hop of distance (Table 3). */
+    Cycles l2DistanceCyclesPerHop = 2;
+
+    /** Reconfiguration penalties (section 5.10). */
+    Cycles reconfigCacheFlushCycles = 10000;
+    Cycles reconfigSliceOnlyCycles = 500;
+
+    std::uint64_t seed = 1;
+
+    /** Maximum Slices a VCore may have (Equation 3: 1 <= s <= 8). */
+    static constexpr std::uint32_t kMaxSlices = 8;
+    /** Maximum L2 per VCore (Equation 3: c <= 8 MB) in 64 KB banks. */
+    static constexpr std::uint32_t kMaxL2Banks = 128;
+
+    /** Total L2 bytes attached to this VCore. */
+    std::uint64_t l2Bytes() const
+    { return std::uint64_t(numL2Banks) * l2Bank.sizeBytes; }
+
+    /** Validate ranges; returns an error message or empty string. */
+    std::string validate() const;
+};
+
+/**
+ * Parse a SimConfig from an XML tree rooted at <ssim>.
+ *
+ * Unknown elements are ignored; missing elements keep their defaults.
+ * @param root the <ssim> element
+ * @param error set to a description when a value is malformed
+ * @return the parsed config (defaults on error)
+ */
+SimConfig simConfigFromXml(const XmlNode &root, std::string *error);
+
+/** Load a SimConfig from an XML file; fatal() on parse errors. */
+SimConfig loadSimConfig(const std::string &path);
+
+/** Serialize a SimConfig to XML (round-trips via simConfigFromXml). */
+std::string simConfigToXml(const SimConfig &cfg);
+
+} // namespace sharch
+
+#endif // SHARCH_CONFIG_SIM_CONFIG_HH

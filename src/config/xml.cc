@@ -1,0 +1,463 @@
+#include "config/xml.hh"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace sharch {
+
+std::optional<std::string>
+XmlNode::attribute(std::string_view key) const
+{
+    auto it = attributes_.find(std::string(key));
+    if (it == attributes_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const XmlNode *
+XmlNode::child(std::string_view tag) const
+{
+    for (const auto &c : children_) {
+        if (c->name() == tag)
+            return c.get();
+    }
+    return nullptr;
+}
+
+std::vector<const XmlNode *>
+XmlNode::childrenNamed(std::string_view tag) const
+{
+    std::vector<const XmlNode *> out;
+    for (const auto &c : children_) {
+        if (c->name() == tag)
+            out.push_back(c.get());
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+trimmed(std::string_view s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+} // namespace
+
+std::optional<std::string>
+XmlNode::childText(std::string_view tag) const
+{
+    const XmlNode *c = child(tag);
+    if (!c)
+        return std::nullopt;
+    return trimmed(c->text());
+}
+
+std::optional<long>
+XmlNode::childLong(std::string_view tag) const
+{
+    auto t = childText(tag);
+    if (!t)
+        return std::nullopt;
+    long value = 0;
+    auto [ptr, ec] = std::from_chars(t->data(), t->data() + t->size(), value);
+    if (ec != std::errc() || ptr != t->data() + t->size())
+        return std::nullopt;
+    return value;
+}
+
+std::optional<double>
+XmlNode::childDouble(std::string_view tag) const
+{
+    auto t = childText(tag);
+    if (!t)
+        return std::nullopt;
+    try {
+        std::size_t pos = 0;
+        double value = std::stod(*t, &pos);
+        if (pos != t->size())
+            return std::nullopt;
+        return value;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+std::optional<bool>
+XmlNode::childBool(std::string_view tag) const
+{
+    auto t = childText(tag);
+    if (!t)
+        return std::nullopt;
+    if (*t == "true" || *t == "1")
+        return true;
+    if (*t == "false" || *t == "0")
+        return false;
+    return std::nullopt;
+}
+
+void
+XmlNode::setAttribute(std::string key, std::string value)
+{
+    attributes_[std::move(key)] = std::move(value);
+}
+
+XmlNode &
+XmlNode::addChild(std::string name)
+{
+    children_.push_back(std::make_unique<XmlNode>(std::move(name)));
+    return *children_.back();
+}
+
+namespace {
+
+/** Recursive-descent parser over a string_view with line tracking. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view input) : in_(input) {}
+
+    XmlResult
+    parse()
+    {
+        skipProlog();
+        if (failed_)
+            return fail();
+        auto root = parseElement();
+        if (failed_ || !root)
+            return fail();
+        skipWhitespaceAndComments();
+        if (pos_ != in_.size()) {
+            error("trailing content after root element");
+            return fail();
+        }
+        XmlResult r;
+        r.root = std::move(root);
+        return r;
+    }
+
+  private:
+    std::string_view in_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    bool failed_ = false;
+    std::string errorMsg_;
+    int errorLine_ = 0;
+
+    XmlResult
+    fail()
+    {
+        XmlResult r;
+        r.error = errorMsg_.empty() ? "parse error" : errorMsg_;
+        r.errorLine = errorLine_ ? errorLine_ : line_;
+        return r;
+    }
+
+    void
+    error(std::string msg)
+    {
+        if (!failed_) {
+            failed_ = true;
+            errorMsg_ = std::move(msg);
+            errorLine_ = line_;
+        }
+    }
+
+    bool eof() const { return pos_ >= in_.size(); }
+
+    char peek() const { return eof() ? '\0' : in_[pos_]; }
+
+    char
+    get()
+    {
+        if (eof())
+            return '\0';
+        char c = in_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    bool
+    consume(std::string_view lit)
+    {
+        if (in_.substr(pos_, lit.size()) != lit)
+            return false;
+        for (std::size_t i = 0; i < lit.size(); ++i)
+            get();
+        return true;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!eof() && std::isspace(static_cast<unsigned char>(peek())))
+            get();
+    }
+
+    void
+    skipComment()
+    {
+        // Caller consumed "<!--".
+        while (!eof()) {
+            if (consume("-->"))
+                return;
+            get();
+        }
+        error("unterminated comment");
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        for (;;) {
+            skipWhitespace();
+            if (consume("<!--"))
+                skipComment();
+            else
+                return;
+        }
+    }
+
+    void
+    skipProlog()
+    {
+        skipWhitespace();
+        if (consume("<?xml")) {
+            while (!eof()) {
+                if (consume("?>"))
+                    break;
+                get();
+            }
+        }
+        skipWhitespaceAndComments();
+    }
+
+    static bool
+    isNameChar(char c)
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+               c == '-' || c == '.' || c == ':';
+    }
+
+    std::string
+    parseName()
+    {
+        std::string name;
+        while (!eof() && isNameChar(peek()))
+            name.push_back(get());
+        if (name.empty())
+            error("expected a name");
+        return name;
+    }
+
+    std::string
+    decodeEntities(std::string_view raw)
+    {
+        std::string out;
+        out.reserve(raw.size());
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] != '&') {
+                out.push_back(raw[i]);
+                continue;
+            }
+            auto tryEntity = [&](std::string_view ent, char repl) {
+                if (raw.substr(i, ent.size()) == ent) {
+                    out.push_back(repl);
+                    i += ent.size() - 1;
+                    return true;
+                }
+                return false;
+            };
+            if (tryEntity("&lt;", '<') || tryEntity("&gt;", '>') ||
+                tryEntity("&amp;", '&') || tryEntity("&quot;", '"') ||
+                tryEntity("&apos;", '\'')) {
+                continue;
+            }
+            out.push_back('&');
+        }
+        return out;
+    }
+
+    void
+    parseAttributes(XmlNode &node)
+    {
+        for (;;) {
+            skipWhitespace();
+            if (eof() || peek() == '>' || peek() == '/' || peek() == '?')
+                return;
+            std::string key = parseName();
+            if (failed_)
+                return;
+            skipWhitespace();
+            if (get() != '=') {
+                error("expected '=' after attribute name");
+                return;
+            }
+            skipWhitespace();
+            char quote = get();
+            if (quote != '"' && quote != '\'') {
+                error("expected quoted attribute value");
+                return;
+            }
+            std::string value;
+            while (!eof() && peek() != quote)
+                value.push_back(get());
+            if (get() != quote) {
+                error("unterminated attribute value");
+                return;
+            }
+            node.setAttribute(std::move(key), decodeEntities(value));
+        }
+    }
+
+    std::unique_ptr<XmlNode>
+    parseElement()
+    {
+        if (get() != '<') {
+            error("expected '<'");
+            return nullptr;
+        }
+        std::string name = parseName();
+        if (failed_)
+            return nullptr;
+        auto node = std::make_unique<XmlNode>(name);
+        parseAttributes(*node);
+        if (failed_)
+            return nullptr;
+        if (consume("/>"))
+            return node;
+        if (get() != '>') {
+            error("expected '>' to close start tag");
+            return nullptr;
+        }
+        // Content: text, comments, children, until the matching end tag.
+        std::string text;
+        for (;;) {
+            if (eof()) {
+                error("unterminated element <" + name + ">");
+                return nullptr;
+            }
+            if (consume("<!--")) {
+                skipComment();
+                if (failed_)
+                    return nullptr;
+                continue;
+            }
+            if (in_.substr(pos_, 2) == "</") {
+                consume("</");
+                std::string end = parseName();
+                if (failed_)
+                    return nullptr;
+                skipWhitespace();
+                if (get() != '>') {
+                    error("malformed end tag");
+                    return nullptr;
+                }
+                if (end != name) {
+                    error("mismatched end tag </" + end + "> for <" +
+                          name + ">");
+                    return nullptr;
+                }
+                node->setText(decodeEntities(text));
+                return node;
+            }
+            if (peek() == '<') {
+                auto childNode = parseElement();
+                if (failed_ || !childNode)
+                    return nullptr;
+                XmlNode &slot = node->addChild(childNode->name());
+                slot = std::move(*childNode);
+                continue;
+            }
+            text.push_back(get());
+        }
+    }
+};
+
+void
+escapeInto(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          case '"': out += "&quot;"; break;
+          default: out.push_back(c);
+        }
+    }
+}
+
+void
+writeNode(std::string &out, const XmlNode &node, int depth)
+{
+    const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+    out += indent + "<" + node.name();
+    for (const auto &[k, v] : node.attributes()) {
+        out += " " + k + "=\"";
+        escapeInto(out, v);
+        out += "\"";
+    }
+    const std::string text = trimmed(node.text());
+    if (node.children().empty() && text.empty()) {
+        out += "/>\n";
+        return;
+    }
+    out += ">";
+    if (!node.children().empty()) {
+        out += "\n";
+        for (const auto &c : node.children())
+            writeNode(out, *c, depth + 1);
+        if (!text.empty()) {
+            out += indent + "  ";
+            escapeInto(out, text);
+            out += "\n";
+        }
+        out += indent + "</" + node.name() + ">\n";
+    } else {
+        escapeInto(out, text);
+        out += "</" + node.name() + ">\n";
+    }
+}
+
+} // namespace
+
+XmlResult
+parseXml(std::string_view input)
+{
+    return Parser(input).parse();
+}
+
+XmlResult
+parseXmlFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        XmlResult r;
+        r.error = "cannot open file: " + path;
+        return r;
+    }
+    std::ostringstream oss;
+    oss << f.rdbuf();
+    const std::string content = oss.str();
+    return parseXml(content);
+}
+
+std::string
+writeXml(const XmlNode &root)
+{
+    std::string out;
+    writeNode(out, root, 0);
+    return out;
+}
+
+} // namespace sharch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A minimal, dependency-free XML subset parser.
+ *
+ * SSim, the simulator the paper builds, reads "all critical
+ * micro-architecture parameters and latencies ... from a XML
+ * configuration file" (section 5.2).  This module implements the subset
+ * needed for that purpose: nested elements, attributes, text content,
+ * comments, and an optional XML declaration.  It does not implement
+ * DTDs, namespaces, CDATA, or processing instructions.
+ *
+ * Parsing never throws; errors are reported through XmlResult.
+ */
+
+#ifndef SHARCH_CONFIG_XML_HH
+#define SHARCH_CONFIG_XML_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharch {
+
+/** One element of an XML document tree. */
+class XmlNode
+{
+  public:
+    explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+    /** Tag name of this element. */
+    const std::string &name() const { return name_; }
+
+    /** Concatenated text content directly inside this element. */
+    const std::string &text() const { return text_; }
+
+    /** All attributes in document order of first appearance. */
+    const std::map<std::string, std::string> &attributes() const
+    { return attributes_; }
+
+    /** Attribute value, if present. */
+    std::optional<std::string> attribute(std::string_view key) const;
+
+    /** Child elements in document order. */
+    const std::vector<std::unique_ptr<XmlNode>> &children() const
+    { return children_; }
+
+    /** First child with the given tag name, or nullptr. */
+    const XmlNode *child(std::string_view tag) const;
+
+    /** All children with the given tag name. */
+    std::vector<const XmlNode *> childrenNamed(std::string_view tag) const;
+
+    /**
+     * Text of child element @p tag parsed as T (supported: std::string,
+     * long, unsigned long, double, bool).  Returns nullopt when the
+     * child is absent or unparsable.
+     */
+    std::optional<std::string> childText(std::string_view tag) const;
+    std::optional<long> childLong(std::string_view tag) const;
+    std::optional<double> childDouble(std::string_view tag) const;
+    std::optional<bool> childBool(std::string_view tag) const;
+
+    // Mutators used by the parser and by programmatic document builders.
+    void setText(std::string text) { text_ = std::move(text); }
+    void appendText(std::string_view text) { text_ += text; }
+    void setAttribute(std::string key, std::string value);
+    XmlNode &addChild(std::string name);
+
+  private:
+    std::string name_;
+    std::string text_;
+    std::map<std::string, std::string> attributes_;
+    std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/** Outcome of a parse: either a root node or an error description. */
+struct XmlResult
+{
+    std::unique_ptr<XmlNode> root;
+    std::string error;   //!< empty on success
+    int errorLine = 0;   //!< 1-based line of the error, 0 on success
+
+    bool ok() const { return root != nullptr; }
+};
+
+/** Parse an XML document from memory. */
+XmlResult parseXml(std::string_view input);
+
+/** Parse an XML document from a file. */
+XmlResult parseXmlFile(const std::string &path);
+
+/** Serialize a tree back to XML text (indented, for golden tests). */
+std::string writeXml(const XmlNode &root);
+
+} // namespace sharch
+
+#endif // SHARCH_CONFIG_XML_HH

@@ -1,0 +1,133 @@
+#include "core/perf_model.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+const std::vector<unsigned> &
+l2BankGrid()
+{
+    // 0, 64 KB, 128 KB, ..., 8 MB in 64 KB banks.
+    static const std::vector<unsigned> grid = {0,  1,  2,  4,  8,
+                                               16, 32, 64, 128};
+    return grid;
+}
+
+unsigned
+banksToKb(unsigned banks)
+{
+    return banks * 64;
+}
+
+PerfModel::PerfModel(std::size_t instructions_per_thread,
+                     std::uint64_t seed)
+    : instructions_(instructions_per_thread), seed_(seed)
+{
+    SHARCH_ASSERT(instructions_per_thread > 0, "empty workload");
+}
+
+const std::vector<Trace> &
+PerfModel::tracesFor(const BenchmarkProfile &p)
+{
+    auto it = traces_.find(p.name);
+    if (it != traces_.end())
+        return it->second;
+    TraceGenerator gen(p, seed_);
+    auto [ins, ok] =
+        traces_.emplace(p.name, gen.generateThreads(instructions_));
+    SHARCH_ASSERT(ok, "duplicate trace insertion");
+    return ins->second;
+}
+
+VmResult
+PerfModel::detailedRun(const BenchmarkProfile &profile, unsigned banks,
+                       unsigned slices)
+{
+    SimConfig cfg;
+    cfg.numSlices = slices;
+    cfg.numL2Banks = banks;
+    cfg.seed = seed_;
+    const unsigned vcores =
+        profile.multithreaded ? profile.numThreads : 1;
+    VmSim vm(cfg, vcores);
+    vm.prewarm(profile);
+    return vm.run(tracesFor(profile));
+}
+
+double
+PerfModel::performance(const BenchmarkProfile &profile, unsigned banks,
+                       unsigned slices)
+{
+    const auto key = std::make_tuple(profile.name, banks, slices);
+    auto it = memo_.find(key);
+    if (it != memo_.end())
+        return it->second;
+    const VmResult res = detailedRun(profile, banks, slices);
+    const unsigned vcores =
+        profile.multithreaded ? profile.numThreads : 1;
+    // Per-VCore performance: VM throughput divided across its VCores,
+    // so P(c, s) composes with the economics' v replication factor.
+    const double perf = res.throughput() / vcores;
+    memo_.emplace(key, perf);
+    appendToDiskCache(profile.name, banks, slices, perf);
+    return perf;
+}
+
+void
+PerfModel::enableDiskCache(const std::string &path)
+{
+    cachePath_ = path;
+    std::ifstream in(path);
+    if (!in)
+        return;
+    std::string line;
+    std::size_t loaded = 0;
+    while (std::getline(in, line)) {
+        std::istringstream iss(line);
+        std::string name;
+        std::size_t instructions = 0;
+        std::uint64_t seed = 0;
+        unsigned banks = 0, slices = 0;
+        double perf = 0.0;
+        char comma = 0;
+        if (!std::getline(iss, name, ','))
+            continue;
+        if (!(iss >> instructions >> comma >> seed >> comma >> banks >>
+              comma >> slices >> comma >> perf)) {
+            continue;
+        }
+        if (instructions != instructions_ || seed != seed_)
+            continue;
+        memo_[std::make_tuple(name, banks, slices)] = perf;
+        ++loaded;
+    }
+    if (loaded > 0)
+        SHARCH_INFORM("loaded ", loaded, " cached results from ", path);
+}
+
+void
+PerfModel::appendToDiskCache(const std::string &name, unsigned banks,
+                             unsigned slices, double perf) const
+{
+    if (cachePath_.empty())
+        return;
+    std::ofstream out(cachePath_, std::ios::app);
+    if (!out)
+        return;
+    out << name << ',' << instructions_ << ',' << seed_ << ','
+        << banks << ',' << slices << ','
+        << std::setprecision(17) << perf << '\n';
+}
+
+double
+PerfModel::performance(const std::string &benchmark, unsigned banks,
+                       unsigned slices)
+{
+    return performance(profileFor(benchmark), banks, slices);
+}
+
+} // namespace sharch

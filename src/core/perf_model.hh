@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The performance surface P(c, s) the economics build on.
+ *
+ * Section 5.6 defines an application's single-thread performance
+ * P(c, s) as a function of L2 cache and Slice count; every utility and
+ * market experiment consumes it.  PerfModel runs SSim across the
+ * configuration grid (memoized -- exhaustive sweeps revisit points)
+ * and exposes performance in committed instructions per cycle.
+ *
+ * The grid of L2 sizes follows the paper: 0 KB to 8 MB in powers of
+ * two (Figure 13, Equation 3).
+ */
+
+#ifndef SHARCH_CORE_PERF_MODEL_HH
+#define SHARCH_CORE_PERF_MODEL_HH
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "config/sim_config.hh"
+#include "core/vm_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+namespace sharch {
+
+/** Grid of L2 bank counts used by the paper's sweeps (0 KB..8 MB). */
+const std::vector<unsigned> &l2BankGrid();
+
+/** Cache size in KB for a bank count under the 64 KB-bank default. */
+unsigned banksToKb(unsigned banks);
+
+/** Memoized SSim runner over (benchmark, banks, slices). */
+class PerfModel
+{
+  public:
+    /**
+     * @param instructions_per_thread trace length per thread
+     * @param seed                    generation/simulation seed
+     */
+    explicit PerfModel(std::size_t instructions_per_thread = 60000,
+                       std::uint64_t seed = 1);
+
+    /**
+     * Performance of @p benchmark on a VCore with @p banks 64 KB L2
+     * banks and @p slices Slices, in aggregate committed IPC (for
+     * multithreaded workloads this is VM throughput on one VCore's
+     * worth of resources scaled per-VCore; see DESIGN.md).
+     */
+    double performance(const std::string &benchmark, unsigned banks,
+                       unsigned slices);
+
+    /** Performance for an ad-hoc profile (e.g., a gcc phase). */
+    double performance(const BenchmarkProfile &profile, unsigned banks,
+                       unsigned slices);
+
+    /** Full stats for one configuration (uncached path). */
+    VmResult detailedRun(const BenchmarkProfile &profile,
+                         unsigned banks, unsigned slices);
+
+    std::size_t instructionsPerThread() const { return instructions_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Persist performance results to @p path (CSV) and preload any
+     * existing entries whose (instructions, seed) match.  Lets several
+     * benchmark harnesses share one simulated surface.
+     */
+    void enableDiskCache(const std::string &path);
+
+  private:
+    std::size_t instructions_;
+    std::uint64_t seed_;
+    std::map<std::tuple<std::string, unsigned, unsigned>, double>
+        memo_;
+    std::map<std::string, std::vector<Trace>> traces_;
+    std::string cachePath_;
+
+    void appendToDiskCache(const std::string &name, unsigned banks,
+                           unsigned slices, double perf) const;
+
+    const std::vector<Trace> &tracesFor(const BenchmarkProfile &p);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_CORE_PERF_MODEL_HH

@@ -1,0 +1,33 @@
+#include "core/reconfig.hh"
+
+namespace sharch {
+
+ReconfigManager::ReconfigManager(const SimConfig &cfg) : cfg_(cfg) {}
+
+bool
+ReconfigManager::requiresCacheFlush(const VCoreShape &from,
+                                    const VCoreShape &to) const
+{
+    return from.banks != to.banks;
+}
+
+bool
+ReconfigManager::requiresRegisterFlush(const VCoreShape &from,
+                                       const VCoreShape &to) const
+{
+    // Only shrinking strands register state on departing Slices.
+    return to.slices < from.slices;
+}
+
+Cycles
+ReconfigManager::transitionCost(const VCoreShape &from,
+                                const VCoreShape &to) const
+{
+    if (from == to)
+        return 0;
+    if (requiresCacheFlush(from, to))
+        return cfg_.reconfigCacheFlushCycles;
+    return cfg_.reconfigSliceOnlyCycles;
+}
+
+} // namespace sharch

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reconfiguration cost model (sections 3.8 and 5.10).
+ *
+ * The hypervisor reconfigures VCores by rewriting interconnect and
+ * protection state.  Shrinking a VCore triggers a Register Flush of
+ * dirty architectural state to the surviving Slices; changing the L2
+ * allotment requires flushing dirty bank state to memory.  The paper
+ * charges 10,000 cycles when the cache configuration changes and 500
+ * cycles when only the Slice count changes, which Table 7 and the
+ * phase-adaptive experiments use.
+ */
+
+#ifndef SHARCH_CORE_RECONFIG_HH
+#define SHARCH_CORE_RECONFIG_HH
+
+#include "common/types.hh"
+#include "config/sim_config.hh"
+
+namespace sharch {
+
+/** A VCore shape: L2 banks and Slices. */
+struct VCoreShape
+{
+    unsigned banks = 0;
+    unsigned slices = 1;
+
+    bool operator==(const VCoreShape &) const = default;
+};
+
+/** Computes transition penalties between VCore shapes. */
+class ReconfigManager
+{
+  public:
+    explicit ReconfigManager(const SimConfig &cfg = SimConfig{});
+
+    /**
+     * Cycles charged to move from @p from to @p to: zero when the
+     * shapes match, the cache-flush cost when the bank set changes,
+     * the Slice-only cost otherwise.
+     */
+    Cycles transitionCost(const VCoreShape &from,
+                          const VCoreShape &to) const;
+
+    /** True when the transition requires flushing L2 banks. */
+    bool requiresCacheFlush(const VCoreShape &from,
+                            const VCoreShape &to) const;
+
+    /** True when the transition requires a Register Flush. */
+    bool requiresRegisterFlush(const VCoreShape &from,
+                               const VCoreShape &to) const;
+
+  private:
+    SimConfig cfg_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_CORE_RECONFIG_HH

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * SSim's timing model of one Virtual Core.
+ *
+ * A VCore is s contiguous Slices plus a set of L2 banks.  The model
+ * replays a committed-path trace in program order and computes, per
+ * instruction, the cycle of every pipeline event under the Sharing
+ * Architecture's constraints:
+ *
+ *  - PC-interleaved fetch, two instructions per Slice per cycle, with
+ *    a whole-group stall semantics (section 3.1);
+ *  - a distributed bimodal predictor and replicated BTB; mispredicts
+ *    flush across Slices with network-latency cost;
+ *  - two-stage rename whose depth grows with Slice count (section
+ *    3.2) and whose cross-Slice operands ride the Scalar Operand
+ *    Network at 2 cycles + 1/hop (section 3.4), with remote values
+ *    cached in the local LRF after first use;
+ *  - per-Slice issue windows, ROB partitions, LRFs, store buffers and
+ *    MSHRs modelled as in-order-allocated occupancy limits;
+ *  - loads/stores sorted to the owning Slice by address (section 3.6),
+ *    unordered LSQ semantics with store-load forwarding and violation
+ *    squashes;
+ *  - private per-Slice L1s, a shared banked L2 with distance latency,
+ *    and a 100-cycle memory.
+ *
+ * Wrong-path work is modelled as fetch bubbles (the trace holds only
+ * the committed path), the standard trace-driven methodology.
+ */
+
+#ifndef SHARCH_CORE_VCORE_SIM_HH
+#define SHARCH_CORE_VCORE_SIM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_model.hh"
+#include "cache/l2_system.hh"
+#include "config/sim_config.hh"
+#include "noc/network.hh"
+#include "noc/placement.hh"
+#include "stats/stats.hh"
+#include "trace/instruction.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/mem_dep.hh"
+#include "uarch/rename.hh"
+#include "uarch/structures.hh"
+
+namespace sharch {
+
+/** Timing model of one VCore, driven by one thread's trace. */
+class VCoreSim
+{
+  public:
+    /**
+     * @param cfg       microarchitecture parameters
+     * @param vc        this VCore's id within its VM
+     * @param placement coordinates of this VCore's Slices and the
+     *                  VM's banks
+     * @param l2        the VM's shared L2 (may have zero banks)
+     */
+    VCoreSim(const SimConfig &cfg, VCoreId vc,
+             const FabricPlacement &placement, L2System &l2);
+
+    /** Pointers to the per-Slice L1 D-caches (for the L2 directory). */
+    std::vector<CacheModel *> l1dPointers();
+
+    /**
+     * Install one line into the owning Slice's L1D and the L2
+     * functionally (no timing); used to prewarm steady-state content.
+     */
+    void prefillLine(Addr addr);
+
+    /** Process up to @p max_instructions of @p trace starting at the
+     *  internal cursor.  @return instructions actually processed. */
+    std::size_t step(const Trace &trace, std::size_t max_instructions);
+
+    /** Run @p trace to completion and return the final statistics. */
+    const SimStats &run(const Trace &trace);
+
+    /** True when the cursor reached the end of the last trace given. */
+    bool done(const Trace &trace) const
+    { return cursor_ >= trace.size(); }
+
+    /** Cycle of the most recent commit (the completion frontier). */
+    Cycles currentCycle() const { return lastCommit_; }
+
+    const SimStats &stats() const { return stats_; }
+
+    /**
+     * Charge a reconfiguration penalty: all future activity starts
+     * after @p penalty extra cycles, and architectural register state
+     * collapses onto Slice 0 (the Register Flush of section 3.8).
+     */
+    void chargeReconfiguration(Cycles penalty);
+
+  private:
+    SimConfig cfg_;
+    VCoreId vc_;
+    FabricPlacement placement_;
+    L2System *l2_;
+    unsigned s_; //!< Slice count
+
+    // Networks (operand, LS-sorting; rename rides its own network but
+    // its cost is the added pipeline depth).
+    SwitchedNetwork operandNet_;
+    SwitchedNetwork sortNet_;
+
+    // Per-Slice structures.
+    std::vector<CacheModel> l1i_;
+    std::vector<CacheModel> l1d_;
+    DistributedBranchPredictor predictor_;
+    std::vector<OccupancyLimiter> rob_;         //!< frees in order
+    std::vector<UnorderedOccupancy> issueQueue_; //!< frees at issue
+    std::vector<UnorderedOccupancy> lsq_;        //!< unordered (s3.6)
+    std::vector<OccupancyLimiter> lrf_;
+    std::vector<OccupancyLimiter> storeBuffer_;
+    std::vector<UnorderedOccupancy> mshr_;
+    std::vector<SlottedPort> aluPort_;
+    std::vector<SlottedPort> lsPort_;
+    std::vector<SlottedPort> l1dPort_;
+    UnitPort commitPort_;
+
+    RenameState rename_;
+    MemDepTracker memDep_;
+    /** Cached remote copies: copyReady_[reg][slice] valid via mask. */
+    std::vector<std::array<Cycles, SimConfig::kMaxSlices>> copyReady_;
+    std::vector<std::uint16_t> copyMask_;
+    std::vector<SeqNum> copySeq_;
+
+    // Front-end state.
+    Cycles nextFetchCycle_ = 0;  //!< earliest start of the next group
+    Cycles curGroupCycle_ = 0;   //!< cycle of the in-progress group
+    unsigned groupUsed_ = 0;     //!< instructions fetched this group
+    Cycles lastCommit_ = 0;
+    SeqNum seq_ = 0;
+    std::size_t cursor_ = 0;
+    Addr lastFetchLine_ = ~Addr{0};
+
+    SimStats stats_;
+
+    // Helpers.
+    SliceId fetchSliceOf(Addr pc) const;
+    SliceId homeSliceOf(Addr addr) const;
+    unsigned frontDepth() const;
+    Cycles readSource(RegIndex reg, SliceId my_slice, Cycles when);
+    void writeDest(RegIndex reg, SliceId slice, Cycles ready);
+    Cycles fetchOne(const TraceInst &ti, SliceId slice);
+    void processOne(const TraceInst &ti);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_CORE_VCORE_SIM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A Virtual Machine: one or more VCores sharing a banked L2.
+ *
+ * Single-threaded workloads run one VCore.  Multithreaded (PARSEC)
+ * workloads run profile.numThreads equally configured VCores that
+ * share the VM's L2 banks, with the coherence point between the L1s
+ * and the L2 (section 3.5); VCores advance in round-robin chunks so
+ * their cycle clocks stay aligned and bank/directory contention is
+ * observed.
+ */
+
+#ifndef SHARCH_CORE_VM_SIM_HH
+#define SHARCH_CORE_VM_SIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/l2_system.hh"
+#include "config/sim_config.hh"
+#include "core/vcore_sim.hh"
+#include "stats/stats.hh"
+#include "trace/instruction.hh"
+#include "trace/profile.hh"
+
+namespace sharch {
+
+/** Result of a whole-VM simulation. */
+struct VmResult
+{
+    SimStats aggregate;               //!< merged across VCores
+    std::vector<SimStats> perVCore;
+    Cycles cycles = 0;                //!< slowest VCore's finish time
+
+    /** Aggregate committed instructions per cycle. */
+    double throughput() const;
+};
+
+/** Simulates one VM over a set of per-thread traces. */
+class VmSim
+{
+  public:
+    /**
+     * @param cfg     per-VCore configuration; cfg.numL2Banks is the
+     *                cache attached *per VCore* -- the VM's shared L2
+     *                has numL2Banks * num_vcores banks
+     * @param num_vcores one VCore per thread
+     */
+    VmSim(const SimConfig &cfg, unsigned num_vcores);
+
+    /**
+     * Install steady-state cache contents for @p profile's workload:
+     * each region's most-popular lines, best-ranked last, so LRU
+     * retains them exactly as an infinitely long history would.
+     * Eliminates the compulsory-miss transient of short traces.
+     */
+    void prewarm(const BenchmarkProfile &profile);
+
+    /**
+     * Run @p traces (one per VCore; sizes may differ) to completion.
+     * @param chunk round-robin scheduling quantum in instructions
+     */
+    VmResult run(const std::vector<Trace> &traces,
+                 std::size_t chunk = 2000);
+
+    L2System &l2() { return *l2_; }
+
+  private:
+    SimConfig cfg_;
+    std::vector<FabricPlacement> placements_;
+    std::unique_ptr<L2System> l2_;
+    std::vector<std::unique_ptr<VCoreSim>> vcores_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_CORE_VM_SIM_HH

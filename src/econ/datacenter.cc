@@ -1,0 +1,108 @@
+#include "econ/datacenter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+double
+DatacenterResult::optimalBigFrac(double app_a_mix) const
+{
+    double best_frac = 0.0;
+    double best_util = -1.0;
+    for (const MixPoint &p : points) {
+        if (std::abs(p.appAMix - app_a_mix) > 1e-9)
+            continue;
+        if (p.utilityPerArea > best_util) {
+            best_util = p.utilityPerArea;
+            best_frac = p.bigCoreAreaFrac;
+        }
+    }
+    SHARCH_ASSERT(best_util >= 0.0, "mix not present in study");
+    return best_frac;
+}
+
+DatacenterResult
+datacenterStudy(UtilityOptimizer &opt, const std::string &app_a,
+                const std::string &app_b,
+                const std::vector<double> &mixes, unsigned steps)
+{
+    SHARCH_ASSERT(steps >= 2, "need at least two ratio samples");
+
+    DatacenterResult res;
+    PerfModel &pm = opt.perfModel();
+    const AreaModel &am = opt.areaModel();
+
+    // Each application's own peak-perf/area shape defines a core type
+    // (the paper's data produced (1 Slice, 0 KB) for hmmer and
+    // (3 Slices, 256 KB) for gobmk).
+    const OptResult small_opt = opt.peakPerfPerArea(app_a, 1);
+    const OptResult big_opt = opt.peakPerfPerArea(app_b, 1);
+    res.small = CoreType{"small(" + app_a + "-optimal, " +
+                             std::to_string(small_opt.cacheKb()) +
+                             "K, " + std::to_string(small_opt.slices) +
+                             "S)",
+                         small_opt.banks, small_opt.slices};
+    res.big = CoreType{"big(" + app_b + "-optimal, " +
+                           std::to_string(big_opt.cacheKb()) + "K, " +
+                           std::to_string(big_opt.slices) + "S)",
+                       big_opt.banks, big_opt.slices};
+
+    const double area_big = am.vcoreAreaMm2(res.big.slices,
+                                            res.big.banks);
+    const double area_small = am.vcoreAreaMm2(res.small.slices,
+                                              res.small.banks);
+
+    // Per-core performance of each app on each core type.
+    const double pa_big = pm.performance(app_a, res.big.banks,
+                                         res.big.slices);
+    const double pa_small = pm.performance(app_a, res.small.banks,
+                                           res.small.slices);
+    const double pb_big = pm.performance(app_b, res.big.banks,
+                                         res.big.slices);
+    const double pb_small = pm.performance(app_b, res.small.banks,
+                                           res.small.slices);
+
+    for (double mix : mixes) {
+        SHARCH_ASSERT(mix >= 0.0 && mix <= 1.0, "mix must be in [0,1]");
+        for (unsigned i = 0; i < steps; ++i) {
+            const double f =
+                static_cast<double>(i) / (steps - 1);
+            // Unit chip area split between the two core types.
+            const double n_big = f / area_big;
+            const double n_small = (1.0 - f) / area_small;
+            const double n_total = n_big + n_small;
+
+            // The workload demands `mix` of the cores run app A.
+            const double want_a = mix * n_total;
+            const double want_b = n_total - want_a;
+
+            // Total performance is linear in how many app-A jobs run
+            // on big cores, so the optimum sits at a boundary of the
+            // feasible interval.
+            const double lo = std::max(0.0, want_a - n_small);
+            const double hi = std::min(want_a, n_big);
+            const double slope =
+                (pa_big - pa_small) - (pb_big - pb_small);
+            const double a_on_big = slope > 0.0 ? hi : lo;
+            const double a_on_small = want_a - a_on_big;
+            const double b_on_big = n_big - a_on_big;
+            const double b_on_small = want_b - b_on_big;
+
+            const double total_perf =
+                a_on_small * pa_small + a_on_big * pa_big +
+                b_on_big * pb_big + b_on_small * pb_small;
+
+            MixPoint p;
+            p.bigCoreAreaFrac = f;
+            p.appAMix = mix;
+            p.utilityPerArea = total_perf; // chip area is 1 by design
+            res.points.push_back(p);
+        }
+    }
+    return res;
+}
+
+} // namespace sharch

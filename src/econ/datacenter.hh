@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Datacenter heterogeneity study (section 5.9, Figure 17).
+ *
+ * A heterogeneous datacenter fixes a mix of big cores (for hmmer vs.
+ * gobmk: 3 Slices + 256 KB, gobmk's peak-Utility1 shape) and small
+ * cores (1 Slice + 0 KB, hmmer's).  Given an application mix, jobs are
+ * assigned to core types to maximize total performance/area.  The
+ * paper's point: the optimal big/small ratio moves with the mix, so no
+ * fixed ratio serves all mixes -- whereas the Sharing Architecture
+ * reshapes the same silicon.
+ */
+
+#ifndef SHARCH_ECON_DATACENTER_HH
+#define SHARCH_ECON_DATACENTER_HH
+
+#include <string>
+#include <vector>
+
+#include "econ/optimizer.hh"
+
+namespace sharch {
+
+/** A fixed core type deployed in the heterogeneous datacenter. */
+struct CoreType
+{
+    std::string label;
+    unsigned banks = 0;
+    unsigned slices = 1;
+};
+
+/** Utility at one (big-core area fraction, application mix) point. */
+struct MixPoint
+{
+    double bigCoreAreaFrac = 0.0; //!< area devoted to big cores
+    double appAMix = 0.5;         //!< fraction of jobs that are app A
+    double utilityPerArea = 0.0;  //!< total perf/area achieved
+};
+
+/** Result of sweeping core ratios for several application mixes. */
+struct DatacenterResult
+{
+    CoreType big;
+    CoreType small;
+    std::vector<MixPoint> points;
+
+    /** Best big-core fraction for a given mix (from points). */
+    double optimalBigFrac(double app_a_mix) const;
+};
+
+/**
+ * Sweep big-core area fraction x application mix for two workloads.
+ *
+ * Following the paper's method, the two fixed core types are each
+ * application's own peak-perf/area VCore shape (the paper's data gave
+ * hmmer a 1-Slice/0 KB small core and gobmk a 3-Slice/256 KB big
+ * core; we derive the shapes from our own surface).  Jobs are then
+ * assigned to core types to maximize total performance per chip area.
+ *
+ * @param opt    shared performance/area surface
+ * @param app_a  the small-core-friendly workload (paper: hmmer)
+ * @param app_b  the big-core-friendly workload (paper: gobmk)
+ * @param mixes  application-mix fractions to evaluate
+ * @param steps  number of big-core-fraction samples in [0, 1]
+ */
+DatacenterResult datacenterStudy(UtilityOptimizer &opt,
+                                 const std::string &app_a,
+                                 const std::string &app_b,
+                                 const std::vector<double> &mixes,
+                                 unsigned steps = 21);
+
+} // namespace sharch
+
+#endif // SHARCH_ECON_DATACENTER_HH

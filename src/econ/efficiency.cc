@@ -1,0 +1,164 @@
+#include "econ/efficiency.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "trace/profile.hh"
+
+namespace sharch {
+
+EfficiencyStudy::EfficiencyStudy(UtilityOptimizer &opt, double budget)
+    : opt_(&opt), market_(market2()),
+      budget_(budget > 0.0 ? budget : defaultBudget())
+{
+}
+
+std::vector<Customer>
+EfficiencyStudy::allCustomers() const
+{
+    std::vector<Customer> customers;
+    for (const std::string &b : benchmarkNames())
+        for (UtilityKind u : kAllUtilities)
+            customers.push_back(Customer{b, u});
+    return customers;
+}
+
+double
+EfficiencyStudy::sharingUtility(const Customer &c)
+{
+    return opt_->peakUtility(c.benchmark, c.utility, market_, budget_)
+        .objective;
+}
+
+double
+EfficiencyStudy::utilityAtConfig(const Customer &c, unsigned banks,
+                                 unsigned slices)
+{
+    return opt_->utilityAt(c.benchmark, c.utility, market_, budget_,
+                           banks, slices);
+}
+
+OptResult
+EfficiencyStudy::bestStaticConfig()
+{
+    const std::vector<Customer> customers = allCustomers();
+    OptResult best;
+    bool first = true;
+    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
+        for (unsigned banks : l2BankGrid()) {
+            std::vector<double> utils;
+            utils.reserve(customers.size());
+            for (const Customer &c : customers)
+                utils.push_back(
+                    std::max(1e-12,
+                             utilityAtConfig(c, banks, s)));
+            const double gme = geometricMean(utils);
+            if (first || gme > best.objective) {
+                first = false;
+                best.banks = banks;
+                best.slices = s;
+                best.objective = gme;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<OptResult>
+EfficiencyStudy::bestPerUtilityConfigs()
+{
+    std::vector<OptResult> result;
+    for (UtilityKind u : kAllUtilities) {
+        OptResult best;
+        bool first = true;
+        for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
+            for (unsigned banks : l2BankGrid()) {
+                std::vector<double> utils;
+                for (const std::string &b : benchmarkNames()) {
+                    utils.push_back(std::max(
+                        1e-12,
+                        utilityAtConfig(Customer{b, u}, banks, s)));
+                }
+                const double gme = geometricMean(utils);
+                if (first || gme > best.objective) {
+                    first = false;
+                    best.banks = banks;
+                    best.slices = s;
+                    best.objective = gme;
+                }
+            }
+        }
+        result.push_back(best);
+    }
+    return result;
+}
+
+EfficiencyResult
+EfficiencyStudy::pairwiseStudy(const std::vector<double> &fixed_utils)
+{
+    const std::vector<Customer> customers = allCustomers();
+    SHARCH_ASSERT(fixed_utils.size() == customers.size(),
+                  "one fixed utility per customer required");
+
+    std::vector<double> sharing_utils;
+    sharing_utils.reserve(customers.size());
+    for (const Customer &c : customers)
+        sharing_utils.push_back(sharingUtility(c));
+
+    EfficiencyResult res;
+    double total = 0.0;
+    for (std::size_t i = 0; i < customers.size(); ++i) {
+        for (std::size_t j = i + 1; j < customers.size(); ++j) {
+            PairGain pg;
+            pg.a = customers[i];
+            pg.b = customers[j];
+            const double denom = fixed_utils[i] + fixed_utils[j];
+            pg.gain = safeDiv(sharing_utils[i] + sharing_utils[j],
+                              denom, 1.0);
+            res.maxGain = std::max(res.maxGain, pg.gain);
+            total += pg.gain;
+            res.gains.push_back(pg);
+        }
+    }
+    res.meanGain = res.gains.empty()
+                       ? 0.0
+                       : total / static_cast<double>(res.gains.size());
+    return res;
+}
+
+EfficiencyResult
+EfficiencyStudy::vsStaticFixed()
+{
+    const OptResult fixed = bestStaticConfig();
+    const std::vector<Customer> customers = allCustomers();
+    std::vector<double> fixed_utils;
+    fixed_utils.reserve(customers.size());
+    for (const Customer &c : customers) {
+        fixed_utils.push_back(
+            utilityAtConfig(c, fixed.banks, fixed.slices));
+    }
+    EfficiencyResult res = pairwiseStudy(fixed_utils);
+    res.banksFixed = fixed.banks;
+    res.slicesFixed = fixed.slices;
+    return res;
+}
+
+EfficiencyResult
+EfficiencyStudy::vsHeterogeneous()
+{
+    const std::vector<OptResult> per_utility = bestPerUtilityConfigs();
+    const std::vector<Customer> customers = allCustomers();
+    std::vector<double> fixed_utils;
+    fixed_utils.reserve(customers.size());
+    for (const Customer &c : customers) {
+        const OptResult &cfg =
+            per_utility[static_cast<std::size_t>(
+                utilityExponent(c.utility) - 1)];
+        fixed_utils.push_back(
+            utilityAtConfig(c, cfg.banks, cfg.slices));
+    }
+    return pairwiseStudy(fixed_utils);
+}
+
+} // namespace sharch

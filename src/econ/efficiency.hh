@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Market-efficiency comparisons (section 5.8, Figures 15 and 16).
+ *
+ * How much total utility does the Sharing Architecture's per-customer
+ * configurability win over (a) one fixed multicore design chosen to be
+ * as good as possible across the whole suite, and (b) a heterogeneous
+ * chip whose per-utility-class core types are chosen across the suite?
+ *
+ * Following the paper, the study runs in Market2 (prices == area),
+ * pairs every (benchmark, utility) customer with every other, and
+ * reports
+ *
+ *   gain = (U_b1(sharing) + U_b2(sharing))
+ *        / (U_b1(fixed_c) + U_b2(fixed_d)).
+ */
+
+#ifndef SHARCH_ECON_EFFICIENCY_HH
+#define SHARCH_ECON_EFFICIENCY_HH
+
+#include <string>
+#include <vector>
+
+#include "econ/optimizer.hh"
+
+namespace sharch {
+
+/** One customer: a workload plus a utility function. */
+struct Customer
+{
+    std::string benchmark;
+    UtilityKind utility = UtilityKind::Throughput;
+};
+
+/** One point of Figure 15/16. */
+struct PairGain
+{
+    Customer a;
+    Customer b;
+    double gain = 1.0;
+};
+
+/** Summary of a pairwise study. */
+struct EfficiencyResult
+{
+    std::vector<PairGain> gains;  //!< one per unordered customer pair
+    double maxGain = 0.0;
+    double meanGain = 0.0;
+    unsigned banksFixed = 0;      //!< the fixed design's banks
+    unsigned slicesFixed = 1;     //!< and Slices (Fig. 15 study only)
+};
+
+/** Pairwise Sharing-vs-fixed and Sharing-vs-heterogeneous studies. */
+class EfficiencyStudy
+{
+  public:
+    /**
+     * @param opt     shared optimizer/performance surface
+     * @param budget  per-customer budget (defaultBudget() if <= 0)
+     */
+    explicit EfficiencyStudy(UtilityOptimizer &opt, double budget = 0.0);
+
+    /** All 45 customers: every benchmark x every utility. */
+    std::vector<Customer> allCustomers() const;
+
+    /**
+     * The single fixed configuration that maximizes the geometric mean
+     * of utility across all customers (the best static multicore an
+     * IaaS provider could deploy).
+     */
+    OptResult bestStaticConfig();
+
+    /**
+     * Per-utility-kind best configurations -- what a heterogeneous
+     * multicore fixes at design time (one core type per utility
+     * class, following [18]).
+     */
+    std::vector<OptResult> bestPerUtilityConfigs();
+
+    /** Figure 15: Sharing vs. the best static fixed architecture. */
+    EfficiencyResult vsStaticFixed();
+
+    /** Figure 16: Sharing vs. the heterogeneous per-utility designs. */
+    EfficiencyResult vsHeterogeneous();
+
+  private:
+    UtilityOptimizer *opt_;
+    Market market_;
+    double budget_;
+
+    double sharingUtility(const Customer &c);
+    double utilityAtConfig(const Customer &c, unsigned banks,
+                           unsigned slices);
+    EfficiencyResult pairwiseStudy(
+        const std::vector<double> &fixed_utils);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_ECON_EFFICIENCY_HH

@@ -1,0 +1,53 @@
+#include "econ/market.hh"
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+Market
+market1()
+{
+    return Market{"Market1", 8.0, 1.0};
+}
+
+Market
+market2()
+{
+    return Market{"Market2", 2.0, 1.0};
+}
+
+Market
+market3()
+{
+    return Market{"Market3", 2.0, 4.0};
+}
+
+std::vector<Market>
+allMarkets()
+{
+    return {market1(), market2(), market3()};
+}
+
+double
+configCost(const Market &m, unsigned banks, unsigned slices)
+{
+    SHARCH_ASSERT(slices >= 1, "a VCore needs at least one Slice");
+    return m.bankPrice * banks + m.slicePrice * slices;
+}
+
+double
+coresAffordable(const Market &m, double budget, unsigned banks,
+                unsigned slices)
+{
+    SHARCH_ASSERT(budget > 0.0, "budget must be positive");
+    return budget / configCost(m, banks, slices);
+}
+
+double
+defaultBudget()
+{
+    // Eight maxed-out VCores under Market2 (128 banks + 8 slices each).
+    return 8.0 * configCost(market2(), 128, 8);
+}
+
+} // namespace sharch

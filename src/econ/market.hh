@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sub-core resource markets (section 5.7).
+ *
+ * The Sharing Architecture lets a provider price Slices and 64 KB L2
+ * banks separately.  The paper studies three markets around the
+ * equal-area anchor "1 Slice costs the same as 128 KB Cache":
+ *
+ *   Market1: Slices cost 4x their equal-area price
+ *   Market2: prices track area exactly
+ *   Market3: cache costs 4x its equal-area price
+ *
+ * With the bank as the unit of account (price 1 in Market1/2), the
+ * price vectors are {slice, bank} = {8, 1}, {2, 1}, {2, 4}.
+ */
+
+#ifndef SHARCH_ECON_MARKET_HH
+#define SHARCH_ECON_MARKET_HH
+
+#include <string>
+#include <vector>
+
+namespace sharch {
+
+/** A price vector for the two sub-core resources. */
+struct Market
+{
+    std::string name;
+    double slicePrice = 2.0;   //!< per Slice
+    double bankPrice = 1.0;    //!< per 64 KB L2 bank
+};
+
+/** Market1: Slices at 4x equal-area cost. */
+Market market1();
+/** Market2: cost == area (the default for the efficiency studies). */
+Market market2();
+/** Market3: cache at 4x equal-area cost. */
+Market market3();
+
+/** The three markets in the paper's order. */
+std::vector<Market> allMarkets();
+
+/** Cost of one VCore of @p banks banks and @p slices Slices. */
+double configCost(const Market &m, unsigned banks, unsigned slices);
+
+/**
+ * Cores affordable under @p budget (Equation 2):
+ * v = B / (Cc*c + Cs*s).  Fractional v is allowed.
+ */
+double coresAffordable(const Market &m, double budget, unsigned banks,
+                       unsigned slices);
+
+/**
+ * The budget used throughout the efficiency studies: enough to buy
+ * eight of the largest single-resource bundles so every grid point is
+ * affordable with v >= ~0.2.
+ */
+double defaultBudget();
+
+} // namespace sharch
+
+#endif // SHARCH_ECON_MARKET_HH

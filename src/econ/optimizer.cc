@@ -1,0 +1,97 @@
+#include "econ/optimizer.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+UtilityOptimizer::UtilityOptimizer(PerfModel &perf, const AreaModel &area)
+    : perf_(&perf), area_(area)
+{
+}
+
+OptResult
+UtilityOptimizer::peakPerfPerArea(const BenchmarkProfile &profile, int k)
+{
+    SHARCH_ASSERT(k >= 1 && k <= 3, "metric exponent must be 1..3");
+    OptResult best;
+    bool first = true;
+    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
+        for (unsigned banks : l2BankGrid()) {
+            const double p = perf_->performance(profile, banks, s);
+            const double area = area_.vcoreAreaMm2(s, banks);
+            const double metric = std::pow(p, k) / area;
+            if (first || metric > best.objective) {
+                first = false;
+                best.banks = banks;
+                best.slices = s;
+                best.perf = p;
+                best.objective = metric;
+            }
+        }
+    }
+    return best;
+}
+
+OptResult
+UtilityOptimizer::peakPerfPerArea(const std::string &benchmark, int k)
+{
+    return peakPerfPerArea(profileFor(benchmark), k);
+}
+
+double
+UtilityOptimizer::utilityAt(const std::string &benchmark, UtilityKind u,
+                            const Market &market, double budget,
+                            unsigned banks, unsigned slices)
+{
+    const double p = perf_->performance(benchmark, banks, slices);
+    const double v = coresAffordable(market, budget, banks, slices);
+    return utilityValue(u, v, p);
+}
+
+OptResult
+UtilityOptimizer::peakUtility(const std::string &benchmark, UtilityKind u,
+                              const Market &market, double budget)
+{
+    OptResult best;
+    bool first = true;
+    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
+        for (unsigned banks : l2BankGrid()) {
+            const double p = perf_->performance(benchmark, banks, s);
+            const double v =
+                coresAffordable(market, budget, banks, s);
+            const double util = utilityValue(u, v, p);
+            if (first || util > best.objective) {
+                first = false;
+                best.banks = banks;
+                best.slices = s;
+                best.perf = p;
+                best.objective = util;
+                best.cores = v;
+            }
+        }
+    }
+    return best;
+}
+
+std::vector<SurfacePoint>
+UtilityOptimizer::utilitySurface(const std::string &benchmark,
+                                 UtilityKind u, const Market &market,
+                                 double budget)
+{
+    std::vector<SurfacePoint> points;
+    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
+        for (unsigned banks : l2BankGrid()) {
+            SurfacePoint pt;
+            pt.banks = banks;
+            pt.slices = s;
+            pt.utility =
+                utilityAt(benchmark, u, market, budget, banks, s);
+            points.push_back(pt);
+        }
+    }
+    return points;
+}
+
+} // namespace sharch

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Exhaustive configuration search (sections 5.5-5.7).
+ *
+ * The paper finds optimal VCore shapes by exhaustively sweeping Slice
+ * count 1..8 and L2 size 0..8 MB.  UtilityOptimizer does the same over
+ * PerfModel's memoized surface for two families of objectives:
+ *
+ *  - performance^k / area  (Table 4; k = 1, 2, 3), and
+ *  - customer utility under a market and budget (Tables 5/6,
+ *    Figure 14).
+ */
+
+#ifndef SHARCH_ECON_OPTIMIZER_HH
+#define SHARCH_ECON_OPTIMIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "econ/market.hh"
+#include "econ/utility.hh"
+
+namespace sharch {
+
+/** The winning point of a sweep. */
+struct OptResult
+{
+    unsigned banks = 0;
+    unsigned slices = 1;
+    double perf = 0.0;     //!< P(c, s) at the optimum
+    double objective = 0.0; //!< metric or utility value
+    double cores = 0.0;    //!< v at the optimum (utility sweeps only)
+
+    unsigned cacheKb() const { return banks * 64; }
+};
+
+/** One sampled point of a utility surface (Figure 14). */
+struct SurfacePoint
+{
+    unsigned banks = 0;
+    unsigned slices = 1;
+    double utility = 0.0;
+};
+
+/** Exhaustive sweeps over the (banks, slices) grid. */
+class UtilityOptimizer
+{
+  public:
+    /**
+     * @param perf memoized performance surface (shared across studies)
+     * @param area area model for the performance/area metrics
+     */
+    UtilityOptimizer(PerfModel &perf, const AreaModel &area);
+
+    /** argmax P(c,s)^k / area(c,s) -- Table 4's metrics. */
+    OptResult peakPerfPerArea(const std::string &benchmark, int k);
+    OptResult peakPerfPerArea(const BenchmarkProfile &profile, int k);
+
+    /** argmax utility under @p market and @p budget -- Tables 5/6. */
+    OptResult peakUtility(const std::string &benchmark, UtilityKind u,
+                          const Market &market, double budget);
+
+    /** Utility at one explicit configuration. */
+    double utilityAt(const std::string &benchmark, UtilityKind u,
+                     const Market &market, double budget,
+                     unsigned banks, unsigned slices);
+
+    /** The whole surface (Figure 14's heat maps). */
+    std::vector<SurfacePoint> utilitySurface(
+        const std::string &benchmark, UtilityKind u,
+        const Market &market, double budget);
+
+    PerfModel &perfModel() { return *perf_; }
+    const AreaModel &areaModel() const { return area_; }
+
+  private:
+    PerfModel *perf_;
+    AreaModel area_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_ECON_OPTIMIZER_HH

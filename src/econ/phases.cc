@@ -1,0 +1,108 @@
+#include "econ/phases.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace sharch {
+
+namespace {
+
+/** Performance adjusted for a reconfiguration stall at phase entry. */
+double
+adjustedPerf(double perf, std::size_t instructions, Cycles penalty)
+{
+    if (penalty == 0 || perf <= 0.0)
+        return perf;
+    const double cycles = static_cast<double>(instructions) / perf;
+    return static_cast<double>(instructions) /
+           (cycles + static_cast<double>(penalty));
+}
+
+} // namespace
+
+PhaseStudyResult
+phaseStudy(UtilityOptimizer &opt, std::vector<BenchmarkProfile> phases,
+           double phase_scale)
+{
+    SHARCH_ASSERT(phase_scale >= 1.0, "phases cannot shrink");
+    if (phases.empty())
+        phases = gccPhaseProfiles();
+    SHARCH_ASSERT(!phases.empty(), "need at least one phase");
+
+    PerfModel &pm = opt.perfModel();
+    const AreaModel &am = opt.areaModel();
+    const ReconfigManager reconfig;
+    const std::size_t instructions = pm.instructionsPerThread();
+
+    PhaseStudyResult result;
+    result.phases = phases;
+
+    for (int k = 1; k <= 3; ++k) {
+        PhaseStudyRow row;
+        row.metricExponent = k;
+
+        // Per-phase optimal shapes (ignoring transition costs, as the
+        // paper's per-phase columns do).
+        for (const BenchmarkProfile &phase : phases) {
+            const OptResult best = opt.peakPerfPerArea(phase, k);
+            row.perPhase.push_back(
+                VCoreShape{best.banks, best.slices});
+        }
+
+        // Dynamic GME: run each phase at its own optimum, charging the
+        // transition penalty when the shape changed from the previous
+        // phase.
+        std::vector<double> dyn_metrics;
+        VCoreShape prev = row.perPhase.front();
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            const VCoreShape shape = row.perPhase[i];
+            const Cycles penalty =
+                i == 0 ? 0 : reconfig.transitionCost(prev, shape);
+            double p = pm.performance(phases[i], shape.banks,
+                                      shape.slices);
+            p = adjustedPerf(p,
+                             static_cast<std::size_t>(
+                                 instructions * phase_scale),
+                             penalty);
+            const double area =
+                am.vcoreAreaMm2(shape.slices, shape.banks);
+            dyn_metrics.push_back(std::pow(p, k) / area);
+            prev = shape;
+        }
+        row.dynamicGme = geometricMean(dyn_metrics);
+
+        // Static optimum: the single shape maximizing the GME of the
+        // metric across all phases (more stringent than the optimum
+        // across benchmarks, as the paper notes).
+        double best_static = 0.0;
+        VCoreShape best_shape;
+        bool first = true;
+        for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
+            for (unsigned banks : l2BankGrid()) {
+                std::vector<double> metrics;
+                const double area = am.vcoreAreaMm2(s, banks);
+                for (const BenchmarkProfile &phase : phases) {
+                    const double p =
+                        pm.performance(phase, banks, s);
+                    metrics.push_back(
+                        std::max(1e-12, std::pow(p, k) / area));
+                }
+                const double gme = geometricMean(metrics);
+                if (first || gme > best_static) {
+                    first = false;
+                    best_static = gme;
+                    best_shape = VCoreShape{banks, s};
+                }
+            }
+        }
+        row.staticOptimal = best_shape;
+        row.staticGme = best_static;
+        row.gain = row.dynamicGme / row.staticGme - 1.0;
+        result.rows.push_back(std::move(row));
+    }
+    return result;
+}
+
+} // namespace sharch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dynamic-phase study (section 5.10, Table 7).
+ *
+ * gcc is split into ten phases; each phase is simulated independently
+ * across the configuration grid, and for each performance/area metric
+ * the study reports the per-phase optimal VCore shape, the dynamic
+ * (reconfigure-every-phase) geometric-mean metric -- charging 10,000
+ * cycles when a transition changes the L2 allotment and 500 cycles
+ * when only the Slice count changes -- and the gain over the best
+ * single static configuration for the same program.
+ */
+
+#ifndef SHARCH_ECON_PHASES_HH
+#define SHARCH_ECON_PHASES_HH
+
+#include <vector>
+
+#include "core/reconfig.hh"
+#include "econ/optimizer.hh"
+#include "trace/profile.hh"
+
+namespace sharch {
+
+/** Table 7, one metric row. */
+struct PhaseStudyRow
+{
+    int metricExponent = 1;            //!< perf^k/area
+    std::vector<VCoreShape> perPhase;  //!< optimal shape per phase
+    VCoreShape staticOptimal;          //!< best single configuration
+    double dynamicGme = 0.0;           //!< GME of per-phase metric,
+                                       //!< reconfig costs charged
+    double staticGme = 0.0;            //!< GME at staticOptimal
+    double gain = 0.0;                 //!< dynamicGme/staticGme - 1
+};
+
+/** Full Table 7. */
+struct PhaseStudyResult
+{
+    std::vector<BenchmarkProfile> phases;
+    std::vector<PhaseStudyRow> rows;   //!< one per metric k = 1, 2, 3
+};
+
+/**
+ * Run the dynamic-phase study.
+ *
+ * @param opt    shared performance/area surface
+ * @param phases phase profiles (defaults to gccPhaseProfiles())
+ * @param phase_scale how many instructions each simulated phase
+ *        represents, as a multiple of the simulated trace length; the
+ *        paper's phases are tenths of a full SPEC run, so the 10,000
+ *        cycle reconfiguration penalty must be amortized over far more
+ *        instructions than a calibration-sized trace
+ */
+PhaseStudyResult phaseStudy(UtilityOptimizer &opt,
+                            std::vector<BenchmarkProfile> phases = {},
+                            double phase_scale = 25.0);
+
+} // namespace sharch
+
+#endif // SHARCH_ECON_PHASES_HH

@@ -1,0 +1,48 @@
+#include "econ/utility.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+const char *
+utilityName(UtilityKind k)
+{
+    switch (k) {
+      case UtilityKind::Throughput: return "Utility1";
+      case UtilityKind::Balanced: return "Utility2";
+      case UtilityKind::SingleStream: return "Utility3";
+      default: return "unknown";
+    }
+}
+
+int
+utilityExponent(UtilityKind k)
+{
+    switch (k) {
+      case UtilityKind::Throughput: return 1;
+      case UtilityKind::Balanced: return 2;
+      case UtilityKind::SingleStream: return 3;
+      default: SHARCH_PANIC("unknown utility kind");
+    }
+}
+
+double
+utilityValue(UtilityKind k, double v, double perf)
+{
+    SHARCH_ASSERT(v >= 0.0 && perf >= 0.0,
+                  "utility arguments must be nonnegative");
+    switch (k) {
+      case UtilityKind::Throughput:
+        return v * perf;
+      case UtilityKind::Balanced:
+        return std::sqrt(v) * perf * perf;
+      case UtilityKind::SingleStream:
+        return std::cbrt(v) * perf * perf * perf;
+      default:
+        SHARCH_PANIC("unknown utility kind");
+    }
+}
+
+} // namespace sharch

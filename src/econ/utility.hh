@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cloud-customer utility functions (section 5.6, Table 5).
+ *
+ * A customer buys v cores' worth of resources under a budget and gains
+ * utility as a function of the per-core single-thread performance
+ * P(c, s).  The paper's three exemplar utilities, ordered from
+ * throughput-oriented to single-stream-obsessed:
+ *
+ *   Utility1 (latency-tolerant, Equation 4):  U = v * P
+ *   Utility2:                                 U = sqrt(v) * P^2
+ *   Utility3 (OLDI-style, Equation 1):        U = cbrt(v) * P^3
+ */
+
+#ifndef SHARCH_ECON_UTILITY_HH
+#define SHARCH_ECON_UTILITY_HH
+
+#include <string>
+
+namespace sharch {
+
+/** The three utility families of Table 5. */
+enum class UtilityKind
+{
+    Throughput,   //!< Utility1: v * P
+    Balanced,     //!< Utility2: sqrt(v) * P^2
+    SingleStream, //!< Utility3: cbrt(v) * P^3
+};
+
+/** All three kinds in the paper's order. */
+inline constexpr UtilityKind kAllUtilities[] = {
+    UtilityKind::Throughput, UtilityKind::Balanced,
+    UtilityKind::SingleStream};
+
+/** "Utility1" / "Utility2" / "Utility3". */
+const char *utilityName(UtilityKind k);
+
+/** The performance exponent of the utility (1, 2, or 3). */
+int utilityExponent(UtilityKind k);
+
+/**
+ * Utility of owning @p v cores each delivering performance @p perf.
+ * @p v may be fractional (resources are divisible in the Sharing
+ * Architecture's market).
+ */
+double utilityValue(UtilityKind k, double v, double perf);
+
+} // namespace sharch
+
+#endif // SHARCH_ECON_UTILITY_HH

@@ -1,0 +1,116 @@
+#include "hyper/autotuner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "config/sim_config.hh"
+#include "core/perf_model.hh"
+
+namespace sharch {
+
+AutoTuner::AutoTuner(UtilityKind utility, Market market, double budget,
+                     VCoreShape start)
+    : utility_(utility), market_(std::move(market)), budget_(budget),
+      current_(start)
+{
+    SHARCH_ASSERT(budget > 0.0, "tuner needs a budget");
+    SHARCH_ASSERT(start.slices >= 1 &&
+                      start.slices <= SimConfig::kMaxSlices,
+                  "bad starting shape");
+    inFlight_ = current_;
+}
+
+double
+AutoTuner::utilityOf(const VCoreShape &shape, double perf) const
+{
+    const double v = coresAffordable(market_, budget_, shape.banks,
+                                     shape.slices);
+    return utilityValue(utility_, v, perf);
+}
+
+std::optional<VCoreShape>
+AutoTuner::stepBanks(const VCoreShape &s, int direction)
+{
+    // Banks move along the paper's log2 grid: 0,1,2,4,...,128.
+    const auto &grid = l2BankGrid();
+    auto it = std::find(grid.begin(), grid.end(), s.banks);
+    if (it == grid.end())
+        return std::nullopt;
+    const auto idx = static_cast<std::size_t>(it - grid.begin());
+    if (direction > 0 && idx + 1 < grid.size())
+        return VCoreShape{grid[idx + 1], s.slices};
+    if (direction < 0 && idx > 0)
+        return VCoreShape{grid[idx - 1], s.slices};
+    return std::nullopt;
+}
+
+void
+AutoTuner::proposeNeighbours()
+{
+    pending_.clear();
+    auto add = [&](std::optional<VCoreShape> s) {
+        if (!s)
+            return;
+        if (s->slices < 1 || s->slices > SimConfig::kMaxSlices)
+            return;
+        pending_.push_back(*s);
+    };
+    add(stepBanks(current_, +1));
+    add(stepBanks(current_, -1));
+    add(VCoreShape{current_.banks, current_.slices + 1});
+    if (current_.slices > 1)
+        add(VCoreShape{current_.banks, current_.slices - 1});
+}
+
+std::optional<VCoreShape>
+AutoTuner::nextShape()
+{
+    if (converged_)
+        return std::nullopt;
+    if (inFlight_)
+        return inFlight_;
+    if (pending_.empty()) {
+        converged_ = true;
+        return std::nullopt;
+    }
+    inFlight_ = pending_.back();
+    pending_.pop_back();
+    return inFlight_;
+}
+
+void
+AutoTuner::report(double perf)
+{
+    SHARCH_ASSERT(inFlight_.has_value(),
+                  "report() without a proposed shape");
+    const VCoreShape measured = *inFlight_;
+    inFlight_.reset();
+
+    TuneTrial trial;
+    trial.shape = measured;
+    trial.perf = perf;
+    trial.utility = utilityOf(measured, perf);
+    history_.push_back(trial);
+
+    if (!haveBaseline_) {
+        // First measurement establishes the starting point.
+        haveBaseline_ = true;
+        best_ = trial;
+        proposeNeighbours();
+        return;
+    }
+
+    if (trial.utility > best_.utility) {
+        // Move the VM to the better shape and restart the
+        // neighbourhood from there, paying the transition.
+        reconfigSpent_ += reconfig_.transitionCost(current_,
+                                                   measured);
+        current_ = measured;
+        best_ = trial;
+        proposeNeighbours();
+    }
+    // Otherwise stay; remaining neighbours keep draining until the
+    // neighbourhood is exhausted (a local optimum).
+}
+
+} // namespace sharch

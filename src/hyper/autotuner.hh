@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The auto-tuner of section 4.
+ *
+ * A customer without a performance model "could utilize an auto-tuner
+ * [which] would slowly search the configuration space by varying the
+ * VM instance configuration", judging success through heartbeat-style
+ * performance feedback.  AutoTuner implements that loop: it proposes a
+ * VCore shape, the caller measures it (heartbeats, or a PerfModel in
+ * simulation), reports the measurement back, and the tuner hill-climbs
+ * over the (banks x slices) grid on the customer's utility, counting
+ * the reconfiguration cost of every move it takes.
+ */
+
+#ifndef SHARCH_HYPER_AUTOTUNER_HH
+#define SHARCH_HYPER_AUTOTUNER_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/reconfig.hh"
+#include "econ/market.hh"
+#include "econ/utility.hh"
+
+namespace sharch {
+
+/** One completed trial. */
+struct TuneTrial
+{
+    VCoreShape shape;
+    double perf = 0.0;    //!< measured heartbeat rate (IPC)
+    double utility = 0.0; //!< derived objective at this shape
+};
+
+/**
+ * Online hill climber over VCore shapes.
+ *
+ * Protocol:
+ *   while (auto shape = tuner.nextShape()) {
+ *       double perf = measure(*shape);   // run the app, read
+ *       tuner.report(perf);              // heartbeats
+ *   }
+ *   use tuner.best();
+ */
+class AutoTuner
+{
+  public:
+    /**
+     * @param utility the customer's utility family
+     * @param market  current resource prices
+     * @param budget  the customer's budget (drives v in the utility)
+     * @param start   initial shape (defaults to 1 Slice, 2 banks)
+     */
+    AutoTuner(UtilityKind utility, Market market, double budget,
+              VCoreShape start = VCoreShape{2, 1});
+
+    /** Shape to measure next; nullopt when converged. */
+    std::optional<VCoreShape> nextShape();
+
+    /** Report the measured performance of the last proposed shape. */
+    void report(double perf);
+
+    /** Best trial so far. */
+    const TuneTrial &best() const { return best_; }
+
+    /** Every completed trial, in order. */
+    const std::vector<TuneTrial> &history() const { return history_; }
+
+    /** Total reconfiguration cycles spent moving between shapes. */
+    Cycles reconfigurationSpent() const { return reconfigSpent_; }
+
+    bool converged() const { return converged_; }
+
+  private:
+    UtilityKind utility_;
+    Market market_;
+    double budget_;
+    ReconfigManager reconfig_;
+
+    VCoreShape current_;
+    std::vector<VCoreShape> pending_;  //!< neighbours left to try
+    std::optional<VCoreShape> inFlight_;
+    TuneTrial best_;
+    std::vector<TuneTrial> history_;
+    Cycles reconfigSpent_ = 0;
+    bool converged_ = false;
+    bool haveBaseline_ = false;
+
+    void proposeNeighbours();
+    double utilityOf(const VCoreShape &shape, double perf) const;
+    static std::optional<VCoreShape> stepBanks(const VCoreShape &s,
+                                               int direction);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_HYPER_AUTOTUNER_HH

@@ -1,0 +1,330 @@
+#include "hyper/fabric_manager.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+FabricManager::FabricManager(int width, int height)
+    : width_(width), height_(height)
+{
+    SHARCH_ASSERT(width >= 1 && height >= 2,
+                  "chip needs at least one Slice row and one bank row");
+    const int slice_rows = (height + 1) / 2;
+    const int bank_rows = height / 2;
+    sliceOwner_.assign(slice_rows,
+                       std::vector<AllocationId>(width, kFree));
+    bankOwner_.assign(bank_rows,
+                      std::vector<AllocationId>(width, kFree));
+}
+
+unsigned
+FabricManager::totalSlices() const
+{
+    return static_cast<unsigned>(sliceOwner_.size()) * width_;
+}
+
+unsigned
+FabricManager::totalBanks() const
+{
+    return static_cast<unsigned>(bankOwner_.size()) * width_;
+}
+
+unsigned
+FabricManager::freeSlices() const
+{
+    unsigned n = 0;
+    for (const auto &row : sliceOwner_)
+        for (AllocationId owner : row)
+            n += owner == kFree;
+    return n;
+}
+
+unsigned
+FabricManager::freeBanks() const
+{
+    unsigned n = 0;
+    for (const auto &row : bankOwner_)
+        for (AllocationId owner : row)
+            n += owner == kFree;
+    return n;
+}
+
+std::optional<SliceRun>
+FabricManager::findRun(unsigned count) const
+{
+    if (count == 0 || count > static_cast<unsigned>(width_))
+        return std::nullopt;
+    for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
+        unsigned run = 0;
+        for (int c = 0; c < width_; ++c) {
+            run = sliceOwner_[r][c] == kFree ? run + 1 : 0;
+            if (run >= count) {
+                return SliceRun{static_cast<int>(r) * 2,
+                                c - static_cast<int>(count) + 1,
+                                count};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+void
+FabricManager::claim(const SliceRun &run, AllocationId id)
+{
+    auto &row = sliceOwner_[sliceRowIndex(run.row)];
+    for (unsigned i = 0; i < run.count; ++i) {
+        SHARCH_ASSERT(row[run.col + i] == kFree, "double allocation");
+        row[run.col + i] = id;
+    }
+}
+
+void
+FabricManager::unclaim(const SliceRun &run)
+{
+    auto &row = sliceOwner_[sliceRowIndex(run.row)];
+    for (unsigned i = 0; i < run.count; ++i)
+        row[run.col + i] = kFree;
+}
+
+std::vector<Coord>
+FabricManager::takeBanks(unsigned count, const SliceRun &near,
+                         AllocationId id)
+{
+    // Collect free banks sorted by distance to the run's center.
+    const Coord center{near.col + static_cast<int>(near.count) / 2,
+                       near.row};
+    std::vector<Coord> free;
+    for (std::size_t r = 0; r < bankOwner_.size(); ++r) {
+        for (int c = 0; c < width_; ++c) {
+            if (bankOwner_[r][c] == kFree)
+                free.push_back(
+                    Coord{c, static_cast<int>(r) * 2 + 1});
+        }
+    }
+    std::sort(free.begin(), free.end(), [&](Coord a, Coord b) {
+        const unsigned da = manhattanDistance(a, center);
+        const unsigned db = manhattanDistance(b, center);
+        if (da != db)
+            return da < db;
+        return a.y != b.y ? a.y < b.y : a.x < b.x;
+    });
+    SHARCH_ASSERT(free.size() >= count, "caller checked capacity");
+    free.resize(count);
+    for (const Coord &b : free)
+        bankOwner_[bankRowIndex(b.y)][b.x] = id;
+    return free;
+}
+
+std::optional<AllocationId>
+FabricManager::allocate(unsigned slices, unsigned banks)
+{
+    if (slices == 0 || banks > freeBanks())
+        return std::nullopt;
+    const auto run = findRun(slices);
+    if (!run)
+        return std::nullopt;
+
+    const AllocationId id = next_++;
+    claim(*run, id);
+    FabricAllocation alloc;
+    alloc.id = id;
+    alloc.slices = *run;
+    alloc.banks = takeBanks(banks, *run, id);
+    live_.emplace(id, std::move(alloc));
+    return id;
+}
+
+bool
+FabricManager::release(AllocationId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return false;
+    unclaim(it->second.slices);
+    for (const Coord &b : it->second.banks)
+        bankOwner_[bankRowIndex(b.y)][b.x] = kFree;
+    live_.erase(it);
+    return true;
+}
+
+const FabricAllocation *
+FabricManager::find(AllocationId id) const
+{
+    auto it = live_.find(id);
+    return it == live_.end() ? nullptr : &it->second;
+}
+
+std::vector<FabricAllocation>
+FabricManager::allocations() const
+{
+    std::vector<FabricAllocation> out;
+    out.reserve(live_.size());
+    for (const auto &[id, alloc] : live_)
+        out.push_back(alloc);
+    return out;
+}
+
+std::optional<Cycles>
+FabricManager::reshape(AllocationId id, unsigned slices,
+                       unsigned banks)
+{
+    auto it = live_.find(id);
+    if (it == live_.end() || slices == 0 ||
+        slices > static_cast<unsigned>(width_)) {
+        return std::nullopt;
+    }
+    FabricAllocation &alloc = it->second;
+    const VCoreShape before = alloc.shape();
+
+    // --- Slices: shrink from the right, or grow rightwards (then
+    //     leftwards) into free neighbours. ---
+    SliceRun run = alloc.slices;
+    auto &row = sliceOwner_[sliceRowIndex(run.row)];
+    if (slices < run.count) {
+        for (unsigned i = slices; i < run.count; ++i)
+            row[run.col + i] = kFree;
+        run.count = slices;
+    } else if (slices > run.count) {
+        unsigned need = slices - run.count;
+        unsigned grow_right = 0, grow_left = 0;
+        while (grow_right < need &&
+               run.col + static_cast<int>(run.count + grow_right) <
+                   width_ &&
+               row[run.col + run.count + grow_right] == kFree) {
+            ++grow_right;
+        }
+        while (grow_right + grow_left < need && run.col > 0 &&
+               run.col - static_cast<int>(grow_left) - 1 >= 0 &&
+               row[run.col - grow_left - 1] == kFree) {
+            ++grow_left;
+        }
+        if (grow_right + grow_left < need)
+            return std::nullopt; // caller should defragment
+        for (unsigned i = 0; i < grow_right; ++i)
+            row[run.col + run.count + i] = id;
+        for (unsigned i = 0; i < grow_left; ++i)
+            row[run.col - 1 - static_cast<int>(i)] = id;
+        run.col -= static_cast<int>(grow_left);
+        run.count = slices;
+    }
+    alloc.slices = run;
+
+    // --- Banks: release surplus (farthest first) or claim more. ---
+    if (banks < alloc.banks.size()) {
+        while (alloc.banks.size() > banks) {
+            const Coord b = alloc.banks.back();
+            alloc.banks.pop_back();
+            bankOwner_[bankRowIndex(b.y)][b.x] = kFree;
+        }
+    } else if (banks > alloc.banks.size()) {
+        const unsigned need =
+            banks - static_cast<unsigned>(alloc.banks.size());
+        if (need > freeBanks()) {
+            // Roll back is unnecessary: Slice changes remain valid;
+            // report failure so the caller can retry.
+            return std::nullopt;
+        }
+        const auto extra = takeBanks(need, alloc.slices, id);
+        alloc.banks.insert(alloc.banks.end(), extra.begin(),
+                           extra.end());
+    }
+
+    return reconfig_.transitionCost(before, alloc.shape());
+}
+
+double
+FabricManager::sliceUtilization() const
+{
+    return 1.0 - static_cast<double>(freeSlices()) / totalSlices();
+}
+
+double
+FabricManager::bankUtilization() const
+{
+    if (totalBanks() == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(freeBanks()) / totalBanks();
+}
+
+unsigned
+FabricManager::largestFreeRun() const
+{
+    unsigned best = 0;
+    for (const auto &row : sliceOwner_) {
+        unsigned run = 0;
+        for (AllocationId owner : row) {
+            run = owner == kFree ? run + 1 : 0;
+            best = std::max(best, run);
+        }
+    }
+    return best;
+}
+
+double
+FabricManager::fragmentation() const
+{
+    const unsigned free = freeSlices();
+    if (free == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(largestFreeRun()) / free;
+}
+
+std::vector<DefragMove>
+FabricManager::defragment()
+{
+    std::vector<DefragMove> moves;
+
+    // Sort live runs by (row, col) and repack them left to right, row
+    // by row -- every Slice is interchangeable, so sliding a run is
+    // a Register Flush plus interconnect reprogramming (section 3.8).
+    std::vector<AllocationId> order;
+    for (const auto &[id, alloc] : live_)
+        order.push_back(id);
+    std::sort(order.begin(), order.end(), [&](AllocationId a,
+                                              AllocationId b) {
+        const FabricAllocation &fa = live_.at(a);
+        const FabricAllocation &fb = live_.at(b);
+        if (fa.slices.row != fb.slices.row)
+            return fa.slices.row < fb.slices.row;
+        return fa.slices.col < fb.slices.col;
+    });
+
+    std::vector<int> cursor(sliceOwner_.size(), 0);
+    for (AllocationId id : order) {
+        FabricAllocation &alloc = live_.at(id);
+        const SliceRun from = alloc.slices;
+
+        // Greedy: first row whose cursor leaves room.
+        for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
+            if (cursor[r] + static_cast<int>(from.count) >
+                width_) {
+                continue;
+            }
+            SliceRun to{static_cast<int>(r) * 2, cursor[r],
+                        from.count};
+            cursor[r] += static_cast<int>(from.count);
+            if (to.row == from.row && to.col == from.col) {
+                alloc.slices = to; // already in place
+                break;
+            }
+            unclaim(from);
+            claim(to, id);
+            alloc.slices = to;
+            DefragMove mv;
+            mv.id = id;
+            mv.from = from;
+            mv.to = to;
+            // Register Flush per move (Slice-only reconfiguration).
+            mv.cost = reconfig_.transitionCost(
+                VCoreShape{0, from.count},
+                VCoreShape{0, from.count + 1});
+            moves.push_back(mv);
+            break;
+        }
+    }
+    return moves;
+}
+
+} // namespace sharch

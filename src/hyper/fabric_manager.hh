@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The hypervisor's view of the fabric (sections 3.8 and 4).
+ *
+ * A Sharing Architecture chip is a sea of Slice tiles and L2 bank
+ * tiles.  The hypervisor composes VCores by claiming a *contiguous*
+ * run of Slices (operand latency demands adjacency) plus any set of
+ * banks (banks need not be contiguous), and tears them down again;
+ * because all Slices are interchangeable, fragmentation is repaired by
+ * rescheduling Slices (section 3: "fixing fragmentation problems is as
+ * simple as rescheduling Slices to VCores").
+ *
+ * FabricManager implements exactly that: allocation, release,
+ * in-place reshaping, utilization/fragmentation metrics, and a
+ * defragmentation planner whose moves carry the section 3.8 costs
+ * (Register Flush per moved Slice run, L2 flush per moved bank).
+ */
+
+#ifndef SHARCH_HYPER_FABRIC_MANAGER_HH
+#define SHARCH_HYPER_FABRIC_MANAGER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/reconfig.hh"
+#include "noc/mesh.hh"
+
+namespace sharch {
+
+/** Identifier of one VCore allocation on the chip. */
+using AllocationId = std::uint64_t;
+
+/** A contiguous run of Slice tiles in one row. */
+struct SliceRun
+{
+    int row = 0;
+    int col = 0;       //!< first column of the run
+    unsigned count = 0;
+
+    bool contains(int r, int c) const
+    {
+        return r == row && c >= col &&
+               c < col + static_cast<int>(count);
+    }
+};
+
+/** One live VCore: its Slices and its banks. */
+struct FabricAllocation
+{
+    AllocationId id = 0;
+    SliceRun slices;
+    std::vector<Coord> banks;
+
+    VCoreShape shape() const
+    {
+        return VCoreShape{static_cast<unsigned>(banks.size()),
+                          slices.count};
+    }
+};
+
+/** One step of a defragmentation plan. */
+struct DefragMove
+{
+    AllocationId id = 0;
+    SliceRun from;
+    SliceRun to;
+    Cycles cost = 0; //!< Register Flush + migration cost
+};
+
+/**
+ * Allocator for a chip of interleaved Slice and bank rows.
+ *
+ * Even rows hold Slices, odd rows hold 64 KB banks (the paper's
+ * Figure 3 checkerboard).  A chip of width W and height H therefore
+ * offers W*ceil(H/2) Slices and W*floor(H/2) banks.
+ */
+class FabricManager
+{
+  public:
+    /** @param width tiles per row; @param height rows (>= 2). */
+    FabricManager(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    unsigned totalSlices() const;
+    unsigned totalBanks() const;
+    unsigned freeSlices() const;
+    unsigned freeBanks() const;
+
+    /**
+     * Allocate a VCore of @p slices contiguous Slices (first fit over
+     * Slice rows) and @p banks banks (nearest free banks to the run).
+     * @return nullopt when the request cannot be placed.
+     */
+    std::optional<AllocationId> allocate(unsigned slices,
+                                         unsigned banks);
+
+    /** Release an allocation; banks to be reused must be flushed. */
+    bool release(AllocationId id);
+
+    /** The allocation, or nullptr. */
+    const FabricAllocation *find(AllocationId id) const;
+
+    /** All live allocations. */
+    std::vector<FabricAllocation> allocations() const;
+
+    /**
+     * Reshape in place: grow/shrink the Slice run at its current
+     * position (growing requires free neighbours) and adjust banks.
+     * @return the reconfiguration cost on success, nullopt on failure
+     *         (the caller may then defragment or reallocate).
+     */
+    std::optional<Cycles> reshape(AllocationId id, unsigned slices,
+                                  unsigned banks);
+
+    /** Fraction of Slices in use. */
+    double sliceUtilization() const;
+    /** Fraction of banks in use. */
+    double bankUtilization() const;
+
+    /**
+     * External fragmentation of the Slice fabric: 1 minus the largest
+     * allocatable run over total free Slices (0 when any free Slice is
+     * reachable in one run, 1 when nothing is free).
+     */
+    double fragmentation() const;
+
+    /** Largest currently allocatable contiguous Slice run. */
+    unsigned largestFreeRun() const;
+
+    /**
+     * Plan a compaction that slides every Slice run as far left/up as
+     * possible.  Each moved VCore pays the Slice-only reconfiguration
+     * cost (Register Flush); bank assignments are untouched.  The plan
+     * is applied immediately.
+     */
+    std::vector<DefragMove> defragment();
+
+  private:
+    int width_;
+    int height_;
+    ReconfigManager reconfig_;
+    std::map<AllocationId, FabricAllocation> live_;
+    std::vector<std::vector<AllocationId>> sliceOwner_; //!< [row][col]
+    std::vector<std::vector<AllocationId>> bankOwner_;
+    AllocationId next_ = 1;
+
+    static constexpr AllocationId kFree = 0;
+
+    bool isSliceRow(int row) const { return row % 2 == 0; }
+    int sliceRowIndex(int row) const { return row / 2; }
+    int bankRowIndex(int row) const { return (row - 1) / 2; }
+
+    std::optional<SliceRun> findRun(unsigned count) const;
+    std::vector<Coord> takeBanks(unsigned count, const SliceRun &near,
+                                 AllocationId id);
+    void claim(const SliceRun &run, AllocationId id);
+    void unclaim(const SliceRun &run);
+};
+
+} // namespace sharch
+
+#endif // SHARCH_HYPER_FABRIC_MANAGER_HH

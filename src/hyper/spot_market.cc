@@ -1,0 +1,86 @@
+#include "hyper/spot_market.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+SpotMarket::SpotMarket(UtilityOptimizer &opt, double slice_capacity,
+                       double bank_capacity)
+    : opt_(&opt), sliceCapacity_(slice_capacity),
+      bankCapacity_(bank_capacity), prices_(market2())
+{
+    SHARCH_ASSERT(slice_capacity > 0.0 && bank_capacity > 0.0,
+                  "the provider must have something to sell");
+    prices_.name = "Spot";
+}
+
+void
+SpotMarket::addCustomer(SpotCustomer customer)
+{
+    SHARCH_ASSERT(customer.budget > 0.0, "customers need budgets");
+    customers_.push_back(std::move(customer));
+}
+
+SpotRound
+SpotMarket::step(double adjust_rate)
+{
+    SpotRound round;
+    round.round = ++round_;
+    round.prices = prices_;
+
+    for (const SpotCustomer &c : customers_) {
+        SpotBid bid;
+        bid.customer = &c;
+        bid.choice = opt_->peakUtility(c.benchmark, c.utility, prices_,
+                                       c.budget);
+        bid.slicesWanted = bid.choice.cores * bid.choice.slices;
+        bid.banksWanted = bid.choice.cores * bid.choice.banks;
+        round.sliceDemand += bid.slicesWanted;
+        round.bankDemand += bid.banksWanted;
+        round.bids.push_back(bid);
+    }
+
+    round.sliceExcess = round.sliceDemand / sliceCapacity_ - 1.0;
+    round.bankExcess = round.bankDemand / bankCapacity_ - 1.0;
+
+    // Tatonnement: prices chase excess demand, clamped so one round
+    // can at most halve or double a price, with a small floor so a
+    // resource nobody wants still has a marginal cost.
+    auto adjust = [&](double price, double excess) {
+        const double factor = std::clamp(1.0 + adjust_rate * excess,
+                                         0.5, 2.0);
+        return std::max(0.05, price * factor);
+    };
+    prices_.slicePrice = adjust(prices_.slicePrice, round.sliceExcess);
+    prices_.bankPrice = adjust(prices_.bankPrice, round.bankExcess);
+    return round;
+}
+
+std::vector<SpotRound>
+SpotMarket::runToClearing(double tolerance, unsigned max_rounds,
+                          double adjust_rate)
+{
+    std::vector<SpotRound> history;
+    for (unsigned i = 0; i < max_rounds; ++i) {
+        history.push_back(step(adjust_rate));
+        const SpotRound &r = history.back();
+        // Cleared: neither resource is oversubscribed, and anything
+        // undersubscribed has already hit the price floor.
+        const bool slices_ok =
+            r.sliceExcess <= tolerance &&
+            (r.sliceExcess >= -tolerance ||
+             r.prices.slicePrice <= 0.051);
+        const bool banks_ok =
+            r.bankExcess <= tolerance &&
+            (r.bankExcess >= -tolerance ||
+             r.prices.bankPrice <= 0.051);
+        if (slices_ok && banks_ok)
+            break;
+    }
+    return history;
+}
+
+} // namespace sharch

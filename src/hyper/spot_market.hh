@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A spot market for sub-core resources (sections 2.1 and 2.3).
+ *
+ * EC2's Spot Pricing auctions whole VM instances; the Sharing
+ * Architecture lets the provider auction Slices and 64 KB banks
+ * separately and "price sub-core resources dynamically and based on
+ * instantaneous market demand".  SpotMarket implements a tatonnement
+ * loop: each round, customers solve their Equation 2 budget problem
+ * at the posted prices, the provider compares aggregate demand with
+ * the fabric's capacity, and prices move toward clearing.
+ */
+
+#ifndef SHARCH_HYPER_SPOT_MARKET_HH
+#define SHARCH_HYPER_SPOT_MARKET_HH
+
+#include <string>
+#include <vector>
+
+#include "econ/market.hh"
+#include "econ/optimizer.hh"
+
+namespace sharch {
+
+/** One bidder in the spot market. */
+struct SpotCustomer
+{
+    std::string name;
+    std::string benchmark;
+    UtilityKind utility = UtilityKind::Throughput;
+    double budget = 0.0;
+};
+
+/** A customer's demand at the current prices. */
+struct SpotBid
+{
+    const SpotCustomer *customer = nullptr;
+    OptResult choice;          //!< shape + v at current prices
+    double slicesWanted = 0.0; //!< v * slices
+    double banksWanted = 0.0;  //!< v * banks
+};
+
+/** One round's market state. */
+struct SpotRound
+{
+    unsigned round = 0;
+    Market prices;
+    std::vector<SpotBid> bids;
+    double sliceDemand = 0.0; //!< aggregate, in Slices
+    double bankDemand = 0.0;  //!< aggregate, in banks
+    double sliceExcess = 0.0; //!< demand/capacity - 1
+    double bankExcess = 0.0;
+};
+
+/** Dynamic sub-core pricing over a fixed-capacity fabric. */
+class SpotMarket
+{
+  public:
+    /**
+     * @param opt            shared performance surface
+     * @param slice_capacity Slices the provider can lease
+     * @param bank_capacity  64 KB banks the provider can lease
+     */
+    SpotMarket(UtilityOptimizer &opt, double slice_capacity,
+               double bank_capacity);
+
+    void addCustomer(SpotCustomer customer);
+
+    /** Current posted prices (starts at Market2's area parity). */
+    const Market &prices() const { return prices_; }
+
+    /**
+     * Run one tatonnement round: collect bids at current prices, then
+     * move each price by `adjust_rate * excess demand` (bounded).
+     */
+    SpotRound step(double adjust_rate = 0.25);
+
+    /**
+     * Iterate until both excess demands are within @p tolerance or
+     * @p max_rounds elapse.  @return the full round history.
+     */
+    std::vector<SpotRound> runToClearing(double tolerance = 0.10,
+                                         unsigned max_rounds = 50,
+                                         double adjust_rate = 0.25);
+
+  private:
+    UtilityOptimizer *opt_;
+    double sliceCapacity_;
+    double bankCapacity_;
+    Market prices_;
+    std::vector<SpotCustomer> customers_;
+    unsigned round_ = 0;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_HYPER_SPOT_MARKET_HH

@@ -1,0 +1,61 @@
+#include "noc/mesh.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+unsigned
+manhattanDistance(Coord a, Coord b)
+{
+    return static_cast<unsigned>(std::abs(a.x - b.x) +
+                                 std::abs(a.y - b.y));
+}
+
+std::vector<Coord>
+xyRoute(Coord from, Coord to)
+{
+    std::vector<Coord> route;
+    route.push_back(from);
+    Coord cur = from;
+    while (cur.x != to.x) {
+        cur.x += (to.x > cur.x) ? 1 : -1;
+        route.push_back(cur);
+    }
+    while (cur.y != to.y) {
+        cur.y += (to.y > cur.y) ? 1 : -1;
+        route.push_back(cur);
+    }
+    return route;
+}
+
+MeshGeometry::MeshGeometry(int width, int height)
+    : width_(width), height_(height)
+{
+    SHARCH_ASSERT(width > 0 && height > 0,
+                  "mesh dimensions must be positive");
+}
+
+Coord
+MeshGeometry::coordOf(int index) const
+{
+    SHARCH_ASSERT(index >= 0 && index < numTiles(),
+                  "tile index out of range");
+    return Coord{index % width_, index / width_};
+}
+
+int
+MeshGeometry::indexOf(Coord c) const
+{
+    SHARCH_ASSERT(contains(c), "coordinate off the mesh");
+    return c.y * width_ + c.x;
+}
+
+bool
+MeshGeometry::contains(Coord c) const
+{
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+}
+
+} // namespace sharch

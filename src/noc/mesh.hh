@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 2-D mesh geometry: coordinates, Manhattan distance, and XY routes.
+ *
+ * The Sharing Architecture connects Slices and L2 Cache Banks with
+ * multiple switched 2-D mesh networks (section 3).  This module holds
+ * the purely geometric part: where tiles live and how many hops apart
+ * they are under dimension-ordered (XY) routing.
+ */
+
+#ifndef SHARCH_NOC_MESH_HH
+#define SHARCH_NOC_MESH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sharch {
+
+/** A tile coordinate on the mesh. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &) const = default;
+};
+
+/** Manhattan distance in hops between two tiles. */
+unsigned manhattanDistance(Coord a, Coord b);
+
+/**
+ * The sequence of tiles visited by XY (dimension-ordered) routing from
+ * @p from to @p to, inclusive of both endpoints.
+ */
+std::vector<Coord> xyRoute(Coord from, Coord to);
+
+/** A rectangular mesh with row-major tile indices. */
+class MeshGeometry
+{
+  public:
+    MeshGeometry(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numTiles() const { return width_ * height_; }
+
+    /** Coordinate of row-major tile @p index. */
+    Coord coordOf(int index) const;
+
+    /** Row-major index of @p c. */
+    int indexOf(Coord c) const;
+
+    /** True when @p c is on the mesh. */
+    bool contains(Coord c) const;
+
+  private:
+    int width_;
+    int height_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_NOC_MESH_HH

@@ -1,0 +1,52 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+SwitchedNetwork::SwitchedNetwork(unsigned num_sources, Cycles base_latency,
+                                 Cycles per_hop, unsigned ports_per_cycle)
+    : base_(base_latency), perHop_(per_hop)
+{
+    SHARCH_ASSERT(num_sources > 0, "network needs at least one source");
+    SHARCH_ASSERT(ports_per_cycle > 0, "need at least one port");
+    ports_.reserve(num_sources);
+    for (unsigned i = 0; i < num_sources; ++i)
+        ports_.emplace_back(ports_per_cycle);
+}
+
+Cycles
+SwitchedNetwork::uncontendedLatency(unsigned hops) const
+{
+    if (hops == 0)
+        return 0;
+    return base_ + perHop_ * (hops - 1);
+}
+
+Cycles
+SwitchedNetwork::send(SliceId from, Cycles now, unsigned hops)
+{
+    SHARCH_ASSERT(from < ports_.size(), "bad network source");
+    if (hops == 0)
+        return now;
+
+    const Cycles inject = ports_[from].schedule(now);
+    if (inject > now)
+        stats_.injectionStalls += inject - now;
+
+    ++stats_.messages;
+    stats_.totalHops += hops;
+    return inject + uncontendedLatency(hops);
+}
+
+void
+SwitchedNetwork::reset()
+{
+    for (auto &p : ports_)
+        p.reset();
+    stats_ = NetworkStats{};
+}
+
+} // namespace sharch

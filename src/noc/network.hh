@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The switched interconnects of the Sharing Architecture.
+ *
+ * Three dedicated networks connect Slices (section 5.1): the Scalar
+ * Operand Network (operand request/reply), the load/store sorting
+ * network, and the global-rename network.  A fourth, the memory
+ * network, connects Slices to L2 Cache Banks.  All are 2-D switched
+ * meshes with a 2-cycle nearest-neighbour latency plus 1 cycle per
+ * additional hop (section 3.4, matching Tilera).
+ *
+ * The model is latency + injection-port contention: each Slice can
+ * inject a bounded number of messages per cycle per network (the paper
+ * found one operand network sufficient -- adding a second improved
+ * performance by only ~1%, which bench_ablate_son reproduces).
+ */
+
+#ifndef SHARCH_NOC_NETWORK_HH
+#define SHARCH_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/scheduling.hh"
+#include "common/types.hh"
+#include "config/sim_config.hh"
+#include "noc/placement.hh"
+
+namespace sharch {
+
+/** Statistics for one network. */
+struct NetworkStats
+{
+    Count messages = 0;
+    Count totalHops = 0;
+    Count injectionStalls = 0; //!< cycles lost to port back-pressure
+};
+
+/**
+ * A latency/contention model of one switched mesh network.
+ *
+ * Time is supplied by the caller (the simulator's cycle counter); the
+ * network tracks how many messages each source injected in the current
+ * cycle and pushes extra messages to later cycles.
+ */
+class SwitchedNetwork
+{
+  public:
+    /**
+     * @param num_sources   number of injecting endpoints (Slices)
+     * @param base_latency  nearest-neighbour message latency
+     * @param per_hop       additional cycles per hop beyond the first
+     * @param ports_per_cycle injections allowed per source per cycle
+     *                        (operandNetworks * injectionsPerCycle)
+     */
+    SwitchedNetwork(unsigned num_sources, Cycles base_latency,
+                    Cycles per_hop, unsigned ports_per_cycle);
+
+    /**
+     * Send a message of @p hops hops at time @p now.
+     *
+     * @return the cycle at which the message arrives.  Messages between
+     *         co-located endpoints (hops == 0) are free.
+     */
+    Cycles send(SliceId from, Cycles now, unsigned hops);
+
+    /** Latency of a @p hops -hop message with no contention. */
+    Cycles uncontendedLatency(unsigned hops) const;
+
+    const NetworkStats &stats() const { return stats_; }
+
+    /** Clear per-cycle port state and statistics. */
+    void reset();
+
+  private:
+    Cycles base_;
+    Cycles perHop_;
+    /** Per-source injection ports; slots claimable out of order. */
+    std::vector<SlottedPort> ports_;
+    NetworkStats stats_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_NOC_NETWORK_HH

@@ -1,0 +1,60 @@
+#include "noc/placement.hh"
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+FabricPlacement::FabricPlacement(unsigned num_slices, unsigned num_banks,
+                                 Coord origin)
+{
+    SHARCH_ASSERT(num_slices >= 1, "a VCore needs at least one Slice");
+    slices_.reserve(num_slices);
+    for (unsigned i = 0; i < num_slices; ++i)
+        slices_.push_back(Coord{origin.x + static_cast<int>(i), origin.y});
+    banks_.reserve(num_banks);
+    for (unsigned b = 0; b < num_banks; ++b) {
+        const int col = static_cast<int>(b) % kBanksPerRow;
+        const int row = 1 + static_cast<int>(b) / kBanksPerRow;
+        banks_.push_back(Coord{origin.x + col, origin.y + row});
+    }
+}
+
+Coord
+FabricPlacement::sliceCoord(SliceId s) const
+{
+    SHARCH_ASSERT(s < slices_.size(), "slice id out of range");
+    return slices_[s];
+}
+
+Coord
+FabricPlacement::bankCoord(BankId b) const
+{
+    SHARCH_ASSERT(b < banks_.size(), "bank id out of range");
+    return banks_[b];
+}
+
+unsigned
+FabricPlacement::sliceToSliceHops(SliceId a, SliceId b) const
+{
+    return manhattanDistance(sliceCoord(a), sliceCoord(b));
+}
+
+unsigned
+FabricPlacement::sliceToBankHops(SliceId s, BankId b) const
+{
+    return manhattanDistance(sliceCoord(s), bankCoord(b));
+}
+
+double
+FabricPlacement::meanBankDistance() const
+{
+    if (banks_.empty() || slices_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (SliceId s = 0; s < slices_.size(); ++s)
+        for (BankId b = 0; b < banks_.size(); ++b)
+            total += sliceToBankHops(s, b);
+    return total / static_cast<double>(slices_.size() * banks_.size());
+}
+
+} // namespace sharch

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Placement of a VCore's Slices and L2 Cache Banks on the fabric.
+ *
+ * Section 3 requires Slices of a VCore to be *contiguous* (to bound
+ * operand latency) while Cache Banks may live anywhere.  We place the
+ * s Slices of a VCore along one mesh row and fill banks into rows of
+ * four above them.  Because one bank is 64 KB, a full row of four is
+ * 256 KB, so average Slice-to-bank distance grows by about one hop per
+ * extra 256 KB of cache.  With the Table 3 L2 latency of
+ * distance*2 + 4 this reproduces the paper's "additional 2-cycles of
+ * communication delay for each additional 256 KB" (section 5.4).
+ */
+
+#ifndef SHARCH_NOC_PLACEMENT_HH
+#define SHARCH_NOC_PLACEMENT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/mesh.hh"
+
+namespace sharch {
+
+/** Coordinates for one VCore's resources and derived hop distances. */
+class FabricPlacement
+{
+  public:
+    /** Banks per mesh row in the bank block (4 banks == 256 KB). */
+    static constexpr int kBanksPerRow = 4;
+
+    /**
+     * Place @p num_slices Slices contiguously and @p num_banks banks in
+     * rows above them, offset by @p origin (so several VCores can
+     * coexist on one chip without overlapping).
+     */
+    FabricPlacement(unsigned num_slices, unsigned num_banks,
+                    Coord origin = {0, 0});
+
+    unsigned numSlices() const
+    { return static_cast<unsigned>(slices_.size()); }
+    unsigned numBanks() const
+    { return static_cast<unsigned>(banks_.size()); }
+
+    Coord sliceCoord(SliceId s) const;
+    Coord bankCoord(BankId b) const;
+
+    /** Hops between two Slices of this VCore. */
+    unsigned sliceToSliceHops(SliceId a, SliceId b) const;
+
+    /** Hops from a Slice to an L2 bank. */
+    unsigned sliceToBankHops(SliceId s, BankId b) const;
+
+    /** Mean Slice-to-bank distance over all (slice, bank) pairs. */
+    double meanBankDistance() const;
+
+  private:
+    std::vector<Coord> slices_;
+    std::vector<Coord> banks_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_NOC_PLACEMENT_HH

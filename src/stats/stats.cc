@@ -1,0 +1,181 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace sharch {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+      case Stage::Fetch: return "fetch";
+      case Stage::Rename: return "rename";
+      case Stage::Dispatch: return "dispatch";
+      case Stage::Issue: return "issue";
+      case Stage::Execute: return "execute";
+      case Stage::Memory: return "memory";
+      case Stage::Commit: return "commit";
+      default: return "unknown";
+    }
+}
+
+void
+Sample::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+}
+
+double
+Sample::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void
+Sample::reset()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+Histogram::Histogram(std::size_t buckets, double width)
+    : counts_(buckets, 0), width_(width)
+{
+    SHARCH_ASSERT(buckets > 0 && width > 0.0,
+                  "histogram needs buckets and a positive width");
+}
+
+void
+Histogram::add(double v)
+{
+    ++samples_;
+    if (v < 0.0) {
+        ++overflow_;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(v / width_);
+    if (idx >= counts_.size())
+        ++overflow_;
+    else
+        ++counts_[idx];
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    SHARCH_ASSERT(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i];
+}
+
+double
+SimStats::ipc() const
+{
+    return safeDiv(static_cast<double>(instructionsCommitted),
+                   static_cast<double>(cycles));
+}
+
+double
+SimStats::branchMispredictRate() const
+{
+    return safeDiv(static_cast<double>(branchMispredicts),
+                   static_cast<double>(branches));
+}
+
+double
+SimStats::l1dMissRate() const
+{
+    return safeDiv(static_cast<double>(l1dMisses),
+                   static_cast<double>(l1dAccesses));
+}
+
+double
+SimStats::l2MissRate() const
+{
+    return safeDiv(static_cast<double>(l2Misses),
+                   static_cast<double>(l2Accesses));
+}
+
+void
+SimStats::merge(const SimStats &other)
+{
+    cycles = std::max(cycles, other.cycles);
+    instructionsCommitted += other.instructionsCommitted;
+    instructionsFetched += other.instructionsFetched;
+    squashedInstructions += other.squashedInstructions;
+    branches += other.branches;
+    branchMispredicts += other.branchMispredicts;
+    loads += other.loads;
+    stores += other.stores;
+    lsqViolations += other.lsqViolations;
+    l1dAccesses += other.l1dAccesses;
+    l1dMisses += other.l1dMisses;
+    l1iAccesses += other.l1iAccesses;
+    l1iMisses += other.l1iMisses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    coherenceInvalidations += other.coherenceInvalidations;
+    operandRequests += other.operandRequests;
+    operandReplies += other.operandReplies;
+    operandNetworkHops += other.operandNetworkHops;
+    operandNetworkStalls += other.operandNetworkStalls;
+    renameBroadcasts += other.renameBroadcasts;
+    sumOperandWait += other.sumOperandWait;
+    sumIssueWait += other.sumIssueWait;
+    sumExecLatency += other.sumExecLatency;
+    for (std::size_t i = 0; i < stallCycles.size(); ++i)
+        stallCycles[i] += other.stallCycles[i];
+}
+
+std::string
+SimStats::report() const
+{
+    std::ostringstream oss;
+    oss << "cycles:                " << cycles << "\n"
+        << "instructions:          " << instructionsCommitted << "\n"
+        << "ipc:                   " << ipc() << "\n"
+        << "fetched:               " << instructionsFetched << "\n"
+        << "squashed:              " << squashedInstructions << "\n"
+        << "branches:              " << branches
+        << "  (mispredict rate " << branchMispredictRate() << ")\n"
+        << "loads/stores:          " << loads << "/" << stores
+        << "  (LSQ violations " << lsqViolations << ")\n"
+        << "l1d miss rate:         " << l1dMissRate()
+        << "  (" << l1dMisses << "/" << l1dAccesses << ")\n"
+        << "l2 miss rate:          " << l2MissRate()
+        << "  (" << l2Misses << "/" << l2Accesses << ")\n"
+        << "coherence invals:      " << coherenceInvalidations << "\n"
+        << "operand req/reply:     " << operandRequests << "/"
+        << operandReplies << " (hops " << operandNetworkHops
+        << ", stalls " << operandNetworkStalls << ")\n"
+        << "rename broadcasts:     " << renameBroadcasts << "\n"
+        << "avg operand wait:      "
+        << safeDiv(double(sumOperandWait), double(instructionsCommitted))
+        << "\n"
+        << "avg issue wait:        "
+        << safeDiv(double(sumIssueWait), double(instructionsCommitted))
+        << "\n"
+        << "avg exec latency:      "
+        << safeDiv(double(sumExecLatency), double(instructionsCommitted))
+        << "\n"
+        << "stalls by stage:\n";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Stage::NumStages); ++i) {
+        oss << "  " << stageName(static_cast<Stage>(i)) << ": "
+            << stallCycles[i] << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace sharch

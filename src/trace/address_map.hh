@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Virtual address map of a synthetic thread.
+ *
+ * Regions are disjoint per thread except the shared heap, which all
+ * threads of a VM map at the same base (the source of coherence
+ * traffic).  The cache-prewarming logic (VmSim::prewarm) uses this map
+ * to install each region's steady-state-popular lines before timing
+ * starts, eliminating the compulsory-miss transient a short trace
+ * would otherwise over-weight.
+ */
+
+#ifndef SHARCH_TRACE_ADDRESS_MAP_HH
+#define SHARCH_TRACE_ADDRESS_MAP_HH
+
+#include "common/types.hh"
+
+namespace sharch {
+
+namespace addrmap {
+
+inline constexpr Addr kCodeBase = 0x0040'0000;
+inline constexpr Addr kHotBase = 0x1000'0000;
+inline constexpr Addr kHeapBase = 0x4000'0000;
+inline constexpr Addr kStreamBase = 0x8000'0000;
+inline constexpr Addr kSharedBase = 0xc000'0000;
+inline constexpr Addr kThreadStride = 0x0100'0000;
+inline constexpr Addr kLine = 64;
+
+/** Base of a per-thread region. */
+inline constexpr Addr
+threadBase(Addr region_base, unsigned thread_id)
+{
+    return region_base + thread_id * kThreadStride;
+}
+
+} // namespace addrmap
+
+} // namespace sharch
+
+#endif // SHARCH_TRACE_ADDRESS_MAP_HH

@@ -1,0 +1,297 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "trace/address_map.hh"
+
+namespace sharch {
+
+namespace {
+
+using namespace addrmap;
+
+// Architectural register map of the synthetic programs.  ILP is
+// expressed structurally: up to kMaxChains independent dependency
+// chains each own one register (r8..r19); loop induction / pointer
+// base registers (r20..r23) update rarely so effective addresses do
+// not chain on recent results; the rest are short-lived temporaries.
+constexpr RegIndex kFirstChainReg = 8;
+constexpr unsigned kMaxChains = 16;
+constexpr RegIndex kFirstBaseReg = 24;
+constexpr unsigned kNumBaseRegs = 2;
+constexpr RegIndex kFirstTempReg = 26;
+constexpr unsigned kNumTempRegs = 6;
+constexpr unsigned kBaseRegUpdatePeriod = 48;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const BenchmarkProfile &profile,
+                               std::uint64_t seed)
+    : profile_(profile), seed_(seed)
+{
+    SHARCH_ASSERT(profile_.branchFrac > 0.0 && profile_.branchFrac < 0.5,
+                  "branch fraction out of range");
+    buildSkeleton();
+}
+
+void
+TraceGenerator::buildSkeleton()
+{
+    Rng rng(seed_ ^ 0x5ce11e70ULL);
+    const double mean_len = 1.0 / profile_.branchFrac;
+    const auto num_blocks = std::max<std::size_t>(
+        16, static_cast<std::size_t>(
+                static_cast<double>(profile_.codeBytes) / 4.0 /
+                mean_len));
+
+    blocks_.resize(num_blocks);
+    Addr pc = kCodeBase;
+    for (auto &b : blocks_) {
+        // Geometric length with the configured mean, at least 2 so a
+        // block always has one body instruction before its terminator.
+        b.len = 2 + static_cast<unsigned>(
+                        rng.nextGeometric(1.0 / (mean_len - 1.0)));
+        b.startPc = pc;
+        pc += static_cast<Addr>(b.len) * 4;
+    }
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+        Block &b = blocks_[i];
+        b.fallthrough = static_cast<unsigned>((i + 1) % num_blocks);
+        const double kind = rng.nextDouble();
+        const double eps = profile_.easyBranchBias;
+        if (kind < 0.25) {
+            // Loop back edge: short backward jump taken ~8x before the
+            // exit falls through.  Loop density and bias are chosen so
+            // the walk dwells locally but drifts forward on net --
+            // denser or stickier loops would trap the walk in the
+            // first blocks forever.
+            const std::uint64_t back = 1 + rng.nextBounded(4);
+            b.takenTarget = static_cast<unsigned>(
+                (i + num_blocks - std::min<std::uint64_t>(back, i)) %
+                num_blocks);
+            b.takenBias = 0.88;
+        } else if (kind < 0.97) {
+            // Forward skip (if/else): rarely taken.
+            const std::uint64_t fwd = 1 + rng.nextBounded(4);
+            b.takenTarget =
+                static_cast<unsigned>((i + 1 + fwd) % num_blocks);
+            b.takenBias = eps;
+        } else {
+            // Far jump (call-like): lands on a zipf-hot entry point so
+            // a subset of the static code dominates dynamically.
+            b.takenTarget = static_cast<unsigned>(
+                rng.nextZipf(num_blocks, 1.2));
+            b.takenBias = 0.5;
+        }
+        // Data-dependent coins live on forward (if/else) sites; loop
+        // trip counts stay predictable, as in real integer code.
+        if (kind >= 0.25 && rng.nextBool(profile_.hardBranchFrac))
+            b.takenBias = 0.5;
+    }
+}
+
+Trace
+TraceGenerator::generate(std::size_t num_instructions,
+                         unsigned thread_id) const
+{
+    Rng rng(seed_ * 0x9e3779b9ULL + thread_id * 0x85ebca6bULL + 1);
+    Trace trace;
+    trace.benchmark = profile_.name;
+    trace.threadId = thread_id;
+    trace.instructions.reserve(num_instructions);
+
+    const Addr hot_base = threadBase(kHotBase, thread_id);
+    const Addr heap_base = threadBase(kHeapBase, thread_id);
+    const Addr stream_base = threadBase(kStreamBase, thread_id);
+    const std::uint64_t hot_lines =
+        std::max<std::uint64_t>(1, profile_.hotBytes / kLine);
+    const std::uint64_t ws_lines =
+        std::max<std::uint64_t>(1, profile_.workingSetBytes / kLine);
+    const std::uint64_t shared_lines =
+        std::max<std::uint64_t>(1, profile_.sharedBytes / kLine);
+    const std::uint64_t stream_lines = (32ULL << 20) / kLine;
+
+    // Non-branch op mix, normalized to the non-branch fraction.
+    const double non_branch = 1.0 - profile_.branchFrac;
+    const double p_load = profile_.loadFrac / non_branch;
+    const double p_store = profile_.storeFrac / non_branch;
+    const double p_mul = profile_.mulFrac / non_branch;
+
+    // meanDepDistance is the ILP knob: it sets how many independent
+    // chains run concurrently.
+    const unsigned num_chains = static_cast<unsigned>(std::clamp(
+        profile_.meanDepDistance, 1.0,
+        static_cast<double>(kMaxChains)));
+    std::array<Addr, 16> recent_stores{};
+    unsigned recent_store_count = 0;
+    std::uint64_t stream_ptr = 0;
+    unsigned temp_rr = 0;
+    std::uint64_t since_base_update = 0;
+
+    auto chain_reg = [&](unsigned c) -> RegIndex {
+        return static_cast<RegIndex>(kFirstChainReg + c % num_chains);
+    };
+    auto pick_chain = [&]() -> RegIndex {
+        return chain_reg(
+            static_cast<unsigned>(rng.nextBounded(num_chains)));
+    };
+    // Effective addresses flow from long-lived base registers, not the
+    // freshest results; otherwise every load chains on the previous
+    // one and memory-level parallelism disappears.
+    auto pick_addr_src = [&]() -> RegIndex {
+        return static_cast<RegIndex>(
+            kFirstBaseReg + rng.nextBounded(kNumBaseRegs));
+    };
+    auto pick_temp = [&]() -> RegIndex {
+        return static_cast<RegIndex>(kFirstTempReg +
+                                     (temp_rr++ % kNumTempRegs));
+    };
+    auto pick_temp_src = [&]() -> RegIndex {
+        // A uniformly random temp was written ~kNumTempRegs/2 temp-ops
+        // ago, so it is almost always ready: cheap scaffolding input.
+        return static_cast<RegIndex>(
+            kFirstTempReg + rng.nextBounded(kNumTempRegs));
+    };
+    auto pick_cheap_src = [&]() -> RegIndex {
+        return rng.nextBool(0.5) ? pick_temp_src() : pick_addr_src();
+    };
+
+    auto gen_addr = [&](bool is_load) -> Addr {
+        if (is_load && recent_store_count > 0 &&
+            rng.nextBool(profile_.storeLoadConflictFrac)) {
+            const auto n =
+                std::min<std::uint64_t>(recent_store_count, 16);
+            return recent_stores[rng.nextBounded(n)];
+        }
+        if (rng.nextBool(profile_.hotFrac)) {
+            return hot_base + rng.nextBounded(hot_lines) * kLine +
+                   rng.nextBounded(kLine / 8) * 8;
+        }
+        if (rng.nextBool(profile_.streamFrac)) {
+            // Unit-stride sweep: 8-byte elements, no temporal reuse.
+            const Addr a = stream_base +
+                           (stream_ptr * 8) % (stream_lines * kLine);
+            ++stream_ptr;
+            return a;
+        }
+        if (profile_.multithreaded &&
+            rng.nextBool(profile_.sharedFrac)) {
+            return kSharedBase +
+                   rng.nextZipf(shared_lines, profile_.zipfAlpha) *
+                       kLine;
+        }
+        return heap_base +
+               rng.nextZipf(ws_lines, profile_.zipfAlpha) * kLine +
+               rng.nextBounded(kLine / 8) * 8;
+    };
+
+    std::size_t block_idx = 0;
+    while (trace.size() < num_instructions) {
+        const Block &b = blocks_[block_idx];
+        // Body instructions.
+        for (unsigned k = 0; k + 1 < b.len &&
+                             trace.size() < num_instructions; ++k) {
+            TraceInst ti;
+            ti.pc = b.startPc + static_cast<Addr>(k) * 4;
+            // Loop induction: base registers advance periodically via
+            // a dependency-free update, like `add rB, rB, #stride`.
+            if (++since_base_update >= kBaseRegUpdatePeriod) {
+                since_base_update = 0;
+                ti.op = OpClass::IntAlu;
+                ti.src1 = pick_addr_src();
+                ti.dst = ti.src1;
+                trace.instructions.push_back(ti);
+                continue;
+            }
+            const double u = rng.nextDouble();
+            if (u < p_load) {
+                ti.op = OpClass::Load;
+                if (rng.nextBool(profile_.pointerChaseFrac)) {
+                    // Pointer chase: ptr = *ptr.  Address and result
+                    // share one chain register, so consecutive misses
+                    // of the chain fully serialize.
+                    const RegIndex c = pick_chain();
+                    ti.src1 = c;
+                    ti.dst = c;
+                } else {
+                    ti.src1 = pick_addr_src();
+                    // Half the independent loads feed a chain (their
+                    // latency lands on the critical path); the rest
+                    // fill temporaries.
+                    ti.dst = rng.nextBool(0.5) ? pick_chain()
+                                               : pick_temp();
+                }
+                ti.effAddr = gen_addr(true);
+            } else if (u < p_load + p_store) {
+                ti.op = OpClass::Store;
+                ti.src1 = pick_addr_src();
+                ti.src2 = rng.nextBool(0.5) ? pick_chain()
+                                            : pick_temp_src();
+                ti.effAddr = gen_addr(false);
+                recent_stores[recent_store_count % 16] = ti.effAddr;
+                ++recent_store_count;
+            } else if (u < p_load + p_store + p_mul) {
+                ti.op = OpClass::IntMul;
+                const RegIndex c = pick_chain();
+                ti.src1 = c;
+                ti.src2 = rng.nextBool(0.3) ? pick_cheap_src() : kNoReg;
+                ti.dst = c;
+            } else if (rng.nextBool(0.85)) {
+                // Chain step: rC = rC op cheap.  Chains never read
+                // each other directly -- cross-chain coupling would
+                // lock every chain to the slowest frontier and erase
+                // the ILP the chain count is supposed to express.
+                ti.op = OpClass::IntAlu;
+                const RegIndex c = pick_chain();
+                ti.src1 = c;
+                if (rng.nextBool(0.4))
+                    ti.src2 = pick_cheap_src();
+                ti.dst = c;
+            } else {
+                // Scaffolding: temporaries computed from bases/temps.
+                ti.op = OpClass::IntAlu;
+                ti.src1 = pick_cheap_src();
+                if (rng.nextBool(0.4))
+                    ti.src2 = pick_temp_src();
+                ti.dst = pick_temp();
+            }
+            trace.instructions.push_back(ti);
+        }
+        if (trace.size() >= num_instructions)
+            break;
+        // Terminating branch.
+        TraceInst br;
+        br.pc = b.startPc + static_cast<Addr>(b.len - 1) * 4;
+        br.op = OpClass::Branch;
+        // Loop exits and most ifs test induction variables or freshly
+        // computed temporaries, which resolve early; only a minority
+        // hang off a long dependence chain.
+        br.src1 = rng.nextBool(0.75) ? pick_addr_src() : pick_temp();
+        if (rng.nextBool(0.2))
+            br.src2 = pick_chain();
+        br.taken = rng.nextBool(b.takenBias);
+        const std::size_t next =
+            br.taken ? b.takenTarget : b.fallthrough;
+        br.target = blocks_[next].startPc;
+        trace.instructions.push_back(br);
+        block_idx = next;
+    }
+    return trace;
+}
+
+std::vector<Trace>
+TraceGenerator::generateThreads(std::size_t instructions_per_thread) const
+{
+    const unsigned threads =
+        profile_.multithreaded ? profile_.numThreads : 1;
+    std::vector<Trace> traces;
+    traces.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        traces.push_back(generate(instructions_per_thread, t));
+    return traces;
+}
+
+} // namespace sharch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Synthetic trace generation from a BenchmarkProfile.
+ *
+ * The generator first builds a static program skeleton -- basic blocks
+ * with fixed PCs, per-site branch biases and fixed taken targets -- and
+ * then random-walks it, drawing register dependencies and memory
+ * addresses from the profile's distributions.  The static skeleton
+ * makes the front end honest: the same PC always maps to the same
+ * Slice, the same predictor entry, and the same BTB target, exactly
+ * the property the Sharing Architecture's interleaved fetch relies on
+ * (section 3.1).
+ *
+ * Generation is deterministic in (profile, seed, thread id).
+ */
+
+#ifndef SHARCH_TRACE_GENERATOR_HH
+#define SHARCH_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/instruction.hh"
+#include "trace/profile.hh"
+
+namespace sharch {
+
+/** Generates deterministic synthetic traces for one benchmark. */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const BenchmarkProfile &profile,
+                   std::uint64_t seed = 1);
+
+    /** Generate one thread's trace of @p num_instructions. */
+    Trace generate(std::size_t num_instructions,
+                   unsigned thread_id = 0) const;
+
+    /**
+     * Generate profile.numThreads traces for a multithreaded workload
+     * (or a single trace when the profile is single-threaded).
+     */
+    std::vector<Trace> generateThreads(
+        std::size_t instructions_per_thread) const;
+
+    /** Number of basic blocks in the static skeleton. */
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+  private:
+    /** One basic block of the static program skeleton. */
+    struct Block
+    {
+        Addr startPc = 0;
+        unsigned len = 1;        //!< instructions incl. the terminator
+        double takenBias = 0.5;  //!< P(taken) at this site
+        unsigned takenTarget = 0;
+        unsigned fallthrough = 0;
+    };
+
+    BenchmarkProfile profile_;
+    std::uint64_t seed_;
+    std::vector<Block> blocks_;
+
+    void buildSkeleton();
+};
+
+} // namespace sharch
+
+#endif // SHARCH_TRACE_GENERATOR_HH

@@ -1,0 +1,78 @@
+#include "trace/instruction.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/math_util.hh"
+
+namespace sharch {
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu: return "alu";
+      case OpClass::IntMul: return "mul";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::Branch: return "branch";
+      default: return "unknown";
+    }
+}
+
+TraceSummary
+summarize(const Trace &trace)
+{
+    TraceSummary s;
+    if (trace.empty())
+        return s;
+
+    std::uint64_t loads = 0, stores = 0, branches = 0, muls = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t depSamples = 0;
+    double depTotal = 0.0;
+    std::unordered_map<RegIndex, std::uint64_t> lastWriter;
+    std::unordered_set<Addr> lines;
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceInst &ti = trace[i];
+        switch (ti.op) {
+          case OpClass::Load: ++loads; break;
+          case OpClass::Store: ++stores; break;
+          case OpClass::Branch:
+            ++branches;
+            if (ti.taken)
+                ++taken;
+            break;
+          case OpClass::IntMul: ++muls; break;
+          default: break;
+        }
+        if (ti.isMemory())
+            lines.insert(ti.effAddr >> 6);
+        for (RegIndex src : {ti.src1, ti.src2}) {
+            if (src == kNoReg)
+                continue;
+            auto it = lastWriter.find(src);
+            if (it != lastWriter.end()) {
+                depTotal += static_cast<double>(i - it->second);
+                ++depSamples;
+            }
+        }
+        if (ti.dst != kNoReg)
+            lastWriter[ti.dst] = i;
+    }
+
+    const double n = static_cast<double>(trace.size());
+    s.loadFrac = loads / n;
+    s.storeFrac = stores / n;
+    s.branchFrac = branches / n;
+    s.mulFrac = muls / n;
+    s.takenFrac = safeDiv(static_cast<double>(taken),
+                          static_cast<double>(branches));
+    s.meanDepDistance = safeDiv(depTotal,
+                                static_cast<double>(depSamples));
+    s.distinctLines = lines.size();
+    return s;
+}
+
+} // namespace sharch

@@ -1,0 +1,223 @@
+#include "trace/profile.hh"
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+namespace {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+BenchmarkProfile
+make(const std::string &name, double load, double store, double branch,
+     double mul, double dep, double hard_branch, std::uint64_t hot,
+     double hot_frac, std::uint64_t ws, double alpha, double stream,
+     std::uint64_t code)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.loadFrac = load;
+    p.storeFrac = store;
+    p.branchFrac = branch;
+    p.mulFrac = mul;
+    p.meanDepDistance = dep;
+    p.hardBranchFrac = hard_branch;
+    p.hotBytes = hot;
+    p.hotFrac = hot_frac;
+    p.workingSetBytes = ws;
+    p.zipfAlpha = alpha;
+    p.streamFrac = stream;
+    p.codeBytes = code;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    // Web serving: throughput-oriented, big code footprint, branchy,
+    // medium working set.
+    auto apache_p = make("apache", 0.24, 0.12, 0.18, 0.010, 12.0, 0.08,
+                     8 * KiB, 0.38, 1 * MiB, 0.30, 0.05, 256 * KiB);
+    apache_p.pointerChaseFrac = 0.30;
+    v.push_back(apache_p);
+
+    // Compression: strong value locality but serial dependency chains;
+    // saturates around 256 KB of L2 (Fig. 14d peaks at 256 KB/1 Slice).
+    auto bzip_p = make("bzip", 0.26, 0.14, 0.12, 0.020, 2.0, 0.07,
+                     8 * KiB, 0.35, 300 * KiB, 0.30, 0.20, 32 * KiB);
+    bzip_p.pointerChaseFrac = 0.35;
+    v.push_back(bzip_p);
+
+    // Compiler: moderate ILP and a ~1 MB working set; the paper's
+    // most-discussed benchmark (Tables 4, 7; Fig. 14a/b).
+    auto gcc_p = make("gcc", 0.25, 0.13, 0.16, 0.010, 9.0, 0.06,
+                     8 * KiB, 0.33, 1536 * KiB, 0.35, 0.05, 128 * KiB);
+    gcc_p.pointerChaseFrac = 0.35;
+    v.push_back(gcc_p);
+
+    // Path finding: pointer chasing over a graph far larger than any
+    // L2 -- cache-insensitive (Fig. 13) and nearly serial.
+    auto astar = make("astar", 0.30, 0.08, 0.15, 0.005, 2.5, 0.09,
+                      4 * KiB, 0.35, 64 * MiB, 0.00, 0.00, 32 * KiB);
+    astar.pointerChaseFrac = 0.85;
+    v.push_back(astar);
+
+    // Quantum simulation: long streaming vector sweeps -- lots of
+    // independent work (scales with Slices) but no cache reuse.
+    v.push_back(make("libquantum", 0.22, 0.10, 0.10, 0.020, 20.0, 0.02,
+                     2 * KiB, 0.10, 32 * MiB, 0.05, 0.85, 16 * KiB));
+
+    // Interpreter: large code, branchy, medium working set.
+    auto perlbench_p = make("perlbench", 0.27, 0.15, 0.17, 0.005, 8.0, 0.06,
+                     8 * KiB, 0.38, 600 * KiB, 0.30, 0.02, 256 * KiB);
+    perlbench_p.pointerChaseFrac = 0.30;
+    v.push_back(perlbench_p);
+
+    // Chess: data-dependent branches, small tables.
+    auto sjeng_p = make("sjeng", 0.21, 0.09, 0.18, 0.010, 5.0, 0.10,
+                     8 * KiB, 0.40, 180 * KiB, 0.30, 0.00, 64 * KiB);
+    sjeng_p.pointerChaseFrac = 0.30;
+    v.push_back(sjeng_p);
+
+    // HMM search: inner loop fits in the L1 and is a tight recurrence:
+    // best served by a single Slice and 64 KB (Table 4) / tiny core
+    // (Fig. 17's small-core workload).
+    v.push_back(make("hmmer", 0.30, 0.12, 0.08, 0.030, 2.0, 0.03,
+                     14 * KiB, 0.90, 40 * KiB, 0.80, 0.05, 32 * KiB));
+
+    // Go: abundant ILP across candidate moves, saturates at a few
+    // hundred KB -- the paper's big-core workload (Fig. 17).
+    auto gobmk_p = make("gobmk", 0.30, 0.10, 0.16, 0.010, 14.0, 0.07,
+                     8 * KiB, 0.18, 160 * KiB, 0.30, 0.00, 64 * KiB);
+    gobmk_p.pointerChaseFrac = 0.70;
+    v.push_back(gobmk_p);
+
+    // Sparse network simplex: giant working set, very memory bound.
+    auto mcf = make("mcf", 0.35, 0.10, 0.17, 0.002, 3.0, 0.07,
+                    4 * KiB, 0.30, 6 * MiB, 0.30, 0.00, 16 * KiB);
+    mcf.pointerChaseFrac = 0.80;
+    v.push_back(mcf);
+
+    // Discrete event simulation: the paper's most cache-sensitive
+    // benchmark (Fig. 13).
+    auto omnetpp = make("omnetpp", 0.31, 0.16, 0.15, 0.005, 5.0, 0.06,
+                        4 * KiB, 0.30, 3 * MiB, 0.30, 0.00, 128 * KiB);
+    omnetpp.pointerChaseFrac = 0.90;
+    v.push_back(omnetpp);
+
+    // Video encoding: data-parallel macroblock work.
+    auto h264ref_p = make("h264ref", 0.28, 0.14, 0.10, 0.040, 16.0, 0.04,
+                     12 * KiB, 0.45, 700 * KiB, 0.35, 0.15, 128 * KiB);
+    h264ref_p.pointerChaseFrac = 0.25;
+    v.push_back(h264ref_p);
+
+    // PARSEC subset: four threads on four VCores sharing an L2
+    // (section 5.3); intra-thread ILP is low so per-VCore Slice
+    // scaling is bounded by ~2.
+    auto dedup = make("dedup", 0.28, 0.16, 0.12, 0.010, 2.0, 0.06,
+                      8 * KiB, 0.45, 2 * MiB, 0.40, 0.10, 64 * KiB);
+    dedup.multithreaded = true;
+    dedup.sharedFrac = 0.15;
+    v.push_back(dedup);
+
+    auto swaptions = make("swaptions", 0.25, 0.10, 0.10, 0.060, 2.0,
+                          0.04, 10 * KiB, 0.75, 120 * KiB, 1.00, 0.02,
+                          32 * KiB);
+    swaptions.multithreaded = true;
+    swaptions.sharedFrac = 0.02;
+    v.push_back(swaptions);
+
+    auto ferret = make("ferret", 0.30, 0.12, 0.14, 0.010, 2.0, 0.06,
+                       6 * KiB, 0.30, 1536 * KiB, 0.80, 0.05, 64 * KiB);
+    ferret.multithreaded = true;
+    ferret.sharedFrac = 0.10;
+    v.push_back(ferret);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+builtinProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileFor(const std::string &name)
+{
+    for (const auto &p : builtinProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    SHARCH_FATAL("unknown benchmark profile: ", name);
+}
+
+bool
+hasProfile(const std::string &name)
+{
+    for (const auto &p : builtinProfiles()) {
+        if (p.name == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : builtinProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<BenchmarkProfile>
+gccPhaseProfiles()
+{
+    // Ten phases of gcc (Table 7): early phases are ILP-rich with a
+    // large footprint (they reward many Slices and a big L2); late
+    // phases are serial with a small footprint.  The paper's optimal
+    // configurations drift from (1024 KB, 5 Slices) down to
+    // (64 KB, 1 Slice) across the metrics.
+    struct PhaseKnobs
+    {
+        double dep;
+        std::uint64_t ws;
+        double hotFrac;
+        double pointerChase;
+    };
+    static const PhaseKnobs knobs[10] = {
+        {10.0, 1536 * KiB, 0.20, 0.45},
+        {9.0,  1536 * KiB, 0.22, 0.45},
+        {9.0,  1024 * KiB, 0.22, 0.40},
+        {8.0,   768 * KiB, 0.25, 0.40},
+        {8.0,  1024 * KiB, 0.22, 0.45},
+        {6.0,   512 * KiB, 0.25, 0.40},
+        {7.0,   768 * KiB, 0.25, 0.40},
+        {5.0,   256 * KiB, 0.28, 0.45},
+        {4.0,   192 * KiB, 0.28, 0.45},
+        {4.0,   512 * KiB, 0.25, 0.40},
+    };
+
+    std::vector<BenchmarkProfile> phases;
+    const BenchmarkProfile &base = profileFor("gcc");
+    for (int i = 0; i < 10; ++i) {
+        BenchmarkProfile p = base;
+        p.name = "gcc.phase" + std::to_string(i + 1);
+        p.meanDepDistance = knobs[i].dep;
+        p.workingSetBytes = knobs[i].ws;
+        p.zipfAlpha = 0.30;
+        p.hotFrac = knobs[i].hotFrac;
+        p.pointerChaseFrac = knobs[i].pointerChase;
+        phases.push_back(std::move(p));
+    }
+    return phases;
+}
+
+} // namespace sharch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Statistical benchmark profiles.
+ *
+ * The paper evaluates "the complete SPEC CINT2006 benchmark suite, a
+ * static web-serving workload of Apache driven by ApacheBench, and a
+ * subset of PARSEC" (section 5.2) via gem5 traces.  SPEC is licensed
+ * and the original traces are unavailable, so we synthesize traces from
+ * per-benchmark statistical profiles instead (see DESIGN.md).  Each
+ * profile controls the knobs that the Sharing Architecture is actually
+ * sensitive to: instruction mix, register dependency distance (ILP),
+ * branch predictability, and the memory reuse/working-set structure
+ * (cache sensitivity).
+ *
+ * Profiles are calibrated so the paper's qualitative facts hold; see
+ * EXPERIMENTS.md for the measured shapes.
+ */
+
+#ifndef SHARCH_TRACE_PROFILE_HH
+#define SHARCH_TRACE_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharch {
+
+/** Everything the synthetic generator needs to mimic one benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    // Instruction mix (fractions of all instructions; the rest are
+    // single-cycle ALU ops).
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double mulFrac = 0.01;
+
+    /**
+     * Mean register dependency distance (instructions between producer
+     * and consumer).  Small values mean serial chains and little ILP;
+     * large values mean many independent chains that scale with Slices.
+     */
+    double meanDepDistance = 6.0;
+
+    /** Fraction of static branch sites that are data-dependent coins. */
+    double hardBranchFrac = 0.10;
+    /** Takenness bias of easy branch sites. */
+    double easyBranchBias = 0.06;
+    /** Static branch sites in the program skeleton. */
+    unsigned numBlocks = 2048;
+    /** Mean basic-block length (instructions). */
+    double meanBlockLen = 7.0;
+    /** Static code footprint in bytes (drives the L1 I-cache). */
+    std::uint64_t codeBytes = 64 * 1024;
+
+    // Memory behaviour.
+    std::uint64_t hotBytes = 8 * 1024; //!< stack-like L1-resident region
+    double hotFrac = 0.35;             //!< refs to the hot region
+    std::uint64_t workingSetBytes = 512 * 1024; //!< heap region size
+    double zipfAlpha = 0.8;            //!< heap locality skew
+    double streamFrac = 0.05;          //!< sequential streaming refs
+    /** Probability a load reads a recently stored address. */
+    double storeLoadConflictFrac = 0.02;
+    /**
+     * Fraction of loads whose address comes from a dependence chain
+     * (pointer chasing): these serialize misses and make the workload
+     * memory-latency-bound instead of bandwidth-bound.
+     */
+    double pointerChaseFrac = 0.15;
+
+    // Multithreaded (PARSEC) workloads.
+    bool multithreaded = false;
+    unsigned numThreads = 4;
+    double sharedFrac = 0.0;   //!< heap refs hitting the shared region
+    double sharedWriteFrac = 0.3; //!< of shared refs, fraction written
+    std::uint64_t sharedBytes = 256 * 1024;
+};
+
+/**
+ * The fifteen evaluation workloads of the paper: apache, the SPEC
+ * CINT2006 benchmarks used in the figures (bzip, gcc, astar,
+ * libquantum, perlbench, sjeng, hmmer, gobmk, mcf, omnetpp, h264ref),
+ * and the PARSEC subset (dedup, swaptions, ferret).
+ */
+const std::vector<BenchmarkProfile> &builtinProfiles();
+
+/** Profile by name; fatal() when unknown. */
+const BenchmarkProfile &profileFor(const std::string &name);
+
+/** True when a builtin profile with this name exists. */
+bool hasProfile(const std::string &name);
+
+/** Names of all builtin profiles, in the paper's plotting order. */
+std::vector<std::string> benchmarkNames();
+
+/**
+ * The ten gcc program phases of Table 7: the same benchmark drifting
+ * from large-working-set, ILP-rich phases to small, serial ones.
+ */
+std::vector<BenchmarkProfile> gccPhaseProfiles();
+
+} // namespace sharch
+
+#endif // SHARCH_TRACE_PROFILE_HH

@@ -1,0 +1,120 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace sharch {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'H', 'T', 'R'};
+
+template <typename T>
+void
+put(std::ostream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+get(std::istream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+bool
+writeTrace(const Trace &trace, std::ostream &out)
+{
+    out.write(kMagic, sizeof(kMagic));
+    put<std::uint32_t>(out, kTraceFormatVersion);
+    put<std::uint32_t>(out, trace.threadId);
+    put<std::uint64_t>(out, trace.size());
+    put<std::uint32_t>(out,
+                       static_cast<std::uint32_t>(
+                           trace.benchmark.size()));
+    out.write(trace.benchmark.data(),
+              static_cast<std::streamsize>(trace.benchmark.size()));
+    for (const TraceInst &ti : trace.instructions) {
+        put<std::uint64_t>(out, ti.pc);
+        put<std::uint8_t>(out, static_cast<std::uint8_t>(ti.op));
+        put<std::uint16_t>(out, ti.src1);
+        put<std::uint16_t>(out, ti.src2);
+        put<std::uint16_t>(out, ti.dst);
+        put<std::uint64_t>(out, ti.effAddr);
+        put<std::uint64_t>(out, ti.target);
+        put<std::uint8_t>(out, ti.taken ? 1 : 0);
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    return out && writeTrace(trace, out);
+}
+
+std::optional<Trace>
+readTrace(std::istream &in)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return std::nullopt;
+
+    std::uint32_t version = 0, thread = 0, name_len = 0;
+    std::uint64_t count = 0;
+    if (!get(in, version) || version != kTraceFormatVersion)
+        return std::nullopt;
+    if (!get(in, thread) || !get(in, count) || !get(in, name_len))
+        return std::nullopt;
+    if (name_len > 4096)
+        return std::nullopt; // implausible name: corrupt header
+
+    Trace trace;
+    trace.threadId = thread;
+    trace.benchmark.resize(name_len);
+    in.read(trace.benchmark.data(), name_len);
+    if (!in)
+        return std::nullopt;
+
+    // Guard against absurd counts before reserving.
+    constexpr std::uint64_t kMaxInstructions = 1ULL << 32;
+    if (count > kMaxInstructions)
+        return std::nullopt;
+    trace.instructions.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceInst ti;
+        std::uint8_t op = 0, taken = 0;
+        if (!get(in, ti.pc) || !get(in, op) || !get(in, ti.src1) ||
+            !get(in, ti.src2) || !get(in, ti.dst) ||
+            !get(in, ti.effAddr) || !get(in, ti.target) ||
+            !get(in, taken)) {
+            return std::nullopt; // truncated record stream
+        }
+        if (op > static_cast<std::uint8_t>(OpClass::Branch))
+            return std::nullopt;
+        ti.op = static_cast<OpClass>(op);
+        ti.taken = taken != 0;
+        trace.instructions.push_back(ti);
+    }
+    return trace;
+}
+
+std::optional<Trace>
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    return readTrace(in);
+}
+
+} // namespace sharch

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * SSim is trace-driven; while this reproduction usually synthesizes
+ * traces on the fly, persisted traces make runs shareable and let
+ * external generators (e.g., a real gem5 pipeline) feed the simulator.
+ * The format is a little-endian packed record stream:
+ *
+ *   header: magic "SHTR", u32 version, u32 thread id,
+ *           u64 instruction count, benchmark name (u32 len + bytes)
+ *   record: u64 pc, u8 op, u16 src1, u16 src2, u16 dst,
+ *           u64 effAddr, u64 target, u8 taken
+ *
+ * Reading never throws; failures are reported via the return value.
+ */
+
+#ifndef SHARCH_TRACE_TRACE_IO_HH
+#define SHARCH_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/instruction.hh"
+
+namespace sharch {
+
+/** Format version written by writeTrace. */
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/** Serialize @p trace to @p out.  @return false on stream failure. */
+bool writeTrace(const Trace &trace, std::ostream &out);
+
+/** Serialize to a file.  @return false on I/O failure. */
+bool writeTraceFile(const Trace &trace, const std::string &path);
+
+/**
+ * Parse one trace from @p in.
+ * @return nullopt on malformed input or stream failure.
+ */
+std::optional<Trace> readTrace(std::istream &in);
+
+/** Read from a file. */
+std::optional<Trace> readTraceFile(const std::string &path);
+
+} // namespace sharch
+
+#endif // SHARCH_TRACE_TRACE_IO_HH

@@ -1,0 +1,98 @@
+#include "uarch/branch_predictor.hh"
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace sharch {
+
+BimodalPredictor::BimodalPredictor(std::uint32_t entries)
+    : counters_(entries, 1), mask_(entries - 1)
+{
+    SHARCH_ASSERT(entries > 0 && isPow2(entries),
+                  "bimodal entries must be a power of two");
+}
+
+bool
+BimodalPredictor::predict(Addr pc) const
+{
+    return counters_[(pc >> 2) & mask_] >= 2;
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    std::uint8_t &c = counters_[(pc >> 2) & mask_];
+    if (taken) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+Btb::Btb(std::uint32_t entries) : entries_(entries), mask_(entries - 1)
+{
+    SHARCH_ASSERT(entries > 0 && isPow2(entries),
+                  "BTB entries must be a power of two");
+}
+
+bool
+Btb::lookup(Addr pc, Addr &target) const
+{
+    const Entry &e = entries_[(pc >> 2) & mask_];
+    if (e.valid && e.tag == pc) {
+        target = e.target;
+        return true;
+    }
+    return false;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry &e = entries_[(pc >> 2) & mask_];
+    e.tag = pc;
+    e.target = target;
+    e.valid = true;
+}
+
+DistributedBranchPredictor::DistributedBranchPredictor(
+    unsigned num_slices, std::uint32_t bimodal_entries,
+    std::uint32_t btb_entries)
+{
+    SHARCH_ASSERT(num_slices >= 1, "need at least one Slice");
+    bimodal_.reserve(num_slices);
+    btb_.reserve(num_slices);
+    for (unsigned i = 0; i < num_slices; ++i) {
+        bimodal_.emplace_back(bimodal_entries);
+        btb_.emplace_back(btb_entries);
+    }
+}
+
+SliceId
+DistributedBranchPredictor::sliceFor(Addr pc) const
+{
+    return static_cast<SliceId>((pc >> 3) % bimodal_.size());
+}
+
+BranchPrediction
+DistributedBranchPredictor::predict(Addr pc) const
+{
+    const SliceId s = sliceFor(pc);
+    BranchPrediction p;
+    p.predictTaken = bimodal_[s].predict(pc);
+    p.btbHit = btb_[s].lookup(pc, p.target);
+    return p;
+}
+
+void
+DistributedBranchPredictor::update(Addr pc, bool taken, Addr target)
+{
+    const SliceId s = sliceFor(pc);
+    bimodal_[s].update(pc, taken);
+    if (taken)
+        btb_[s].update(pc, target);
+}
+
+} // namespace sharch

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The distributed branch predictor of the Sharing Architecture.
+ *
+ * Each Slice owns a local bimodal predictor (2-bit counters indexed by
+ * PC, section 3.1) and a BTB.  Because fetch is PC-interleaved, the
+ * same PC is always fetched -- and therefore always predicted -- by the
+ * same Slice, so effective predictor capacity grows with Slice count.
+ * BTB entries are replicated ("fake" entries) into the other Slices of
+ * a fetch group so that non-executing Slices can still redirect; we
+ * model the capacity effect of that replication by charging each
+ * branch one extra BTB entry per additional Slice in its fetch group.
+ */
+
+#ifndef SHARCH_UARCH_BRANCH_PREDICTOR_HH
+#define SHARCH_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sharch {
+
+/** Outcome of a front-end prediction. */
+struct BranchPrediction
+{
+    bool predictTaken = false;
+    bool btbHit = false;  //!< target known at fetch
+    Addr target = 0;
+};
+
+/** Bimodal (2-bit saturating counter) direction predictor. */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint32_t entries);
+
+    bool predict(Addr pc) const;
+    void update(Addr pc, bool taken);
+
+  private:
+    std::vector<std::uint8_t> counters_;
+    std::uint32_t mask_;
+};
+
+/** Direct-mapped, tagged branch target buffer. */
+class Btb
+{
+  public:
+    explicit Btb(std::uint32_t entries);
+
+    /** Look up @p pc; returns true and fills @p target on a hit. */
+    bool lookup(Addr pc, Addr &target) const;
+    void update(Addr pc, Addr target);
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> entries_;
+    std::uint32_t mask_;
+};
+
+/**
+ * Per-Slice predictor state for one VCore.  Slice selection follows
+ * the fetch interleave: PC pair p is predicted by Slice (p/8) mod s.
+ */
+class DistributedBranchPredictor
+{
+  public:
+    DistributedBranchPredictor(unsigned num_slices,
+                               std::uint32_t bimodal_entries,
+                               std::uint32_t btb_entries);
+
+    /** Which Slice fetches (and predicts) @p pc. */
+    SliceId sliceFor(Addr pc) const;
+
+    BranchPrediction predict(Addr pc) const;
+
+    /** Train direction and target after resolution. */
+    void update(Addr pc, bool taken, Addr target);
+
+    unsigned numSlices() const
+    { return static_cast<unsigned>(bimodal_.size()); }
+
+  private:
+    std::vector<BimodalPredictor> bimodal_;
+    std::vector<Btb> btb_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_UARCH_BRANCH_PREDICTOR_HH

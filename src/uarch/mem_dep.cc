@@ -1,0 +1,52 @@
+#include "uarch/mem_dep.hh"
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+MemDepTracker::MemDepTracker(std::size_t window) : ring_(window)
+{
+    SHARCH_ASSERT(window > 0, "window must be nonempty");
+}
+
+void
+MemDepTracker::recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
+                           Cycles data_ready)
+{
+    ring_[head_] = StoreEntry{addr >> 3, seq, addr_ready, data_ready};
+    head_ = (head_ + 1) % ring_.size();
+    if (live_ < ring_.size())
+        ++live_;
+}
+
+MemDepResult
+MemDepTracker::queryLoad(Addr addr, SeqNum load_seq) const
+{
+    MemDepResult res;
+    const Addr word = addr >> 3;
+    // Scan newest to oldest; the first (youngest) older store wins.
+    for (std::size_t i = 0; i < live_; ++i) {
+        const std::size_t idx =
+            (head_ + ring_.size() - 1 - i) % ring_.size();
+        const StoreEntry &e = ring_[idx];
+        if (e.word == word && e.seq < load_seq) {
+            res.conflict = true;
+            res.storeAddrReady = e.addrReady;
+            res.storeDataReady = e.dataReady;
+            res.storeSeq = e.seq;
+            return res;
+        }
+    }
+    return res;
+}
+
+void
+MemDepTracker::reset()
+{
+    for (auto &e : ring_)
+        e = StoreEntry{};
+    head_ = 0;
+    live_ = 0;
+}
+
+} // namespace sharch

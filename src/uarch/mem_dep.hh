@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory dependence tracking for the distributed, unordered LSQ
+ * (section 3.6).
+ *
+ * The Sharing Architecture sorts loads and stores to the Slice that
+ * owns their address, keeps age-tagged unordered LSQ banks, lets loads
+ * issue speculatively, and detects violations when a committing store
+ * finds a younger load to the same address that already executed.
+ * MemDepTracker answers the two questions the timing model needs when
+ * it reaches a load in program order:
+ *
+ *  - forwarding: is there an older store to the same (8-byte) word
+ *    still in flight whose data can be bypassed from the LSQ?
+ *  - violation: did this load issue before some older store to the
+ *    same address had computed its address (a premature speculative
+ *    load that the committing store will squash)?
+ */
+
+#ifndef SHARCH_UARCH_MEM_DEP_HH
+#define SHARCH_UARCH_MEM_DEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sharch {
+
+/** What a load finds among older in-flight stores. */
+struct MemDepResult
+{
+    bool conflict = false;       //!< an older store to the same word
+    Cycles storeAddrReady = 0;   //!< when that store's address resolved
+    Cycles storeDataReady = 0;   //!< when its data is forwardable
+    SeqNum storeSeq = 0;
+};
+
+/** Sliding window of recent in-flight stores. */
+class MemDepTracker
+{
+  public:
+    /** @param window how many recent stores stay searchable (an LSQ
+     *                bank's worth of stores). */
+    explicit MemDepTracker(std::size_t window = 32);
+
+    /** Record a store whose address resolves at @p addr_ready and data
+     *  at @p data_ready. */
+    void recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
+                     Cycles data_ready);
+
+    /** Query the youngest older store to the same 8-byte word. */
+    MemDepResult queryLoad(Addr addr, SeqNum load_seq) const;
+
+    void reset();
+
+  private:
+    struct StoreEntry
+    {
+        Addr word = 0;
+        SeqNum seq = 0;
+        Cycles addrReady = 0;
+        Cycles dataReady = 0;
+    };
+
+    std::vector<StoreEntry> ring_;
+    std::size_t head_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_UARCH_MEM_DEP_HH

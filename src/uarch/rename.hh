@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The two-stage rename machinery (section 3.2).
+ *
+ * Architectural registers rename first into a global logical space
+ * shared across the Slices of a VCore (with a master-Slice broadcast
+ * to resolve cross-Slice WAW/RAW within a fetch group), and second
+ * into each Slice's Local Register File.  For timing we track, per
+ * architectural register, which Slice produced the current value and
+ * when it is ready; a consumer on another Slice pays the Scalar
+ * Operand Network request/reply latency.  The broadcast step deepens
+ * the front end as Slice count grows (the "Added Pipeline" component
+ * of Fig. 10), which renameDepth() exposes.
+ */
+
+#ifndef SHARCH_UARCH_RENAME_HH
+#define SHARCH_UARCH_RENAME_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace sharch {
+
+/** Producer information for one architectural register. */
+struct Producer
+{
+    Cycles readyCycle = 0;   //!< when the value is computed
+    SliceId slice = 0;       //!< which Slice's LRF holds it
+    SeqNum seq = 0;          //!< producing instruction, 0 = initial
+};
+
+/**
+ * Front-end rename depth in pipeline stages for an s-Slice VCore:
+ * a single Slice renames locally; grouped Slices add the send-to-master
+ * and broadcast-correct steps (one extra stage each once the VCore
+ * spans more than one/four Slices).
+ */
+unsigned renameDepth(unsigned num_slices);
+
+/** Global RAT timing model: arch reg -> producer. */
+class RenameState
+{
+  public:
+    static constexpr unsigned kArchRegs = 32;
+
+    RenameState();
+
+    const Producer &lookup(RegIndex arch_reg) const;
+
+    /** Record that @p arch_reg is produced on @p slice at @p ready. */
+    void define(RegIndex arch_reg, SliceId slice, Cycles ready,
+                SeqNum seq);
+
+    /**
+     * Mark every live register as resident on @p slice at @p ready --
+     * the effect of the Register Flush instruction used when a VCore
+     * sheds Slices (section 3.8).
+     */
+    void flushTo(SliceId slice, Cycles ready);
+
+    void reset();
+
+  private:
+    std::array<Producer, kArchRegs> table_;
+};
+
+} // namespace sharch
+
+#endif // SHARCH_UARCH_RENAME_HH

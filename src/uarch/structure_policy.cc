@@ -1,0 +1,73 @@
+#include "uarch/structure_policy.hh"
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+const char *
+coreStructureName(CoreStructure s)
+{
+    switch (s) {
+      case CoreStructure::BranchPredictor: return "Branch Predictor";
+      case CoreStructure::Btb: return "BTB";
+      case CoreStructure::Scoreboard: return "Scoreboard";
+      case CoreStructure::IssueWindow: return "Issue Window";
+      case CoreStructure::LoadQueue: return "Load Queue";
+      case CoreStructure::StoreQueue: return "Store Queue";
+      case CoreStructure::Rob: return "ROB";
+      case CoreStructure::LocalRat: return "Local RAT";
+      case CoreStructure::GlobalRat: return "Global RAT";
+      case CoreStructure::PhysicalRegisterFile: return "Physical RF";
+      default: return "unknown";
+    }
+}
+
+SharingPolicy
+sharingPolicy(CoreStructure s)
+{
+    // Table 1: BTB, Scoreboard, Local RAT and Global RAT are
+    // replicated in every Slice (each Slice needs its own copy to
+    // fetch/rename locally); the branch predictor, issue window, load
+    // and store queues, ROB and physical register file are partitioned
+    // so aggregate capacity grows with Slice count.
+    switch (s) {
+      case CoreStructure::Btb:
+      case CoreStructure::Scoreboard:
+      case CoreStructure::LocalRat:
+      case CoreStructure::GlobalRat:
+        return SharingPolicy::Replicated;
+      case CoreStructure::BranchPredictor:
+      case CoreStructure::IssueWindow:
+      case CoreStructure::LoadQueue:
+      case CoreStructure::StoreQueue:
+      case CoreStructure::Rob:
+      case CoreStructure::PhysicalRegisterFile:
+        return SharingPolicy::Partitioned;
+      default:
+        SHARCH_PANIC("unknown core structure");
+    }
+}
+
+std::uint64_t
+aggregateCapacity(CoreStructure s, std::uint64_t per_slice_capacity,
+                  unsigned num_slices)
+{
+    SHARCH_ASSERT(num_slices >= 1, "need at least one Slice");
+    if (sharingPolicy(s) == SharingPolicy::Partitioned)
+        return per_slice_capacity * num_slices;
+    return per_slice_capacity;
+}
+
+std::vector<StructurePolicyRow>
+structurePolicyTable()
+{
+    std::vector<StructurePolicyRow> rows;
+    for (int i = 0;
+         i < static_cast<int>(CoreStructure::NumStructures); ++i) {
+        const auto s = static_cast<CoreStructure>(i);
+        rows.push_back(StructurePolicyRow{s, sharingPolicy(s)});
+    }
+    return rows;
+}
+
+} // namespace sharch

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 1 of the paper: which intra-core structures are replicated per
+ * Slice and which are partitioned across Slices when Slices are
+ * grouped into a VCore.
+ *
+ * Partitioned structures scale their aggregate capacity with Slice
+ * count; replicated structures are sized for the largest VCore and
+ * duplicated in every Slice.  The timing model and the area model both
+ * consult this policy (aggregate capacities, per-Slice areas).
+ */
+
+#ifndef SHARCH_UARCH_STRUCTURE_POLICY_HH
+#define SHARCH_UARCH_STRUCTURE_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharch {
+
+/** The structures Table 1 classifies. */
+enum class CoreStructure
+{
+    BranchPredictor,
+    Btb,
+    Scoreboard,
+    IssueWindow,
+    LoadQueue,
+    StoreQueue,
+    Rob,
+    LocalRat,
+    GlobalRat,
+    PhysicalRegisterFile,
+    NumStructures
+};
+
+/** Replication policy per Table 1. */
+enum class SharingPolicy { Replicated, Partitioned };
+
+/** Printable structure name. */
+const char *coreStructureName(CoreStructure s);
+
+/** The paper's Table 1 classification. */
+SharingPolicy sharingPolicy(CoreStructure s);
+
+/**
+ * Aggregate capacity of a structure in an s-Slice VCore given its
+ * per-Slice capacity: partitioned structures scale with s, replicated
+ * ones do not.
+ */
+std::uint64_t aggregateCapacity(CoreStructure s,
+                                std::uint64_t per_slice_capacity,
+                                unsigned num_slices);
+
+/** All structures with their policies (for reports and tests). */
+struct StructurePolicyRow
+{
+    CoreStructure structure;
+    SharingPolicy policy;
+};
+std::vector<StructurePolicyRow> structurePolicyTable();
+
+} // namespace sharch
+
+#endif // SHARCH_UARCH_STRUCTURE_POLICY_HH

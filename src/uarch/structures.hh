@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generic occupancy and port models for pipeline structures.
+ *
+ * OccupancyLimiter models a structure with a fixed number of entries
+ * allocated in program order (ROB partition, issue window, LSQ bank,
+ * LRF, store buffer, MSHRs): allocation k may not proceed before entry
+ * (k - capacity) has been released.  UnitPort models a fully pipelined
+ * unit that accepts one operation per cycle (an ALU, an LSU port, a
+ * cache port).
+ */
+
+#ifndef SHARCH_UARCH_STRUCTURES_HH
+#define SHARCH_UARCH_STRUCTURES_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/scheduling.hh"
+#include "common/types.hh"
+
+namespace sharch {
+
+/** Ring buffer of release times bounding structure occupancy. */
+class OccupancyLimiter
+{
+  public:
+    explicit OccupancyLimiter(std::uint32_t capacity);
+
+    /**
+     * Earliest cycle at which the next allocation may proceed given
+     * occupancy (0 when the structure is not yet full).
+     */
+    Cycles allocConstraint() const;
+
+    /** Record an allocation whose entry frees at @p release_cycle. */
+    void allocate(Cycles release_cycle);
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Entries currently accounted as live at cycle @p now. */
+    std::uint32_t occupancy(Cycles now) const;
+
+    void reset();
+
+  private:
+    std::uint32_t capacity_;
+    std::vector<Cycles> releases_; //!< circular, size == capacity_
+    std::size_t head_ = 0;         //!< next slot to overwrite
+    std::uint64_t allocated_ = 0;
+};
+
+/**
+ * A structure whose entries free *out of order* (issue windows, the
+ * unordered LSQ banks of section 3.6, MSHRs).  An allocation that
+ * finds the structure full waits for the earliest release, not the
+ * oldest allocation.
+ */
+class UnorderedOccupancy
+{
+  public:
+    explicit UnorderedOccupancy(std::uint32_t capacity);
+
+    /**
+     * Allocate an entry no earlier than @p ready that frees at
+     * @p release.  @return the granted allocation cycle (>= ready).
+     */
+    Cycles allocate(Cycles ready, Cycles release);
+
+    std::uint32_t capacity() const { return capacity_; }
+
+    void reset();
+
+  private:
+    std::uint32_t capacity_;
+    /** Min-heap of live entries' release times. */
+    std::vector<Cycles> releases_;
+};
+
+/** A fully pipelined unit accepting @p width operations per cycle. */
+class UnitPort
+{
+  public:
+    explicit UnitPort(std::uint32_t width = 1);
+
+    /**
+     * Schedule an operation that becomes ready at @p ready.
+     * @return the cycle the unit actually accepts it.
+     */
+    Cycles schedule(Cycles ready);
+
+    void reset();
+
+  private:
+    std::uint32_t width_;
+    Cycles busyCycle_ = 0;   //!< cycle of the most recent acceptance
+    std::uint32_t used_ = 0; //!< acceptances at busyCycle_
+};
+
+} // namespace sharch
+
+#endif // SHARCH_UARCH_STRUCTURES_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for CactiLite and the area model, anchored to the paper's
+ * published Figure 10/11 decomposition.
+ */
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+#include "area/cacti_lite.hh"
+
+using namespace sharch;
+
+TEST(CactiLite, AreaGrowsWithCapacity)
+{
+    double prev = 0.0;
+    for (std::uint64_t kb : {4, 16, 64, 256, 1024}) {
+        const double a = CactiLite::cacheAreaUm2(kb * 1024, 64, 2);
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(CactiLite, AreaSublinearAtSmallSizes)
+{
+    // Periphery amortizes: 4x the capacity costs less than 4x area.
+    const double a16 = CactiLite::cacheAreaUm2(16 * 1024, 64, 2);
+    const double a64 = CactiLite::cacheAreaUm2(64 * 1024, 64, 4);
+    EXPECT_LT(a64 / a16, 4.0);
+    EXPECT_GT(a64 / a16, 1.5);
+}
+
+TEST(CactiLite, PortsCostArea)
+{
+    const double one = CactiLite::ramAreaUm2(1024, 1, 1);
+    const double many = CactiLite::ramAreaUm2(1024, 4, 2);
+    EXPECT_GT(many, one * 1.5);
+}
+
+TEST(CactiLite, TagsCostArea)
+{
+    const double tagless = CactiLite::ramAreaUm2(16 * 1024);
+    const double tagged = CactiLite::cacheAreaUm2(16 * 1024, 64, 1);
+    EXPECT_GT(tagged, tagless);
+}
+
+TEST(CactiLite, AccessCyclesMatchTable3)
+{
+    EXPECT_EQ(CactiLite::accessCycles(16 * 1024), 3u);
+    EXPECT_EQ(CactiLite::accessCycles(64 * 1024), 4u);
+    EXPECT_GT(CactiLite::accessCycles(8 * 1024 * 1024), 4u);
+}
+
+TEST(AreaModel, Figure10Anchors)
+{
+    const AreaModel m;
+    const double slice = m.sliceAreaUm2();
+    // Each 16 KB L1 is ~24% of the Slice (Fig. 10).
+    const double l1 =
+        m.componentAreaUm2(SliceComponent::L1DCache) / slice;
+    EXPECT_NEAR(l1, 0.24, 0.02);
+    EXPECT_NEAR(m.componentAreaUm2(SliceComponent::L1ICache) / slice,
+                0.24, 0.02);
+    // Instruction buffer ~11%, LSQ ~8%, ROB and RF ~6%.
+    EXPECT_NEAR(m.componentAreaUm2(
+                    SliceComponent::InstructionBuffer) / slice,
+                0.11, 0.01);
+    EXPECT_NEAR(m.componentAreaUm2(SliceComponent::Lsq) / slice, 0.08,
+                0.01);
+    EXPECT_NEAR(m.componentAreaUm2(SliceComponent::Rob) / slice, 0.06,
+                0.01);
+}
+
+TEST(AreaModel, SharingOverheadMatchesPaper)
+{
+    const AreaModel m;
+    // Fig. 10: ~8% without L2; Fig. 11: ~5% with one 64 KB bank.
+    EXPECT_NEAR(m.sharingOverheadFraction(false), 0.08, 0.012);
+    EXPECT_NEAR(m.sharingOverheadFraction(true), 0.05, 0.012);
+}
+
+TEST(AreaModel, Figure11BankShare)
+{
+    const AreaModel m;
+    // One 64 KB bank is ~35% of Slice + bank (Fig. 11).
+    const double share =
+        m.l2BankAreaUm2() / (m.sliceAreaUm2() + m.l2BankAreaUm2());
+    EXPECT_NEAR(share, 0.35, 0.03);
+}
+
+TEST(AreaModel, MarketParityAnchor)
+{
+    const AreaModel m;
+    // Market2's "1 Slice costs the same as 128 KB Cache": two banks
+    // within ~15% of one Slice.
+    EXPECT_NEAR(2.0 * m.l2BankAreaUm2() / m.sliceAreaUm2(), 1.0, 0.15);
+}
+
+TEST(AreaModel, VCoreRollup)
+{
+    const AreaModel m;
+    const double one = m.vcoreAreaUm2(1, 0);
+    EXPECT_DOUBLE_EQ(one, m.sliceAreaUm2());
+    EXPECT_DOUBLE_EQ(m.vcoreAreaUm2(3, 5),
+                     3 * m.sliceAreaUm2() + 5 * m.l2BankAreaUm2());
+    EXPECT_DOUBLE_EQ(m.vcoreAreaMm2(1, 0) * 1e6, one);
+}
+
+TEST(AreaModel, BreakdownSumsToHundred)
+{
+    const AreaModel m;
+    for (bool l2 : {false, true}) {
+        double total = 0.0;
+        for (const AreaEntry &e : m.breakdown(l2))
+            total += e.percent;
+        EXPECT_NEAR(total, 100.0, 1e-9);
+    }
+    // The L2 row only appears in the Fig. 11 variant.
+    EXPECT_EQ(m.breakdown(true).size(), m.breakdown(false).size() + 1);
+}
+
+TEST(AreaModel, ConfigScalesStructures)
+{
+    SimConfig big;
+    big.slice.robSize = 128;        // 2x default
+    big.slice.issueWindowSize = 64; // 2x default
+    const AreaModel base;
+    const AreaModel scaled(big);
+    EXPECT_NEAR(scaled.componentAreaUm2(SliceComponent::Rob),
+                2.0 * base.componentAreaUm2(SliceComponent::Rob),
+                1e-6);
+    EXPECT_NEAR(scaled.componentAreaUm2(SliceComponent::IssueWindow),
+                2.0 * base.componentAreaUm2(SliceComponent::IssueWindow),
+                1e-6);
+    EXPECT_GT(scaled.sliceAreaUm2(), base.sliceAreaUm2());
+}
+
+TEST(AreaModel, LargerCachesGrowTheSlice)
+{
+    SimConfig cfg;
+    cfg.l1d.sizeBytes = 32 * 1024;
+    const AreaModel base;
+    const AreaModel bigger(cfg);
+    EXPECT_GT(bigger.componentAreaUm2(SliceComponent::L1DCache),
+              base.componentAreaUm2(SliceComponent::L1DCache));
+    // The I-cache is untouched.
+    EXPECT_DOUBLE_EQ(bigger.componentAreaUm2(SliceComponent::L1ICache),
+                     base.componentAreaUm2(SliceComponent::L1ICache));
+}
+
+TEST(AreaModel, ComponentNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0;
+         i < static_cast<int>(SliceComponent::NumComponents); ++i) {
+        names.insert(
+            sliceComponentName(static_cast<SliceComponent>(i)));
+    }
+    EXPECT_EQ(names.size(),
+              static_cast<std::size_t>(SliceComponent::NumComponents));
+}
+
+TEST(AreaModel, SharingOverheadComponentsClassified)
+{
+    // Exactly the six sharing-support structures are overhead.
+    int overhead = 0;
+    for (int i = 0;
+         i < static_cast<int>(SliceComponent::NumComponents); ++i) {
+        overhead +=
+            isSharingOverhead(static_cast<SliceComponent>(i));
+    }
+    EXPECT_EQ(overhead, 6);
+    EXPECT_FALSE(isSharingOverhead(SliceComponent::L1DCache));
+    EXPECT_TRUE(isSharingOverhead(SliceComponent::GlobalRename));
+    EXPECT_TRUE(isSharingOverhead(SliceComponent::Routers));
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit and property tests for the common library: logging levels,
+ * deterministic random numbers, numeric helpers, and the slotted-port
+ * scheduler everything else builds on.
+ */
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "common/random.hh"
+#include "common/scheduling.hh"
+
+using namespace sharch;
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    SHARCH_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(SHARCH_ASSERT(false, "must die"), "assertion failed");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(11);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(13);
+    const double p = 0.25;
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(rng.nextGeometric(p));
+    // Mean of the number of failures before success: (1-p)/p = 3.
+    EXPECT_NEAR(total / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricOfOneIsZero)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(19);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += rng.nextExponential(5.0);
+    EXPECT_NEAR(total / n, 5.0, 0.25);
+}
+
+TEST(Rng, ZipfInRange)
+{
+    Rng rng(23);
+    for (double alpha : {0.0, 0.5, 1.0, 1.5}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(rng.nextZipf(1000, alpha), 1000u);
+    }
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(29);
+    const std::uint64_t n = 10000;
+    int in_head = 0;
+    const int samples = 10000;
+    for (int i = 0; i < samples; ++i)
+        in_head += (rng.nextZipf(n, 1.2) < n / 100);
+    // With alpha = 1.2, far more than 1% of draws hit the top 1%.
+    EXPECT_GT(in_head, samples / 10);
+}
+
+TEST(Rng, ZipfUniformWhenAlphaZero)
+{
+    Rng rng(31);
+    const std::uint64_t n = 1000;
+    int in_head = 0;
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i)
+        in_head += (rng.nextZipf(n, 0.0) < n / 10);
+    EXPECT_NEAR(static_cast<double>(in_head) / samples, 0.1, 0.02);
+}
+
+TEST(MathUtil, GeometricMeanBasics)
+{
+    const std::array<double, 3> v{1.0, 10.0, 100.0};
+    EXPECT_NEAR(geometricMean(v), 10.0, 1e-9);
+    const std::array<double, 1> one{7.0};
+    EXPECT_NEAR(geometricMean(one), 7.0, 1e-12);
+}
+
+TEST(MathUtil, GeometricMeanLeqArithmetic)
+{
+    Rng rng(37);
+    std::vector<double> v;
+    for (int i = 0; i < 50; ++i)
+        v.push_back(0.1 + rng.nextDouble() * 10.0);
+    EXPECT_LE(geometricMean(v), arithmeticMean(v) + 1e-12);
+}
+
+TEST(MathUtil, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(65));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(MathUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 3), 0u);
+    EXPECT_EQ(divCeil(1, 3), 1u);
+    EXPECT_EQ(divCeil(3, 3), 1u);
+    EXPECT_EQ(divCeil(4, 3), 2u);
+}
+
+TEST(MathUtil, SafeDiv)
+{
+    EXPECT_DOUBLE_EQ(safeDiv(6.0, 3.0), 2.0);
+    EXPECT_DOUBLE_EQ(safeDiv(6.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(safeDiv(6.0, 0.0, -1.0), -1.0);
+}
+
+TEST(SlottedPort, OneOpPerCycle)
+{
+    SlottedPort port(1);
+    EXPECT_EQ(port.schedule(10), 10u);
+    EXPECT_EQ(port.schedule(10), 11u);
+    EXPECT_EQ(port.schedule(10), 12u);
+}
+
+TEST(SlottedPort, OutOfOrderClaimsEarlierSlots)
+{
+    SlottedPort port(1);
+    EXPECT_EQ(port.schedule(100), 100u);
+    // An earlier-ready op must not queue behind the later one.
+    EXPECT_EQ(port.schedule(5), 5u);
+    EXPECT_EQ(port.schedule(5), 6u);
+}
+
+TEST(SlottedPort, WidthAllowsParallelism)
+{
+    SlottedPort port(3);
+    EXPECT_EQ(port.schedule(7), 7u);
+    EXPECT_EQ(port.schedule(7), 7u);
+    EXPECT_EQ(port.schedule(7), 7u);
+    EXPECT_EQ(port.schedule(7), 8u);
+}
+
+TEST(SlottedPort, ResetClearsState)
+{
+    SlottedPort port(1);
+    port.schedule(5);
+    port.reset();
+    EXPECT_EQ(port.schedule(5), 5u);
+}
+
+TEST(SlottedPort, ThroughputNeverExceedsWidth)
+{
+    SlottedPort port(2);
+    Rng rng(41);
+    std::vector<Cycles> grants;
+    for (int i = 0; i < 2000; ++i)
+        grants.push_back(port.schedule(rng.nextBounded(500)));
+    std::sort(grants.begin(), grants.end());
+    for (std::size_t i = 2; i < grants.size(); ++i)
+        EXPECT_GT(grants[i], grants[i - 2]);
+}
+
+/** Property sweep: a width-w port grants at most w slots per cycle. */
+class SlottedPortWidth : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SlottedPortWidth, GrantsBoundedByWidth)
+{
+    const std::uint32_t w = GetParam();
+    SlottedPort port(w);
+    Rng rng(43);
+    std::map<Cycles, int> per_cycle;
+    for (int i = 0; i < 3000; ++i)
+        ++per_cycle[port.schedule(rng.nextBounded(200))];
+    for (const auto &[cycle, count] : per_cycle)
+        EXPECT_LE(count, static_cast<int>(w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SlottedPortWidth,
+                         ::testing::Values(1u, 2u, 3u, 8u));

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the on-chip network substrate: mesh geometry, XY routing,
+ * VCore placement (including the +2 cycles per 256 KB distance
+ * property of section 5.4), and the switched-network latency and
+ * injection-contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hh"
+#include "noc/network.hh"
+#include "noc/placement.hh"
+
+using namespace sharch;
+
+TEST(Mesh, ManhattanDistance)
+{
+    EXPECT_EQ(manhattanDistance({0, 0}, {0, 0}), 0u);
+    EXPECT_EQ(manhattanDistance({0, 0}, {3, 4}), 7u);
+    EXPECT_EQ(manhattanDistance({3, 4}, {0, 0}), 7u);
+    EXPECT_EQ(manhattanDistance({-2, 1}, {1, -1}), 5u);
+}
+
+TEST(Mesh, XyRouteVisitsXThenY)
+{
+    const auto route = xyRoute({0, 0}, {2, 1});
+    ASSERT_EQ(route.size(), 4u);
+    EXPECT_EQ(route[0], (Coord{0, 0}));
+    EXPECT_EQ(route[1], (Coord{1, 0}));
+    EXPECT_EQ(route[2], (Coord{2, 0}));
+    EXPECT_EQ(route[3], (Coord{2, 1}));
+}
+
+TEST(Mesh, XyRouteLengthIsDistancePlusOne)
+{
+    for (int x = -3; x <= 3; ++x) {
+        for (int y = -3; y <= 3; ++y) {
+            const Coord to{x, y};
+            EXPECT_EQ(xyRoute({0, 0}, to).size(),
+                      manhattanDistance({0, 0}, to) + 1);
+        }
+    }
+}
+
+TEST(Mesh, GeometryIndexRoundTrip)
+{
+    const MeshGeometry mesh(5, 3);
+    EXPECT_EQ(mesh.numTiles(), 15);
+    for (int i = 0; i < mesh.numTiles(); ++i)
+        EXPECT_EQ(mesh.indexOf(mesh.coordOf(i)), i);
+    EXPECT_TRUE(mesh.contains({4, 2}));
+    EXPECT_FALSE(mesh.contains({5, 0}));
+    EXPECT_FALSE(mesh.contains({0, -1}));
+}
+
+TEST(Placement, SlicesAreContiguous)
+{
+    const FabricPlacement p(4, 0);
+    for (SliceId s = 0; s + 1 < 4; ++s)
+        EXPECT_EQ(p.sliceToSliceHops(s, s + 1), 1u);
+    EXPECT_EQ(p.sliceToSliceHops(0, 3), 3u);
+}
+
+TEST(Placement, BankRowsOfFour)
+{
+    const FabricPlacement p(1, 8);
+    // First four banks in row 1, next four in row 2.
+    EXPECT_EQ(p.bankCoord(0).y, 1);
+    EXPECT_EQ(p.bankCoord(3).y, 1);
+    EXPECT_EQ(p.bankCoord(4).y, 2);
+    EXPECT_EQ(p.bankCoord(7).y, 2);
+}
+
+TEST(Placement, MeanBankDistanceGrowsWithCache)
+{
+    // Section 5.4: about +1 hop (i.e., +2 cycles at 2 cycles/hop) per
+    // additional 256 KB (= 4 banks).
+    const FabricPlacement small(2, 4);
+    const FabricPlacement big(2, 8);
+    const FabricPlacement huge(2, 64);
+    EXPECT_LT(small.meanBankDistance(), big.meanBankDistance());
+    EXPECT_LT(big.meanBankDistance(), huge.meanBankDistance());
+    // 64 banks = 16 rows: mean row distance ~ 8 hops more than 1 row.
+    EXPECT_NEAR(huge.meanBankDistance() - small.meanBankDistance(),
+                (64 - 4) / 4 / 2.0, 2.0);
+}
+
+TEST(Placement, OriginOffsetsEverything)
+{
+    const FabricPlacement p(2, 2, Coord{10, 5});
+    EXPECT_EQ(p.sliceCoord(0), (Coord{10, 5}));
+    EXPECT_EQ(p.sliceCoord(1), (Coord{11, 5}));
+    EXPECT_EQ(p.bankCoord(0), (Coord{10, 6}));
+    // Distances are origin-invariant.
+    const FabricPlacement q(2, 2);
+    EXPECT_EQ(p.sliceToBankHops(1, 0), q.sliceToBankHops(1, 0));
+}
+
+TEST(Network, UncontendedLatencyMatchesPaper)
+{
+    // Section 3.4: two cycles nearest neighbour, +1 per extra hop.
+    const SwitchedNetwork net(4, 2, 1, 1);
+    EXPECT_EQ(net.uncontendedLatency(0), 0u);
+    EXPECT_EQ(net.uncontendedLatency(1), 2u);
+    EXPECT_EQ(net.uncontendedLatency(2), 3u);
+    EXPECT_EQ(net.uncontendedLatency(5), 6u);
+}
+
+TEST(Network, SendAddsLatency)
+{
+    SwitchedNetwork net(4, 2, 1, 1);
+    EXPECT_EQ(net.send(0, 100, 1), 102u);
+    EXPECT_EQ(net.send(1, 100, 3), 104u);
+    // Zero hops is free (same tile).
+    EXPECT_EQ(net.send(2, 50, 0), 50u);
+}
+
+TEST(Network, InjectionContentionSerializesSameCycle)
+{
+    SwitchedNetwork net(2, 2, 1, 1);
+    const Cycles first = net.send(0, 10, 1);
+    const Cycles second = net.send(0, 10, 1);
+    EXPECT_EQ(first, 12u);
+    EXPECT_EQ(second, 13u);
+    EXPECT_EQ(net.stats().injectionStalls, 1u);
+    // A different source does not contend.
+    EXPECT_EQ(net.send(1, 10, 1), 12u);
+}
+
+TEST(Network, OutOfOrderSendsDoNotQueueBehindLaterOnes)
+{
+    SwitchedNetwork net(2, 2, 1, 1);
+    EXPECT_EQ(net.send(0, 1000, 1), 1002u);
+    // An earlier message must still inject at its own time.
+    EXPECT_EQ(net.send(0, 10, 1), 12u);
+}
+
+TEST(Network, WiderPortsAllowParallelInjection)
+{
+    SwitchedNetwork net(1, 2, 1, 2);
+    EXPECT_EQ(net.send(0, 10, 1), 12u);
+    EXPECT_EQ(net.send(0, 10, 1), 12u);
+    EXPECT_EQ(net.send(0, 10, 1), 13u);
+}
+
+TEST(Network, StatsAccumulateAndReset)
+{
+    SwitchedNetwork net(2, 2, 1, 1);
+    net.send(0, 0, 3);
+    net.send(1, 0, 2);
+    EXPECT_EQ(net.stats().messages, 2u);
+    EXPECT_EQ(net.stats().totalHops, 5u);
+    net.reset();
+    EXPECT_EQ(net.stats().messages, 0u);
+    EXPECT_EQ(net.send(0, 0, 1), 2u);
+}
+
+/** Property: placements for any (slices, banks) give sane distances. */
+class PlacementSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(PlacementSweep, DistancesPositiveAndSymmetric)
+{
+    const auto [slices, banks] = GetParam();
+    const FabricPlacement p(slices, banks);
+    EXPECT_EQ(p.numSlices(), slices);
+    EXPECT_EQ(p.numBanks(), banks);
+    for (SliceId a = 0; a < slices; ++a) {
+        EXPECT_EQ(p.sliceToSliceHops(a, a), 0u);
+        for (SliceId b = 0; b < slices; ++b)
+            EXPECT_EQ(p.sliceToSliceHops(a, b),
+                      p.sliceToSliceHops(b, a));
+        for (BankId k = 0; k < banks; ++k)
+            EXPECT_GE(p.sliceToBankHops(a, k), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PlacementSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(0u, 1u, 4u, 16u, 128u)));

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the statistics package: counters, samples, histograms,
+ * SimStats derived rates, merging, and reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+using namespace sharch;
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Sample, TracksMeanMinMax)
+{
+    Sample s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.total(), 15.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Sample, SingleNegativeValue)
+{
+    Sample s;
+    s.add(-3.5);
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0); // [0,10) [10,20) [20,30) [30,40)
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(35.0);
+    h.add(40.0);  // overflow
+    h.add(-1.0);  // negative -> overflow
+    EXPECT_EQ(h.numBuckets(), 4u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 6u);
+}
+
+TEST(SimStats, DerivedRates)
+{
+    SimStats s;
+    s.cycles = 200;
+    s.instructionsCommitted = 100;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.5);
+    s.branches = 50;
+    s.branchMispredicts = 5;
+    EXPECT_DOUBLE_EQ(s.branchMispredictRate(), 0.1);
+    s.l1dAccesses = 40;
+    s.l1dMisses = 10;
+    EXPECT_DOUBLE_EQ(s.l1dMissRate(), 0.25);
+    s.l2Accesses = 10;
+    s.l2Misses = 10;
+    EXPECT_DOUBLE_EQ(s.l2MissRate(), 1.0);
+}
+
+TEST(SimStats, RatesSafeWhenEmpty)
+{
+    const SimStats s;
+    EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(s.branchMispredictRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.l1dMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.l2MissRate(), 0.0);
+}
+
+TEST(SimStats, StallAccounting)
+{
+    SimStats s;
+    s.addStall(Stage::Fetch, 3);
+    s.addStall(Stage::Fetch);
+    s.addStall(Stage::Memory, 7);
+    EXPECT_EQ(s.stall(Stage::Fetch), 4u);
+    EXPECT_EQ(s.stall(Stage::Memory), 7u);
+    EXPECT_EQ(s.stall(Stage::Commit), 0u);
+}
+
+TEST(SimStats, MergeTakesMaxCyclesAndSumsCounts)
+{
+    SimStats a, b;
+    a.cycles = 100;
+    a.instructionsCommitted = 10;
+    a.loads = 4;
+    a.addStall(Stage::Issue, 5);
+    b.cycles = 80;
+    b.instructionsCommitted = 20;
+    b.loads = 6;
+    b.addStall(Stage::Issue, 2);
+    a.merge(b);
+    EXPECT_EQ(a.cycles, 100u);
+    EXPECT_EQ(a.instructionsCommitted, 30u);
+    EXPECT_EQ(a.loads, 10u);
+    EXPECT_EQ(a.stall(Stage::Issue), 7u);
+}
+
+TEST(SimStats, ReportMentionsKeyFields)
+{
+    SimStats s;
+    s.cycles = 123;
+    s.instructionsCommitted = 456;
+    const std::string rep = s.report();
+    EXPECT_NE(rep.find("123"), std::string::npos);
+    EXPECT_NE(rep.find("456"), std::string::npos);
+    EXPECT_NE(rep.find("ipc"), std::string::npos);
+    EXPECT_NE(rep.find("fetch"), std::string::npos);
+}
+
+TEST(Stages, AllStagesNamed)
+{
+    for (int i = 0; i < static_cast<int>(Stage::NumStages); ++i) {
+        const char *name = stageName(static_cast<Stage>(i));
+        EXPECT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+    }
+}

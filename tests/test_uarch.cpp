@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the Slice microarchitecture structures: the distributed
+ * branch predictor, occupancy limiters, rename state, memory
+ * dependence tracking, and the Table 1 structure policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.hh"
+#include "uarch/mem_dep.hh"
+#include "uarch/rename.hh"
+#include "uarch/structure_policy.hh"
+#include "uarch/structures.hh"
+
+using namespace sharch;
+
+TEST(Bimodal, LearnsATakenBranch)
+{
+    BimodalPredictor bp(64);
+    const Addr pc = 0x400100;
+    bp.update(pc, true);
+    bp.update(pc, true);
+    EXPECT_TRUE(bp.predict(pc));
+    bp.update(pc, false);
+    bp.update(pc, false);
+    bp.update(pc, false);
+    EXPECT_FALSE(bp.predict(pc));
+}
+
+TEST(Bimodal, HysteresisSurvivesOneFlip)
+{
+    BimodalPredictor bp(64);
+    const Addr pc = 0x400104;
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, true);
+    bp.update(pc, false); // a single not-taken shouldn't flip it
+    EXPECT_TRUE(bp.predict(pc));
+}
+
+TEST(Btb, StoresAndTagsTargets)
+{
+    Btb btb(64);
+    Addr target = 0;
+    EXPECT_FALSE(btb.lookup(0x1000, target));
+    btb.update(0x1000, 0x2000);
+    ASSERT_TRUE(btb.lookup(0x1000, target));
+    EXPECT_EQ(target, 0x2000u);
+    // An aliasing PC (same index, different tag) must miss.
+    EXPECT_FALSE(btb.lookup(0x1000 + 64 * 4, target));
+}
+
+TEST(DistributedPredictor, SamePcSameSlice)
+{
+    // Section 3.1: the same PC is always fetched by the same Slice,
+    // so its predictor state never migrates.
+    const DistributedBranchPredictor p(4, 64, 64);
+    for (Addr pc = 0x400000; pc < 0x400100; pc += 4)
+        EXPECT_EQ(p.sliceFor(pc), p.sliceFor(pc));
+    // PC pairs interleave across slices.
+    EXPECT_NE(p.sliceFor(0x400000), p.sliceFor(0x400008));
+}
+
+TEST(DistributedPredictor, CapacityScalesWithSlices)
+{
+    // Train two branches that would alias in a single small table but
+    // land on different Slices' tables in a 2-Slice VCore.
+    DistributedBranchPredictor p(2, 16, 16);
+    const Addr pc_a = 0x400000;        // slice 0
+    const Addr pc_b = pc_a + 8;        // slice 1
+    for (int i = 0; i < 3; ++i) {
+        p.update(pc_a, true, pc_a + 64);
+        p.update(pc_b, false, 0);
+    }
+    EXPECT_TRUE(p.predict(pc_a).predictTaken);
+    EXPECT_FALSE(p.predict(pc_b).predictTaken);
+    EXPECT_TRUE(p.predict(pc_a).btbHit);
+    EXPECT_EQ(p.predict(pc_a).target, pc_a + 64);
+}
+
+TEST(OccupancyLimiter, NoConstraintUntilFull)
+{
+    OccupancyLimiter lim(2);
+    EXPECT_EQ(lim.allocConstraint(), 0u);
+    lim.allocate(10);
+    EXPECT_EQ(lim.allocConstraint(), 0u);
+    lim.allocate(20);
+    // Now full: the next allocation waits for the oldest release.
+    EXPECT_EQ(lim.allocConstraint(), 10u);
+    lim.allocate(30);
+    EXPECT_EQ(lim.allocConstraint(), 20u);
+}
+
+TEST(OccupancyLimiter, OccupancyCountsLiveEntries)
+{
+    OccupancyLimiter lim(4);
+    lim.allocate(100);
+    lim.allocate(200);
+    EXPECT_EQ(lim.occupancy(50), 2u);
+    EXPECT_EQ(lim.occupancy(150), 1u);
+    EXPECT_EQ(lim.occupancy(250), 0u);
+    lim.reset();
+    EXPECT_EQ(lim.allocConstraint(), 0u);
+}
+
+TEST(UnorderedOccupancy, FreesOutOfOrder)
+{
+    UnorderedOccupancy win(2);
+    EXPECT_EQ(win.allocate(0, 100), 0u);  // long-lived entry
+    EXPECT_EQ(win.allocate(1, 5), 1u);    // short-lived entry
+    // Full at t=2, but the *short* entry frees at 5 -- the allocation
+    // must wait for 5, not for 100 (in-order release would).
+    EXPECT_EQ(win.allocate(2, 50), 5u);
+    // Full again; earliest live release is 50.
+    EXPECT_EQ(win.allocate(6, 60), 50u);
+}
+
+TEST(UnorderedOccupancy, FreeEntriesDropAtAllocation)
+{
+    UnorderedOccupancy win(1);
+    win.allocate(0, 10);
+    // At t=20 the entry has freed; no wait.
+    EXPECT_EQ(win.allocate(20, 30), 20u);
+}
+
+TEST(UnitPort, WidthPerCycle)
+{
+    UnitPort port(2);
+    EXPECT_EQ(port.schedule(5), 5u);
+    EXPECT_EQ(port.schedule(5), 5u);
+    EXPECT_EQ(port.schedule(5), 6u);
+    port.reset();
+    EXPECT_EQ(port.schedule(0), 0u);
+}
+
+TEST(RenameDepth, GrowsWithSliceCount)
+{
+    EXPECT_EQ(renameDepth(1), 1u);
+    EXPECT_EQ(renameDepth(2), 2u);
+    EXPECT_EQ(renameDepth(4), 2u);
+    EXPECT_EQ(renameDepth(5), 3u);
+    EXPECT_EQ(renameDepth(8), 3u);
+}
+
+TEST(RenameState, DefineAndLookup)
+{
+    RenameState rs;
+    EXPECT_EQ(rs.lookup(3).readyCycle, 0u);
+    rs.define(3, /*slice=*/2, /*ready=*/55, /*seq=*/9);
+    EXPECT_EQ(rs.lookup(3).slice, 2);
+    EXPECT_EQ(rs.lookup(3).readyCycle, 55u);
+    EXPECT_EQ(rs.lookup(3).seq, 9u);
+    // Redefinition replaces.
+    rs.define(3, 0, 60, 10);
+    EXPECT_EQ(rs.lookup(3).slice, 0);
+}
+
+TEST(RenameState, RegisterFlushMovesEverythingToOneSlice)
+{
+    // Section 3.8's Register Flush when a VCore sheds Slices.
+    RenameState rs;
+    rs.define(1, 3, 10, 1);
+    rs.define(2, 5, 200, 2);
+    rs.flushTo(0, 100);
+    EXPECT_EQ(rs.lookup(1).slice, 0);
+    EXPECT_EQ(rs.lookup(1).readyCycle, 100u); // bumped to flush time
+    EXPECT_EQ(rs.lookup(2).slice, 0);
+    EXPECT_EQ(rs.lookup(2).readyCycle, 200u); // later value unchanged
+}
+
+TEST(MemDep, ForwardableStoreFound)
+{
+    MemDepTracker md;
+    md.recordStore(0x1000, /*seq=*/5, /*addr_ready=*/10,
+                   /*data_ready=*/12);
+    const MemDepResult r = md.queryLoad(0x1000, /*load_seq=*/9);
+    EXPECT_TRUE(r.conflict);
+    EXPECT_EQ(r.storeSeq, 5u);
+    EXPECT_EQ(r.storeDataReady, 12u);
+}
+
+TEST(MemDep, YoungerStoresDoNotConflict)
+{
+    MemDepTracker md;
+    md.recordStore(0x1000, 20, 10, 12);
+    EXPECT_FALSE(md.queryLoad(0x1000, 15).conflict);
+}
+
+TEST(MemDep, MatchesWordGranularity)
+{
+    MemDepTracker md;
+    md.recordStore(0x1000, 5, 10, 12);
+    EXPECT_TRUE(md.queryLoad(0x1004, 9).conflict);  // same 8 B word
+    EXPECT_FALSE(md.queryLoad(0x1008, 9).conflict); // next word
+}
+
+TEST(MemDep, YoungestOlderStoreWins)
+{
+    MemDepTracker md;
+    md.recordStore(0x1000, 3, 10, 11);
+    md.recordStore(0x1000, 6, 20, 21);
+    const MemDepResult r = md.queryLoad(0x1000, 9);
+    EXPECT_EQ(r.storeSeq, 6u);
+}
+
+TEST(MemDep, WindowEvictsOldStores)
+{
+    MemDepTracker md(4);
+    md.recordStore(0x1000, 1, 10, 11);
+    for (SeqNum s = 2; s <= 5; ++s)
+        md.recordStore(0x2000 + s * 64, s, 10, 11);
+    // The 0x1000 store fell out of the 4-entry window.
+    EXPECT_FALSE(md.queryLoad(0x1000, 9).conflict);
+}
+
+TEST(MemDep, ResetForgetsEverything)
+{
+    MemDepTracker md;
+    md.recordStore(0x1000, 5, 10, 12);
+    md.reset();
+    EXPECT_FALSE(md.queryLoad(0x1000, 9).conflict);
+}
+
+TEST(StructurePolicy, MatchesTableOne)
+{
+    using CS = CoreStructure;
+    EXPECT_EQ(sharingPolicy(CS::BranchPredictor),
+              SharingPolicy::Partitioned);
+    EXPECT_EQ(sharingPolicy(CS::Btb), SharingPolicy::Replicated);
+    EXPECT_EQ(sharingPolicy(CS::Scoreboard), SharingPolicy::Replicated);
+    EXPECT_EQ(sharingPolicy(CS::IssueWindow),
+              SharingPolicy::Partitioned);
+    EXPECT_EQ(sharingPolicy(CS::LoadQueue), SharingPolicy::Partitioned);
+    EXPECT_EQ(sharingPolicy(CS::StoreQueue),
+              SharingPolicy::Partitioned);
+    EXPECT_EQ(sharingPolicy(CS::Rob), SharingPolicy::Partitioned);
+    EXPECT_EQ(sharingPolicy(CS::LocalRat), SharingPolicy::Replicated);
+    EXPECT_EQ(sharingPolicy(CS::GlobalRat), SharingPolicy::Replicated);
+    EXPECT_EQ(sharingPolicy(CS::PhysicalRegisterFile),
+              SharingPolicy::Partitioned);
+}
+
+TEST(StructurePolicy, AggregateCapacityScalesOnlyPartitioned)
+{
+    EXPECT_EQ(aggregateCapacity(CoreStructure::Rob, 64, 8), 512u);
+    EXPECT_EQ(aggregateCapacity(CoreStructure::Btb, 512, 8), 512u);
+    EXPECT_EQ(aggregateCapacity(CoreStructure::Rob, 64, 1), 64u);
+}
+
+TEST(StructurePolicy, TableCoversAllStructures)
+{
+    const auto rows = structurePolicyTable();
+    EXPECT_EQ(rows.size(),
+              static_cast<std::size_t>(CoreStructure::NumStructures));
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the XML subset parser and the typed simulator
+ * configuration (SSim reads its parameters from XML, section 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/sim_config.hh"
+#include "config/xml.hh"
+
+using namespace sharch;
+
+TEST(Xml, ParsesSimpleElement)
+{
+    XmlResult r = parseXml("<root/>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->name(), "root");
+    EXPECT_TRUE(r.root->children().empty());
+}
+
+TEST(Xml, ParsesTextContent)
+{
+    XmlResult r = parseXml("<a>  hello world  </a>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->childText("missing"), std::nullopt);
+    EXPECT_NE(r.root->text().find("hello world"), std::string::npos);
+}
+
+TEST(Xml, ParsesNestedChildren)
+{
+    XmlResult r = parseXml("<a><b><c>1</c></b><b>2</b></a>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->children().size(), 2u);
+    EXPECT_EQ(r.root->childrenNamed("b").size(), 2u);
+    const XmlNode *b = r.root->child("b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->childLong("c"), 1);
+}
+
+TEST(Xml, ParsesAttributes)
+{
+    XmlResult r = parseXml("<a x=\"1\" y='two'/>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->attribute("x"), "1");
+    EXPECT_EQ(r.root->attribute("y"), "two");
+    EXPECT_EQ(r.root->attribute("z"), std::nullopt);
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration)
+{
+    XmlResult r = parseXml(
+        "<?xml version=\"1.0\"?>\n"
+        "<!-- top comment -->\n"
+        "<a><!-- inner --><b>3</b></a>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->childLong("b"), 3);
+}
+
+TEST(Xml, DecodesEntities)
+{
+    XmlResult r = parseXml("<a q=\"&lt;&amp;&gt;\">&quot;x&apos;</a>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->attribute("q"), "<&>");
+    EXPECT_NE(r.root->text().find("\"x'"), std::string::npos);
+}
+
+TEST(Xml, ChildTypedAccessors)
+{
+    XmlResult r = parseXml(
+        "<a><i>42</i><d>2.5</d><t>true</t><f>0</f><bad>xyz</bad></a>");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->childLong("i"), 42);
+    EXPECT_EQ(r.root->childDouble("d"), 2.5);
+    EXPECT_EQ(r.root->childBool("t"), true);
+    EXPECT_EQ(r.root->childBool("f"), false);
+    EXPECT_EQ(r.root->childLong("bad"), std::nullopt);
+    EXPECT_EQ(r.root->childBool("bad"), std::nullopt);
+}
+
+TEST(Xml, RejectsMismatchedTags)
+{
+    XmlResult r = parseXml("<a><b></a></b>");
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(Xml, RejectsUnterminatedElement)
+{
+    EXPECT_FALSE(parseXml("<a><b>").ok());
+    EXPECT_FALSE(parseXml("<a attr=\"x>").ok());
+    EXPECT_FALSE(parseXml("<a><!-- comment <b/>").ok());
+}
+
+TEST(Xml, RejectsTrailingContent)
+{
+    EXPECT_FALSE(parseXml("<a/><b/>").ok());
+}
+
+TEST(Xml, ReportsErrorLine)
+{
+    XmlResult r = parseXml("<a>\n<b>\n</c>\n</a>");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.errorLine, 3);
+}
+
+TEST(Xml, WriteReadRoundTrip)
+{
+    XmlNode root("cfg");
+    root.setAttribute("version", "1");
+    root.addChild("x").setText("10");
+    XmlNode &sub = root.addChild("sub");
+    sub.addChild("y").setText("hello & <world>");
+
+    XmlResult r = parseXml(writeXml(root));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.root->attribute("version"), "1");
+    EXPECT_EQ(r.root->childLong("x"), 10);
+    EXPECT_EQ(r.root->child("sub")->childText("y"), "hello & <world>");
+}
+
+TEST(SimConfigXml, DefaultsMatchTables2And3)
+{
+    const SimConfig cfg;
+    // Table 2.
+    EXPECT_EQ(cfg.slice.issueWindowSize, 32u);
+    EXPECT_EQ(cfg.slice.lsqSize, 32u);
+    EXPECT_EQ(cfg.slice.numFunctionalUnits, 2u);
+    EXPECT_EQ(cfg.slice.robSize, 64u);
+    EXPECT_EQ(cfg.slice.numGlobalRegisters, 128u);
+    EXPECT_EQ(cfg.slice.storeBufferSize, 8u);
+    EXPECT_EQ(cfg.slice.numLocalRegisters, 64u);
+    EXPECT_EQ(cfg.slice.maxInflightLoads, 8u);
+    EXPECT_EQ(cfg.memoryLatency, 100u);
+    // Table 3.
+    EXPECT_EQ(cfg.l1d.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l1d.associativity, 2u);
+    EXPECT_EQ(cfg.l1d.hitLatency, 3u);
+    EXPECT_EQ(cfg.l2Bank.sizeBytes, 64u * 1024);
+    EXPECT_EQ(cfg.l2Bank.associativity, 4u);
+    EXPECT_EQ(cfg.l2Bank.hitLatency, 4u);
+    EXPECT_EQ(cfg.l2DistanceCyclesPerHop, 2u);
+    // Base VCore: 128 KB of L2.
+    EXPECT_EQ(cfg.l2Bytes(), 128u * 1024);
+    // Section 5.10 reconfiguration costs.
+    EXPECT_EQ(cfg.reconfigCacheFlushCycles, 10000u);
+    EXPECT_EQ(cfg.reconfigSliceOnlyCycles, 500u);
+}
+
+TEST(SimConfigXml, RoundTripsThroughXml)
+{
+    SimConfig cfg;
+    cfg.numSlices = 5;
+    cfg.numL2Banks = 17;
+    cfg.slice.robSize = 96;
+    cfg.l2Bank.associativity = 8;
+    cfg.network.operandNetworks = 2;
+    cfg.memoryLatency = 150;
+
+    XmlResult r = parseXml(simConfigToXml(cfg));
+    ASSERT_TRUE(r.ok());
+    std::string error;
+    const SimConfig back = simConfigFromXml(*r.root, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(back.numSlices, 5u);
+    EXPECT_EQ(back.numL2Banks, 17u);
+    EXPECT_EQ(back.slice.robSize, 96u);
+    EXPECT_EQ(back.l2Bank.associativity, 8u);
+    EXPECT_EQ(back.network.operandNetworks, 2u);
+    EXPECT_EQ(back.memoryLatency, 150u);
+}
+
+TEST(SimConfigXml, PartialDocumentKeepsDefaults)
+{
+    XmlResult r =
+        parseXml("<ssim><num_slices>4</num_slices></ssim>");
+    ASSERT_TRUE(r.ok());
+    std::string error;
+    const SimConfig cfg = simConfigFromXml(*r.root, &error);
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(cfg.numSlices, 4u);
+    EXPECT_EQ(cfg.slice.robSize, 64u); // default retained
+}
+
+TEST(SimConfigXml, ReportsMalformedValues)
+{
+    XmlResult r =
+        parseXml("<ssim><num_slices>four</num_slices></ssim>");
+    ASSERT_TRUE(r.ok());
+    std::string error;
+    simConfigFromXml(*r.root, &error);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(SimConfigXml, ValidateRejectsBadConfigs)
+{
+    SimConfig cfg;
+    cfg.numSlices = 0;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg = SimConfig{};
+    cfg.numSlices = 9;
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg = SimConfig{};
+    cfg.l1d.sizeBytes = 3000; // not a power of two
+    EXPECT_FALSE(cfg.validate().empty());
+    cfg = SimConfig{};
+    EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(SimConfigXml, EquationThreeBounds)
+{
+    // Equation 3: 0 KB <= c <= 8 MB, 1 <= s <= 8.
+    EXPECT_EQ(SimConfig::kMaxSlices, 8u);
+    EXPECT_EQ(SimConfig::kMaxL2Banks * 64u * 1024u, 8u << 20);
+}

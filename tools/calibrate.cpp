@@ -1,0 +1,44 @@
+// Internal calibration scratch tool (not part of the library).
+#include <cstdio>
+#include "core/perf_model.hh"
+#include "trace/profile.hh"
+using namespace sharch;
+int main(int argc, char**argv) {
+    PerfModel pm(40000);
+    const char* mode = argc>1?argv[1]:"all";
+    if (std::string(mode)=="fig12" || std::string(mode)=="all") {
+        printf("== Fig12: perf vs slices (norm to 1 slice,128KB) ==\n%-12s","bench");
+        for (int s=1;s<=8;s++) printf(" s=%d  ",s);
+        printf("\n");
+        for (auto &n : benchmarkNames()) {
+            double base = pm.performance(n,2,1);
+            printf("%-12s", n.c_str());
+            for (int s=1;s<=8;s++) printf("%5.2f ", pm.performance(n,2,s)/base);
+            printf("\n");
+        }
+    }
+    if (std::string(mode)=="fig13" || std::string(mode)=="all") {
+        printf("\n== Fig13: perf vs L2 size (2 slices, norm to 0KB) ==\n%-12s","bench");
+        for (unsigned b : l2BankGrid()) printf("%6uK", b*64);
+        printf("\n");
+        for (auto &n : benchmarkNames()) {
+            double base = pm.performance(n,0,2);
+            printf("%-12s", n.c_str());
+            for (unsigned b : l2BankGrid()) printf("%7.2f", pm.performance(n,b,2)/base);
+            printf("\n");
+        }
+    }
+    if (std::string(mode)=="ipc" || std::string(mode)=="all") {
+        printf("\n== raw IPC + rates at (2 banks, 2 slices) ==\n");
+        for (auto &n : benchmarkNames()) {
+            auto r = pm.detailedRun(profileFor(n),2,2);
+            auto &st = r.aggregate;
+            printf("%-12s ipc=%5.2f br_mpki=%5.1f l1d_miss=%4.1f%% l1i_miss=%4.1f%% l2_miss=%4.1f%%\n",
+                n.c_str(), r.throughput(),
+                1000.0*st.branchMispredicts/st.instructionsCommitted,
+                100.0*st.l1dMissRate(), 100.0*(st.l1iAccesses? (double)st.l1iMisses/st.l1iAccesses:0),
+                100.0*st.l2MissRate());
+        }
+    }
+    return 0;
+}

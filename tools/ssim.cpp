@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ssim -- the command-line face of the simulator, as the paper
+ * describes it: "SSim is very flexible, allowing all critical
+ * micro-architecture parameters and latencies to be set from a XML
+ * configuration file.  When a simulation completes, SSim reports the
+ * cycles executed for a given workload along with cache miss rates
+ * and stage-based micro-architecture stalls and statistics."
+ *
+ * Usage:
+ *   ssim <benchmark> [config.xml] [instructions]
+ *   ssim --dump-config            # print the default XML config
+ *   ssim --list                   # list benchmark profiles
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "config/sim_config.hh"
+#include "core/vm_sim.hh"
+#include "trace/generator.hh"
+#include "trace/profile.hh"
+
+using namespace sharch;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <benchmark> [config.xml] "
+                     "[instructions]\n       %s --dump-config | "
+                     "--list\n",
+                     argv[0], argv[0]);
+        return 1;
+    }
+
+    if (std::strcmp(argv[1], "--dump-config") == 0) {
+        std::fputs(simConfigToXml(SimConfig{}).c_str(), stdout);
+        return 0;
+    }
+    if (std::strcmp(argv[1], "--list") == 0) {
+        for (const auto &n : benchmarkNames())
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+
+    const std::string bench = argv[1];
+    if (!hasProfile(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
+                     bench.c_str());
+        return 1;
+    }
+    const SimConfig cfg =
+        argc > 2 ? loadSimConfig(argv[2]) : SimConfig{};
+    const std::size_t instructions =
+        argc > 3 ? std::stoul(argv[3]) : 100000;
+
+    const BenchmarkProfile &profile = profileFor(bench);
+    const unsigned vcores =
+        profile.multithreaded ? profile.numThreads : 1;
+
+    std::printf("ssim: %s on %u VCore(s) of %u Slice(s) + %u x %u KB "
+                "L2, %zu instructions/thread, seed %llu\n\n",
+                bench.c_str(), vcores, cfg.numSlices, cfg.numL2Banks,
+                cfg.l2Bank.sizeBytes / 1024, instructions,
+                static_cast<unsigned long long>(cfg.seed));
+
+    VmSim vm(cfg, vcores);
+    vm.prewarm(profile);
+    TraceGenerator gen(profile, cfg.seed);
+    const VmResult res = vm.run(gen.generateThreads(instructions));
+
+    std::printf("%s\n", res.aggregate.report().c_str());
+    if (res.perVCore.size() > 1) {
+        std::printf("per-VCore cycles:");
+        for (const SimStats &st : res.perVCore)
+            std::printf(" %llu",
+                        static_cast<unsigned long long>(st.cycles));
+        std::printf("\n");
+    }
+    std::printf("aggregate throughput: %.3f IPC\n", res.throughput());
+    return 0;
+}
