@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_son.dir/bench_ablate_son.cpp.o"
+  "CMakeFiles/bench_ablate_son.dir/bench_ablate_son.cpp.o.d"
+  "bench_ablate_son"
+  "bench_ablate_son.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_son.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_utility.dir/bench_fig14_utility.cpp.o"
+  "CMakeFiles/bench_fig14_utility.dir/bench_fig14_utility.cpp.o.d"
+  "bench_fig14_utility"
+  "bench_fig14_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_vs_hetero.dir/bench_fig16_vs_hetero.cpp.o"
+  "CMakeFiles/bench_fig16_vs_hetero.dir/bench_fig16_vs_hetero.cpp.o.d"
+  "bench_fig16_vs_hetero"
+  "bench_fig16_vs_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_vs_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

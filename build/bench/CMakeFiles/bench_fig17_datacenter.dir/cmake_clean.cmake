@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_datacenter.dir/bench_fig17_datacenter.cpp.o"
+  "CMakeFiles/bench_fig17_datacenter.dir/bench_fig17_datacenter.cpp.o.d"
+  "bench_fig17_datacenter"
+  "bench_fig17_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

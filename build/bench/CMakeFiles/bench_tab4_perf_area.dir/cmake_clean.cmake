@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_perf_area.dir/bench_tab4_perf_area.cpp.o"
+  "CMakeFiles/bench_tab4_perf_area.dir/bench_tab4_perf_area.cpp.o.d"
+  "bench_tab4_perf_area"
+  "bench_tab4_perf_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_perf_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

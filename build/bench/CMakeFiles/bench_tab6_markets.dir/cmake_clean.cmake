@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_markets.dir/bench_tab6_markets.cpp.o"
+  "CMakeFiles/bench_tab6_markets.dir/bench_tab6_markets.cpp.o.d"
+  "bench_tab6_markets"
+  "bench_tab6_markets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_markets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab7_phases.dir/bench_tab7_phases.cpp.o"
+  "CMakeFiles/bench_tab7_phases.dir/bench_tab7_phases.cpp.o.d"
+  "bench_tab7_phases"
+  "bench_tab7_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

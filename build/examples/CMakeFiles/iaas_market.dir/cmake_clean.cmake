@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iaas_market.dir/iaas_market.cpp.o"
+  "CMakeFiles/iaas_market.dir/iaas_market.cpp.o.d"
+  "iaas_market"
+  "iaas_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iaas_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

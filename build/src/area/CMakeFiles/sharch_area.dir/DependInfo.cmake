@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/area/area_model.cc" "src/area/CMakeFiles/sharch_area.dir/area_model.cc.o" "gcc" "src/area/CMakeFiles/sharch_area.dir/area_model.cc.o.d"
+  "/root/repo/src/area/cacti_lite.cc" "src/area/CMakeFiles/sharch_area.dir/cacti_lite.cc.o" "gcc" "src/area/CMakeFiles/sharch_area.dir/cacti_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sharch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sharch_config.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

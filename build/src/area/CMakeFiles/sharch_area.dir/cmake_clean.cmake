@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_area.dir/area_model.cc.o"
+  "CMakeFiles/sharch_area.dir/area_model.cc.o.d"
+  "CMakeFiles/sharch_area.dir/cacti_lite.cc.o"
+  "CMakeFiles/sharch_area.dir/cacti_lite.cc.o.d"
+  "libsharch_area.a"
+  "libsharch_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_model.cc" "src/cache/CMakeFiles/sharch_cache.dir/cache_model.cc.o" "gcc" "src/cache/CMakeFiles/sharch_cache.dir/cache_model.cc.o.d"
+  "/root/repo/src/cache/l2_system.cc" "src/cache/CMakeFiles/sharch_cache.dir/l2_system.cc.o" "gcc" "src/cache/CMakeFiles/sharch_cache.dir/l2_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sharch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sharch_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sharch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sharch_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

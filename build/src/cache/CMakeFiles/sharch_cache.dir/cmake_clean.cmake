@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_cache.dir/cache_model.cc.o"
+  "CMakeFiles/sharch_cache.dir/cache_model.cc.o.d"
+  "CMakeFiles/sharch_cache.dir/l2_system.cc.o"
+  "CMakeFiles/sharch_cache.dir/l2_system.cc.o.d"
+  "libsharch_cache.a"
+  "libsharch_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_common.dir/logging.cc.o"
+  "CMakeFiles/sharch_common.dir/logging.cc.o.d"
+  "CMakeFiles/sharch_common.dir/math_util.cc.o"
+  "CMakeFiles/sharch_common.dir/math_util.cc.o.d"
+  "CMakeFiles/sharch_common.dir/random.cc.o"
+  "CMakeFiles/sharch_common.dir/random.cc.o.d"
+  "CMakeFiles/sharch_common.dir/scheduling.cc.o"
+  "CMakeFiles/sharch_common.dir/scheduling.cc.o.d"
+  "libsharch_common.a"
+  "libsharch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

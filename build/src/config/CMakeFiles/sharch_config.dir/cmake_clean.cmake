@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_config.dir/sim_config.cc.o"
+  "CMakeFiles/sharch_config.dir/sim_config.cc.o.d"
+  "CMakeFiles/sharch_config.dir/xml.cc.o"
+  "CMakeFiles/sharch_config.dir/xml.cc.o.d"
+  "libsharch_config.a"
+  "libsharch_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

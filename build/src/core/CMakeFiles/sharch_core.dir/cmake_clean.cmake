@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_core.dir/perf_model.cc.o"
+  "CMakeFiles/sharch_core.dir/perf_model.cc.o.d"
+  "CMakeFiles/sharch_core.dir/reconfig.cc.o"
+  "CMakeFiles/sharch_core.dir/reconfig.cc.o.d"
+  "CMakeFiles/sharch_core.dir/vcore_sim.cc.o"
+  "CMakeFiles/sharch_core.dir/vcore_sim.cc.o.d"
+  "CMakeFiles/sharch_core.dir/vm_sim.cc.o"
+  "CMakeFiles/sharch_core.dir/vm_sim.cc.o.d"
+  "libsharch_core.a"
+  "libsharch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_econ.dir/datacenter.cc.o"
+  "CMakeFiles/sharch_econ.dir/datacenter.cc.o.d"
+  "CMakeFiles/sharch_econ.dir/efficiency.cc.o"
+  "CMakeFiles/sharch_econ.dir/efficiency.cc.o.d"
+  "CMakeFiles/sharch_econ.dir/market.cc.o"
+  "CMakeFiles/sharch_econ.dir/market.cc.o.d"
+  "CMakeFiles/sharch_econ.dir/optimizer.cc.o"
+  "CMakeFiles/sharch_econ.dir/optimizer.cc.o.d"
+  "CMakeFiles/sharch_econ.dir/phases.cc.o"
+  "CMakeFiles/sharch_econ.dir/phases.cc.o.d"
+  "CMakeFiles/sharch_econ.dir/utility.cc.o"
+  "CMakeFiles/sharch_econ.dir/utility.cc.o.d"
+  "libsharch_econ.a"
+  "libsharch_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_hyper.dir/autotuner.cc.o"
+  "CMakeFiles/sharch_hyper.dir/autotuner.cc.o.d"
+  "CMakeFiles/sharch_hyper.dir/fabric_manager.cc.o"
+  "CMakeFiles/sharch_hyper.dir/fabric_manager.cc.o.d"
+  "CMakeFiles/sharch_hyper.dir/spot_market.cc.o"
+  "CMakeFiles/sharch_hyper.dir/spot_market.cc.o.d"
+  "libsharch_hyper.a"
+  "libsharch_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_noc.dir/mesh.cc.o"
+  "CMakeFiles/sharch_noc.dir/mesh.cc.o.d"
+  "CMakeFiles/sharch_noc.dir/network.cc.o"
+  "CMakeFiles/sharch_noc.dir/network.cc.o.d"
+  "CMakeFiles/sharch_noc.dir/placement.cc.o"
+  "CMakeFiles/sharch_noc.dir/placement.cc.o.d"
+  "libsharch_noc.a"
+  "libsharch_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

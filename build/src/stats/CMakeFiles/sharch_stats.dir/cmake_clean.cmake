@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_stats.dir/stats.cc.o"
+  "CMakeFiles/sharch_stats.dir/stats.cc.o.d"
+  "libsharch_stats.a"
+  "libsharch_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

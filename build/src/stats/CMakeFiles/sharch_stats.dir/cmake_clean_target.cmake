@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsharch_stats.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_trace.dir/generator.cc.o"
+  "CMakeFiles/sharch_trace.dir/generator.cc.o.d"
+  "CMakeFiles/sharch_trace.dir/instruction.cc.o"
+  "CMakeFiles/sharch_trace.dir/instruction.cc.o.d"
+  "CMakeFiles/sharch_trace.dir/profile.cc.o"
+  "CMakeFiles/sharch_trace.dir/profile.cc.o.d"
+  "CMakeFiles/sharch_trace.dir/trace_io.cc.o"
+  "CMakeFiles/sharch_trace.dir/trace_io.cc.o.d"
+  "libsharch_trace.a"
+  "libsharch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

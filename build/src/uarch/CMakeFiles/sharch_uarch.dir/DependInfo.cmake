@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cc" "src/uarch/CMakeFiles/sharch_uarch.dir/branch_predictor.cc.o" "gcc" "src/uarch/CMakeFiles/sharch_uarch.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/mem_dep.cc" "src/uarch/CMakeFiles/sharch_uarch.dir/mem_dep.cc.o" "gcc" "src/uarch/CMakeFiles/sharch_uarch.dir/mem_dep.cc.o.d"
+  "/root/repo/src/uarch/rename.cc" "src/uarch/CMakeFiles/sharch_uarch.dir/rename.cc.o" "gcc" "src/uarch/CMakeFiles/sharch_uarch.dir/rename.cc.o.d"
+  "/root/repo/src/uarch/structure_policy.cc" "src/uarch/CMakeFiles/sharch_uarch.dir/structure_policy.cc.o" "gcc" "src/uarch/CMakeFiles/sharch_uarch.dir/structure_policy.cc.o.d"
+  "/root/repo/src/uarch/structures.cc" "src/uarch/CMakeFiles/sharch_uarch.dir/structures.cc.o" "gcc" "src/uarch/CMakeFiles/sharch_uarch.dir/structures.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sharch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sharch_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sharch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sharch_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharch_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/sharch_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/sharch_uarch.dir/mem_dep.cc.o"
+  "CMakeFiles/sharch_uarch.dir/mem_dep.cc.o.d"
+  "CMakeFiles/sharch_uarch.dir/rename.cc.o"
+  "CMakeFiles/sharch_uarch.dir/rename.cc.o.d"
+  "CMakeFiles/sharch_uarch.dir/structure_policy.cc.o"
+  "CMakeFiles/sharch_uarch.dir/structure_policy.cc.o.d"
+  "CMakeFiles/sharch_uarch.dir/structures.cc.o"
+  "CMakeFiles/sharch_uarch.dir/structures.cc.o.d"
+  "libsharch_uarch.a"
+  "libsharch_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharch_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_econ.dir/test_econ.cpp.o"
+  "CMakeFiles/test_econ.dir/test_econ.cpp.o.d"
+  "test_econ"
+  "test_econ.pdb"
+  "test_econ[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

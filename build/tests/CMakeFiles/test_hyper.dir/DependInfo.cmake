@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hyper.cpp" "tests/CMakeFiles/test_hyper.dir/test_hyper.cpp.o" "gcc" "tests/CMakeFiles/test_hyper.dir/test_hyper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hyper/CMakeFiles/sharch_hyper.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/sharch_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sharch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/area/CMakeFiles/sharch_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sharch_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/sharch_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sharch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/sharch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sharch_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sharch_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sharch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
