@@ -17,7 +17,10 @@ using namespace sharch::bench;
 int
 main()
 {
-    PerfModel pm = makePerfModel();
+    PerfModel &pm = sharedPerfModel();
+    // The whole figure reads one bank column across every Slice count.
+    prefillSurface(pm, exec::sweepGrid(benchmarkNames(), {2},
+                                       exec::sliceRange()));
 
     printHeader("Tables 2 & 3", "Base Slice / cache configuration");
     const SimConfig cfg;

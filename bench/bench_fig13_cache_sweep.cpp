@@ -18,7 +18,11 @@ using namespace sharch::bench;
 int
 main()
 {
-    PerfModel pm = makePerfModel();
+    PerfModel &pm = sharedPerfModel();
+    // One parallel batch for the whole benchmark x L2-size grid.
+    prefillSurface(pm,
+                   exec::sweepGrid(benchmarkNames(), l2BankGrid(),
+                                   {2}));
 
     printHeader("Figure 13",
                 "Performance vs. L2 size (2 Slices, normalized to "

@@ -86,7 +86,8 @@ printSurface(UtilityOptimizer &opt, const std::string &bench,
 int
 main()
 {
-    PerfModel pm = makePerfModel();
+    PerfModel &pm = sharedPerfModel();
+    prefillSurface(pm, fullPaperGrid());
     AreaModel am;
     UtilityOptimizer opt(pm, am);
 

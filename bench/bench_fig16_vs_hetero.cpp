@@ -18,7 +18,8 @@ using namespace sharch::bench;
 int
 main()
 {
-    PerfModel pm = makePerfModel();
+    PerfModel &pm = sharedPerfModel();
+    prefillSurface(pm, fullPaperGrid());
     AreaModel am;
     UtilityOptimizer opt(pm, am);
     EfficiencyStudy study(opt);

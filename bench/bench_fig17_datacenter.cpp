@@ -20,7 +20,8 @@ using namespace sharch::bench;
 int
 main()
 {
-    PerfModel pm = makePerfModel();
+    PerfModel &pm = sharedPerfModel();
+    prefillSurface(pm, fullPaperGrid());
     AreaModel am;
     UtilityOptimizer opt(pm, am);
 

@@ -10,7 +10,9 @@
 #include "cache/cache_model.hh"
 #include "common/random.hh"
 #include "common/scheduling.hh"
+#include "core/perf_model.hh"
 #include "core/vm_sim.hh"
+#include "exec/sweep.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
@@ -82,6 +84,33 @@ BENCHMARK(BM_SimulatorEndToEnd)
     ->Args({20000, 1})
     ->Args({20000, 4})
     ->Args({20000, 8});
+
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    // The acceptance workload in miniature: a multi-benchmark grid
+    // batched through PerfModel::performanceBatch with a varying
+    // worker count.  Real time is the figure of merit; a fresh model
+    // per iteration keeps the memo from hiding the simulation cost.
+    const auto grid = exec::sweepGrid(
+        {std::string("gcc"), "hmmer", "sjeng"}, {0, 2, 8},
+        exec::sliceRange(4));
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        PerfModel pm(8000);
+        auto results = pm.performanceBatch(grid, threads);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(grid.size()));
+}
+BENCHMARK(BM_ParallelSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

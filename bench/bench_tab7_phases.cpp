@@ -18,7 +18,11 @@ using namespace sharch::bench;
 int
 main()
 {
-    PerfModel pm = makePerfModel();
+    PerfModel &pm = sharedPerfModel();
+    // The phase study sweeps the full grid for each gcc phase.
+    prefillSurface(pm, exec::sweepGrid(gccPhaseProfiles(),
+                                       l2BankGrid(),
+                                       exec::sliceRange()));
     AreaModel am;
     UtilityOptimizer opt(pm, am);
 

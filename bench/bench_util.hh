@@ -5,22 +5,31 @@
  * All harnesses sweep the same performance surface; a CSV disk cache
  * in the working directory lets them share simulation results, so the
  * first harness pays for a configuration and the rest reuse it.
+ * Harnesses declare their whole grid up front with prefillSurface(),
+ * which fans the uncached points across the exec::SweepRunner worker
+ * pool; the point queries that follow then hit the memo.
  *
  * Environment:
  *   SHARCH_BENCH_INSTRUCTIONS  trace length per thread (default 40000)
  *   SHARCH_BENCH_SEED          generation seed (default 1)
+ *   SHARCH_THREADS             sweep worker threads (default: hardware
+ *                              concurrency); results are bit-identical
+ *                              for any value, including 1
  */
 
 #ifndef SHARCH_BENCH_BENCH_UTIL_HH
 #define SHARCH_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "area/area_model.hh"
 #include "core/perf_model.hh"
 #include "econ/optimizer.hh"
+#include "exec/sweep.hh"
 
 namespace sharch::bench {
 
@@ -40,13 +49,58 @@ benchSeed()
     return 1;
 }
 
-/** The shared, disk-cached performance model. */
-inline PerfModel
-makePerfModel()
+/** Worker threads for sweeps (SHARCH_THREADS, else hardware). */
+inline unsigned
+benchThreads()
 {
-    PerfModel pm(benchInstructions(), benchSeed());
-    pm.enableDiskCache("sharch_perf_cache.csv");
+    return exec::resolveThreadCount();
+}
+
+/**
+ * The shared, disk-cached performance model.  A process-wide
+ * singleton: PerfModel owns mutexes and is deliberately not movable.
+ */
+inline PerfModel &
+sharedPerfModel()
+{
+    static PerfModel pm(benchInstructions(), benchSeed());
+    static bool initialized = [] {
+        pm.enableDiskCache("sharch_perf_cache.csv");
+        return true;
+    }();
+    (void)initialized;
     return pm;
+}
+
+/**
+ * Simulate every uncached point of @p grid in parallel before the
+ * harness starts querying the surface point by point.
+ */
+inline void
+prefillSurface(PerfModel &pm,
+               const std::vector<exec::SweepPoint> &grid)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = pm.performanceBatch(grid);
+    std::size_t fresh = 0;
+    for (const exec::SweepResult &r : results)
+        fresh += r.fresh;
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("[sweep] %zu points (%zu simulated, %zu cached) on "
+                "%u thread(s) in %.1fs\n\n",
+                results.size(), fresh, results.size() - fresh,
+                benchThreads(), secs);
+}
+
+/** The full paper grid: all benchmarks x l2BankGrid() x slices 1..8. */
+inline std::vector<exec::SweepPoint>
+fullPaperGrid()
+{
+    return exec::sweepGrid(benchmarkNames(), l2BankGrid(),
+                           exec::sliceRange(SimConfig::kMaxSlices));
 }
 
 inline void

@@ -2,9 +2,11 @@
 
 #include <fstream>
 #include <iomanip>
+#include <ostream>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "exec/thread_pool.hh"
 
 namespace sharch {
 
@@ -33,14 +35,21 @@ PerfModel::PerfModel(std::size_t instructions_per_thread,
 const std::vector<Trace> &
 PerfModel::tracesFor(const BenchmarkProfile &p)
 {
-    auto it = traces_.find(p.name);
-    if (it != traces_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        auto it = traces_.find(p.name);
+        if (it != traces_.end())
+            return it->second;
+    }
+    // Generate outside the lock: traces are deterministic in
+    // (profile, seed, thread), so a racing duplicate is identical and
+    // the loser's copy is simply discarded.  std::map nodes are
+    // stable, so the returned reference outlives later insertions.
     TraceGenerator gen(p, seed_);
-    auto [ins, ok] =
-        traces_.emplace(p.name, gen.generateThreads(instructions_));
-    SHARCH_ASSERT(ok, "duplicate trace insertion");
-    return ins->second;
+    auto generated = gen.generateThreads(instructions_);
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    return traces_.try_emplace(p.name, std::move(generated))
+        .first->second;
 }
 
 VmResult
@@ -50,7 +59,10 @@ PerfModel::detailedRun(const BenchmarkProfile &profile, unsigned banks,
     SimConfig cfg;
     cfg.numSlices = slices;
     cfg.numL2Banks = banks;
-    cfg.seed = seed_;
+    // Per-job seed: a pure function of the point's identity, never of
+    // submission order, so parallel sweeps replay bit-identically.
+    cfg.seed =
+        exec::deriveJobSeed(seed_, profile.name, banks, slices);
     const unsigned vcores =
         profile.multithreaded ? profile.numThreads : 1;
     VmSim vm(cfg, vcores);
@@ -59,27 +71,125 @@ PerfModel::detailedRun(const BenchmarkProfile &profile, unsigned banks,
 }
 
 double
-PerfModel::performance(const BenchmarkProfile &profile, unsigned banks,
-                       unsigned slices)
+PerfModel::simulatePoint(const BenchmarkProfile &profile,
+                         unsigned banks, unsigned slices)
 {
-    const auto key = std::make_tuple(profile.name, banks, slices);
-    auto it = memo_.find(key);
-    if (it != memo_.end())
-        return it->second;
     const VmResult res = detailedRun(profile, banks, slices);
     const unsigned vcores =
         profile.multithreaded ? profile.numThreads : 1;
     // Per-VCore performance: VM throughput divided across its VCores,
     // so P(c, s) composes with the economics' v replication factor.
-    const double perf = res.throughput() / vcores;
-    memo_.emplace(key, perf);
-    appendToDiskCache(profile.name, banks, slices, perf);
-    return perf;
+    return res.throughput() / vcores;
+}
+
+double
+PerfModel::performance(const BenchmarkProfile &profile, unsigned banks,
+                       unsigned slices)
+{
+    const MemoKey key{profile.name, banks, slices};
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+    }
+    const double perf = simulatePoint(profile, banks, slices);
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    auto [it, inserted] = memo_.emplace(key, perf);
+    if (inserted && !cachePath_.empty()) {
+        std::ofstream out(cachePath_, std::ios::app);
+        if (out)
+            writeCacheRow(out, profile.name, banks, slices, perf);
+    }
+    return it->second;
+}
+
+std::vector<exec::SweepResult>
+PerfModel::performanceBatch(
+    const std::vector<exec::SweepPoint> &points, unsigned threads)
+{
+    // Phase 1: which distinct points still need simulation?
+    std::vector<std::size_t> missing; // indices of first occurrences
+    {
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        std::map<MemoKey, bool> seen;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const exec::SweepPoint &pt = points[i];
+            const MemoKey key{pt.profile.name, pt.banks, pt.slices};
+            if (memo_.count(key) || !seen.emplace(key, true).second)
+                continue;
+            missing.push_back(i);
+        }
+    }
+
+    if (!missing.empty()) {
+        const exec::SweepRunner runner(threads);
+
+        // Warm the trace cache for every distinct workload first, so
+        // sweep workers never race to generate the same traces.
+        {
+            std::map<std::string, const BenchmarkProfile *> profiles;
+            for (std::size_t i : missing)
+                profiles.emplace(points[i].profile.name,
+                                 &points[i].profile);
+            exec::ThreadPool pool(runner.threads());
+            for (const auto &[name, profile] : profiles) {
+                (void)name;
+                pool.submit([this, profile] { tracesFor(*profile); });
+            }
+            pool.wait();
+        }
+
+        // Phase 2: simulate, one VmSim per job, on the worker pool.
+        std::vector<exec::SweepPoint> jobs;
+        jobs.reserve(missing.size());
+        for (std::size_t i : missing)
+            jobs.push_back(points[i]);
+        const std::vector<double> values = runner.run(
+            jobs, [this](const exec::SweepPoint &pt) {
+                return simulatePoint(pt.profile, pt.banks, pt.slices);
+            });
+
+        // Phase 3: single-writer commit, in batch order -- the memo
+        // and CSV contents are independent of worker count.
+        std::lock_guard<std::mutex> lock(memoMutex_);
+        std::ofstream out;
+        if (!cachePath_.empty())
+            out.open(cachePath_, std::ios::app);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            const exec::SweepPoint &pt = jobs[j];
+            const MemoKey key{pt.profile.name, pt.banks, pt.slices};
+            if (memo_.emplace(key, values[j]).second && out)
+                writeCacheRow(out, pt.profile.name, pt.banks,
+                              pt.slices, values[j]);
+        }
+    }
+
+    // Phase 4: assemble results for every requested point.
+    std::vector<exec::SweepResult> results;
+    results.reserve(points.size());
+    std::lock_guard<std::mutex> lock(memoMutex_);
+    std::map<MemoKey, bool> freshKeys;
+    for (std::size_t i : missing) {
+        const exec::SweepPoint &pt = points[i];
+        freshKeys.emplace(MemoKey{pt.profile.name, pt.banks,
+                                  pt.slices}, true);
+    }
+    for (const exec::SweepPoint &pt : points) {
+        const MemoKey key{pt.profile.name, pt.banks, pt.slices};
+        auto it = memo_.find(key);
+        SHARCH_ASSERT(it != memo_.end(), "batch point missing");
+        results.push_back(exec::SweepResult{pt.profile.name, pt.banks,
+                                            pt.slices, it->second,
+                                            freshKeys.count(key) > 0});
+    }
+    return results;
 }
 
 void
 PerfModel::enableDiskCache(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(memoMutex_);
     cachePath_ = path;
     std::ifstream in(path);
     if (!in)
@@ -110,14 +220,10 @@ PerfModel::enableDiskCache(const std::string &path)
 }
 
 void
-PerfModel::appendToDiskCache(const std::string &name, unsigned banks,
-                             unsigned slices, double perf) const
+PerfModel::writeCacheRow(std::ostream &out, const std::string &name,
+                         unsigned banks, unsigned slices,
+                         double perf) const
 {
-    if (cachePath_.empty())
-        return;
-    std::ofstream out(cachePath_, std::ios::app);
-    if (!out)
-        return;
     out << name << ',' << instructions_ << ',' << seed_ << ','
         << banks << ',' << slices << ','
         << std::setprecision(17) << perf << '\n';

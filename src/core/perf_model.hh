@@ -8,6 +8,14 @@
  * configuration grid (memoized -- exhaustive sweeps revisit points)
  * and exposes performance in committed instructions per cycle.
  *
+ * PerfModel is concurrency-safe end-to-end: the memo and trace cache
+ * are mutex-guarded, disk-cache appends are serialized, and
+ * performanceBatch() fans whole grids across an exec::SweepRunner
+ * worker pool.  Every simulation derives its seed from the point's
+ * identity via exec::deriveJobSeed(), so a batch run with N threads
+ * is bit-identical (IPC values and CSV cache contents) to the same
+ * batch run serially.
+ *
  * The grid of L2 sizes follows the paper: 0 KB to 8 MB in powers of
  * two (Figure 13, Equation 3).
  */
@@ -15,13 +23,16 @@
 #ifndef SHARCH_CORE_PERF_MODEL_HH
 #define SHARCH_CORE_PERF_MODEL_HH
 
+#include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "config/sim_config.hh"
 #include "core/vm_sim.hh"
+#include "exec/sweep.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
@@ -33,16 +44,19 @@ const std::vector<unsigned> &l2BankGrid();
 /** Cache size in KB for a bank count under the 64 KB-bank default. */
 unsigned banksToKb(unsigned banks);
 
-/** Memoized SSim runner over (benchmark, banks, slices). */
+/** Memoized, thread-safe SSim runner over (benchmark, banks, slices). */
 class PerfModel
 {
   public:
     /**
      * @param instructions_per_thread trace length per thread
-     * @param seed                    generation/simulation seed
+     * @param seed                    base generation/simulation seed
      */
     explicit PerfModel(std::size_t instructions_per_thread = 60000,
                        std::uint64_t seed = 1);
+
+    PerfModel(const PerfModel &) = delete;
+    PerfModel &operator=(const PerfModel &) = delete;
 
     /**
      * Performance of @p benchmark on a VCore with @p banks 64 KB L2
@@ -56,6 +70,19 @@ class PerfModel
     /** Performance for an ad-hoc profile (e.g., a gcc phase). */
     double performance(const BenchmarkProfile &profile, unsigned banks,
                        unsigned slices);
+
+    /**
+     * Evaluate a whole batch of grid points, fanned across
+     * @p threads sweep workers (0: exec::resolveThreadCount(), i.e.
+     * SHARCH_THREADS or hardware concurrency).  Results align with
+     * @p points; duplicates are simulated once.  Newly simulated
+     * values enter the memo and the disk cache in the deterministic
+     * order of @p points (single writer, one batched append), so the
+     * CSV contents do not depend on the worker count.
+     */
+    std::vector<exec::SweepResult> performanceBatch(
+        const std::vector<exec::SweepPoint> &points,
+        unsigned threads = 0);
 
     /** Full stats for one configuration (uncached path). */
     VmResult detailedRun(const BenchmarkProfile &profile,
@@ -72,15 +99,25 @@ class PerfModel
     void enableDiskCache(const std::string &path);
 
   private:
+    using MemoKey = std::tuple<std::string, unsigned, unsigned>;
+
     std::size_t instructions_;
     std::uint64_t seed_;
-    std::map<std::tuple<std::string, unsigned, unsigned>, double>
-        memo_;
+    std::map<MemoKey, double> memo_;
     std::map<std::string, std::vector<Trace>> traces_;
     std::string cachePath_;
 
-    void appendToDiskCache(const std::string &name, unsigned banks,
-                           unsigned slices, double perf) const;
+    mutable std::mutex memoMutex_;  //!< guards memo_ and CSV appends
+    mutable std::mutex traceMutex_; //!< guards traces_
+
+    /** Simulate one point (no memo side effects; thread-safe). */
+    double simulatePoint(const BenchmarkProfile &profile,
+                         unsigned banks, unsigned slices);
+
+    /** Write one CSV cache row to an already-open append stream. */
+    void writeCacheRow(std::ostream &out, const std::string &name,
+                       unsigned banks, unsigned slices,
+                       double perf) const;
 
     const std::vector<Trace> &tracesFor(const BenchmarkProfile &p);
 };

@@ -1,0 +1,164 @@
+#include "exec/run_options.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace sharch::exec {
+
+bool
+parseU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty() || text[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseCountList(const std::string &text, std::vector<unsigned> *out)
+{
+    std::vector<unsigned> parsed;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string field =
+            text.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        std::uint64_t v = 0;
+        if (!parseU64(field, &v) ||
+            v > std::numeric_limits<unsigned>::max()) {
+            return false;
+        }
+        parsed.push_back(static_cast<unsigned>(v));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (parsed.empty())
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+std::string
+runUsage(const std::string &prog)
+{
+    return "usage: " + prog +
+           " <benchmark> [config.xml] [instructions]\n"
+           "       " + prog +
+           " <benchmark> [--config FILE] [--instructions N]\n"
+           "            [--slices LIST] [--banks LIST] [--seed N]\n"
+           "            [--threads N] [--json]\n"
+           "       " + prog + " --dump-config | --list\n"
+           "\n"
+           "  --slices/--banks take comma-separated lists (e.g. "
+           "1,2,4,8); giving a\n"
+           "  list sweeps the cross product in parallel "
+           "(--threads workers, default\n"
+           "  SHARCH_THREADS or hardware concurrency).\n";
+}
+
+namespace {
+
+/** Fetch the value of a --flag; sets error when it is missing. */
+const char *
+flagValue(int argc, const char *const *argv, int *i, RunOptions *opts)
+{
+    if (*i + 1 >= argc) {
+        opts->error = std::string(argv[*i]) + " requires a value";
+        return nullptr;
+    }
+    return argv[++*i];
+}
+
+} // namespace
+
+RunOptions
+parseRunOptions(int argc, const char *const *argv)
+{
+    RunOptions opts;
+    int positional = 0;
+    for (int i = 1; i < argc && opts.ok(); ++i) {
+        const std::string arg = argv[i];
+        std::uint64_t v = 0;
+        if (arg == "--dump-config") {
+            opts.dumpConfig = true;
+        } else if (arg == "--list") {
+            opts.listBenchmarks = true;
+        } else if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--config") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.configPath = val;
+        } else if (arg == "--instructions") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            if (!parseU64(val, &v) || v == 0)
+                opts.error = "bad --instructions '" +
+                             std::string(val) + "'";
+            else
+                opts.instructions = static_cast<std::size_t>(v);
+        } else if (arg == "--seed") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            if (!parseU64(val, &opts.seed))
+                opts.error = "bad --seed '" + std::string(val) + "'";
+            else
+                opts.seedSet = true;
+        } else if (arg == "--threads") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            if (!parseU64(val, &v) || v == 0 || v > 4096)
+                opts.error = "bad --threads '" + std::string(val) +
+                             "' (want 1..4096)";
+            else
+                opts.threads = static_cast<unsigned>(v);
+        } else if (arg == "--slices") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (val && !parseCountList(val, &opts.slices))
+                opts.error = "bad --slices '" + std::string(val) + "'";
+        } else if (arg == "--banks") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (val && !parseCountList(val, &opts.banks))
+                opts.error = "bad --banks '" + std::string(val) + "'";
+        } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            opts.error = "unknown flag '" + arg + "'";
+        } else {
+            // Legacy positional form: benchmark, config, instructions.
+            switch (positional++) {
+              case 0:
+                opts.benchmark = arg;
+                break;
+              case 1:
+                opts.configPath = arg;
+                break;
+              case 2:
+                if (!parseU64(arg, &v) || v == 0)
+                    opts.error =
+                        "bad instruction count '" + arg + "'";
+                else
+                    opts.instructions = static_cast<std::size_t>(v);
+                break;
+              default:
+                opts.error = "unexpected argument '" + arg + "'";
+            }
+        }
+    }
+    if (opts.ok() && !opts.dumpConfig && !opts.listBenchmarks &&
+        opts.benchmark.empty()) {
+        opts.error = "missing benchmark name";
+    }
+    return opts;
+}
+
+} // namespace sharch::exec

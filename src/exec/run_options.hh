@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Command-line options for the redesigned ssim run API.
+ *
+ * The historical CLI was purely positional
+ * (`ssim <benchmark> [config.xml] [instructions]`); this parser keeps
+ * that form working while adding named flags:
+ *
+ *   --config FILE       XML configuration (positional #2 equivalent)
+ *   --instructions N    trace length per thread
+ *   --slices LIST       Slice counts, e.g. `4` or `1,2,4,8`
+ *   --banks LIST        64 KB L2 bank counts, e.g. `0,2,128`
+ *   --seed N            base seed
+ *   --threads N         sweep worker threads (default SHARCH_THREADS,
+ *                       else hardware concurrency)
+ *   --json              machine-readable output
+ *   --dump-config       print the default XML config and exit
+ *   --list              list benchmark profiles and exit
+ *
+ * `--slices`/`--banks` override the XML config, and giving either a
+ * list turns the run into a sweep over the cross product -- no config
+ * file needed for quick sweeps.  Parsing never throws and never
+ * exits: malformed input comes back as RunOptions::error so the
+ * caller can print usage (and tests can assert on it).
+ */
+
+#ifndef SHARCH_EXEC_RUN_OPTIONS_HH
+#define SHARCH_EXEC_RUN_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharch::exec {
+
+/** Parsed ssim invocation. */
+struct RunOptions
+{
+    std::string benchmark;
+    std::string configPath;            //!< empty: built-in defaults
+    std::size_t instructions = 100000; //!< per thread
+    std::vector<unsigned> slices;      //!< empty: take from config
+    std::vector<unsigned> banks;       //!< empty: take from config
+    std::uint64_t seed = 0;
+    bool seedSet = false;              //!< --seed given (else config's)
+    unsigned threads = 0;              //!< 0: resolveThreadCount()
+    bool json = false;
+    bool dumpConfig = false;
+    bool listBenchmarks = false;
+
+    std::string error; //!< nonempty: parse failed, show usage
+
+    bool ok() const { return error.empty(); }
+    /** More than one (banks, slices) point requested? */
+    bool isSweep() const
+    {
+        return slices.size() > 1 || banks.size() > 1;
+    }
+};
+
+/**
+ * Parse @p argv (never throws; malformed numbers set .error).
+ * Accepts flags in any position, mixed with the legacy positional
+ * `<benchmark> [config.xml] [instructions]` form.
+ */
+RunOptions parseRunOptions(int argc, const char *const *argv);
+
+/** Usage text for the redesigned CLI. */
+std::string runUsage(const std::string &prog);
+
+/** Strict base-10 parse of a full string; false on any garbage. */
+bool parseU64(const std::string &text, std::uint64_t *out);
+
+/**
+ * Parse a comma-separated list of non-negative counts ("0,2,128").
+ * False on empty fields or garbage; result replaces @p out.
+ */
+bool parseCountList(const std::string &text,
+                    std::vector<unsigned> *out);
+
+} // namespace sharch::exec
+
+#endif // SHARCH_EXEC_RUN_OPTIONS_HH

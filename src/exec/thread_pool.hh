@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A fixed-size worker pool for simulation sweeps.
+ *
+ * Deliberately simple: one shared FIFO queue, no work stealing, no
+ * futures.  Sweep jobs are coarse (one whole VmSim run each), so queue
+ * contention is negligible and FIFO dispatch keeps the scheduling
+ * easy to reason about.  Determinism never depends on this class:
+ * every job must be a pure function of its inputs (see
+ * exec/sweep.hh's seeding contract), so the pool only decides *when*
+ * a job runs, never *what* it computes.
+ */
+
+#ifndef SHARCH_EXEC_THREAD_POOL_HH
+#define SHARCH_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sharch::exec {
+
+/** Fixed pool of worker threads draining one FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p num_threads workers.  A count of 1 still runs jobs on
+     * the (single) worker thread, so the serial and parallel paths
+     * exercise identical code.
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job for execution on some worker. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished executing. */
+    void wait();
+
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t inFlight_ = 0; //!< queued + currently executing
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace sharch::exec
+
+#endif // SHARCH_EXEC_THREAD_POOL_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the parallel sweep subsystem: thread pool, per-job seed
+ * derivation, CLI parsing, and -- the load-bearing guarantee -- that a
+ * sweep run with N worker threads is bit-identical to the serial run,
+ * both in IPC values and in the CSV disk-cache contents.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <initializer_list>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hh"
+#include "exec/run_options.hh"
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
+
+using namespace sharch;
+using namespace sharch::exec;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+RunOptions
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"ssim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return parseRunOptions(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEveryJob)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        std::atomic<int> count{0};
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 100);
+    }
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(JobSeed, IsPureFunctionOfIdentity)
+{
+    const std::uint64_t a = deriveJobSeed(1, "gcc", 2, 4);
+    EXPECT_EQ(a, deriveJobSeed(1, "gcc", 2, 4));
+    // Every component of the identity must matter.
+    EXPECT_NE(a, deriveJobSeed(2, "gcc", 2, 4));
+    EXPECT_NE(a, deriveJobSeed(1, "mcf", 2, 4));
+    EXPECT_NE(a, deriveJobSeed(1, "gcc", 4, 4));
+    EXPECT_NE(a, deriveJobSeed(1, "gcc", 2, 2));
+    EXPECT_NE(a, 0u);
+}
+
+TEST(JobSeed, GridPointsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (unsigned b : l2BankGrid())
+        for (unsigned s = 1; s <= 8; ++s)
+            seeds.insert(deriveJobSeed(1, "gcc", b, s));
+    EXPECT_EQ(seeds.size(), l2BankGrid().size() * 8);
+}
+
+TEST(Threads, RequestedCountWins)
+{
+    EXPECT_EQ(resolveThreadCount(3), 3u);
+    EXPECT_GE(resolveThreadCount(0), 1u);
+}
+
+TEST(Threads, EnvControlsDefault)
+{
+    ::setenv("SHARCH_THREADS", "5", 1);
+    EXPECT_EQ(resolveThreadCount(), 5u);
+    ::setenv("SHARCH_THREADS", "zero", 1);
+    EXPECT_GE(resolveThreadCount(), 1u); // malformed: fall through
+    ::unsetenv("SHARCH_THREADS");
+}
+
+TEST(SweepGrid, RowMajorOrderAndHelpers)
+{
+    const auto grid = sweepGrid({std::string("gcc"), "mcf"}, {0, 2},
+                                sliceRange(2));
+    ASSERT_EQ(grid.size(), 8u);
+    EXPECT_EQ(grid[0].profile.name, "gcc");
+    EXPECT_EQ(grid[0].banks, 0u);
+    EXPECT_EQ(grid[0].slices, 1u);
+    EXPECT_EQ(grid[1].slices, 2u);
+    EXPECT_EQ(grid[2].banks, 2u);
+    EXPECT_EQ(grid[4].profile.name, "mcf");
+    EXPECT_TRUE(grid[0].sameConfigAs(grid[0]));
+    EXPECT_FALSE(grid[0].sameConfigAs(grid[1]));
+}
+
+TEST(SweepRunner, ResultsFollowInputOrderAndDedup)
+{
+    std::vector<SweepPoint> points = sweepGrid(
+        {std::string("gcc")}, {0, 1}, sliceRange(2));
+    points.push_back(points.front()); // duplicate config
+    std::atomic<int> evals{0};
+    SweepRunner runner(4);
+    EXPECT_EQ(runner.threads(), 4u);
+    const auto values =
+        runner.run(points, [&evals](const SweepPoint &pt) {
+            ++evals;
+            return pt.banks * 100.0 + pt.slices;
+        });
+    ASSERT_EQ(values.size(), 5u);
+    EXPECT_DOUBLE_EQ(values[0], 1.0);
+    EXPECT_DOUBLE_EQ(values[1], 2.0);
+    EXPECT_DOUBLE_EQ(values[2], 101.0);
+    EXPECT_DOUBLE_EQ(values[3], 102.0);
+    EXPECT_DOUBLE_EQ(values[4], values[0]); // fanned-out duplicate
+    EXPECT_EQ(evals.load(), 4);             // evaluated once
+}
+
+TEST(CliParse, LegacyPositionalFormStillWorks)
+{
+    const RunOptions o =
+        parse({"gcc", "tools/configs/big_vcore.xml", "5000"});
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.benchmark, "gcc");
+    EXPECT_EQ(o.configPath, "tools/configs/big_vcore.xml");
+    EXPECT_EQ(o.instructions, 5000u);
+    EXPECT_FALSE(o.isSweep());
+}
+
+TEST(CliParse, NamedFlags)
+{
+    const RunOptions o = parse({"mcf", "--instructions", "2000",
+                                "--slices", "1,2,4", "--banks", "0,8",
+                                "--seed", "7", "--threads", "2",
+                                "--json"});
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.benchmark, "mcf");
+    EXPECT_EQ(o.instructions, 2000u);
+    EXPECT_EQ(o.slices, (std::vector<unsigned>{1, 2, 4}));
+    EXPECT_EQ(o.banks, (std::vector<unsigned>{0, 8}));
+    EXPECT_TRUE(o.seedSet);
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_EQ(o.threads, 2u);
+    EXPECT_TRUE(o.json);
+    EXPECT_TRUE(o.isSweep());
+}
+
+TEST(CliParse, MalformedNumbersAreErrorsNotExceptions)
+{
+    // The historical CLI let std::stoul throw on this.
+    EXPECT_FALSE(parse({"gcc", "cfg.xml", "lots"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--instructions", "12x"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--instructions", "0"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--slices", "1,,2"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--slices", "-3"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--seed"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--threads", "0"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--frobnicate"}).ok());
+    EXPECT_FALSE(parse({}).ok());
+    EXPECT_FALSE(parse({"gcc", "a.xml", "1", "extra"}).ok());
+}
+
+TEST(CliParse, HelpersRejectGarbage)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64("42", &v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_FALSE(parseU64("", &v));
+    EXPECT_FALSE(parseU64("-1", &v));
+    EXPECT_FALSE(parseU64("4 2", &v));
+    EXPECT_FALSE(parseU64("99999999999999999999999", &v));
+    std::vector<unsigned> list;
+    EXPECT_TRUE(parseCountList("0,2,128", &list));
+    EXPECT_EQ(list, (std::vector<unsigned>{0, 2, 128}));
+    EXPECT_FALSE(parseCountList("", &list));
+    EXPECT_FALSE(parseCountList("1,", &list));
+    EXPECT_FALSE(parseCountList("a,b", &list));
+}
+
+TEST(Determinism, ParallelSweepMatchesSerialBitwise)
+{
+    // The acceptance criterion in miniature: same grid, 1 worker vs 4,
+    // byte-identical IPC values and CSV cache contents.  The grid
+    // includes a multithreaded workload (dedup) so the coherence path
+    // is covered too.
+    const auto grid = sweepGrid({std::string("gcc"), "hmmer", "dedup"},
+                                {0, 2}, sliceRange(2));
+    const std::string pathSerial = "test_exec_serial.csv";
+    const std::string pathParallel = "test_exec_parallel.csv";
+    std::filesystem::remove(pathSerial);
+    std::filesystem::remove(pathParallel);
+
+    PerfModel serial(2000);
+    serial.enableDiskCache(pathSerial);
+    const auto a = serial.performanceBatch(grid, 1);
+
+    PerfModel parallel(2000);
+    parallel.enableDiskCache(pathParallel);
+    const auto b = parallel.performanceBatch(grid, 4);
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].banks, b[i].banks);
+        EXPECT_EQ(a[i].slices, b[i].slices);
+        // Bitwise, not approximate: determinism is the contract.
+        EXPECT_EQ(a[i].ipc, b[i].ipc)
+            << a[i].name << " " << a[i].banks << " " << a[i].slices;
+        EXPECT_TRUE(a[i].fresh);
+    }
+    EXPECT_EQ(slurp(pathSerial), slurp(pathParallel));
+    EXPECT_FALSE(slurp(pathSerial).empty());
+    std::filesystem::remove(pathSerial);
+    std::filesystem::remove(pathParallel);
+}
+
+TEST(Determinism, BatchAgreesWithPointApi)
+{
+    PerfModel batch(2000);
+    PerfModel pointwise(2000);
+    const auto grid =
+        sweepGrid({std::string("sjeng")}, {0, 4}, sliceRange(2));
+    const auto results = batch.performanceBatch(grid, 2);
+    for (const SweepResult &r : results) {
+        EXPECT_EQ(r.ipc,
+                  pointwise.performance(r.name, r.banks, r.slices));
+    }
+    // A second batch over the same grid is served from the memo.
+    for (const SweepResult &r : batch.performanceBatch(grid, 2))
+        EXPECT_FALSE(r.fresh);
+}
+
+TEST(Determinism, BatchResultsIndependentOfBatchOrder)
+{
+    PerfModel forward(2000);
+    PerfModel reverse(2000);
+    auto grid = sweepGrid({std::string("astar")}, {0, 1}, sliceRange(2));
+    const auto a = forward.performanceBatch(grid, 2);
+    std::reverse(grid.begin(), grid.end());
+    const auto b = reverse.performanceBatch(grid, 2);
+    ASSERT_EQ(a.size(), b.size());
+    for (const SweepResult &ra : a) {
+        for (const SweepResult &rb : b) {
+            if (ra.banks == rb.banks && ra.slices == rb.slices) {
+                EXPECT_EQ(ra.ipc, rb.ipc);
+            }
+        }
+    }
+}

@@ -1,12 +1,38 @@
 // Internal calibration scratch tool (not part of the library).
+//
+// Usage: calibrate [fig12|fig13|ipc|all] [--threads N]
+// The figure sweeps prefill the surface through the parallel batch
+// API (SHARCH_THREADS also honored), then print from the memo.
 #include <cstdio>
+#include <string>
 #include "core/perf_model.hh"
+#include "exec/run_options.hh"
+#include "exec/sweep.hh"
 #include "trace/profile.hh"
 using namespace sharch;
+
 int main(int argc, char**argv) {
     PerfModel pm(40000);
-    const char* mode = argc>1?argv[1]:"all";
-    if (std::string(mode)=="fig12" || std::string(mode)=="all") {
+    std::string mode = "all";
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            std::uint64_t v = 0;
+            if (!exec::parseU64(argv[++i], &v) || v == 0) {
+                std::fprintf(stderr, "bad --threads '%s'\n", argv[i]);
+                return 1;
+            }
+            threads = static_cast<unsigned>(v);
+        } else {
+            mode = arg;
+        }
+    }
+    const bool all = mode == "all";
+    if (mode=="fig12" || all) {
+        pm.performanceBatch(
+            exec::sweepGrid(benchmarkNames(), {2}, exec::sliceRange()),
+            threads);
         printf("== Fig12: perf vs slices (norm to 1 slice,128KB) ==\n%-12s","bench");
         for (int s=1;s<=8;s++) printf(" s=%d  ",s);
         printf("\n");
@@ -17,7 +43,10 @@ int main(int argc, char**argv) {
             printf("\n");
         }
     }
-    if (std::string(mode)=="fig13" || std::string(mode)=="all") {
+    if (mode=="fig13" || all) {
+        pm.performanceBatch(
+            exec::sweepGrid(benchmarkNames(), l2BankGrid(), {2}),
+            threads);
         printf("\n== Fig13: perf vs L2 size (2 slices, norm to 0KB) ==\n%-12s","bench");
         for (unsigned b : l2BankGrid()) printf("%6uK", b*64);
         printf("\n");
@@ -28,7 +57,7 @@ int main(int argc, char**argv) {
             printf("\n");
         }
     }
-    if (std::string(mode)=="ipc" || std::string(mode)=="all") {
+    if (mode=="ipc" || all) {
         printf("\n== raw IPC + rates at (2 banks, 2 slices) ==\n");
         for (auto &n : benchmarkNames()) {
             auto r = pm.detailedRun(profileFor(n),2,2);

@@ -7,70 +7,81 @@
  * cycles executed for a given workload along with cache miss rates
  * and stage-based micro-architecture stalls and statistics."
  *
- * Usage:
- *   ssim <benchmark> [config.xml] [instructions]
+ * Usage (see exec/run_options.hh for the full flag reference):
+ *   ssim <benchmark> [config.xml] [instructions]     # legacy form
+ *   ssim <benchmark> [--config FILE] [--instructions N]
+ *        [--slices LIST] [--banks LIST] [--seed N] [--threads N]
+ *        [--json]
  *   ssim --dump-config            # print the default XML config
  *   ssim --list                   # list benchmark profiles
+ *
+ * Giving --slices/--banks a comma-separated list sweeps the cross
+ * product on the parallel sweep engine; single values override the
+ * XML config for one run, so quick experiments need no config file.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
 #include "config/sim_config.hh"
+#include "core/perf_model.hh"
 #include "core/vm_sim.hh"
+#include "exec/run_options.hh"
+#include "exec/sweep.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
 using namespace sharch;
 
+namespace {
+
 int
-main(int argc, char **argv)
+usageError(const char *prog, const std::string &message)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s <benchmark> [config.xml] "
-                     "[instructions]\n       %s --dump-config | "
-                     "--list\n",
-                     argv[0], argv[0]);
-        return 1;
-    }
+    std::fprintf(stderr, "%s: %s\n%s", prog, message.c_str(),
+                 exec::runUsage(prog).c_str());
+    return 1;
+}
 
-    if (std::strcmp(argv[1], "--dump-config") == 0) {
-        std::fputs(simConfigToXml(SimConfig{}).c_str(), stdout);
-        return 0;
-    }
-    if (std::strcmp(argv[1], "--list") == 0) {
-        for (const auto &n : benchmarkNames())
-            std::printf("%s\n", n.c_str());
-        return 0;
-    }
-
-    const std::string bench = argv[1];
-    if (!hasProfile(bench)) {
-        std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
-                     bench.c_str());
-        return 1;
-    }
-    const SimConfig cfg =
-        argc > 2 ? loadSimConfig(argv[2]) : SimConfig{};
-    const std::size_t instructions =
-        argc > 3 ? std::stoul(argv[3]) : 100000;
-
-    const BenchmarkProfile &profile = profileFor(bench);
+/** One full-detail run, the historical ssim output. */
+int
+runSingle(const exec::RunOptions &opts, const SimConfig &cfg,
+          const BenchmarkProfile &profile)
+{
     const unsigned vcores =
         profile.multithreaded ? profile.numThreads : 1;
 
-    std::printf("ssim: %s on %u VCore(s) of %u Slice(s) + %u x %u KB "
-                "L2, %zu instructions/thread, seed %llu\n\n",
-                bench.c_str(), vcores, cfg.numSlices, cfg.numL2Banks,
-                cfg.l2Bank.sizeBytes / 1024, instructions,
-                static_cast<unsigned long long>(cfg.seed));
+    if (!opts.json) {
+        std::printf(
+            "ssim: %s on %u VCore(s) of %u Slice(s) + %u x %u KB "
+            "L2, %zu instructions/thread, seed %llu\n\n",
+            profile.name.c_str(), vcores, cfg.numSlices,
+            cfg.numL2Banks, cfg.l2Bank.sizeBytes / 1024,
+            opts.instructions,
+            static_cast<unsigned long long>(cfg.seed));
+    }
 
     VmSim vm(cfg, vcores);
     vm.prewarm(profile);
     TraceGenerator gen(profile, cfg.seed);
-    const VmResult res = vm.run(gen.generateThreads(instructions));
+    const VmResult res = vm.run(gen.generateThreads(opts.instructions));
+
+    if (opts.json) {
+        std::printf("{\"benchmark\":\"%s\",\"slices\":%u,\"banks\":%u,"
+                    "\"l2_kb\":%llu,\"instructions\":%zu,"
+                    "\"seed\":%llu,\"vcores\":%u,\"cycles\":%llu,"
+                    "\"ipc\":%.17g}\n",
+                    profile.name.c_str(), cfg.numSlices,
+                    cfg.numL2Banks,
+                    static_cast<unsigned long long>(cfg.l2Bytes() /
+                                                    1024),
+                    opts.instructions,
+                    static_cast<unsigned long long>(cfg.seed), vcores,
+                    static_cast<unsigned long long>(res.cycles),
+                    res.throughput());
+        return 0;
+    }
 
     std::printf("%s\n", res.aggregate.report().c_str());
     if (res.perVCore.size() > 1) {
@@ -82,4 +93,121 @@ main(int argc, char **argv)
     }
     std::printf("aggregate throughput: %.3f IPC\n", res.throughput());
     return 0;
+}
+
+/** Sweep the banks x slices cross product on the parallel engine. */
+int
+runSweep(const exec::RunOptions &opts, const SimConfig &cfg,
+         const BenchmarkProfile &profile,
+         const std::vector<unsigned> &banks,
+         const std::vector<unsigned> &slices)
+{
+    if (!opts.configPath.empty()) {
+        std::fprintf(stderr,
+                     "warning: sweep mode uses the paper's Table 2/3 "
+                     "base config; only seed/slices/banks from '%s' "
+                     "apply\n",
+                     opts.configPath.c_str());
+    }
+    PerfModel pm(opts.instructions, cfg.seed);
+    const std::vector<exec::SweepPoint> grid =
+        exec::sweepGrid(std::vector<BenchmarkProfile>{profile}, banks,
+                        slices);
+    const std::vector<exec::SweepResult> results =
+        pm.performanceBatch(grid, opts.threads);
+
+    if (opts.json) {
+        std::printf("[");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const exec::SweepResult &r = results[i];
+            std::printf("%s{\"benchmark\":\"%s\",\"banks\":%u,"
+                        "\"slices\":%u,\"ipc\":%.17g}",
+                        i ? "," : "", r.name.c_str(), r.banks,
+                        r.slices, r.ipc);
+        }
+        std::printf("]\n");
+        return 0;
+    }
+
+    std::printf("ssim sweep: %s, %zu instructions/thread, seed %llu, "
+                "%u thread(s)\n\n",
+                profile.name.c_str(), opts.instructions,
+                static_cast<unsigned long long>(cfg.seed),
+                exec::resolveThreadCount(opts.threads));
+    std::printf("%-10s", "L2 \\ s");
+    for (unsigned s : slices)
+        std::printf("    s=%-3u", s);
+    std::printf("\n");
+    std::size_t idx = 0;
+    for (unsigned b : banks) {
+        std::printf("%6uK   ", banksToKb(b));
+        for (std::size_t j = 0; j < slices.size(); ++j)
+            std::printf("  %7.3f", results[idx++].ipc);
+        std::printf("\n");
+    }
+    std::printf("\nvalues are per-VCore committed IPC, P(c, s)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const exec::RunOptions opts = exec::parseRunOptions(argc, argv);
+    if (!opts.ok())
+        return usageError(argv[0], opts.error);
+
+    if (opts.dumpConfig) {
+        std::fputs(simConfigToXml(SimConfig{}).c_str(), stdout);
+        return 0;
+    }
+    if (opts.listBenchmarks) {
+        for (const auto &n : benchmarkNames())
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+
+    if (!hasProfile(opts.benchmark)) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
+                     opts.benchmark.c_str());
+        return 1;
+    }
+    const BenchmarkProfile &profile = profileFor(opts.benchmark);
+
+    SimConfig cfg = opts.configPath.empty()
+                        ? SimConfig{}
+                        : loadSimConfig(opts.configPath);
+    if (opts.seedSet)
+        cfg.seed = opts.seed;
+
+    // --slices/--banks override the XML config.
+    for (unsigned s : opts.slices) {
+        if (s < 1 || s > SimConfig::kMaxSlices)
+            return usageError(argv[0],
+                             "--slices values must be in 1.." +
+                                 std::to_string(SimConfig::kMaxSlices));
+    }
+    for (unsigned b : opts.banks) {
+        if (b > SimConfig::kMaxL2Banks)
+            return usageError(argv[0],
+                             "--banks values must be in 0.." +
+                                 std::to_string(SimConfig::kMaxL2Banks));
+    }
+
+    if (opts.isSweep()) {
+        const std::vector<unsigned> banks =
+            opts.banks.empty() ? std::vector<unsigned>{cfg.numL2Banks}
+                               : opts.banks;
+        const std::vector<unsigned> slices =
+            opts.slices.empty() ? std::vector<unsigned>{cfg.numSlices}
+                                : opts.slices;
+        return runSweep(opts, cfg, profile, banks, slices);
+    }
+
+    if (!opts.slices.empty())
+        cfg.numSlices = opts.slices.front();
+    if (!opts.banks.empty())
+        cfg.numL2Banks = opts.banks.front();
+    return runSingle(opts, cfg, profile);
 }
