@@ -1,11 +1,13 @@
 #include "core/perf_model.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "config/sim_config.hh"
 #include "exec/thread_pool.hh"
 
 namespace sharch {
@@ -196,6 +198,7 @@ PerfModel::enableDiskCache(const std::string &path)
         return;
     std::string line;
     std::size_t loaded = 0;
+    std::size_t skipped = 0;
     while (std::getline(in, line)) {
         std::istringstream iss(line);
         std::string name;
@@ -204,16 +207,34 @@ PerfModel::enableDiskCache(const std::string &path)
         unsigned banks = 0, slices = 0;
         double perf = 0.0;
         char comma = 0;
-        if (!std::getline(iss, name, ','))
+        if (line.empty())
             continue;
-        if (!(iss >> instructions >> comma >> seed >> comma >> banks >>
+        // A cache file is append-only and may be cut mid-row by a
+        // crash, or corrupted outright; a bad row must be dropped,
+        // never memoized (it would silently poison every figure that
+        // reads this surface).
+        if (!std::getline(iss, name, ',') || name.empty() ||
+            !(iss >> instructions >> comma >> seed >> comma >> banks >>
               comma >> slices >> comma >> perf)) {
+            ++skipped;
             continue;
         }
+        if (!std::isfinite(perf) || perf < 0.0 || slices < 1 ||
+            slices > SimConfig::kMaxSlices ||
+            banks > SimConfig::kMaxL2Banks) {
+            ++skipped;
+            continue;
+        }
+        // Rows written under another workload/seed are legitimate
+        // (several studies may share one cache file); skip silently.
         if (instructions != instructions_ || seed != seed_)
             continue;
         memo_[std::make_tuple(name, banks, slices)] = perf;
         ++loaded;
+    }
+    if (skipped > 0) {
+        SHARCH_WARN("ignored ", skipped, " corrupt row(s) in cache ",
+                    path);
     }
     if (loaded > 0)
         SHARCH_INFORM("loaded ", loaded, " cached results from ", path);

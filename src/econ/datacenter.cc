@@ -24,10 +24,12 @@ DatacenterResult::optimalBigFrac(double app_a_mix) const
     return best_frac;
 }
 
+namespace {
+
 DatacenterResult
-datacenterStudy(UtilityOptimizer &opt, const std::string &app_a,
-                const std::string &app_b,
-                const std::vector<double> &mixes, unsigned steps)
+studyImpl(UtilityOptimizer &opt, const std::string &app_a,
+          const std::string &app_b, const std::vector<double> &mixes,
+          unsigned steps, double big_fail, double small_fail)
 {
     SHARCH_ASSERT(steps >= 2, "need at least two ratio samples");
 
@@ -70,9 +72,12 @@ datacenterStudy(UtilityOptimizer &opt, const std::string &app_a,
         for (unsigned i = 0; i < steps; ++i) {
             const double f =
                 static_cast<double>(i) / (steps - 1);
-            // Unit chip area split between the two core types.
-            const double n_big = f / area_big;
-            const double n_small = (1.0 - f) / area_small;
+            // Unit chip area split between the two core types; a
+            // failed core is dead silicon (its area stays spent but
+            // it runs nothing).
+            const double n_big = f / area_big * (1.0 - big_fail);
+            const double n_small =
+                (1.0 - f) / area_small * (1.0 - small_fail);
             const double n_total = n_big + n_small;
 
             // The workload demands `mix` of the cores run app A.
@@ -103,6 +108,34 @@ datacenterStudy(UtilityOptimizer &opt, const std::string &app_a,
         }
     }
     return res;
+}
+
+} // namespace
+
+DatacenterResult
+datacenterStudy(UtilityOptimizer &opt, const std::string &app_a,
+                const std::string &app_b,
+                const std::vector<double> &mixes, unsigned steps)
+{
+    // Multiplying deployed counts by (1 - 0.0) is exact in IEEE
+    // arithmetic, so routing the healthy study through the degraded
+    // implementation changes no bit of any figure.
+    return studyImpl(opt, app_a, app_b, mixes, steps, 0.0, 0.0);
+}
+
+DatacenterResult
+datacenterStudyDegraded(UtilityOptimizer &opt,
+                        const std::string &app_a,
+                        const std::string &app_b,
+                        const std::vector<double> &mixes,
+                        double big_fail, double small_fail,
+                        unsigned steps)
+{
+    SHARCH_ASSERT(big_fail >= 0.0 && big_fail < 1.0 &&
+                      small_fail >= 0.0 && small_fail < 1.0,
+                  "fail fractions must be in [0, 1)");
+    return studyImpl(opt, app_a, app_b, mixes, steps, big_fail,
+                     small_fail);
 }
 
 } // namespace sharch

@@ -69,6 +69,26 @@ DatacenterResult datacenterStudy(UtilityOptimizer &opt,
                                  const std::vector<double> &mixes,
                                  unsigned steps = 21);
 
+/**
+ * The same sweep with a fraction of each deployed core type failed.
+ *
+ * A fixed heterogeneous datacenter loses *whole cores* to faults: a
+ * dead big core takes all of its Slices and cache with it, and the
+ * remaining mix cannot be rebalanced.  Scaling the deployed counts by
+ * (1 - fail fraction) models exactly that, so comparing this surface
+ * against the healthy one (or against the Sharing Architecture's
+ * graceful degradation, which only sheds the faulty tiles) quantifies
+ * the configurability advantage under failures.  With both fractions
+ * zero the result is bit-identical to datacenterStudy().
+ *
+ * @param big_fail   fraction of big cores out of service, in [0, 1)
+ * @param small_fail fraction of small cores out of service, in [0, 1)
+ */
+DatacenterResult datacenterStudyDegraded(
+    UtilityOptimizer &opt, const std::string &app_a,
+    const std::string &app_b, const std::vector<double> &mixes,
+    double big_fail, double small_fail, unsigned steps = 21);
+
 } // namespace sharch
 
 #endif // SHARCH_ECON_DATACENTER_HH

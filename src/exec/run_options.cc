@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "config/sim_config.hh"
+
 namespace sharch::exec {
 
 bool
@@ -31,12 +33,28 @@ parseCountList(const std::string &text, std::vector<unsigned> *out)
             text.substr(pos, comma == std::string::npos
                                  ? std::string::npos
                                  : comma - pos);
-        std::uint64_t v = 0;
-        if (!parseU64(field, &v) ||
-            v > std::numeric_limits<unsigned>::max()) {
+        // A field is either one count or an inclusive "lo-hi" range
+        // (the dash cannot be first: parseU64 rejects signs anyway).
+        const std::size_t dash = field.find('-', 1);
+        std::uint64_t lo = 0, hi = 0;
+        if (dash != std::string::npos) {
+            if (!parseU64(field.substr(0, dash), &lo) ||
+                !parseU64(field.substr(dash + 1), &hi)) {
+                return false;
+            }
+            if (lo > hi)
+                return false; // reversed range, not an empty sweep
+        } else {
+            if (!parseU64(field, &lo))
+                return false;
+            hi = lo;
+        }
+        if (hi > std::numeric_limits<unsigned>::max() ||
+            hi - lo >= 4096) {
             return false;
         }
-        parsed.push_back(static_cast<unsigned>(v));
+        for (std::uint64_t v = lo; v <= hi; ++v)
+            parsed.push_back(static_cast<unsigned>(v));
         if (comma == std::string::npos)
             break;
         pos = comma + 1;
@@ -56,13 +74,21 @@ runUsage(const std::string &prog)
            " <benchmark> [--config FILE] [--instructions N]\n"
            "            [--slices LIST] [--banks LIST] [--seed N]\n"
            "            [--threads N] [--json]\n"
+           "       " + prog +
+           " --inject-faults SPEC [--fabric WxH] [--slices LIST]\n"
+           "            [--banks LIST] [--json]\n"
            "       " + prog + " --dump-config | --list\n"
            "\n"
            "  --slices/--banks take comma-separated lists (e.g. "
-           "1,2,4,8); giving a\n"
-           "  list sweeps the cross product in parallel "
-           "(--threads workers, default\n"
-           "  SHARCH_THREADS or hardware concurrency).\n";
+           "1,2,4,8 or 1-8);\n"
+           "  giving a list sweeps the cross product in parallel "
+           "(--threads workers,\n"
+           "  default SHARCH_THREADS or hardware concurrency).\n"
+           "  --inject-faults replays a fault schedule against the "
+           "fabric allocator\n"
+           "  (spec: seed=N,mtbf=N,count=N[,mttr=N] or fixed "
+           "slice:R:C/bank:R:C/link:R:C\n"
+           "  events) and reports each VCore's degradation.\n";
 }
 
 namespace {
@@ -125,12 +151,58 @@ parseRunOptions(int argc, const char *const *argv)
                 opts.threads = static_cast<unsigned>(v);
         } else if (arg == "--slices") {
             const char *val = flagValue(argc, argv, &i, &opts);
-            if (val && !parseCountList(val, &opts.slices))
+            if (!val)
+                continue;
+            if (!parseCountList(val, &opts.slices)) {
                 opts.error = "bad --slices '" + std::string(val) + "'";
+                continue;
+            }
+            for (unsigned s : opts.slices) {
+                if (s < 1 || s > SimConfig::kMaxSlices) {
+                    opts.error =
+                        "--slices values must be in 1.." +
+                        std::to_string(SimConfig::kMaxSlices) +
+                        " (got " + std::to_string(s) + ")";
+                    break;
+                }
+            }
         } else if (arg == "--banks") {
             const char *val = flagValue(argc, argv, &i, &opts);
-            if (val && !parseCountList(val, &opts.banks))
+            if (!val)
+                continue;
+            if (!parseCountList(val, &opts.banks)) {
                 opts.error = "bad --banks '" + std::string(val) + "'";
+                continue;
+            }
+            for (unsigned b : opts.banks) {
+                if (b > SimConfig::kMaxL2Banks) {
+                    opts.error =
+                        "--banks values must be in 0.." +
+                        std::to_string(SimConfig::kMaxL2Banks) +
+                        " (got " + std::to_string(b) + ")";
+                    break;
+                }
+            }
+        } else if (arg == "--inject-faults") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.faultSpec = val;
+        } else if (arg == "--fabric") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            const std::string spec = val;
+            const std::size_t x = spec.find('x');
+            std::uint64_t w = 0, h = 0;
+            if (x == std::string::npos ||
+                !parseU64(spec.substr(0, x), &w) ||
+                !parseU64(spec.substr(x + 1), &h) || w < 1 ||
+                h < 2 || w > 1024 || h > 1024) {
+                opts.error = "bad --fabric '" + spec +
+                             "' (want WxH, e.g. 8x8)";
+            } else {
+                opts.fabricWidth = static_cast<int>(w);
+                opts.fabricHeight = static_cast<int>(h);
+            }
         } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
             opts.error = "unknown flag '" + arg + "'";
         } else {
@@ -154,8 +226,10 @@ parseRunOptions(int argc, const char *const *argv)
             }
         }
     }
+    // Fault replay (--inject-faults) is a degradation study of the
+    // fabric allocator itself; a benchmark is optional there.
     if (opts.ok() && !opts.dumpConfig && !opts.listBenchmarks &&
-        opts.benchmark.empty()) {
+        opts.faultSpec.empty() && opts.benchmark.empty()) {
         opts.error = "missing benchmark name";
     }
     return opts;

@@ -8,11 +8,13 @@
  *
  *   --config FILE       XML configuration (positional #2 equivalent)
  *   --instructions N    trace length per thread
- *   --slices LIST       Slice counts, e.g. `4` or `1,2,4,8`
+ *   --slices LIST       Slice counts, e.g. `4`, `1,2,4,8`, or `1-8`
  *   --banks LIST        64 KB L2 bank counts, e.g. `0,2,128`
  *   --seed N            base seed
  *   --threads N         sweep worker threads (default SHARCH_THREADS,
  *                       else hardware concurrency)
+ *   --inject-faults S   fault-injection spec (see fault/fault_model.hh)
+ *   --fabric WxH        chip geometry for fault replay (default 8x8)
  *   --json              machine-readable output
  *   --dump-config       print the default XML config and exit
  *   --list              list benchmark profiles and exit
@@ -21,7 +23,10 @@
  * list turns the run into a sweep over the cross product -- no config
  * file needed for quick sweeps.  Parsing never throws and never
  * exits: malformed input comes back as RunOptions::error so the
- * caller can print usage (and tests can assert on it).
+ * caller can print usage (and tests can assert on it).  Out-of-range
+ * values (Slice counts outside Equation 3's 1..8, bank counts above
+ * 128, reversed `lo-hi` ranges) are caught here, at parse time, so
+ * every consumer of RunOptions inherits the same validation.
  */
 
 #ifndef SHARCH_EXEC_RUN_OPTIONS_HH
@@ -44,6 +49,9 @@ struct RunOptions
     std::uint64_t seed = 0;
     bool seedSet = false;              //!< --seed given (else config's)
     unsigned threads = 0;              //!< 0: resolveThreadCount()
+    std::string faultSpec;             //!< empty: no fault injection
+    int fabricWidth = 8;               //!< --fabric geometry
+    int fabricHeight = 8;
     bool json = false;
     bool dumpConfig = false;
     bool listBenchmarks = false;
@@ -73,6 +81,8 @@ bool parseU64(const std::string &text, std::uint64_t *out);
 
 /**
  * Parse a comma-separated list of non-negative counts ("0,2,128").
+ * A field may be an inclusive range "lo-hi" ("1-8" is 1,2,...,8);
+ * a reversed range (lo > hi) is rejected rather than silently empty.
  * False on empty fields or garbage; result replaces @p out.
  */
 bool parseCountList(const std::string &text,

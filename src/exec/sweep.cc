@@ -91,6 +91,18 @@ deriveJobSeed(std::uint64_t base_seed, const std::string &benchmark,
     return h ? h : 0x5eed5eedULL;
 }
 
+std::uint64_t
+deriveRetrySeed(std::uint64_t base_seed, const std::string &benchmark,
+                unsigned banks, unsigned slices, unsigned attempt)
+{
+    const std::uint64_t h =
+        deriveJobSeed(base_seed, benchmark, banks, slices);
+    if (attempt == 0)
+        return h; // first attempt == the historical job seed
+    const std::uint64_t r = mix64(h ^ mix64(attempt));
+    return r ? r : 0x5eed5eedULL;
+}
+
 unsigned
 resolveThreadCount(unsigned requested)
 {
@@ -112,13 +124,18 @@ SweepRunner::SweepRunner(unsigned threads)
 {
 }
 
-std::vector<double>
-SweepRunner::run(const std::vector<SweepPoint> &points,
-                 const PointEvaluator &eval) const
+std::vector<PointStatus>
+SweepRunner::runDetailed(const std::vector<SweepPoint> &points,
+                         const RetryingEvaluator &eval,
+                         unsigned max_attempts,
+                         std::vector<std::exception_ptr> *errors) const
 {
-    std::vector<double> results(points.size(), 0.0);
+    SHARCH_ASSERT(max_attempts >= 1, "a point needs >= 1 attempt");
+    std::vector<PointStatus> status(points.size());
+    if (errors)
+        errors->assign(points.size(), nullptr);
     if (points.empty())
-        return results;
+        return status;
 
     // Evaluate each distinct configuration once; `unique` maps a
     // config to the first index holding it.
@@ -136,13 +153,75 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
         ThreadPool pool(threads_);
         for (const auto &[key, i] : unique) {
             (void)key;
-            pool.submit([&, i] { results[i] = eval(points[i]); });
+            // Each job writes only its own slots, so no lock is
+            // needed; the retry loop catches everything so a bad
+            // point can never unwind a worker or starve the queue.
+            pool.submit([&, i] {
+                PointStatus &st = status[i];
+                for (unsigned attempt = 0; attempt < max_attempts;
+                     ++attempt) {
+                    ++st.attempts;
+                    try {
+                        st.value = eval(points[i], attempt);
+                        st.ok = true;
+                        st.error.clear();
+                        return;
+                    } catch (const std::exception &e) {
+                        st.error = e.what();
+                        if (errors)
+                            (*errors)[i] = std::current_exception();
+                    } catch (...) {
+                        st.error = "unknown exception";
+                        if (errors)
+                            (*errors)[i] = std::current_exception();
+                    }
+                }
+            });
         }
         pool.wait();
     }
 
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        status[i] = status[canonical[i]];
+        if (errors)
+            (*errors)[i] = (*errors)[canonical[i]];
+    }
+    return status;
+}
+
+std::vector<PointStatus>
+SweepRunner::runWithStatus(const std::vector<SweepPoint> &points,
+                           const RetryingEvaluator &eval,
+                           unsigned max_attempts) const
+{
+    return runDetailed(points, eval, max_attempts, nullptr);
+}
+
+std::vector<double>
+SweepRunner::run(const std::vector<SweepPoint> &points,
+                 const PointEvaluator &eval) const
+{
+    std::vector<std::exception_ptr> errors;
+    const auto status = runDetailed(
+        points,
+        [&eval](const SweepPoint &p, unsigned) { return eval(p); },
+        1, &errors);
+
+    // Drain-then-throw: every point ran; surface the first failure by
+    // *input position* so the choice is independent of thread count
+    // and completion order.
+    for (std::size_t i = 0; i < status.size(); ++i) {
+        if (!status[i].ok) {
+            SHARCH_WARN("sweep point ", points[i].profile.name, " b",
+                        points[i].banks, " s", points[i].slices,
+                        " failed: ", status[i].error);
+            std::rethrow_exception(errors[i]);
+        }
+    }
+
+    std::vector<double> results(points.size(), 0.0);
     for (std::size_t i = 0; i < points.size(); ++i)
-        results[i] = results[canonical[i]];
+        results[i] = status[i].value;
     return results;
 }
 

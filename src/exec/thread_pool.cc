@@ -42,6 +42,22 @@ ThreadPool::wait()
     allDone_.wait(lock, [this] { return inFlight_ == 0; });
 }
 
+std::vector<std::exception_ptr>
+ThreadPool::takeExceptions()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::exception_ptr> out;
+    out.swap(errors_);
+    return out;
+}
+
+std::size_t
+ThreadPool::pendingExceptions()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return errors_.size();
+}
+
 void
 ThreadPool::workerLoop()
 {
@@ -57,9 +73,19 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
-        job();
+        // A throw must not unwind the worker thread (that would call
+        // std::terminate and strand the queue); park it for the
+        // submitter instead and keep draining.
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            error = std::current_exception();
+        }
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            if (error)
+                errors_.push_back(std::move(error));
             --inFlight_;
             if (inFlight_ == 0)
                 allDone_.notify_all();

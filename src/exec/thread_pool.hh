@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -47,6 +48,19 @@ class ThreadPool
     /** Block until every submitted job has finished executing. */
     void wait();
 
+    /**
+     * Exceptions that escaped jobs, in completion order, transferring
+     * ownership (the pool's list is left empty).  A job that throws
+     * never kills its worker: the exception is captured here and the
+     * worker moves on to the next job, so one bad sweep point cannot
+     * terminate the process (std::terminate) or starve the queue.
+     * Call after wait() to learn whether the batch was clean.
+     */
+    std::vector<std::exception_ptr> takeExceptions();
+
+    /** Number of captured job exceptions not yet taken. */
+    std::size_t pendingExceptions();
+
     unsigned numThreads() const
     {
         return static_cast<unsigned>(workers_.size());
@@ -59,6 +73,7 @@ class ThreadPool
     std::condition_variable workAvailable_;
     std::condition_variable allDone_;
     std::deque<std::function<void()>> queue_;
+    std::vector<std::exception_ptr> errors_;
     std::size_t inFlight_ = 0; //!< queued + currently executing
     bool stopping_ = false;
     std::vector<std::thread> workers_;

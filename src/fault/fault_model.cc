@@ -1,0 +1,229 @@
+#include "fault/fault_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace sharch::fault {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Slice:
+        return "slice";
+      case FaultKind::Bank:
+        return "bank";
+      case FaultKind::Link:
+        return "link";
+    }
+    return "?";
+}
+
+namespace {
+
+/** splitmix64 finalizer: decorrelates seed and geometry. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+bool
+parseSpecU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty() || text[0] == '-')
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseSpecDouble(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !std::isfinite(v) ||
+        v < 0.0) {
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+/** Parse "kind:R:C" into a cycle-0 FaultEvent. */
+bool
+parseFixedEvent(const std::string &entry, FaultEvent *out)
+{
+    const std::size_t first = entry.find(':');
+    const std::size_t second = entry.find(':', first + 1);
+    if (first == std::string::npos || second == std::string::npos)
+        return false;
+    const std::string kind = entry.substr(0, first);
+    FaultEvent ev;
+    if (kind == "slice")
+        ev.kind = FaultKind::Slice;
+    else if (kind == "bank")
+        ev.kind = FaultKind::Bank;
+    else if (kind == "link")
+        ev.kind = FaultKind::Link;
+    else
+        return false;
+    std::uint64_t row = 0, col = 0;
+    if (!parseSpecU64(entry.substr(first + 1, second - first - 1),
+                      &row) ||
+        !parseSpecU64(entry.substr(second + 1), &col)) {
+        return false;
+    }
+    ev.tile = Coord{static_cast<int>(col), static_cast<int>(row)};
+    *out = ev;
+    return true;
+}
+
+} // namespace
+
+FaultSpec
+parseFaultSpec(const std::string &text)
+{
+    FaultSpec spec;
+    std::size_t pos = 0;
+    while (pos <= text.size() && spec.ok()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string entry =
+            text.substr(pos, comma == std::string::npos
+                                 ? std::string::npos
+                                 : comma - pos);
+        const std::size_t eq = entry.find('=');
+        std::uint64_t v = 0;
+        FaultEvent ev;
+        if (entry.empty()) {
+            spec.error = "empty fault spec entry";
+        } else if (eq != std::string::npos) {
+            const std::string key = entry.substr(0, eq);
+            const std::string val = entry.substr(eq + 1);
+            if (key == "seed" && parseSpecU64(val, &spec.seed)) {
+            } else if (key == "mtbf" &&
+                       parseSpecDouble(val, &spec.mtbf)) {
+            } else if (key == "mttr" &&
+                       parseSpecDouble(val, &spec.mttr)) {
+            } else if (key == "count" && parseSpecU64(val, &v)) {
+                spec.count = static_cast<unsigned>(v);
+            } else {
+                spec.error = "bad fault spec entry '" + entry + "'";
+            }
+        } else if (parseFixedEvent(entry, &ev)) {
+            spec.fixed.push_back(ev);
+        } else {
+            spec.error = "bad fault spec entry '" + entry + "'";
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (spec.ok() && spec.count > 0 && spec.mtbf <= 0.0)
+        spec.error = "count=N needs mtbf=N to space the failures";
+    return spec;
+}
+
+FaultModel::FaultModel(const FaultSpec &spec, int width, int height)
+{
+    SHARCH_ASSERT(spec.ok(), "constructing from a bad spec: ",
+                  spec.error);
+    SHARCH_ASSERT(width >= 1 && height >= 2, "bad fabric geometry");
+
+    const int slice_rows = (height + 1) / 2;
+    const int bank_rows = height / 2;
+    const std::uint64_t slice_tiles =
+        std::uint64_t(slice_rows) * width;
+    const std::uint64_t bank_tiles = std::uint64_t(bank_rows) * width;
+    const std::uint64_t link_tiles =
+        width > 1 ? std::uint64_t(slice_rows) * (width - 1) : 0;
+
+    for (const FaultEvent &ev : spec.fixed) {
+        const bool slice_row =
+            ev.tile.y % 2 == 0 && ev.tile.y < height;
+        const bool bank_row = ev.tile.y % 2 == 1 && ev.tile.y < height;
+        const int max_col =
+            ev.kind == FaultKind::Link ? width - 1 : width;
+        const bool on_chip = ev.tile.y >= 0 && ev.tile.x >= 0 &&
+                             ev.tile.x < max_col;
+        SHARCH_ASSERT(on_chip &&
+                          (ev.kind == FaultKind::Bank ? bank_row
+                                                      : slice_row),
+                      "fixed fault off-chip or on the wrong row kind");
+        schedule_.push_back(ev);
+    }
+
+    // Random schedule: exponential inter-arrival, target kind drawn
+    // proportionally to how many tiles of that kind exist, target
+    // tile uniform within the kind.  Everything flows through one Rng
+    // seeded from (seed, geometry), so the sequence is a pure
+    // function of those inputs.
+    Rng rng(mix64(spec.seed) ^ mix64(std::uint64_t(width) << 32 |
+                                     std::uint64_t(height)));
+    const std::uint64_t total_tiles =
+        slice_tiles + bank_tiles + link_tiles;
+    double clock = 0.0;
+    std::vector<FaultEvent> random;
+    for (unsigned i = 0; i < spec.count; ++i) {
+        clock += std::max(1.0, rng.nextExponential(spec.mtbf));
+        FaultEvent ev;
+        ev.at = static_cast<Cycles>(clock);
+        const std::uint64_t pick = rng.nextBounded(total_tiles);
+        if (pick < slice_tiles) {
+            ev.kind = FaultKind::Slice;
+            ev.tile = Coord{static_cast<int>(pick % width),
+                            static_cast<int>(pick / width) * 2};
+        } else if (pick < slice_tiles + bank_tiles) {
+            const std::uint64_t b = pick - slice_tiles;
+            ev.kind = FaultKind::Bank;
+            ev.tile = Coord{static_cast<int>(b % width),
+                            static_cast<int>(b / width) * 2 + 1};
+        } else {
+            const std::uint64_t l = pick - slice_tiles - bank_tiles;
+            ev.kind = FaultKind::Link;
+            ev.tile = Coord{static_cast<int>(l % (width - 1)),
+                            static_cast<int>(l / (width - 1)) * 2};
+        }
+        random.push_back(ev);
+        if (spec.mttr > 0.0) {
+            FaultEvent repair = ev;
+            repair.heal = true;
+            repair.at += static_cast<Cycles>(
+                std::max(1.0, rng.nextExponential(spec.mttr)));
+            random.push_back(repair);
+        }
+    }
+    // Heal events interleave with later failures; stable sort keeps
+    // the generation order for ties, so replays are bit-identical.
+    std::stable_sort(random.begin(), random.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    schedule_.insert(schedule_.end(), random.begin(), random.end());
+}
+
+std::vector<FaultEvent>
+FaultModel::eventsUpTo(Cycles cycle)
+{
+    std::vector<FaultEvent> out;
+    while (cursor_ < schedule_.size() &&
+           schedule_[cursor_].at <= cycle) {
+        out.push_back(schedule_[cursor_++]);
+    }
+    return out;
+}
+
+} // namespace sharch::fault

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic fault injection for the Slice fabric.
+ *
+ * An IaaS provider leases Slices and L2 banks to paying tenants
+ * (sections 3.5 and 7), so the hypervisor must have a story for the
+ * chip degrading underneath live VCores: a Slice tile dies, a 64 KB
+ * bank dies, or a mesh link between adjacent Slice tiles fails and
+ * breaks the contiguity a VCore's operand network depends on.
+ *
+ * FaultModel produces the *schedule* of such events.  It follows the
+ * same reproducibility discipline as TraceGenerator: the sequence is a
+ * pure function of (seed, fabric geometry, spec) -- never of wall
+ * clock, thread count, or iteration order -- so a degradation run can
+ * be replayed bit-for-bit.  Random failures arrive with exponential
+ * (MTBF-style) inter-arrival times in simulated cycles; an optional
+ * MTTR schedules a matching heal event for each failure.  Explicit
+ * fault sets (fixed tiles at cycle 0) cover directed tests.
+ */
+
+#ifndef SHARCH_FAULT_FAULT_MODEL_HH
+#define SHARCH_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/mesh.hh"
+
+namespace sharch::fault {
+
+/** Which fabric component an event hits. */
+enum class FaultKind
+{
+    Slice, //!< a Slice tile (even mesh rows)
+    Bank,  //!< a 64 KB L2 bank tile (odd mesh rows)
+    Link,  //!< the horizontal mesh link right of a Slice tile
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled failure or repair. */
+struct FaultEvent
+{
+    Cycles at = 0;   //!< simulated cycle the event fires
+    FaultKind kind = FaultKind::Slice;
+    Coord tile;      //!< chip coordinate (for Link: left endpoint)
+    bool heal = false; //!< repair instead of failure
+
+    bool operator==(const FaultEvent &) const = default;
+};
+
+/**
+ * A parsed `--inject-faults` specification.
+ *
+ * Grammar (comma-separated entries, any order):
+ *   seed=N        RNG seed for the random schedule (default 1)
+ *   mtbf=N        mean cycles between random failures (0: none)
+ *   count=N       number of random failures to schedule
+ *   mttr=N        mean cycles to repair; each random failure gets a
+ *                 heal event (0: failures are permanent)
+ *   slice:R:C     explicit Slice failure at chip row R, column C
+ *   bank:R:C      explicit bank failure
+ *   link:R:C      explicit failure of the link (R,C)-(R,C+1)
+ *
+ * Explicit entries fire at cycle 0 in spec order, before any random
+ * event.  Example: "seed=7,mtbf=100000,count=4,slice:0:3".
+ */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+    double mtbf = 0.0;
+    unsigned count = 0;
+    double mttr = 0.0;
+    std::vector<FaultEvent> fixed;
+
+    std::string error; //!< nonempty: parse failed
+
+    bool ok() const { return error.empty(); }
+    bool empty() const { return count == 0 && fixed.empty(); }
+};
+
+/** Parse a spec string (never throws; malformed input sets .error). */
+FaultSpec parseFaultSpec(const std::string &text);
+
+/**
+ * The deterministic fault schedule for one chip.
+ *
+ * Construction expands the spec into a cycle-sorted event list.
+ * Random targets are drawn uniformly over the tiles of the drawn
+ * kind, weighted by how many tiles of each kind the geometry offers,
+ * so a wide chip sees proportionally more Slice faults than link
+ * faults.  Explicit (fixed) events are validated against the
+ * geometry.
+ */
+class FaultModel
+{
+  public:
+    /** @param width tiles per row; @param height chip rows (>= 2). */
+    FaultModel(const FaultSpec &spec, int width, int height);
+
+    /** The full schedule, sorted by cycle (ties keep spec order). */
+    const std::vector<FaultEvent> &schedule() const
+    {
+        return schedule_;
+    }
+
+    /**
+     * Consume and return every not-yet-delivered event with
+     * at <= @p cycle.  Repeated calls advance a cursor, so a replay
+     * loop can poll at its own cadence without double delivery.
+     */
+    std::vector<FaultEvent> eventsUpTo(Cycles cycle);
+
+    /** Events not yet delivered through eventsUpTo(). */
+    std::size_t pending() const
+    {
+        return schedule_.size() - cursor_;
+    }
+
+    /** Rewind the delivery cursor for a fresh replay. */
+    void reset() { cursor_ = 0; }
+
+  private:
+    std::vector<FaultEvent> schedule_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace sharch::fault
+
+#endif // SHARCH_FAULT_FAULT_MODEL_HH

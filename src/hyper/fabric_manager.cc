@@ -1,10 +1,30 @@
 #include "hyper/fabric_manager.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
+#include "noc/placement.hh"
 
 namespace sharch {
+
+const char *
+degradeKindName(DegradeKind kind)
+{
+    switch (kind) {
+      case DegradeKind::Replaced:
+        return "replaced";
+      case DegradeKind::Shrunk:
+        return "shrunk";
+      case DegradeKind::Evicted:
+        return "evicted";
+      case DegradeKind::BankReplaced:
+        return "bank-replaced";
+      case DegradeKind::BankLost:
+        return "bank-lost";
+    }
+    return "?";
+}
 
 FabricManager::FabricManager(int width, int height)
     : width_(width), height_(height)
@@ -17,6 +37,11 @@ FabricManager::FabricManager(int width, int height)
                        std::vector<AllocationId>(width, kFree));
     bankOwner_.assign(bank_rows,
                       std::vector<AllocationId>(width, kFree));
+    sliceBad_.assign(slice_rows, std::vector<bool>(width, false));
+    bankBad_.assign(bank_rows, std::vector<bool>(width, false));
+    linkBad_.assign(slice_rows,
+                    std::vector<bool>(width > 1 ? width - 1 : 0,
+                                      false));
 }
 
 unsigned
@@ -35,9 +60,9 @@ unsigned
 FabricManager::freeSlices() const
 {
     unsigned n = 0;
-    for (const auto &row : sliceOwner_)
-        for (AllocationId owner : row)
-            n += owner == kFree;
+    for (std::size_t r = 0; r < sliceOwner_.size(); ++r)
+        for (int c = 0; c < width_; ++c)
+            n += sliceUsable(static_cast<int>(r), c);
     return n;
 }
 
@@ -45,9 +70,9 @@ unsigned
 FabricManager::freeBanks() const
 {
     unsigned n = 0;
-    for (const auto &row : bankOwner_)
-        for (AllocationId owner : row)
-            n += owner == kFree;
+    for (std::size_t r = 0; r < bankOwner_.size(); ++r)
+        for (int c = 0; c < width_; ++c)
+            n += bankOwner_[r][c] == kFree && !bankBad_[r][c];
     return n;
 }
 
@@ -59,7 +84,12 @@ FabricManager::findRun(unsigned count) const
     for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
         unsigned run = 0;
         for (int c = 0; c < width_; ++c) {
-            run = sliceOwner_[r][c] == kFree ? run + 1 : 0;
+            if (!sliceUsable(static_cast<int>(r), c))
+                run = 0;
+            else if (run > 0 && !linkIntact(static_cast<int>(r), c))
+                run = 1; // a broken link ends the contiguous run
+            else
+                ++run;
             if (run >= count) {
                 return SliceRun{static_cast<int>(r) * 2,
                                 c - static_cast<int>(count) + 1,
@@ -68,6 +98,47 @@ FabricManager::findRun(unsigned count) const
         }
     }
     return std::nullopt;
+}
+
+std::optional<SliceRun>
+FabricManager::bestRunFor(unsigned count,
+                          const std::vector<Coord> &banks) const
+{
+    if (count == 0 || count > static_cast<unsigned>(width_))
+        return std::nullopt;
+    // Enumerate every healthy free window and keep the one with the
+    // least mean Slice-to-bank distance (noc/placement's cost); ties
+    // keep the first (row, col), so the choice is deterministic.
+    std::optional<SliceRun> best;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
+        unsigned run = 0;
+        for (int c = 0; c < width_; ++c) {
+            if (!sliceUsable(static_cast<int>(r), c))
+                run = 0;
+            else if (run > 0 && !linkIntact(static_cast<int>(r), c))
+                run = 1;
+            else
+                ++run;
+            if (run < count)
+                continue;
+            const SliceRun cand{static_cast<int>(r) * 2,
+                                c - static_cast<int>(count) + 1,
+                                count};
+            std::vector<Coord> cells;
+            cells.reserve(count);
+            for (unsigned i = 0; i < count; ++i) {
+                cells.push_back(Coord{cand.col + static_cast<int>(i),
+                                      cand.row});
+            }
+            const double cost = meanDistanceToBanks(cells, banks);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = cand;
+            }
+        }
+    }
+    return best;
 }
 
 void
@@ -98,7 +169,7 @@ FabricManager::takeBanks(unsigned count, const SliceRun &near,
     std::vector<Coord> free;
     for (std::size_t r = 0; r < bankOwner_.size(); ++r) {
         for (int c = 0; c < width_; ++c) {
-            if (bankOwner_[r][c] == kFree)
+            if (bankOwner_[r][c] == kFree && !bankBad_[r][c])
                 free.push_back(
                     Coord{c, static_cast<int>(r) * 2 + 1});
         }
@@ -187,17 +258,20 @@ FabricManager::reshape(AllocationId id, unsigned slices,
             row[run.col + i] = kFree;
         run.count = slices;
     } else if (slices > run.count) {
+        const int r = sliceRowIndex(run.row);
         unsigned need = slices - run.count;
         unsigned grow_right = 0, grow_left = 0;
         while (grow_right < need &&
                run.col + static_cast<int>(run.count + grow_right) <
                    width_ &&
-               row[run.col + run.count + grow_right] == kFree) {
+               sliceUsable(r, run.col + run.count + grow_right) &&
+               linkIntact(r, run.col + run.count + grow_right)) {
             ++grow_right;
         }
         while (grow_right + grow_left < need && run.col > 0 &&
                run.col - static_cast<int>(grow_left) - 1 >= 0 &&
-               row[run.col - grow_left - 1] == kFree) {
+               sliceUsable(r, run.col - grow_left - 1) &&
+               linkIntact(r, run.col - grow_left)) {
             ++grow_left;
         }
         if (grow_right + grow_left < need)
@@ -252,10 +326,15 @@ unsigned
 FabricManager::largestFreeRun() const
 {
     unsigned best = 0;
-    for (const auto &row : sliceOwner_) {
+    for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
         unsigned run = 0;
-        for (AllocationId owner : row) {
-            run = owner == kFree ? run + 1 : 0;
+        for (int c = 0; c < width_; ++c) {
+            if (!sliceUsable(static_cast<int>(r), c))
+                run = 0;
+            else if (run > 0 && !linkIntact(static_cast<int>(r), c))
+                run = 1;
+            else
+                ++run;
             best = std::max(best, run);
         }
     }
@@ -291,40 +370,254 @@ FabricManager::defragment()
         return fa.slices.col < fb.slices.col;
     });
 
-    std::vector<int> cursor(sliceOwner_.size(), 0);
+    // Greedy repack: each run slides to the leftmost healthy free
+    // window over the rows in order.  On a fault-free chip this is
+    // exactly the historical cursor-per-row compaction (every placed
+    // run packs against the previous one); faulty tiles and broken
+    // links simply make some windows infeasible.  A run's own cells
+    // are released before the search, so staying put is always an
+    // option and the claim below can never collide.
     for (AllocationId id : order) {
         FabricAllocation &alloc = live_.at(id);
         const SliceRun from = alloc.slices;
-
-        // Greedy: first row whose cursor leaves room.
-        for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
-            if (cursor[r] + static_cast<int>(from.count) >
-                width_) {
-                continue;
-            }
-            SliceRun to{static_cast<int>(r) * 2, cursor[r],
-                        from.count};
-            cursor[r] += static_cast<int>(from.count);
-            if (to.row == from.row && to.col == from.col) {
-                alloc.slices = to; // already in place
-                break;
-            }
-            unclaim(from);
-            claim(to, id);
-            alloc.slices = to;
-            DefragMove mv;
-            mv.id = id;
-            mv.from = from;
-            mv.to = to;
-            // Register Flush per move (Slice-only reconfiguration).
-            mv.cost = reconfig_.transitionCost(
-                VCoreShape{0, from.count},
-                VCoreShape{0, from.count + 1});
-            moves.push_back(mv);
-            break;
-        }
+        unclaim(from);
+        const auto to = findRun(from.count);
+        SHARCH_ASSERT(to.has_value(),
+                      "a live run must fit at its own position");
+        claim(*to, id);
+        alloc.slices = *to;
+        if (to->row == from.row && to->col == from.col)
+            continue; // already in place
+        DefragMove mv;
+        mv.id = id;
+        mv.from = from;
+        mv.to = *to;
+        // Register Flush per move (Slice-only reconfiguration).
+        mv.cost = reconfig_.transitionCost(
+            VCoreShape{0, from.count},
+            VCoreShape{0, from.count + 1});
+        moves.push_back(mv);
     }
     return moves;
+}
+
+std::vector<DegradeAction>
+FabricManager::markFaulty(fault::FaultKind kind, Coord tile)
+{
+    std::vector<DegradeAction> actions;
+    switch (kind) {
+      case fault::FaultKind::Slice: {
+        SHARCH_ASSERT(isSliceRow(tile.y) && tile.y < height_ &&
+                          tile.x >= 0 && tile.x < width_,
+                      "slice fault off-chip");
+        const int r = sliceRowIndex(tile.y);
+        if (sliceBad_[r][tile.x])
+            return actions;
+        sliceBad_[r][tile.x] = true;
+        const AllocationId owner = sliceOwner_[r][tile.x];
+        if (owner != kFree)
+            actions.push_back(degrade(owner));
+        break;
+      }
+      case fault::FaultKind::Bank: {
+        SHARCH_ASSERT(!isSliceRow(tile.y) && tile.y < height_ &&
+                          tile.x >= 0 && tile.x < width_,
+                      "bank fault off-chip");
+        const int r = bankRowIndex(tile.y);
+        if (bankBad_[r][tile.x])
+            return actions;
+        bankBad_[r][tile.x] = true;
+        const AllocationId owner = bankOwner_[r][tile.x];
+        if (owner == kFree)
+            break;
+        bankOwner_[r][tile.x] = kFree; // dead bank leaves the pool
+        FabricAllocation &alloc = live_.at(owner);
+        const VCoreShape before = alloc.shape();
+        alloc.banks.erase(std::find(alloc.banks.begin(),
+                                    alloc.banks.end(), tile));
+        DegradeAction act;
+        act.id = owner;
+        act.from = act.to = alloc.slices;
+        // Losing a bank changes the survivor set either way: L2
+        // flush (surviving dirty state must leave the dead bank's
+        // index range).
+        act.cost = reconfig_.transitionCost(before, alloc.shape());
+        if (freeBanks() >= 1) {
+            const auto extra = takeBanks(1, alloc.slices, owner);
+            alloc.banks.insert(alloc.banks.end(), extra.begin(),
+                               extra.end());
+            act.kind = DegradeKind::BankReplaced;
+        } else {
+            act.kind = DegradeKind::BankLost;
+            act.banksLost = 1;
+        }
+        actions.push_back(act);
+        break;
+      }
+      case fault::FaultKind::Link: {
+        SHARCH_ASSERT(isSliceRow(tile.y) && tile.y < height_ &&
+                          tile.x >= 0 && tile.x < width_ - 1,
+                      "link fault off-chip");
+        const int r = sliceRowIndex(tile.y);
+        if (linkBad_[r][tile.x])
+            return actions;
+        linkBad_[r][tile.x] = true;
+        // Contiguity is broken only for a run spanning the link.
+        const AllocationId left = sliceOwner_[r][tile.x];
+        if (left != kFree && left == sliceOwner_[r][tile.x + 1])
+            actions.push_back(degrade(left));
+        break;
+      }
+    }
+    return actions;
+}
+
+DegradeAction
+FabricManager::degrade(AllocationId id)
+{
+    FabricAllocation &alloc = live_.at(id);
+    const VCoreShape before = alloc.shape();
+    const SliceRun from = alloc.slices;
+    DegradeAction act;
+    act.id = id;
+    act.from = from;
+
+    // The current position is no longer a healthy contiguous run;
+    // release it so the search may reuse its surviving cells.
+    unclaim(from);
+
+    // 1. Re-place: a healthy run of the same length, nearest to the
+    //    VCore's banks.
+    if (const auto to = bestRunFor(from.count, alloc.banks)) {
+        claim(*to, id);
+        alloc.slices = *to;
+        act.kind = DegradeKind::Replaced;
+        act.to = *to;
+        // The move is a Slice-only reconfiguration: Register Flush.
+        act.cost = reconfig_.transitionCost(
+            VCoreShape{0, from.count}, VCoreShape{0, from.count + 1});
+        return act;
+    }
+
+    // 2. Shrink: the paper's dynamic resizing, driven by the fault --
+    //    the longest healthy run still available.
+    for (unsigned k = from.count - 1; k >= 1; --k) {
+        const auto to = bestRunFor(k, alloc.banks);
+        if (!to)
+            continue;
+        claim(*to, id);
+        alloc.slices = *to;
+        act.kind = DegradeKind::Shrunk;
+        act.to = *to;
+        act.slicesLost = from.count - k;
+        act.cost = reconfig_.transitionCost(before, alloc.shape());
+        return act;
+    }
+
+    // 3. Evict: not even one Slice fits; the VCore's resources are
+    //    freed and its state flushed (L2 flush when it held banks,
+    //    Register Flush otherwise).
+    for (const Coord &b : alloc.banks)
+        bankOwner_[bankRowIndex(b.y)][b.x] = kFree;
+    act.kind = DegradeKind::Evicted;
+    act.to = SliceRun{from.row, from.col, 0};
+    act.slicesLost = from.count;
+    act.banksLost = static_cast<unsigned>(alloc.banks.size());
+    act.cost = before.banks > 0
+                   ? reconfig_.transitionCost(
+                         before, VCoreShape{0, before.slices})
+                   : reconfig_.transitionCost(VCoreShape{0, 2},
+                                              VCoreShape{0, 1});
+    live_.erase(id);
+    return act;
+}
+
+bool
+FabricManager::heal(fault::FaultKind kind, Coord tile)
+{
+    switch (kind) {
+      case fault::FaultKind::Slice: {
+        if (!isSliceRow(tile.y) || tile.y >= height_ || tile.x < 0 ||
+            tile.x >= width_) {
+            return false;
+        }
+        auto cell = sliceBad_[sliceRowIndex(tile.y)].begin() + tile.x;
+        const bool was = *cell;
+        *cell = false;
+        return was;
+      }
+      case fault::FaultKind::Bank: {
+        if (isSliceRow(tile.y) || tile.y >= height_ || tile.x < 0 ||
+            tile.x >= width_) {
+            return false;
+        }
+        auto cell = bankBad_[bankRowIndex(tile.y)].begin() + tile.x;
+        const bool was = *cell;
+        *cell = false;
+        return was;
+      }
+      case fault::FaultKind::Link: {
+        if (!isSliceRow(tile.y) || tile.y >= height_ || tile.x < 0 ||
+            tile.x >= width_ - 1) {
+            return false;
+        }
+        auto cell = linkBad_[sliceRowIndex(tile.y)].begin() + tile.x;
+        const bool was = *cell;
+        *cell = false;
+        return was;
+      }
+    }
+    return false;
+}
+
+std::vector<DegradeAction>
+FabricManager::apply(const fault::FaultEvent &event)
+{
+    if (event.heal) {
+        heal(event.kind, event.tile);
+        return {};
+    }
+    return markFaulty(event.kind, event.tile);
+}
+
+bool
+FabricManager::isFaulty(fault::FaultKind kind, Coord tile) const
+{
+    switch (kind) {
+      case fault::FaultKind::Slice:
+        return isSliceRow(tile.y) && tile.y < height_ && tile.x >= 0 &&
+               tile.x < width_ &&
+               sliceBad_[sliceRowIndex(tile.y)][tile.x];
+      case fault::FaultKind::Bank:
+        return !isSliceRow(tile.y) && tile.y < height_ &&
+               tile.x >= 0 && tile.x < width_ &&
+               bankBad_[bankRowIndex(tile.y)][tile.x];
+      case fault::FaultKind::Link:
+        return isSliceRow(tile.y) && tile.y < height_ && tile.x >= 0 &&
+               tile.x < width_ - 1 &&
+               linkBad_[sliceRowIndex(tile.y)][tile.x];
+    }
+    return false;
+}
+
+unsigned
+FabricManager::faultySlices() const
+{
+    unsigned n = 0;
+    for (const auto &row : sliceBad_)
+        for (bool bad : row)
+            n += bad;
+    return n;
+}
+
+unsigned
+FabricManager::faultyBanks() const
+{
+    unsigned n = 0;
+    for (const auto &row : bankBad_)
+        for (bool bad : row)
+            n += bad;
+    return n;
 }
 
 } // namespace sharch

@@ -26,6 +26,7 @@
 
 #include "common/types.hh"
 #include "core/reconfig.hh"
+#include "fault/fault_model.hh"
 #include "noc/mesh.hh"
 
 namespace sharch {
@@ -68,6 +69,30 @@ struct DefragMove
     SliceRun from;
     SliceRun to;
     Cycles cost = 0; //!< Register Flush + migration cost
+};
+
+/** What the degradation policy did to one VCore after a fault. */
+enum class DegradeKind
+{
+    Replaced,     //!< whole run moved to a healthy contiguous run
+    Shrunk,       //!< fewer Slices via dynamic reconfiguration
+    Evicted,      //!< no healthy run fits even one Slice
+    BankReplaced, //!< lost bank substituted by a healthy free bank
+    BankLost,     //!< lost bank, no free replacement: smaller L2
+};
+
+const char *degradeKindName(DegradeKind kind);
+
+/** One VCore's graceful-degradation outcome. */
+struct DegradeAction
+{
+    AllocationId id = 0;
+    DegradeKind kind = DegradeKind::Replaced;
+    SliceRun from;            //!< Slice run before the fault
+    SliceRun to;              //!< run after (count 0 when evicted)
+    unsigned slicesLost = 0;
+    unsigned banksLost = 0;
+    Cycles cost = 0;          //!< reconfiguration cycles charged
 };
 
 /**
@@ -133,11 +158,51 @@ class FabricManager
 
     /**
      * Plan a compaction that slides every Slice run as far left/up as
-     * possible.  Each moved VCore pays the Slice-only reconfiguration
-     * cost (Register Flush); bank assignments are untouched.  The plan
-     * is applied immediately.
+     * possible (skipping faulty tiles and broken links).  Each moved
+     * VCore pays the Slice-only reconfiguration cost (Register
+     * Flush); bank assignments are untouched.  The plan is applied
+     * immediately.
      */
     std::vector<DefragMove> defragment();
+
+    // --- Fault handling (graceful degradation) -------------------
+
+    /**
+     * Mark one tile (or link) faulty.  The tile is excluded from all
+     * future allocation, and any live VCore standing on it degrades
+     * immediately:
+     *
+     *  - A Slice failure (or a broken link under the run) first tries
+     *    to *re-place* the whole run on a contiguous healthy run,
+     *    ranked by mean distance to the VCore's banks (the
+     *    noc/placement cost).  If no run of the same length fits, the
+     *    VCore is *shrunk* to the longest healthy run available (the
+     *    paper's dynamic reconfiguration, driven by a fault instead
+     *    of the autotuner).  If not even one Slice fits, the VCore is
+     *    evicted and its resources freed.
+     *  - A bank failure substitutes the nearest healthy free bank,
+     *    or simply shrinks the VCore's L2 when none is free.  Either
+     *    way the VCore pays the L2-flush reconfiguration cost.
+     *
+     * @return the degradation actions taken (empty when the tile was
+     *         unowned).  Marking an already-faulty tile is a no-op.
+     */
+    std::vector<DegradeAction> markFaulty(fault::FaultKind kind,
+                                          Coord tile);
+
+    /**
+     * Return a tile (or link) to service.  Live allocations are not
+     * reshaped; the tile simply becomes allocatable again.
+     * @return false when the tile was not faulty.
+     */
+    bool heal(fault::FaultKind kind, Coord tile);
+
+    /** Route one schedule event to markFaulty()/heal(). */
+    std::vector<DegradeAction> apply(const fault::FaultEvent &event);
+
+    bool isFaulty(fault::FaultKind kind, Coord tile) const;
+    unsigned faultySlices() const;
+    unsigned faultyBanks() const;
 
   private:
     int width_;
@@ -146,6 +211,9 @@ class FabricManager
     std::map<AllocationId, FabricAllocation> live_;
     std::vector<std::vector<AllocationId>> sliceOwner_; //!< [row][col]
     std::vector<std::vector<AllocationId>> bankOwner_;
+    std::vector<std::vector<bool>> sliceBad_;  //!< [row][col]
+    std::vector<std::vector<bool>> bankBad_;
+    std::vector<std::vector<bool>> linkBad_;   //!< [row][col..col+1]
     AllocationId next_ = 1;
 
     static constexpr AllocationId kFree = 0;
@@ -154,11 +222,22 @@ class FabricManager
     int sliceRowIndex(int row) const { return row / 2; }
     int bankRowIndex(int row) const { return (row - 1) / 2; }
 
+    bool sliceUsable(int r, int c) const
+    {
+        return sliceOwner_[r][c] == kFree && !sliceBad_[r][c];
+    }
+    /** Link between (c-1, c) of slice-row index r intact? */
+    bool linkIntact(int r, int c) const { return !linkBad_[r][c - 1]; }
+
     std::optional<SliceRun> findRun(unsigned count) const;
+    std::optional<SliceRun> bestRunFor(unsigned count,
+                                       const std::vector<Coord> &banks)
+        const;
     std::vector<Coord> takeBanks(unsigned count, const SliceRun &near,
                                  AllocationId id);
     void claim(const SliceRun &run, AllocationId id);
     void unclaim(const SliceRun &run);
+    DegradeAction degrade(AllocationId id);
 };
 
 } // namespace sharch

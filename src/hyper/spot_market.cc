@@ -59,6 +59,76 @@ SpotMarket::step(double adjust_rate)
     return round;
 }
 
+void
+SpotMarket::reduceCapacity(double slices, double banks)
+{
+    SHARCH_ASSERT(slices >= 0.0 && banks >= 0.0,
+                  "capacity loss cannot be negative");
+    SHARCH_ASSERT(slices < sliceCapacity_ && banks < bankCapacity_,
+                  "a provider with nothing to sell has no market");
+    sliceCapacity_ -= slices;
+    bankCapacity_ -= banks;
+}
+
+void
+SpotMarket::restoreCapacity(double slices, double banks)
+{
+    SHARCH_ASSERT(slices >= 0.0 && banks >= 0.0,
+                  "capacity gain cannot be negative");
+    sliceCapacity_ += slices;
+    bankCapacity_ += banks;
+}
+
+ReauctionResult
+SpotMarket::reauctionAfterFailure(double slices_lost,
+                                  double banks_lost, double tolerance,
+                                  unsigned max_rounds,
+                                  double adjust_rate)
+{
+    ReauctionResult result;
+    result.slicesLost = slices_lost;
+    result.banksLost = banks_lost;
+    // The lost capacity is valued at the prices the customers were
+    // actually paying when the fault hit.
+    const double slice_value = slices_lost * prices_.slicePrice;
+    const double bank_value = banks_lost * prices_.bankPrice;
+    result.refundTotal = slice_value + bank_value;
+
+    // Pro-rate refunds by each customer's demand share at the current
+    // prices: whoever leaned hardest on the failed resource lost the
+    // most service.  (With zero aggregate demand nobody held the
+    // resource, so the refund pool splits evenly.)
+    double slice_demand = 0.0, bank_demand = 0.0;
+    std::vector<SpotBid> bids;
+    for (const SpotCustomer &c : customers_) {
+        SpotBid bid;
+        bid.customer = &c;
+        bid.choice = opt_->peakUtility(c.benchmark, c.utility, prices_,
+                                       c.budget);
+        bid.slicesWanted = bid.choice.cores * bid.choice.slices;
+        bid.banksWanted = bid.choice.cores * bid.choice.banks;
+        slice_demand += bid.slicesWanted;
+        bank_demand += bid.banksWanted;
+        bids.push_back(bid);
+    }
+    const double n = static_cast<double>(customers_.size());
+    for (const SpotBid &bid : bids) {
+        const double slice_share = slice_demand > 0.0
+                                       ? bid.slicesWanted / slice_demand
+                                       : 1.0 / n;
+        const double bank_share = bank_demand > 0.0
+                                      ? bid.banksWanted / bank_demand
+                                      : 1.0 / n;
+        result.refunds.push_back(SpotRefund{
+            bid.customer,
+            slice_value * slice_share + bank_value * bank_share});
+    }
+
+    reduceCapacity(slices_lost, banks_lost);
+    result.rounds = runToClearing(tolerance, max_rounds, adjust_rate);
+    return result;
+}
+
 std::vector<SpotRound>
 SpotMarket::runToClearing(double tolerance, unsigned max_rounds,
                           double adjust_rate)

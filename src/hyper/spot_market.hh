@@ -52,6 +52,23 @@ struct SpotRound
     double bankExcess = 0.0;
 };
 
+/** Money returned to one customer after a capacity failure. */
+struct SpotRefund
+{
+    const SpotCustomer *customer = nullptr;
+    double amount = 0.0;
+};
+
+/** Outcome of re-auctioning after the fabric lost capacity. */
+struct ReauctionResult
+{
+    double slicesLost = 0.0;
+    double banksLost = 0.0;
+    double refundTotal = 0.0;        //!< lost capacity at old prices
+    std::vector<SpotRefund> refunds; //!< pro-rated by demand share
+    std::vector<SpotRound> rounds;   //!< re-clearing history
+};
+
 /** Dynamic sub-core pricing over a fixed-capacity fabric. */
 class SpotMarket
 {
@@ -69,6 +86,19 @@ class SpotMarket
     /** Current posted prices (starts at Market2's area parity). */
     const Market &prices() const { return prices_; }
 
+    double sliceCapacity() const { return sliceCapacity_; }
+    double bankCapacity() const { return bankCapacity_; }
+
+    /**
+     * Shrink leasable capacity (a fault took tiles out of service).
+     * The remainder must stay positive: a provider with nothing to
+     * sell has no market.
+     */
+    void reduceCapacity(double slices, double banks);
+
+    /** Return healed capacity to the pool. */
+    void restoreCapacity(double slices, double banks);
+
     /**
      * Run one tatonnement round: collect bids at current prices, then
      * move each price by `adjust_rate * excess demand` (bounded).
@@ -82,6 +112,21 @@ class SpotMarket
     std::vector<SpotRound> runToClearing(double tolerance = 0.10,
                                          unsigned max_rounds = 50,
                                          double adjust_rate = 0.25);
+
+    /**
+     * React to the fabric losing @p slices_lost Slices and
+     * @p banks_lost banks: refund the lost capacity at the *current*
+     * prices (each customer pro-rated by their share of demand at
+     * those prices -- customers who wanted more of the failed
+     * resource get more money back), shrink capacity, and re-run the
+     * auction to a new clearing.  refundTotal is exactly
+     * slices_lost * slicePrice + banks_lost * bankPrice.
+     */
+    ReauctionResult reauctionAfterFailure(double slices_lost,
+                                          double banks_lost,
+                                          double tolerance = 0.10,
+                                          unsigned max_rounds = 50,
+                                          double adjust_rate = 0.25);
 
   private:
     UtilityOptimizer *opt_;

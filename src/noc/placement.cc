@@ -4,6 +4,19 @@
 
 namespace sharch {
 
+double
+meanDistanceToBanks(const std::vector<Coord> &slices,
+                    const std::vector<Coord> &banks)
+{
+    if (slices.empty() || banks.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const Coord &s : slices)
+        for (const Coord &b : banks)
+            total += manhattanDistance(s, b);
+    return total / static_cast<double>(slices.size() * banks.size());
+}
+
 FabricPlacement::FabricPlacement(unsigned num_slices, unsigned num_banks,
                                  Coord origin)
 {
@@ -48,13 +61,7 @@ FabricPlacement::sliceToBankHops(SliceId s, BankId b) const
 double
 FabricPlacement::meanBankDistance() const
 {
-    if (banks_.empty() || slices_.empty())
-        return 0.0;
-    double total = 0.0;
-    for (SliceId s = 0; s < slices_.size(); ++s)
-        for (BankId b = 0; b < banks_.size(); ++b)
-            total += sliceToBankHops(s, b);
-    return total / static_cast<double>(slices_.size() * banks_.size());
+    return meanDistanceToBanks(slices_, banks_);
 }
 
 } // namespace sharch

@@ -22,6 +22,15 @@
 
 namespace sharch {
 
+/**
+ * Mean Manhattan distance over all (slice, bank) coordinate pairs --
+ * the placement cost the hypervisor minimizes when it puts (or, after
+ * a fault, re-places) a VCore's Slice run relative to its banks.
+ * Zero when either set is empty.
+ */
+double meanDistanceToBanks(const std::vector<Coord> &slices,
+                           const std::vector<Coord> &banks);
+
 /** Coordinates for one VCore's resources and derived hop distances. */
 class FabricPlacement
 {

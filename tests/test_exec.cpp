@@ -8,12 +8,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <initializer_list>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -242,6 +244,224 @@ TEST(Determinism, ParallelSweepMatchesSerialBitwise)
     EXPECT_FALSE(slurp(pathSerial).empty());
     std::filesystem::remove(pathSerial);
     std::filesystem::remove(pathParallel);
+}
+
+TEST(ThreadPool, ThrowingJobDoesNotKillWorkers)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&count, i] {
+            if (i % 5 == 0)
+                throw std::runtime_error("job " + std::to_string(i));
+            ++count;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16); // every non-throwing job still ran
+    EXPECT_EQ(pool.pendingExceptions(), 4u);
+    const auto errors = pool.takeExceptions();
+    ASSERT_EQ(errors.size(), 4u);
+    EXPECT_EQ(pool.pendingExceptions(), 0u); // ownership transferred
+    for (const std::exception_ptr &e : errors)
+        EXPECT_THROW(std::rethrow_exception(e), std::runtime_error);
+
+    // The pool is still serviceable after the failures.
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 17);
+}
+
+TEST(SweepRunner, ThrowingEvaluatorCompletesRemainingPoints)
+{
+    // One poisoned point must not abort the batch: every other point
+    // still evaluates, and the failure surfaces afterwards as the
+    // first failing point in *input* order.
+    const auto points = sweepGrid({std::string("gcc")}, {0, 1, 2, 4},
+                                  sliceRange(2));
+    for (unsigned threads : {1u, 4u}) {
+        std::atomic<int> evals{0};
+        SweepRunner runner(threads);
+        EXPECT_THROW(
+            runner.run(points,
+                       [&evals](const SweepPoint &pt) {
+                           ++evals;
+                           if (pt.banks == 1 && pt.slices == 2)
+                               throw std::runtime_error("poisoned");
+                           return 1.0;
+                       }),
+            std::runtime_error);
+        EXPECT_EQ(evals.load(), static_cast<int>(points.size()));
+    }
+}
+
+TEST(SweepRunner, RunWithStatusReportsEveryPoint)
+{
+    const auto points =
+        sweepGrid({std::string("gcc")}, {0, 2}, sliceRange(2));
+    SweepRunner runner(2);
+    const auto status = runner.runWithStatus(
+        points, [](const SweepPoint &pt, unsigned) {
+            if (pt.slices == 2)
+                throw std::runtime_error("slice-2 is cursed");
+            return pt.banks + 0.5;
+        });
+    ASSERT_EQ(status.size(), points.size());
+    for (std::size_t i = 0; i < status.size(); ++i) {
+        if (points[i].slices == 2) {
+            EXPECT_FALSE(status[i].ok);
+            EXPECT_EQ(status[i].error, "slice-2 is cursed");
+            EXPECT_EQ(status[i].attempts, 1u);
+        } else {
+            EXPECT_TRUE(status[i].ok);
+            EXPECT_EQ(status[i].error, "");
+            EXPECT_DOUBLE_EQ(status[i].value, points[i].banks + 0.5);
+        }
+    }
+}
+
+TEST(SweepRunner, RetrySucceedsOnSecondAttempt)
+{
+    const auto points =
+        sweepGrid({std::string("mcf")}, {0}, sliceRange(2));
+    SweepRunner runner(2);
+    const auto status = runner.runWithStatus(
+        points,
+        [](const SweepPoint &pt, unsigned attempt) {
+            if (pt.slices == 1 && attempt == 0)
+                throw std::runtime_error("transient");
+            return 7.0 + attempt;
+        },
+        3);
+    ASSERT_EQ(status.size(), 2u);
+    EXPECT_TRUE(status[0].ok);
+    EXPECT_EQ(status[0].attempts, 2u); // failed once, then recovered
+    EXPECT_DOUBLE_EQ(status[0].value, 8.0);
+    EXPECT_TRUE(status[1].ok);
+    EXPECT_EQ(status[1].attempts, 1u);
+    EXPECT_DOUBLE_EQ(status[1].value, 7.0);
+}
+
+TEST(SweepRunner, RetryExhaustionKeepsLastError)
+{
+    const auto points =
+        sweepGrid({std::string("mcf")}, {0}, sliceRange(1));
+    SweepRunner runner(1);
+    const auto status = runner.runWithStatus(
+        points,
+        [](const SweepPoint &, unsigned attempt) -> double {
+            throw std::runtime_error("attempt " +
+                                     std::to_string(attempt));
+        },
+        3);
+    ASSERT_EQ(status.size(), 1u);
+    EXPECT_FALSE(status[0].ok);
+    EXPECT_EQ(status[0].attempts, 3u);
+    EXPECT_EQ(status[0].error, "attempt 2"); // the last failure
+    EXPECT_DOUBLE_EQ(status[0].value, 0.0);
+}
+
+TEST(RetrySeed, FirstAttemptMatchesJobSeed)
+{
+    // Attempt 0 must be the historical seed, so a retry-capable sweep
+    // that never actually retries stays bit-identical.
+    EXPECT_EQ(deriveRetrySeed(1, "gcc", 2, 4, 0),
+              deriveJobSeed(1, "gcc", 2, 4));
+    std::set<std::uint64_t> seeds;
+    for (unsigned attempt = 0; attempt < 8; ++attempt)
+        seeds.insert(deriveRetrySeed(1, "gcc", 2, 4, attempt));
+    EXPECT_EQ(seeds.size(), 8u); // each retry gets a fresh stream
+    EXPECT_NE(deriveRetrySeed(1, "gcc", 2, 4, 1),
+              deriveRetrySeed(1, "mcf", 2, 4, 1));
+}
+
+TEST(CliParse, RangeSyntaxAndBounds)
+{
+    const RunOptions o = parse({"gcc", "--slices", "1-8"});
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.slices, (std::vector<unsigned>{1, 2, 3, 4, 5, 6, 7,
+                                               8}));
+    const RunOptions mixed = parse({"gcc", "--banks", "0,2-4,128"});
+    ASSERT_TRUE(mixed.ok()) << mixed.error;
+    EXPECT_EQ(mixed.banks, (std::vector<unsigned>{0, 2, 3, 4, 128}));
+
+    EXPECT_FALSE(parse({"gcc", "--slices", "8-1"}).ok()); // reversed
+    EXPECT_FALSE(parse({"gcc", "--slices", "0"}).ok());   // < 1
+    EXPECT_FALSE(parse({"gcc", "--slices", "9"}).ok());   // > 8
+    EXPECT_FALSE(parse({"gcc", "--slices", "1-9"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--banks", "129"}).ok());  // > 128
+    EXPECT_TRUE(parse({"gcc", "--banks", "0"}).ok()); // 0 KB is legal
+}
+
+TEST(CliParse, FaultFlags)
+{
+    const RunOptions o = parse({"--inject-faults", "slice:0:3",
+                                "--fabric", "4x6"});
+    ASSERT_TRUE(o.ok()) << o.error; // no benchmark needed for replay
+    EXPECT_EQ(o.faultSpec, "slice:0:3");
+    EXPECT_EQ(o.fabricWidth, 4);
+    EXPECT_EQ(o.fabricHeight, 6);
+
+    const RunOptions defaults = parse({"gcc"});
+    EXPECT_EQ(defaults.fabricWidth, 8);
+    EXPECT_EQ(defaults.fabricHeight, 8);
+    EXPECT_TRUE(defaults.faultSpec.empty());
+
+    EXPECT_FALSE(parse({"--fabric", "4x6"}).ok()); // still needs one
+    EXPECT_FALSE(parse({"gcc", "--fabric", "8"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--fabric", "0x8"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--fabric", "8x1"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--fabric", "8xten"}).ok());
+    EXPECT_FALSE(parse({"gcc", "--inject-faults"}).ok());
+}
+
+TEST(DiskCache, CorruptRowsAreRejected)
+{
+    const std::string path = "test_exec_corrupt_cache.csv";
+    std::filesystem::remove(path);
+    {
+        std::ofstream out(path);
+        // Matching (instructions=2000, seed=1) rows with sentinel
+        // values a simulation would never produce, plus corruption.
+        out << "gcc,2000,1,2,4,123.5\n";        // good
+        out << "gcc,2000,1,2,5,nan\n";          // non-finite
+        out << "gcc,2000,1,2,6,-1.0\n";         // negative
+        out << "gcc,2000,1,2,9,123.5\n";        // slices > 8
+        out << "gcc,2000,1,200,4,123.5\n";      // banks > 128
+        out << "gcc,2000,1,2,0,123.5\n";        // slices < 1
+        out << "not,a,row\n";                   // garbage
+        out << "mcf,2000,1,4,4,456.5\n";        // good
+        out << "mcf,2000,1,4";                  // truncated final row
+    }
+    PerfModel pm(2000, 1);
+    pm.enableDiskCache(path);
+    // The good rows are served from the cache (sentinel values prove
+    // no simulation happened)...
+    EXPECT_DOUBLE_EQ(pm.performance("gcc", 2, 4), 123.5);
+    EXPECT_DOUBLE_EQ(pm.performance("mcf", 4, 4), 456.5);
+    // ...while the poisoned configurations fall back to simulation.
+    const double resim = pm.performance("gcc", 2, 5);
+    EXPECT_TRUE(std::isfinite(resim));
+    EXPECT_NE(resim, 123.5);
+    EXPECT_GT(pm.performance("gcc", 2, 6), 0.0);
+    std::filesystem::remove(path);
+}
+
+TEST(DiskCache, OtherConfigRowsAreSkippedSilently)
+{
+    const std::string path = "test_exec_other_config_cache.csv";
+    std::filesystem::remove(path);
+    {
+        std::ofstream out(path);
+        out << "gcc,9999,1,2,4,123.5\n"; // other instruction count
+        out << "gcc,2000,7,2,4,123.5\n"; // other seed
+    }
+    PerfModel pm(2000, 1);
+    pm.enableDiskCache(path);
+    // Neither row matches this model's identity; both must be
+    // ignored (they are legitimate rows for other studies).
+    EXPECT_NE(pm.performance("gcc", 2, 4), 123.5);
+    std::filesystem::remove(path);
 }
 
 TEST(Determinism, BatchAgreesWithPointApi)

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Tests for the fault subsystem: deterministic fault schedules, the
+ * FabricManager's graceful-degradation policy (re-place, shrink,
+ * evict, bank substitution), and the economic reaction (spot-market
+ * re-auction accounting, degraded datacenter study).
+ */
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "econ/datacenter.hh"
+#include "econ/optimizer.hh"
+#include "fault/fault_model.hh"
+#include "hyper/fabric_manager.hh"
+#include "hyper/spot_market.hh"
+
+using namespace sharch;
+using namespace sharch::fault;
+
+TEST(FaultSpecParse, GoodSpec)
+{
+    const FaultSpec spec = parseFaultSpec(
+        "seed=7,mtbf=100000,count=4,mttr=50000,"
+        "slice:0:3,bank:1:2,link:2:5");
+    ASSERT_TRUE(spec.ok()) << spec.error;
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_DOUBLE_EQ(spec.mtbf, 100000.0);
+    EXPECT_EQ(spec.count, 4u);
+    EXPECT_DOUBLE_EQ(spec.mttr, 50000.0);
+    ASSERT_EQ(spec.fixed.size(), 3u);
+    EXPECT_EQ(spec.fixed[0].kind, FaultKind::Slice);
+    EXPECT_EQ(spec.fixed[0].tile, (Coord{3, 0})); // col 3, row 0
+    EXPECT_EQ(spec.fixed[1].kind, FaultKind::Bank);
+    EXPECT_EQ(spec.fixed[1].tile, (Coord{2, 1}));
+    EXPECT_EQ(spec.fixed[2].kind, FaultKind::Link);
+    EXPECT_EQ(spec.fixed[2].tile, (Coord{5, 2}));
+    EXPECT_FALSE(spec.empty());
+}
+
+TEST(FaultSpecParse, BadSpecsSetErrorNotThrow)
+{
+    EXPECT_FALSE(parseFaultSpec("").ok());
+    EXPECT_FALSE(parseFaultSpec("seed=1,,mtbf=5").ok());
+    EXPECT_FALSE(parseFaultSpec("wibble=3").ok());
+    EXPECT_FALSE(parseFaultSpec("seed=banana").ok());
+    EXPECT_FALSE(parseFaultSpec("mtbf=-100").ok());
+    EXPECT_FALSE(parseFaultSpec("slice:0").ok());   // missing column
+    EXPECT_FALSE(parseFaultSpec("core:0:1").ok());  // unknown kind
+    EXPECT_FALSE(parseFaultSpec("slice:a:b").ok());
+    // A random count needs an MTBF to space the failures.
+    EXPECT_FALSE(parseFaultSpec("count=4").ok());
+    // A spec that schedules nothing is valid, just empty.
+    const FaultSpec idle = parseFaultSpec("seed=9");
+    EXPECT_TRUE(idle.ok());
+    EXPECT_TRUE(idle.empty());
+}
+
+TEST(FaultModel, ScheduleIsPureFunctionOfSeedAndGeometry)
+{
+    FaultSpec spec;
+    spec.seed = 9;
+    spec.mtbf = 50000.0;
+    spec.count = 10;
+    const FaultModel a(spec, 8, 8);
+    const FaultModel b(spec, 8, 8);
+    EXPECT_EQ(a.schedule(), b.schedule());
+
+    FaultSpec other = spec;
+    other.seed = 10;
+    EXPECT_NE(a.schedule(), FaultModel(other, 8, 8).schedule());
+    // Geometry is part of the identity too.
+    EXPECT_NE(a.schedule(), FaultModel(spec, 8, 6).schedule());
+}
+
+TEST(FaultModel, EventsAreSortedAndOnChip)
+{
+    FaultSpec spec;
+    spec.seed = 3;
+    spec.mtbf = 10000.0;
+    spec.count = 50;
+    const int width = 6, height = 8;
+    const FaultModel model(spec, width, height);
+    ASSERT_EQ(model.schedule().size(), 50u);
+    Cycles prev = 0;
+    for (const FaultEvent &ev : model.schedule()) {
+        EXPECT_GE(ev.at, prev);
+        prev = ev.at;
+        EXPECT_GE(ev.tile.x, 0);
+        EXPECT_GE(ev.tile.y, 0);
+        EXPECT_LT(ev.tile.y, height);
+        switch (ev.kind) {
+          case FaultKind::Slice:
+            EXPECT_EQ(ev.tile.y % 2, 0);
+            EXPECT_LT(ev.tile.x, width);
+            break;
+          case FaultKind::Bank:
+            EXPECT_EQ(ev.tile.y % 2, 1);
+            EXPECT_LT(ev.tile.x, width);
+            break;
+          case FaultKind::Link:
+            EXPECT_EQ(ev.tile.y % 2, 0);
+            EXPECT_LT(ev.tile.x, width - 1);
+            break;
+        }
+        EXPECT_FALSE(ev.heal); // no mttr: failures are permanent
+    }
+}
+
+TEST(FaultModel, MttrSchedulesOneHealPerFailure)
+{
+    FaultSpec spec;
+    spec.seed = 11;
+    spec.mtbf = 20000.0;
+    spec.count = 6;
+    spec.mttr = 80000.0;
+    const FaultModel model(spec, 8, 8);
+    ASSERT_EQ(model.schedule().size(), 12u);
+    unsigned heals = 0;
+    for (const FaultEvent &ev : model.schedule())
+        heals += ev.heal;
+    EXPECT_EQ(heals, 6u);
+}
+
+TEST(FaultModel, EventsUpToAdvancesACursor)
+{
+    const FaultSpec spec = parseFaultSpec("slice:0:1,bank:1:0");
+    ASSERT_TRUE(spec.ok()) << spec.error;
+    FaultModel model(spec, 4, 2);
+    EXPECT_EQ(model.pending(), 2u);
+    // Fixed events fire at cycle 0 in spec order.
+    const auto first = model.eventsUpTo(0);
+    ASSERT_EQ(first.size(), 2u);
+    EXPECT_EQ(first[0].kind, FaultKind::Slice);
+    EXPECT_EQ(first[1].kind, FaultKind::Bank);
+    EXPECT_EQ(model.pending(), 0u);
+    EXPECT_TRUE(model.eventsUpTo(1000000).empty()); // no re-delivery
+    model.reset();
+    EXPECT_EQ(model.pending(), 2u);
+}
+
+TEST(FabricDegrade, AllocationSkipsFaultyTiles)
+{
+    FabricManager fm(8, 2);
+    EXPECT_TRUE(fm.markFaulty(FaultKind::Slice, Coord{3, 0}).empty());
+    EXPECT_TRUE(fm.isFaulty(FaultKind::Slice, Coord{3, 0}));
+    EXPECT_EQ(fm.faultySlices(), 1u);
+    EXPECT_EQ(fm.freeSlices(), 7u);
+    // The longest healthy run is cols 4..7; five contiguous Slices no
+    // longer exist anywhere.
+    EXPECT_EQ(fm.largestFreeRun(), 4u);
+    EXPECT_FALSE(fm.allocate(5, 0).has_value());
+    const auto id = fm.allocate(4, 0);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(fm.find(*id)->slices.col, 4);
+}
+
+TEST(FabricDegrade, BrokenLinkSplitsFreeRuns)
+{
+    FabricManager fm(8, 2);
+    // Link (0,3)-(0,4) down: tiles stay usable but contiguity breaks.
+    EXPECT_TRUE(fm.markFaulty(FaultKind::Link, Coord{3, 0}).empty());
+    EXPECT_EQ(fm.freeSlices(), 8u);
+    EXPECT_EQ(fm.largestFreeRun(), 4u);
+    EXPECT_FALSE(fm.allocate(5, 0).has_value());
+    const auto id = fm.allocate(4, 0);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(fm.find(*id)->slices.col, 0);
+}
+
+TEST(FabricDegrade, SliceFaultReplacesRunWhenRoomExists)
+{
+    FabricManager fm(8, 8);
+    const auto id = fm.allocate(4, 2);
+    ASSERT_TRUE(id.has_value());
+    const SliceRun before = fm.find(*id)->slices;
+
+    const auto actions =
+        fm.markFaulty(FaultKind::Slice,
+                      Coord{before.col + 1, before.row});
+    ASSERT_EQ(actions.size(), 1u);
+    const DegradeAction &act = actions[0];
+    EXPECT_EQ(act.id, *id);
+    EXPECT_EQ(act.kind, DegradeKind::Replaced);
+    EXPECT_EQ(act.to.count, 4u); // same size, new position
+    EXPECT_EQ(act.slicesLost, 0u);
+    EXPECT_EQ(act.cost, 500u); // Register Flush, not an L2 flush
+    const SliceRun after = fm.find(*id)->slices;
+    EXPECT_EQ(after.row, act.to.row);
+    EXPECT_EQ(after.col, act.to.col);
+    EXPECT_FALSE(after.contains(before.row, before.col + 1));
+}
+
+TEST(FabricDegrade, SliceFaultShrinksWhenNoFullRunFits)
+{
+    FabricManager fm(8, 2);
+    const auto a = fm.allocate(4, 0);
+    const auto b = fm.allocate(4, 0);
+    ASSERT_TRUE(a && b);
+    // The chip is full; losing (0,1) leaves {0} and {2,3} of a's run.
+    const auto actions = fm.markFaulty(FaultKind::Slice, Coord{1, 0});
+    ASSERT_EQ(actions.size(), 1u);
+    EXPECT_EQ(actions[0].kind, DegradeKind::Shrunk);
+    EXPECT_EQ(actions[0].slicesLost, 2u);
+    EXPECT_EQ(actions[0].cost, 500u); // banks unchanged: slice-only
+    EXPECT_EQ(fm.find(*a)->slices.count, 2u);
+    EXPECT_EQ(fm.find(*a)->slices.col, 2);
+    EXPECT_EQ(fm.find(*b)->slices.count, 4u); // bystander untouched
+}
+
+TEST(FabricDegrade, EvictsWhenNotEvenOneSliceFits)
+{
+    FabricManager fm(2, 2);
+    const auto id = fm.allocate(2, 1);
+    ASSERT_TRUE(id.has_value());
+    const auto first = fm.markFaulty(FaultKind::Slice, Coord{0, 0});
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].kind, DegradeKind::Shrunk);
+
+    const auto second = fm.markFaulty(FaultKind::Slice, Coord{1, 0});
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].kind, DegradeKind::Evicted);
+    EXPECT_EQ(second[0].slicesLost, 1u);
+    EXPECT_EQ(second[0].banksLost, 1u);
+    EXPECT_EQ(second[0].cost, 10000u); // held a bank: L2 flush
+    EXPECT_EQ(second[0].to.count, 0u);
+    EXPECT_EQ(fm.find(*id), nullptr);
+    EXPECT_TRUE(fm.allocations().empty());
+    EXPECT_EQ(fm.freeBanks(), 2u); // the bank itself was healthy
+}
+
+TEST(FabricDegrade, BankFaultSubstitutesAFreeBank)
+{
+    FabricManager fm(4, 2); // 4 Slices, 4 banks
+    const auto id = fm.allocate(2, 2);
+    ASSERT_TRUE(id.has_value());
+    const Coord victim = fm.find(*id)->banks.front();
+
+    const auto actions = fm.markFaulty(FaultKind::Bank, victim);
+    ASSERT_EQ(actions.size(), 1u);
+    EXPECT_EQ(actions[0].kind, DegradeKind::BankReplaced);
+    EXPECT_EQ(actions[0].banksLost, 0u);
+    EXPECT_EQ(actions[0].cost, 10000u); // bank set changed: L2 flush
+    const FabricAllocation *alloc = fm.find(*id);
+    ASSERT_NE(alloc, nullptr);
+    EXPECT_EQ(alloc->banks.size(), 2u);
+    for (const Coord &b : alloc->banks)
+        EXPECT_NE(b, victim);
+    EXPECT_EQ(fm.faultyBanks(), 1u);
+    EXPECT_EQ(fm.freeBanks(), 1u); // 4 - 1 dead - 2 leased
+}
+
+TEST(FabricDegrade, BankFaultShrinksL2WhenNoSpareExists)
+{
+    FabricManager fm(2, 2); // 2 Slices, 2 banks
+    const auto id = fm.allocate(1, 2);
+    ASSERT_TRUE(id.has_value());
+    const Coord victim = fm.find(*id)->banks.front();
+    const auto actions = fm.markFaulty(FaultKind::Bank, victim);
+    ASSERT_EQ(actions.size(), 1u);
+    EXPECT_EQ(actions[0].kind, DegradeKind::BankLost);
+    EXPECT_EQ(actions[0].banksLost, 1u);
+    EXPECT_EQ(actions[0].cost, 10000u);
+    EXPECT_EQ(fm.find(*id)->banks.size(), 1u);
+}
+
+TEST(FabricDegrade, LinkFaultOnlyDegradesSpanningRuns)
+{
+    FabricManager fm(8, 2);
+    const auto a = fm.allocate(2, 0); // cols 0..1
+    const auto b = fm.allocate(2, 0); // cols 2..3
+    ASSERT_TRUE(a && b);
+    // Link (0,1)-(0,2) sits *between* the two runs: nobody spans it.
+    EXPECT_TRUE(fm.markFaulty(FaultKind::Link, Coord{1, 0}).empty());
+    EXPECT_EQ(fm.find(*a)->slices.count, 2u);
+    EXPECT_EQ(fm.find(*b)->slices.count, 2u);
+    // Link (0,2)-(0,3) runs under b: b must degrade (re-place right).
+    const auto actions = fm.markFaulty(FaultKind::Link, Coord{2, 0});
+    ASSERT_EQ(actions.size(), 1u);
+    EXPECT_EQ(actions[0].id, *b);
+    EXPECT_EQ(actions[0].kind, DegradeKind::Replaced);
+}
+
+TEST(FabricDegrade, MarkingTwiceIsANoOpAndHealRestores)
+{
+    FabricManager fm(4, 2);
+    EXPECT_TRUE(fm.markFaulty(FaultKind::Slice, Coord{2, 0}).empty());
+    EXPECT_TRUE(fm.markFaulty(FaultKind::Slice, Coord{2, 0}).empty());
+    EXPECT_EQ(fm.faultySlices(), 1u);
+    EXPECT_EQ(fm.freeSlices(), 3u);
+
+    EXPECT_TRUE(fm.heal(FaultKind::Slice, Coord{2, 0}));
+    EXPECT_FALSE(fm.heal(FaultKind::Slice, Coord{2, 0})); // not faulty
+    EXPECT_EQ(fm.faultySlices(), 0u);
+    EXPECT_EQ(fm.freeSlices(), 4u);
+    const auto id = fm.allocate(4, 0); // healed tile allocatable again
+    EXPECT_TRUE(id.has_value());
+}
+
+TEST(FabricDegrade, DefragmentationAvoidsFaultyTiles)
+{
+    FabricManager fm(8, 2);
+    const auto a = fm.allocate(2, 0); // cols 0..1
+    const auto b = fm.allocate(2, 0); // cols 2..3
+    const auto c = fm.allocate(2, 0); // cols 4..5
+    ASSERT_TRUE(a && b && c);
+    ASSERT_TRUE(fm.release(*b));
+    EXPECT_TRUE(fm.markFaulty(FaultKind::Slice, Coord{2, 0}).empty());
+
+    const auto moves = fm.defragment();
+    ASSERT_EQ(moves.size(), 1u);
+    EXPECT_EQ(moves[0].id, *c);
+    // The leftmost healthy window for c is cols 3..4 (col 2 is dead).
+    EXPECT_EQ(moves[0].to.col, 3);
+    EXPECT_EQ(moves[0].cost, 500u);
+    EXPECT_EQ(fm.find(*c)->slices.col, 3);
+}
+
+TEST(FabricDegrade, ScheduleReplayIsReproducible)
+{
+    FaultSpec spec;
+    spec.seed = 5;
+    spec.mtbf = 20000.0;
+    spec.count = 12;
+    spec.mttr = 60000.0;
+
+    using Outcome = std::tuple<AllocationId, DegradeKind, int, int,
+                               unsigned, Cycles>;
+    auto replay = [&spec]() {
+        FabricManager fm(8, 8);
+        while (fm.allocate(3, 2)) {
+        }
+        FaultModel model(spec, fm.width(), fm.height());
+        std::vector<Outcome> outcomes;
+        for (const FaultEvent &ev : model.schedule()) {
+            for (const DegradeAction &a : fm.apply(ev)) {
+                outcomes.emplace_back(a.id, a.kind, a.to.row,
+                                      a.to.col, a.slicesLost, a.cost);
+            }
+        }
+        outcomes.emplace_back(0, DegradeKind::Replaced,
+                              static_cast<int>(fm.faultySlices()),
+                              static_cast<int>(fm.faultyBanks()),
+                              fm.largestFreeRun(),
+                              static_cast<Cycles>(
+                                  fm.allocations().size()));
+        return outcomes;
+    };
+    // Same seed, same geometry, same tenants: every degradation
+    // decision and the final fabric state must replay identically.
+    EXPECT_EQ(replay(), replay());
+}
+
+namespace {
+
+PerfModel &
+faultPerf()
+{
+    static PerfModel pm(2000);
+    return pm;
+}
+
+UtilityOptimizer &
+faultOpt()
+{
+    static UtilityOptimizer opt(faultPerf(), AreaModel{});
+    return opt;
+}
+
+} // namespace
+
+TEST(SpotReauction, RefundsLostCapacityAtPreFaultPrices)
+{
+    SpotMarket market(faultOpt(), 64.0, 128.0);
+    market.addCustomer(SpotCustomer{"web", "gcc",
+                                    UtilityKind::Throughput, 40.0});
+    market.addCustomer(SpotCustomer{"batch", "hmmer",
+                                    UtilityKind::Balanced, 40.0});
+    market.runToClearing(0.15, 40);
+    const double slice_price = market.prices().slicePrice;
+    const double bank_price = market.prices().bankPrice;
+
+    const ReauctionResult re = market.reauctionAfterFailure(8.0, 16.0);
+    EXPECT_DOUBLE_EQ(re.refundTotal,
+                     8.0 * slice_price + 16.0 * bank_price);
+    // Pro-rated refunds must add up to exactly the pool.
+    double paid = 0.0;
+    for (const SpotRefund &r : re.refunds) {
+        EXPECT_GE(r.amount, 0.0);
+        paid += r.amount;
+    }
+    EXPECT_NEAR(paid, re.refundTotal, 1e-9);
+    ASSERT_EQ(re.refunds.size(), 2u);
+    // Capacity shrank and the market re-cleared over the remainder.
+    EXPECT_DOUBLE_EQ(market.sliceCapacity(), 56.0);
+    EXPECT_DOUBLE_EQ(market.bankCapacity(), 112.0);
+    EXPECT_FALSE(re.rounds.empty());
+}
+
+TEST(SpotReauction, CapacityBookkeeping)
+{
+    SpotMarket market(faultOpt(), 10.0, 20.0);
+    market.reduceCapacity(4.0, 8.0);
+    EXPECT_DOUBLE_EQ(market.sliceCapacity(), 6.0);
+    EXPECT_DOUBLE_EQ(market.bankCapacity(), 12.0);
+    market.restoreCapacity(4.0, 8.0);
+    EXPECT_DOUBLE_EQ(market.sliceCapacity(), 10.0);
+    EXPECT_DOUBLE_EQ(market.bankCapacity(), 20.0);
+}
+
+TEST(DatacenterDegraded, ZeroFailureIsBitIdentical)
+{
+    const std::vector<double> mixes = {0.25, 0.75};
+    const DatacenterResult healthy =
+        datacenterStudy(faultOpt(), "hmmer", "gobmk", mixes, 5);
+    const DatacenterResult degraded = datacenterStudyDegraded(
+        faultOpt(), "hmmer", "gobmk", mixes, 0.0, 0.0, 5);
+    ASSERT_EQ(healthy.points.size(), degraded.points.size());
+    for (std::size_t i = 0; i < healthy.points.size(); ++i) {
+        EXPECT_EQ(healthy.points[i].utilityPerArea,
+                  degraded.points[i].utilityPerArea);
+    }
+}
+
+TEST(DatacenterDegraded, DeadCoresCostUtility)
+{
+    const std::vector<double> mixes = {0.5};
+    const DatacenterResult healthy =
+        datacenterStudy(faultOpt(), "hmmer", "gobmk", mixes, 5);
+    const DatacenterResult degraded = datacenterStudyDegraded(
+        faultOpt(), "hmmer", "gobmk", mixes, 0.25, 0.25, 5);
+    for (std::size_t i = 0; i < healthy.points.size(); ++i) {
+        EXPECT_LT(degraded.points[i].utilityPerArea,
+                  healthy.points[i].utilityPerArea);
+    }
+}

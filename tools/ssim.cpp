@@ -29,6 +29,8 @@
 #include "core/vm_sim.hh"
 #include "exec/run_options.hh"
 #include "exec/sweep.hh"
+#include "fault/fault_model.hh"
+#include "hyper/fabric_manager.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
@@ -149,6 +151,128 @@ runSweep(const exec::RunOptions &opts, const SimConfig &cfg,
     return 0;
 }
 
+/**
+ * Replay a fault schedule against a populated fabric and report each
+ * VCore's graceful degradation (re-place / shrink / evict / bank
+ * substitution) plus the surviving capacity.
+ */
+int
+runFaultReplay(const exec::RunOptions &opts, const char *prog)
+{
+    const fault::FaultSpec spec =
+        fault::parseFaultSpec(opts.faultSpec);
+    if (!spec.ok())
+        return usageError(prog, "bad --inject-faults: " + spec.error);
+    if (spec.empty())
+        return usageError(prog,
+                          "--inject-faults spec schedules no events");
+
+    FabricManager fm(opts.fabricWidth, opts.fabricHeight);
+
+    // Populate the chip with identical tenants (the --slices/--banks
+    // overrides, else a mid-size VCore) until allocation fails, so
+    // the schedule always hits live state.
+    const unsigned vslices =
+        opts.slices.empty() ? 4 : opts.slices.front();
+    const unsigned vbanks = opts.banks.empty() ? 4 : opts.banks.front();
+    unsigned tenants = 0;
+    while (fm.allocate(vslices, vbanks))
+        ++tenants;
+
+    fault::FaultModel model(spec, opts.fabricWidth,
+                            opts.fabricHeight);
+
+    unsigned evicted = 0, moved = 0, shrunk = 0;
+    unsigned slices_lost = 0, banks_lost = 0;
+    Cycles reconfig_cycles = 0;
+    const bool json = opts.json;
+    if (json)
+        std::printf("{\"tenants\":%u,\"events\":[", tenants);
+    else
+        std::printf("ssim fault replay: %dx%d fabric, %u VCore(s) of "
+                    "%u Slice(s) + %u bank(s)\n\n",
+                    opts.fabricWidth, opts.fabricHeight, tenants,
+                    vslices, vbanks);
+    bool first = true;
+    for (const fault::FaultEvent &ev : model.schedule()) {
+        const auto actions = fm.apply(ev);
+        if (json) {
+            std::printf("%s{\"at\":%llu,\"kind\":\"%s\",\"tile\":"
+                        "[%d,%d],\"heal\":%s,\"actions\":[",
+                        first ? "" : ",",
+                        static_cast<unsigned long long>(ev.at),
+                        fault::faultKindName(ev.kind), ev.tile.y,
+                        ev.tile.x, ev.heal ? "true" : "false");
+            for (std::size_t i = 0; i < actions.size(); ++i) {
+                const DegradeAction &a = actions[i];
+                std::printf("%s{\"vcore\":%llu,\"outcome\":\"%s\","
+                            "\"slices_lost\":%u,\"banks_lost\":%u,"
+                            "\"cost\":%llu}",
+                            i ? "," : "",
+                            static_cast<unsigned long long>(a.id),
+                            degradeKindName(a.kind), a.slicesLost,
+                            a.banksLost,
+                            static_cast<unsigned long long>(a.cost));
+            }
+            std::printf("]}");
+            first = false;
+        } else {
+            std::printf("cycle %10llu  %-5s %s (%d,%d)\n",
+                        static_cast<unsigned long long>(ev.at),
+                        fault::faultKindName(ev.kind),
+                        ev.heal ? "heal " : "fail ", ev.tile.y,
+                        ev.tile.x);
+            for (const DegradeAction &a : actions) {
+                std::printf("    vcore %llu %s: run (%d,%d)x%u -> "
+                            "(%d,%d)x%u, -%u slice(s) -%u bank(s), "
+                            "%llu cycles\n",
+                            static_cast<unsigned long long>(a.id),
+                            degradeKindName(a.kind), a.from.row,
+                            a.from.col, a.from.count, a.to.row,
+                            a.to.col, a.to.count, a.slicesLost,
+                            a.banksLost,
+                            static_cast<unsigned long long>(a.cost));
+            }
+        }
+        for (const DegradeAction &a : actions) {
+            moved += a.kind == DegradeKind::Replaced;
+            shrunk += a.kind == DegradeKind::Shrunk;
+            evicted += a.kind == DegradeKind::Evicted;
+            slices_lost += a.slicesLost;
+            banks_lost += a.banksLost;
+            reconfig_cycles += a.cost;
+        }
+    }
+
+    if (json) {
+        std::printf("],\"summary\":{\"replaced\":%u,\"shrunk\":%u,"
+                    "\"evicted\":%u,\"slices_lost\":%u,"
+                    "\"banks_lost\":%u,\"reconfig_cycles\":%llu,"
+                    "\"faulty_slices\":%u,\"faulty_banks\":%u,"
+                    "\"live_vcores\":%zu,"
+                    "\"slice_utilization\":%.17g,"
+                    "\"fragmentation\":%.17g}}\n",
+                    moved, shrunk, evicted, slices_lost, banks_lost,
+                    static_cast<unsigned long long>(reconfig_cycles),
+                    fm.faultySlices(), fm.faultyBanks(),
+                    fm.allocations().size(), fm.sliceUtilization(),
+                    fm.fragmentation());
+        return 0;
+    }
+    std::printf("\nsummary: %u replaced, %u shrunk, %u evicted; "
+                "%u Slice(s) and %u bank(s) lost; %llu "
+                "reconfiguration cycles\n",
+                moved, shrunk, evicted, slices_lost, banks_lost,
+                static_cast<unsigned long long>(reconfig_cycles));
+    std::printf("fabric: %u/%u Slices faulty, %u banks faulty, "
+                "%zu live VCore(s), utilization %.3f, "
+                "fragmentation %.3f\n",
+                fm.faultySlices(), fm.totalSlices(), fm.faultyBanks(),
+                fm.allocations().size(), fm.sliceUtilization(),
+                fm.fragmentation());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -167,6 +291,8 @@ main(int argc, char **argv)
             std::printf("%s\n", n.c_str());
         return 0;
     }
+    if (!opts.faultSpec.empty())
+        return runFaultReplay(opts, argv[0]);
 
     if (!hasProfile(opts.benchmark)) {
         std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
@@ -181,20 +307,8 @@ main(int argc, char **argv)
     if (opts.seedSet)
         cfg.seed = opts.seed;
 
-    // --slices/--banks override the XML config.
-    for (unsigned s : opts.slices) {
-        if (s < 1 || s > SimConfig::kMaxSlices)
-            return usageError(argv[0],
-                             "--slices values must be in 1.." +
-                                 std::to_string(SimConfig::kMaxSlices));
-    }
-    for (unsigned b : opts.banks) {
-        if (b > SimConfig::kMaxL2Banks)
-            return usageError(argv[0],
-                             "--banks values must be in 0.." +
-                                 std::to_string(SimConfig::kMaxL2Banks));
-    }
-
+    // --slices/--banks override the XML config (range-checked at
+    // parse time by parseRunOptions).
     if (opts.isSweep()) {
         const std::vector<unsigned> banks =
             opts.banks.empty() ? std::vector<unsigned>{cfg.numL2Banks}
