@@ -3,7 +3,7 @@
  * Fault injection study: graceful degradation of the Slice fabric.
  *
  * The paper's economics assume the provider can always recompose
- * VCores from interchangeable Slices (section 3).  This harness
+ * VCores from interchangeable Slices (section 3).  This study
  * quantifies what that buys under hardware failures:
  *
  *  1. A populated fabric absorbs growing random fault loads; we
@@ -16,30 +16,41 @@
  *     loses whole cores to the same fault fraction, showing the
  *     configurability advantage under failures.
  *
- * Everything is seeded: re-running this harness reproduces every
+ * Everything is seeded: re-running this study reproduces every
  * number bit-for-bit (see fault/fault_model.hh).
  */
 
+#include <algorithm>
 #include <string>
 
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
 #include "econ/datacenter.hh"
 #include "fault/fault_model.hh"
 #include "hyper/fabric_manager.hh"
 #include "hyper/spot_market.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
 namespace {
 
 /** Fill an 8x8 chip with 4-Slice/4-bank tenants and replay faults. */
 void
-degradationSweep()
+degradationSweep(study::Report &report)
 {
-    std::printf("%-8s %-9s %-9s %-9s %-9s %-11s %-9s\n", "faults",
-                "replaced", "shrunk", "evicted", "lostSl",
-                "reconfigCyc", "frag");
+    study::Table &t = report.addTable(
+        "fabric_degradation",
+        "Fabric degradation (8x8 chip, 4S+4B tenants, seed 42)");
+    t.col("faults", study::Value::Kind::Integer)
+        .col("replaced", study::Value::Kind::Integer)
+        .col("shrunk", study::Value::Kind::Integer)
+        .col("evicted", study::Value::Kind::Integer)
+        .col("slices_lost", study::Value::Kind::Integer)
+        .col("reconfig_cycles", study::Value::Kind::Integer)
+        .col("fragmentation", study::Value::Kind::Real, 3);
     for (unsigned count : {0u, 2u, 4u, 8u, 16u}) {
         FabricManager fm(8, 8);
         while (fm.allocate(4, 4)) {
@@ -61,16 +72,14 @@ degradationSweep()
                 cycles += a.cost;
             }
         }
-        std::printf("%-8u %-9u %-9u %-9u %-9u %-11llu %-9.3f\n",
-                    count, replaced, shrunk, evicted, lost,
-                    static_cast<unsigned long long>(cycles),
-                    fm.fragmentation());
+        t.addRow({count, replaced, shrunk, evicted, lost, cycles,
+                  fm.fragmentation()});
     }
 }
 
 /** Lose an eighth of the fabric and re-clear the spot market. */
 void
-marketReauction(UtilityOptimizer &opt)
+marketReauction(study::Report &report, UtilityOptimizer &opt)
 {
     SpotMarket market(opt, 64.0, 128.0);
     market.addCustomer(SpotCustomer{"throughput", "hmmer",
@@ -78,33 +87,48 @@ marketReauction(UtilityOptimizer &opt)
     market.addCustomer(SpotCustomer{"single-stream", "gobmk",
                                     UtilityKind::SingleStream, 40.0});
     const auto before = market.runToClearing();
-    std::printf("pre-fault clearing after %zu round(s): "
-                "slice $%.3f, bank $%.3f\n",
-                before.size(), market.prices().slicePrice,
-                market.prices().bankPrice);
+
+    study::Table &t = report.addTable(
+        "market_reauction",
+        "Spot-market clearing before and after losing 8 Slices + "
+        "16 banks");
+    t.col("stage", study::Value::Kind::Text)
+        .col("rounds", study::Value::Kind::Integer)
+        .col("slice_price", study::Value::Kind::Real, 3)
+        .col("bank_price", study::Value::Kind::Real, 3)
+        .col("slice_capacity", study::Value::Kind::Real, 0)
+        .col("bank_capacity", study::Value::Kind::Real, 0);
+    t.addRow({"pre_fault", before.size(),
+              market.prices().slicePrice, market.prices().bankPrice,
+              market.sliceCapacity(), market.bankCapacity()});
 
     const ReauctionResult re = market.reauctionAfterFailure(8.0, 16.0);
-    std::printf("fault takes 8 Slices + 16 banks off the market\n");
-    std::printf("refund pool $%.3f (lost capacity at pre-fault "
-                "prices):\n",
-                re.refundTotal);
-    for (const SpotRefund &r : re.refunds)
-        std::printf("  %-12s $%.3f\n", r.customer->name.c_str(),
-                    r.amount);
-    std::printf("re-cleared after %zu round(s): slice $%.3f, "
-                "bank $%.3f over %.0f Slices / %.0f banks\n",
-                re.rounds.size(), market.prices().slicePrice,
-                market.prices().bankPrice, market.sliceCapacity(),
-                market.bankCapacity());
+    t.addRow({"re_cleared", re.rounds.size(),
+              market.prices().slicePrice, market.prices().bankPrice,
+              market.sliceCapacity(), market.bankCapacity()});
+
+    study::Table &r = report.addTable(
+        "refunds",
+        "Pro-rated refunds at pre-fault prices (pool total first)");
+    r.col("customer", study::Value::Kind::Text)
+        .col("amount", study::Value::Kind::Real, 3);
+    r.addRow({"(total)", re.refundTotal});
+    for (const SpotRefund &refund : re.refunds)
+        r.addRow({refund.customer->name, refund.amount});
 }
 
 /** Whole-core losses in the fixed heterogeneous datacenter. */
 void
-datacenterDegradation(UtilityOptimizer &opt)
+datacenterDegradation(study::Report &report, UtilityOptimizer &opt)
 {
     const std::vector<double> mixes = {0.5};
-    std::printf("%-12s %-14s %-14s\n", "fail frac", "peak utility",
-                "vs healthy");
+    study::Table &t = report.addTable(
+        "datacenter_degraded",
+        "Fixed heterogeneous datacenter under the same fault "
+        "fraction");
+    t.col("fail_frac", study::Value::Kind::Real, 2)
+        .col("peak_utility", study::Value::Kind::Real, 3)
+        .col("vs_healthy", study::Value::Kind::Real, 3);
     double healthy = 0.0;
     for (double fail : {0.0, 0.1, 0.25}) {
         const DatacenterResult res = datacenterStudyDegraded(
@@ -114,41 +138,51 @@ datacenterDegradation(UtilityOptimizer &opt)
             peak = std::max(peak, p.utilityPerArea);
         if (fail == 0.0)
             healthy = peak;
-        std::printf("%-12.2f %-14.3f %-14.3f\n", fail, peak,
-                    healthy > 0.0 ? peak / healthy : 0.0);
+        t.addRow({fail, peak,
+                  healthy > 0.0 ? peak / healthy : 0.0});
     }
-    std::printf("\na fixed mixture loses utility linearly with dead "
-                "cores; the Sharing\nArchitecture sheds only the "
-                "faulty tiles (sweep above) and recomposes the "
-                "rest.\n");
+    report.addNote(
+        "a fixed mixture loses utility linearly with dead cores; the "
+        "Sharing Architecture sheds only the faulty tiles "
+        "(fabric_degradation above) and recomposes the rest.");
 }
+
+class FaultDegradationStudy final : public study::Study
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fault_degradation";
+    }
+
+    std::string
+    description() const override
+    {
+        return "Graceful degradation of fabric, market, and "
+               "datacenter under faults";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        const std::vector<std::string> apps = {"hmmer", "gobmk"};
+        return exec::sweepGrid(apps, l2BankGrid(),
+                               exec::sliceRange());
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+
+        degradationSweep(ctx.report);
+        marketReauction(ctx.report, opt);
+        datacenterDegradation(ctx.report, opt);
+    }
+};
 
 } // namespace
 
-int
-main()
-{
-    PerfModel &pm = sharedPerfModel();
-    const std::vector<std::string> apps = {"hmmer", "gobmk"};
-    prefillSurface(pm, exec::sweepGrid(apps, l2BankGrid(),
-                                       exec::sliceRange()));
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-
-    printHeader("Fault study",
-                "graceful degradation of fabric, market, and "
-                "datacenter");
-
-    std::printf("\n-- fabric degradation (8x8 chip, 4S+4B tenants, "
-                "seed 42) --\n");
-    degradationSweep();
-
-    std::printf("\n-- spot market re-auction after capacity loss "
-                "--\n");
-    marketReauction(opt);
-
-    std::printf("\n-- fixed heterogeneous datacenter under the same "
-                "fault fraction --\n");
-    datacenterDegradation(opt);
-    return 0;
-}
+SHARCH_REGISTER_STUDY(FaultDegradationStudy)

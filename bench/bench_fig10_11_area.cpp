@@ -5,18 +5,26 @@
  * paper reports from its Verilog implementation (section 5.1).
  */
 
-#include "bench_util.hh"
+#include <cstdio>
+
+#include "area/area_model.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
 namespace {
 
 void
-printBreakdown(const AreaModel &model, bool include_l2)
+breakdownTable(study::Report &report, const AreaModel &model,
+               const std::string &id, const std::string &title,
+               bool include_l2)
 {
-    std::printf("%-28s %12s %8s %8s\n", "component", "area (um^2)",
-                "percent", "sharing");
+    study::Table &t = report.addTable(id, title);
+    t.col("component", study::Value::Kind::Text)
+        .col("area_um2", study::Value::Kind::Real, 0)
+        .col("percent", study::Value::Kind::Real, 1)
+        .col("sharing_overhead", study::Value::Kind::Boolean);
     double total = 0.0;
     for (const AreaEntry &e : model.breakdown(include_l2)) {
         // Identify sharing-overhead rows by name lookup.
@@ -27,34 +35,59 @@ printBreakdown(const AreaModel &model, bool include_l2)
             if (e.name == sliceComponentName(c))
                 sharing = isSharingOverhead(c);
         }
-        std::printf("%-28s %12.0f %7.1f%% %8s\n", e.name.c_str(),
-                    e.areaUm2, e.percent, sharing ? "yes" : "");
+        t.addRow({e.name, e.areaUm2, e.percent, sharing});
         total += e.areaUm2;
     }
-    std::printf("%-28s %12.0f %7.1f%%\n", "total", total, 100.0);
-    std::printf("sharing overhead: %.1f%% (paper: %s)\n",
-                100.0 * model.sharingOverheadFraction(include_l2),
-                include_l2 ? "5%" : "8%");
+    t.addRow({"total", total, 100.0, false});
+
+    char note[128];
+    std::snprintf(note, sizeof(note),
+                  "%s sharing overhead: %.1f%% (paper: %s)",
+                  id.c_str(),
+                  100.0 * model.sharingOverheadFraction(include_l2),
+                  include_l2 ? "5%" : "8%");
+    report.addNote(note);
 }
+
+class Fig1011AreaStudy final : public study::Study
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig10_11";
+    }
+
+    std::string
+    description() const override
+    {
+        return "Slice area decomposition without and with a 64 KB "
+               "L2 bank";
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        const AreaModel model;
+        breakdownTable(ctx.report, model, "fig10",
+                       "Slice area decomposition without L2", false);
+        breakdownTable(ctx.report, model, "fig11",
+                       "Area decomposition including one 64 KB L2 "
+                       "bank",
+                       true);
+
+        study::Table &a =
+            ctx.report.addTable("anchors", "Area anchors");
+        a.col("quantity", study::Value::Kind::Text)
+            .col("value", study::Value::Kind::Real, 3);
+        a.addRow({"slice_mm2", model.sliceAreaUm2() * 1e-6});
+        a.addRow({"l2_bank_mm2", model.l2BankAreaUm2() * 1e-6});
+        a.addRow({"bank_per_slice",
+                  model.l2BankAreaUm2() / model.sliceAreaUm2()});
+        ctx.report.addNote("market parity: 128 KB ~ 1 Slice");
+    }
+};
 
 } // namespace
 
-int
-main()
-{
-    const AreaModel model;
-
-    printHeader("Figure 10", "Slice area decomposition without L2");
-    printBreakdown(model, false);
-
-    std::printf("\n");
-    printHeader("Figure 11",
-                "Area decomposition including one 64 KB L2 bank");
-    printBreakdown(model, true);
-
-    std::printf("\nanchors: slice = %.3f mm^2, 64 KB bank = %.3f mm^2, "
-                "bank/slice = %.2f (market parity: 128 KB ~ 1 Slice)\n",
-                model.sliceAreaUm2() * 1e-6, model.l2BankAreaUm2() * 1e-6,
-                model.l2BankAreaUm2() / model.sliceAreaUm2());
-    return 0;
-}
+SHARCH_REGISTER_STUDY(Fig1011AreaStudy)

@@ -8,53 +8,86 @@
  * sharing an L2, as in section 5.3.
  */
 
-#include "bench_util.hh"
+#include "config/sim_config.hh"
+#include "core/perf_model.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
 #include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+constexpr unsigned kBaseBanks = 2; // 128 KB
+
+class Fig12ScalabilityStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    // The whole figure reads one bank column across every Slice count.
-    prefillSurface(pm, exec::sweepGrid(benchmarkNames(), {2},
-                                       exec::sliceRange()));
-
-    printHeader("Tables 2 & 3", "Base Slice / cache configuration");
-    const SimConfig cfg;
-    std::printf("issue window %u, LSQ %u, FUs/Slice %u, ROB %u, "
-                "global regs %u,\nstore buffer %u, LRF %u, inflight "
-                "loads %u, memory delay %llu\n",
-                cfg.slice.issueWindowSize, cfg.slice.lsqSize,
-                cfg.slice.numFunctionalUnits, cfg.slice.robSize,
-                cfg.slice.numGlobalRegisters, cfg.slice.storeBufferSize,
-                cfg.slice.numLocalRegisters, cfg.slice.maxInflightLoads,
-                static_cast<unsigned long long>(cfg.memoryLatency));
-    std::printf("L1D/L1I 16 KB 2-way 3-cycle; L2 banks 64 KB 4-way, "
-                "hit = distance*2 + 4\n\n");
-
-    printHeader("Figure 12",
-                "VCore performance vs. Slice count "
-                "(normalized to 1 Slice, 128 KB L2)");
-    std::printf("%-12s", "benchmark");
-    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s)
-        std::printf("   s=%u ", s);
-    std::printf("\n");
-
-    const unsigned base_banks = 2; // 128 KB
-    for (const std::string &name : benchmarkNames()) {
-        const double base = pm.performance(name, base_banks, 1);
-        std::printf("%-12s", name.c_str());
-        for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
-            std::printf(" %5.2f ",
-                        pm.performance(name, base_banks, s) / base);
-        }
-        std::printf("\n");
+  public:
+    std::string
+    name() const override
+    {
+        return "fig12";
     }
-    std::printf("\npaper shape: SPEC/apache rise with diminishing "
-                "returns and occasional\ndips; PARSEC (dedup, "
-                "swaptions, ferret) speedup is bounded by ~2.\n");
-    return 0;
-}
+
+    std::string
+    description() const override
+    {
+        return "VCore performance vs. Slice count (normalized to "
+               "1 Slice, 128 KB L2)";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        // The whole figure reads one bank column across every Slice
+        // count.
+        return exec::sweepGrid(benchmarkNames(), {kBaseBanks},
+                               exec::sliceRange());
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        const SimConfig cfg;
+        study::Table &base = ctx.report.addTable(
+            "tab2_3", "Base Slice / cache configuration");
+        base.col("parameter", study::Value::Kind::Text)
+            .col("value", study::Value::Kind::Integer);
+        base.addRow({"issue_window", cfg.slice.issueWindowSize});
+        base.addRow({"lsq", cfg.slice.lsqSize});
+        base.addRow({"fus_per_slice", cfg.slice.numFunctionalUnits});
+        base.addRow({"rob", cfg.slice.robSize});
+        base.addRow({"global_regs", cfg.slice.numGlobalRegisters});
+        base.addRow({"store_buffer", cfg.slice.storeBufferSize});
+        base.addRow({"local_regs", cfg.slice.numLocalRegisters});
+        base.addRow({"inflight_loads", cfg.slice.maxInflightLoads});
+        base.addRow({"memory_delay", cfg.memoryLatency});
+        ctx.report.addNote("L1D/L1I 16 KB 2-way 3-cycle; L2 banks "
+                           "64 KB 4-way, hit = distance*2 + 4");
+
+        study::Table &t = ctx.report.addTable(
+            "fig12", "Performance vs. Slices, normalized to "
+                     "(128 KB, 1 Slice)");
+        t.col("benchmark", study::Value::Kind::Text);
+        for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s)
+            t.col("s" + std::to_string(s), study::Value::Kind::Real,
+                  2);
+        for (const std::string &bench : benchmarkNames()) {
+            const double norm =
+                ctx.pm.performance(bench, kBaseBanks, 1);
+            std::vector<study::Value> row{bench};
+            for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s)
+                row.push_back(
+                    ctx.pm.performance(bench, kBaseBanks, s) / norm);
+            t.addRow(std::move(row));
+        }
+        ctx.report.addNote(
+            "paper shape: SPEC/apache rise with diminishing returns "
+            "and occasional dips; PARSEC (dedup, swaptions, ferret) "
+            "speedup is bounded by ~2.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Fig12ScalabilityStudy)

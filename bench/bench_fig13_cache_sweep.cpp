@@ -9,41 +9,65 @@
  * because each additional 256 KB adds ~2 cycles of distance latency.
  */
 
-#include "bench_util.hh"
+#include "core/perf_model.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
 #include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+constexpr unsigned kSlices = 2;
+
+class Fig13CacheSweepStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    // One parallel batch for the whole benchmark x L2-size grid.
-    prefillSurface(pm,
-                   exec::sweepGrid(benchmarkNames(), l2BankGrid(),
-                                   {2}));
-
-    printHeader("Figure 13",
-                "Performance vs. L2 size (2 Slices, normalized to "
-                "no L2)");
-    std::printf("%-12s", "benchmark");
-    for (unsigned banks : l2BankGrid())
-        std::printf("%7uK", banksToKb(banks));
-    std::printf("\n");
-
-    const unsigned slices = 2;
-    for (const std::string &name : benchmarkNames()) {
-        const double base = pm.performance(name, 0, slices);
-        std::printf("%-12s", name.c_str());
-        for (unsigned banks : l2BankGrid()) {
-            std::printf("%8.2f",
-                        pm.performance(name, banks, slices) / base);
-        }
-        std::printf("\n");
+  public:
+    std::string
+    name() const override
+    {
+        return "fig13";
     }
-    std::printf("\npaper shape: omnetpp/mcf strongly sensitive; "
-                "astar/libquantum flat;\nmost curves dip at 4-8 MB "
-                "from the +2 cycles per 256 KB of distance.\n");
-    return 0;
-}
+
+    std::string
+    description() const override
+    {
+        return "Performance vs. L2 size (2 Slices, normalized to "
+               "no L2)";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        // One batch for the whole benchmark x L2-size grid.
+        return exec::sweepGrid(benchmarkNames(), l2BankGrid(),
+                               {kSlices});
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        study::Table &t = ctx.report.addTable(
+            "fig13", "Performance vs. L2 size, normalized to 0 KB");
+        t.col("benchmark", study::Value::Kind::Text);
+        for (unsigned banks : l2BankGrid())
+            t.col("l2_" + std::to_string(banksToKb(banks)) + "k",
+                  study::Value::Kind::Real, 2);
+        for (const std::string &bench : benchmarkNames()) {
+            const double norm = ctx.pm.performance(bench, 0, kSlices);
+            std::vector<study::Value> row{bench};
+            for (unsigned banks : l2BankGrid())
+                row.push_back(
+                    ctx.pm.performance(bench, banks, kSlices) / norm);
+            t.addRow(std::move(row));
+        }
+        ctx.report.addNote(
+            "paper shape: omnetpp/mcf strongly sensitive; "
+            "astar/libquantum flat; most curves dip at 4-8 MB from "
+            "the +2 cycles per 256 KB of distance.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Fig13CacheSweepStudy)

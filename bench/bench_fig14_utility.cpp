@@ -2,8 +2,8 @@
  * @file
  * Table 5 and Figure 14: the three customer utility functions, and
  * utility surfaces over (Slice count, L2 banks) for gcc and bzip under
- * Utility1 and Utility2, rendered as text heat maps (x = Slices 1..8,
- * y = log2 of 64 KB banks, exactly the paper's axes).
+ * Utility1 and Utility2 (the paper's axes: x = Slices 1..8, y = log2
+ * of 64 KB banks).
  *
  * The facts to reproduce: changing the utility function moves the
  * peak for a fixed workload, and changing the workload moves the peak
@@ -11,101 +11,119 @@
  * gcc at a larger one).
  */
 
-#include <algorithm>
-#include <cmath>
+#include <string>
 #include <vector>
 
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "config/sim_config.hh"
+#include "core/perf_model.hh"
 #include "econ/market.hh"
+#include "econ/optimizer.hh"
 #include "econ/utility.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
+#include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
 namespace {
 
-// log2-spaced bank counts: 0, 1, 2, 4, ..., 128 (the paper's y axis).
-const std::vector<unsigned> &
-bankAxis()
-{
-    return l2BankGrid();
-}
-
-void
-printSurface(UtilityOptimizer &opt, const std::string &bench,
-             UtilityKind u)
+/** One surface table plus its peak row for the peaks summary. */
+std::vector<study::Value>
+surfaceTable(study::Report &report, UtilityOptimizer &opt,
+             const std::string &bench, UtilityKind u)
 {
     const Market m = market2();
     const double budget = defaultBudget();
 
-    std::printf("\n%s, %s (normalized 0..9; '*' marks the peak)\n",
-                bench.c_str(), utilityName(u));
+    const std::string id =
+        bench + "_" + (u == UtilityKind::Throughput ? "utility1"
+                                                    : "utility2");
+    study::Table &t = report.addTable(
+        id, "Utility surface: " + bench + " under " +
+                utilityName(u));
+    t.col("l2_kb", study::Value::Kind::Integer);
+    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s)
+        t.col("s" + std::to_string(s), study::Value::Kind::Real, 4);
 
-    // Collect the surface and find the maximum.
     double best = 0.0;
     unsigned best_s = 1, best_b = 0;
-    std::vector<std::vector<double>> grid;
-    for (unsigned bi = 0; bi < bankAxis().size(); ++bi) {
-        grid.emplace_back();
+    // Highest bank row first so the y axis grows upward, as in the
+    // paper's heat maps.
+    const std::vector<unsigned> &banks = l2BankGrid();
+    for (std::size_t bi = banks.size(); bi-- > 0;) {
+        std::vector<study::Value> row{banksToKb(banks[bi])};
         for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
             const double util = opt.utilityAt(bench, u, m, budget,
-                                              bankAxis()[bi], s);
-            grid.back().push_back(util);
+                                              banks[bi], s);
+            row.push_back(util);
             if (util > best) {
                 best = util;
                 best_s = s;
-                best_b = bankAxis()[bi];
+                best_b = banks[bi];
             }
         }
+        t.addRow(std::move(row));
+    }
+    return {bench, utilityName(u), banksToKb(best_b), best_s, best};
+}
+
+class Fig14UtilityStudy final : public study::Study
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "fig14";
     }
 
-    // Highest bank row first so the y axis grows upward.
-    for (std::size_t bi = bankAxis().size(); bi-- > 0;) {
-        std::printf("%6uK |", banksToKb(bankAxis()[bi]));
-        for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s) {
-            const double util = grid[bi][s - 1];
-            if (bankAxis()[bi] == best_b && s == best_s) {
-                std::printf("  *");
-                continue;
-            }
-            const int level = std::min(
-                9, static_cast<int>(std::floor(10.0 * util / best)));
-            std::printf("  %d", level);
-        }
-        std::printf("\n");
+    std::string
+    description() const override
+    {
+        return "Utility surfaces over (Slices, L2 banks) for gcc and "
+               "bzip";
     }
-    std::printf("        ");
-    for (unsigned s = 1; s <= SimConfig::kMaxSlices; ++s)
-        std::printf(" s%u ", s);
-    std::printf("\npeak: (%u KB, %u Slices), utility %.3g\n",
-                best_b * 64, best_s, best);
-}
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        return study::fullPaperGrid();
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+
+        ctx.report.addNote(
+            "Table 5: Utility1 (latency-tolerant) U = v * P; "
+            "Utility2 (balanced) U = sqrt(v) * P^2; Utility3 "
+            "(OLDI-style) U = cbrt(v) * P^3; with v = B / (Cc*c + "
+            "Cs*s) (Equation 2).");
+
+        study::Table &peaks = ctx.report.addTable(
+            "peaks", "Peak of each utility surface");
+        peaks.col("benchmark", study::Value::Kind::Text)
+            .col("utility", study::Value::Kind::Text)
+            .col("peak_l2_kb", study::Value::Kind::Integer)
+            .col("peak_slices", study::Value::Kind::Integer)
+            .col("utility_value", study::Value::Kind::Real, 3);
+        for (const char *bench : {"gcc", "bzip"}) {
+            for (UtilityKind u : {UtilityKind::Throughput,
+                                  UtilityKind::Balanced}) {
+                peaks.addRow(
+                    surfaceTable(ctx.report, opt, bench, u));
+            }
+        }
+        ctx.report.addNote(
+            "paper shape: for the same workload, Utility1 and "
+            "Utility2 peak at different configurations; for the same "
+            "utility, bzip peaks at a smaller VCore than gcc.");
+    }
+};
 
 } // namespace
 
-int
-main()
-{
-    PerfModel &pm = sharedPerfModel();
-    prefillSurface(pm, fullPaperGrid());
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-
-    printHeader("Table 5", "The three customer utility functions");
-    std::printf("Utility1 (latency-tolerant): U = v * P(c, s)\n");
-    std::printf("Utility2 (balanced):         U = sqrt(v) * P^2\n");
-    std::printf("Utility3 (OLDI-style):       U = cbrt(v) * P^3\n");
-    std::printf("with v = B / (Cc*c + Cs*s)  (Equation 2)\n\n");
-
-    printHeader("Figure 14",
-                "Utility surfaces over (Slices, L2 banks)");
-    for (const char *bench : {"gcc", "bzip"}) {
-        printSurface(opt, bench, UtilityKind::Throughput);
-        printSurface(opt, bench, UtilityKind::Balanced);
-    }
-    std::printf("\npaper shape: for the same workload, Utility1 and "
-                "Utility2 peak at different\nconfigurations; for the "
-                "same utility, bzip peaks at a smaller VCore than "
-                "gcc.\n");
-    return 0;
-}
+SHARCH_REGISTER_STUDY(Fig14UtilityStudy)

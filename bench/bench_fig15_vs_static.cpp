@@ -4,78 +4,80 @@
  * static fixed architecture, across all pairwise combinations of
  * (benchmark, utility) customers in Market2 (section 5.8).
  *
- * The paper reports gains of up to ~5x.  The harness prints the gain
+ * The paper reports gains of up to ~5x.  The study reports the gain
  * distribution (the scatter of the figure), the fixed configuration
  * chosen, and the extremes.
  */
 
-#include <algorithm>
-#include <vector>
-
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
 #include "econ/efficiency.hh"
+#include "efficiency_tables.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+class Fig15VsStaticStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    prefillSurface(pm, fullPaperGrid());
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-    EfficiencyStudy study(opt);
-
-    printHeader("Figure 15",
-                "Utility gain vs. best static fixed architecture");
-    const EfficiencyResult res = study.vsStaticFixed();
-    std::printf("best static fixed configuration: (%u KB, %u Slices)\n",
-                res.banksFixed * 64, res.slicesFixed);
-    std::printf("customer pairs evaluated: %zu\n", res.gains.size());
-
-    // Gain distribution (the y values of the paper's scatter).
-    std::vector<double> gains;
-    for (const PairGain &g : res.gains)
-        gains.push_back(g.gain);
-    std::sort(gains.begin(), gains.end());
-    auto pct = [&](double p) {
-        return gains[static_cast<std::size_t>(p * (gains.size() - 1))];
-    };
-    std::printf("gain distribution: min %.2f  p25 %.2f  median %.2f  "
-                "p75 %.2f  p95 %.2f  max %.2f\n",
-                gains.front(), pct(0.25), pct(0.50), pct(0.75),
-                pct(0.95), gains.back());
-    std::printf("mean gain: %.2f\n", res.meanGain);
-
-    // Histogram of the scatter.
-    std::printf("\nhistogram (gain -> pairs):\n");
-    const double top = std::max(2.0, gains.back());
-    const int buckets = 12;
-    for (int b = 0; b < buckets; ++b) {
-        const double lo = b * top / buckets;
-        const double hi = (b + 1) * top / buckets;
-        std::size_t n = 0;
-        for (double g : gains)
-            if (g >= lo && g < hi)
-                ++n;
-        std::printf("  [%4.2f, %4.2f) %6zu ", lo, hi, n);
-        for (std::size_t i = 0; i < n / 8; ++i)
-            std::printf("#");
-        std::printf("\n");
+  public:
+    std::string
+    name() const override
+    {
+        return "fig15";
     }
 
-    // The best pair, as an existence proof of large gains.
-    const PairGain *best = &res.gains.front();
-    for (const PairGain &g : res.gains)
-        if (g.gain > best->gain)
-            best = &g;
-    std::printf("\nlargest gain %.2fx: %s/%s paired with %s/%s\n",
-                best->gain, best->a.benchmark.c_str(),
-                utilityName(best->a.utility),
-                best->b.benchmark.c_str(),
-                utilityName(best->b.utility));
-    std::printf("\npaper shape: significant gains, up to ~5x, across "
-                "~1000 permutations.\n");
-    return 0;
-}
+    std::string
+    description() const override
+    {
+        return "Utility gain vs. best static fixed architecture";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        return study::fullPaperGrid();
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+        EfficiencyStudy eff(opt);
+
+        const EfficiencyResult res = eff.vsStaticFixed();
+        ctx.report.addMeta("fixed_l2_kb", res.banksFixed * 64);
+        ctx.report.addMeta("fixed_slices", res.slicesFixed);
+        ctx.report.addMeta("pairs", res.gains.size());
+
+        bench::gainTables(ctx.report, res);
+
+        // The best pair, as an existence proof of large gains.
+        const PairGain *best = &res.gains.front();
+        for (const PairGain &g : res.gains)
+            if (g.gain > best->gain)
+                best = &g;
+        study::Table &b =
+            ctx.report.addTable("best_pair", "Largest pairwise gain");
+        b.col("benchmark_a", study::Value::Kind::Text)
+            .col("utility_a", study::Value::Kind::Text)
+            .col("benchmark_b", study::Value::Kind::Text)
+            .col("utility_b", study::Value::Kind::Text)
+            .col("gain", study::Value::Kind::Real, 2);
+        b.addRow({best->a.benchmark, utilityName(best->a.utility),
+                  best->b.benchmark, utilityName(best->b.utility),
+                  best->gain});
+
+        ctx.report.addNote(
+            "paper shape: significant gains, up to ~5x, across ~1000 "
+            "permutations.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Fig15VsStaticStudy)

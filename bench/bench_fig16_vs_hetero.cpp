@@ -6,50 +6,69 @@
  * The paper reports gains over 3x.
  */
 
-#include <algorithm>
-#include <vector>
-
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
 #include "econ/efficiency.hh"
+#include "efficiency_tables.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+class Fig16VsHeteroStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    prefillSurface(pm, fullPaperGrid());
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-    EfficiencyStudy study(opt);
-
-    printHeader("Figure 16",
-                "Utility gain vs. heterogeneous per-utility designs");
-
-    const std::vector<OptResult> cores = study.bestPerUtilityConfigs();
-    std::printf("heterogeneous core types (one per utility class):\n");
-    for (std::size_t i = 0; i < cores.size(); ++i) {
-        std::printf("  Utility%zu core: (%u KB, %u Slices)\n", i + 1,
-                    cores[i].banks * 64, cores[i].slices);
+  public:
+    std::string
+    name() const override
+    {
+        return "fig16";
     }
 
-    const EfficiencyResult res = study.vsHeterogeneous();
-    std::vector<double> gains;
-    for (const PairGain &g : res.gains)
-        gains.push_back(g.gain);
-    std::sort(gains.begin(), gains.end());
-    auto pct = [&](double p) {
-        return gains[static_cast<std::size_t>(p * (gains.size() - 1))];
-    };
-    std::printf("\ncustomer pairs evaluated: %zu\n", res.gains.size());
-    std::printf("gain distribution: min %.2f  p25 %.2f  median %.2f  "
-                "p75 %.2f  p95 %.2f  max %.2f\n",
-                gains.front(), pct(0.25), pct(0.50), pct(0.75),
-                pct(0.95), gains.back());
-    std::printf("mean gain: %.2f\n", res.meanGain);
-    std::printf("\npaper shape: over 3x market-efficiency gains can "
-                "be achieved even\nagainst a per-utility-optimized "
-                "heterogeneous multicore.\n");
-    return 0;
-}
+    std::string
+    description() const override
+    {
+        return "Utility gain vs. heterogeneous per-utility designs";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        return study::fullPaperGrid();
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+        EfficiencyStudy eff(opt);
+
+        study::Table &cores = ctx.report.addTable(
+            "hetero_cores",
+            "Heterogeneous core types (one per utility class)");
+        cores.col("utility", study::Value::Kind::Text)
+            .col("l2_kb", study::Value::Kind::Integer)
+            .col("slices", study::Value::Kind::Integer);
+        const std::vector<OptResult> types =
+            eff.bestPerUtilityConfigs();
+        for (std::size_t i = 0; i < types.size(); ++i)
+            cores.addRow({"Utility" + std::to_string(i + 1),
+                          types[i].banks * 64, types[i].slices});
+
+        const EfficiencyResult res = eff.vsHeterogeneous();
+        ctx.report.addMeta("pairs", res.gains.size());
+        bench::gainTables(ctx.report, res);
+
+        ctx.report.addNote(
+            "paper shape: over 3x market-efficiency gains can be "
+            "achieved even against a per-utility-optimized "
+            "heterogeneous multicore.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Fig16VsHeteroStudy)

@@ -10,58 +10,94 @@
  */
 
 #include <cmath>
+#include <cstdio>
 
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
 #include "econ/datacenter.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+const std::vector<double> kMixes = {0.0, 0.25, 0.5, 0.75, 1.0};
+constexpr unsigned kSteps = 11;
+
+class Fig17DatacenterStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    prefillSurface(pm, fullPaperGrid());
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
+  public:
+    std::string
+    name() const override
+    {
+        return "fig17";
+    }
 
-    printHeader("Figure 17",
-                "Utility of hmmer/gobmk mixes vs. big/small core "
-                "ratio");
+    std::string
+    description() const override
+    {
+        return "Utility of hmmer/gobmk mixes vs. big/small core "
+               "ratio";
+    }
 
-    const std::vector<double> mixes = {0.0, 0.25, 0.5, 0.75, 1.0};
-    const DatacenterResult res =
-        datacenterStudy(opt, "hmmer", "gobmk", mixes, 11);
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        return study::fullPaperGrid();
+    }
 
-    std::printf("big core: %s, small core: %s\n",
-                res.big.label.c_str(), res.small.label.c_str());
-    std::printf("%-18s", "big-core frac");
-    for (double m : mixes)
-        std::printf("  hmmer=%3.0f%%", 100.0 * m);
-    std::printf("\n");
-    for (unsigned i = 0; i < 11; ++i) {
-        const double f = i / 10.0;
-        std::printf("%-18.2f", f);
-        for (double m : mixes) {
-            for (const MixPoint &p : res.points) {
-                if (std::abs(p.bigCoreAreaFrac - f) < 1e-9 &&
-                    std::abs(p.appAMix - m) < 1e-9) {
-                    std::printf("  %10.3f", p.utilityPerArea);
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+
+        const DatacenterResult res =
+            datacenterStudy(opt, "hmmer", "gobmk", kMixes, kSteps);
+        ctx.report.addMeta("big_core", res.big.label);
+        ctx.report.addMeta("small_core", res.small.label);
+
+        study::Table &t = ctx.report.addTable(
+            "fig17",
+            "Utility/area vs. big-core fraction per hmmer mix");
+        t.col("big_core_frac", study::Value::Kind::Real, 2);
+        for (double m : kMixes) {
+            char h[32];
+            std::snprintf(h, sizeof(h), "hmmer_%.0f_pct", 100.0 * m);
+            t.col(h, study::Value::Kind::Real, 3);
+        }
+        for (unsigned i = 0; i < kSteps; ++i) {
+            const double f = i / 10.0;
+            std::vector<study::Value> row{f};
+            for (double m : kMixes) {
+                for (const MixPoint &p : res.points) {
+                    if (std::abs(p.bigCoreAreaFrac - f) < 1e-9 &&
+                        std::abs(p.appAMix - m) < 1e-9) {
+                        row.push_back(p.utilityPerArea);
+                    }
                 }
             }
+            t.addRow(std::move(row));
         }
-        std::printf("\n");
-    }
 
-    std::printf("\noptimal big-core fraction per mix:\n");
-    for (double m : mixes) {
-        std::printf("  hmmer %3.0f%% / gobmk %3.0f%% -> %.1f\n",
-                    100.0 * m, 100.0 * (1.0 - m),
-                    res.optimalBigFrac(m));
+        study::Table &o = ctx.report.addTable(
+            "optimal_frac", "Optimal big-core fraction per mix");
+        o.col("hmmer_pct", study::Value::Kind::Real, 0)
+            .col("gobmk_pct", study::Value::Kind::Real, 0)
+            .col("optimal_big_frac", study::Value::Kind::Real, 1);
+        for (double m : kMixes)
+            o.addRow({100.0 * m, 100.0 * (1.0 - m),
+                      res.optimalBigFrac(m)});
+
+        ctx.report.addNote(
+            "paper shape: the optimal big/small ratio moves with the "
+            "application mix, so a fixed heterogeneous mixture cannot "
+            "serve all cloud workloads optimally.");
     }
-    std::printf("\npaper shape: the optimal big/small ratio moves "
-                "with the application mix,\nso a fixed heterogeneous "
-                "mixture cannot serve all cloud workloads "
-                "optimally.\n");
-    return 0;
-}
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Fig17DatacenterStudy)

@@ -1,11 +1,21 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulation substrate:
- * trace generation, cache model, network scheduling, and end-to-end
- * SSim throughput (simulated instructions per second).
+ * Microbenchmarks of the simulation substrate: trace generation,
+ * cache model, network scheduling, end-to-end SSim throughput
+ * (simulated instructions per second), and the parallel sweep.
+ *
+ * Timing is hand-rolled: each kernel is warmed once and then run in
+ * batches until a minimum wall-clock interval has elapsed, and the
+ * table reports the steady-state rate.  The reported numbers are
+ * inherently machine- and load-dependent -- unlike every other study
+ * this one is NOT reproducible bit-for-bit, which is why it should
+ * never be used as a golden file.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
 
 #include "cache/cache_model.hh"
 #include "common/random.hh"
@@ -13,6 +23,8 @@
 #include "core/perf_model.hh"
 #include "core/vm_sim.hh"
 #include "exec/sweep.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
@@ -20,98 +32,145 @@ using namespace sharch;
 
 namespace {
 
-void
-BM_TraceGeneration(benchmark::State &state)
+/** Keep the optimizer from discarding a benchmarked computation. */
+volatile std::uint64_t g_sink = 0;
+
+/**
+ * Run @p body (which returns an item count) repeatedly until at
+ * least 50 ms have elapsed, and report {items, seconds}.
+ */
+template <typename Body>
+std::pair<std::uint64_t, double>
+measure(Body &&body)
 {
-    const BenchmarkProfile &p = profileFor("gcc");
-    TraceGenerator gen(p, 1);
-    for (auto _ : state) {
-        Trace t = gen.generate(
-            static_cast<std::size_t>(state.range(0)));
-        benchmark::DoNotOptimize(t.instructions.data());
-    }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
+    using clock = std::chrono::steady_clock;
+    constexpr double kMinSeconds = 0.05;
+
+    body(); // warm-up: touch code, caches, and any lazy state
+    std::uint64_t items = 0;
+    const clock::time_point start = clock::now();
+    clock::time_point now = start;
+    do {
+        items += body();
+        now = clock::now();
+    } while (std::chrono::duration<double>(now - start).count() <
+             kMinSeconds);
+    return {items, std::chrono::duration<double>(now - start).count()};
 }
-BENCHMARK(BM_TraceGeneration)->Arg(10000)->Arg(100000);
 
 void
-BM_CacheModel(benchmark::State &state)
+addRateRow(study::Table &t, const std::string &kernel,
+           std::uint64_t param, std::pair<std::uint64_t, double> m)
 {
-    CacheConfig cfg{64 * 1024, 64, 4, 4};
-    CacheModel cache(cfg);
-    Rng rng(7);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            cache.access(rng.nextBounded(1 << 22) * 8, false));
-    }
-    state.SetItemsProcessed(state.iterations());
+    t.addRow({kernel, param, m.first, m.second,
+              m.second > 0.0 ? m.first / m.second : 0.0});
 }
-BENCHMARK(BM_CacheModel);
 
-void
-BM_SlottedPort(benchmark::State &state)
+class SimSpeedStudy final : public study::Study
 {
-    SlottedPort port(1);
-    Rng rng(3);
-    Cycles base = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            port.schedule(base + rng.nextBounded(64)));
-        ++base;
+  public:
+    std::string
+    name() const override
+    {
+        return "sim_speed";
     }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SlottedPort);
 
-void
-BM_SimulatorEndToEnd(benchmark::State &state)
-{
-    const BenchmarkProfile &p = profileFor("gcc");
-    TraceGenerator gen(p, 1);
-    const Trace trace =
-        gen.generate(static_cast<std::size_t>(state.range(0)));
-    for (auto _ : state) {
-        SimConfig cfg;
-        cfg.numSlices = static_cast<unsigned>(state.range(1));
-        cfg.numL2Banks = 4;
-        VmSim vm(cfg, 1);
-        VmResult res = vm.run({trace});
-        benchmark::DoNotOptimize(res.cycles);
+    std::string
+    description() const override
+    {
+        return "Simulator throughput microbenchmarks (wall-clock, "
+               "not reproducible)";
     }
-    state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SimulatorEndToEnd)
-    ->Args({20000, 1})
-    ->Args({20000, 4})
-    ->Args({20000, 8});
 
-void
-BM_ParallelSweep(benchmark::State &state)
-{
-    // The acceptance workload in miniature: a multi-benchmark grid
-    // batched through PerfModel::performanceBatch with a varying
-    // worker count.  Real time is the figure of merit; a fresh model
-    // per iteration keeps the memo from hiding the simulation cost.
-    const auto grid = exec::sweepGrid(
-        {std::string("gcc"), "hmmer", "sjeng"}, {0, 2, 8},
-        exec::sliceRange(4));
-    const unsigned threads = static_cast<unsigned>(state.range(0));
-    for (auto _ : state) {
-        PerfModel pm(8000);
-        auto results = pm.performanceBatch(grid, threads);
-        benchmark::DoNotOptimize(results.data());
+    void
+    run(study::ReportContext &ctx) override
+    {
+        study::Table &t = ctx.report.addTable(
+            "sim_speed", "Substrate kernel throughput");
+        t.col("kernel", study::Value::Kind::Text)
+            .col("param", study::Value::Kind::Integer)
+            .col("items", study::Value::Kind::Integer)
+            .col("seconds", study::Value::Kind::Real, 4)
+            .col("items_per_sec", study::Value::Kind::Real, 0);
+
+        const BenchmarkProfile &p = profileFor("gcc");
+
+        for (std::size_t n : {std::size_t(10000),
+                              std::size_t(100000)}) {
+            TraceGenerator gen(p, 1);
+            addRateRow(t, "trace_generation", n, measure([&] {
+                Trace tr = gen.generate(n);
+                g_sink = g_sink + tr.instructions.size();
+                return static_cast<std::uint64_t>(n);
+            }));
+        }
+
+        {
+            CacheConfig cfg{64 * 1024, 64, 4, 4};
+            CacheModel cache(cfg);
+            Rng rng(7);
+            addRateRow(t, "cache_model", 0, measure([&] {
+                for (unsigned i = 0; i < 1024; ++i)
+                    g_sink = g_sink + cache.access(
+                        rng.nextBounded(1 << 22) * 8, false).hit;
+                return std::uint64_t(1024);
+            }));
+        }
+
+        {
+            SlottedPort port(1);
+            Rng rng(3);
+            Cycles base = 0;
+            addRateRow(t, "slotted_port", 0, measure([&] {
+                for (unsigned i = 0; i < 1024; ++i) {
+                    g_sink = g_sink +
+                        port.schedule(base + rng.nextBounded(64));
+                    ++base;
+                }
+                return std::uint64_t(1024);
+            }));
+        }
+
+        {
+            TraceGenerator gen(p, 1);
+            const Trace trace = gen.generate(20000);
+            for (unsigned slices : {1u, 4u, 8u}) {
+                addRateRow(t, "end_to_end", slices, measure([&] {
+                    SimConfig cfg;
+                    cfg.numSlices = slices;
+                    cfg.numL2Banks = 4;
+                    VmSim vm(cfg, 1);
+                    VmResult res = vm.run({trace});
+                    g_sink = g_sink + res.cycles;
+                    return std::uint64_t(20000);
+                }));
+            }
+        }
+
+        // The acceptance workload in miniature: a multi-benchmark
+        // grid batched through PerfModel::performanceBatch with a
+        // varying worker count.  A fresh model per iteration keeps
+        // the memo from hiding the simulation cost.
+        {
+            const auto grid = exec::sweepGrid(
+                {std::string("gcc"), "hmmer", "sjeng"}, {0, 2, 8},
+                exec::sliceRange(4));
+            for (unsigned threads : {1u, 2u, 4u, 8u}) {
+                addRateRow(t, "parallel_sweep", threads, measure([&] {
+                    PerfModel pm(8000);
+                    auto results = pm.performanceBatch(grid, threads);
+                    g_sink = g_sink + results.size();
+                    return static_cast<std::uint64_t>(grid.size());
+                }));
+            }
+        }
+
+        ctx.report.addNote(
+            "wall-clock rates depend on the host machine and load; "
+            "do not diff this report across runs.");
     }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<std::int64_t>(grid.size()));
-}
-BENCHMARK(BM_ParallelSweep)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+SHARCH_REGISTER_STUDY(SimSpeedStudy)

@@ -5,54 +5,77 @@
  * resulting aggregate capacities as the VCore grows.
  */
 
-#include "bench_util.hh"
 #include "config/sim_config.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
 #include "uarch/structure_policy.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+class Tab1StructuresStudy final : public study::Study
 {
-    printHeader("Table 1", "Replicated vs. Partitioned structures");
-
-    const SimConfig cfg;
-    std::printf("%-18s %-12s %10s %10s %10s\n", "structure", "policy",
-                "1 Slice", "4 Slices", "8 Slices");
-    for (const StructurePolicyRow &row : structurePolicyTable()) {
-        std::uint64_t per_slice = 0;
-        switch (row.structure) {
-          case CoreStructure::BranchPredictor:
-            per_slice = cfg.slice.bimodalEntries; break;
-          case CoreStructure::Btb:
-            per_slice = cfg.slice.btbEntries; break;
-          case CoreStructure::Scoreboard:
-          case CoreStructure::GlobalRat:
-            per_slice = cfg.slice.numGlobalRegisters; break;
-          case CoreStructure::IssueWindow:
-            per_slice = cfg.slice.issueWindowSize; break;
-          case CoreStructure::LoadQueue:
-          case CoreStructure::StoreQueue:
-            per_slice = cfg.slice.lsqSize / 2; break;
-          case CoreStructure::Rob:
-            per_slice = cfg.slice.robSize; break;
-          case CoreStructure::LocalRat:
-            per_slice = 32; break;
-          case CoreStructure::PhysicalRegisterFile:
-            per_slice = cfg.slice.numLocalRegisters; break;
-          default: break;
-        }
-        std::printf("%-18s %-12s %10llu %10llu %10llu\n",
-            coreStructureName(row.structure),
-            row.policy == SharingPolicy::Replicated ? "replicated"
-                                                    : "partitioned",
-            static_cast<unsigned long long>(
-                aggregateCapacity(row.structure, per_slice, 1)),
-            static_cast<unsigned long long>(
-                aggregateCapacity(row.structure, per_slice, 4)),
-            static_cast<unsigned long long>(
-                aggregateCapacity(row.structure, per_slice, 8)));
+  public:
+    std::string
+    name() const override
+    {
+        return "tab1";
     }
-    return 0;
-}
+
+    std::string
+    description() const override
+    {
+        return "Replicated vs. partitioned structures and aggregate "
+               "capacities";
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        const SimConfig cfg;
+        study::Table &t = ctx.report.addTable(
+            "tab1", "Replicated vs. Partitioned structures");
+        t.col("structure", study::Value::Kind::Text)
+            .col("policy", study::Value::Kind::Text)
+            .col("slices_1", study::Value::Kind::Integer)
+            .col("slices_4", study::Value::Kind::Integer)
+            .col("slices_8", study::Value::Kind::Integer);
+        for (const StructurePolicyRow &row : structurePolicyTable()) {
+            std::uint64_t per_slice = 0;
+            switch (row.structure) {
+              case CoreStructure::BranchPredictor:
+                per_slice = cfg.slice.bimodalEntries; break;
+              case CoreStructure::Btb:
+                per_slice = cfg.slice.btbEntries; break;
+              case CoreStructure::Scoreboard:
+              case CoreStructure::GlobalRat:
+                per_slice = cfg.slice.numGlobalRegisters; break;
+              case CoreStructure::IssueWindow:
+                per_slice = cfg.slice.issueWindowSize; break;
+              case CoreStructure::LoadQueue:
+              case CoreStructure::StoreQueue:
+                per_slice = cfg.slice.lsqSize / 2; break;
+              case CoreStructure::Rob:
+                per_slice = cfg.slice.robSize; break;
+              case CoreStructure::LocalRat:
+                per_slice = 32; break;
+              case CoreStructure::PhysicalRegisterFile:
+                per_slice = cfg.slice.numLocalRegisters; break;
+              default: break;
+            }
+            t.addRow(
+                {coreStructureName(row.structure),
+                 row.policy == SharingPolicy::Replicated
+                     ? "replicated"
+                     : "partitioned",
+                 aggregateCapacity(row.structure, per_slice, 1),
+                 aggregateCapacity(row.structure, per_slice, 4),
+                 aggregateCapacity(row.structure, per_slice, 8)});
+        }
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Tab1StructuresStudy)

@@ -10,35 +10,70 @@
  * the metric exponent.
  */
 
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "econ/optimizer.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
 #include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+class Tab4PerfAreaStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    prefillSurface(pm, fullPaperGrid());
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-
-    printHeader("Table 4",
-                "Optimal (L2 KB, Slices) per performance/area metric");
-    std::printf("%-12s %16s %16s %16s\n", "benchmark", "perf/area",
-                "perf^2/area", "perf^3/area");
-    for (const std::string &name : benchmarkNames()) {
-        std::printf("%-12s", name.c_str());
-        for (int k = 1; k <= 3; ++k) {
-            const OptResult r = opt.peakPerfPerArea(name, k);
-            std::printf("    (%5uK, %u)  ", r.cacheKb(), r.slices);
-        }
-        std::printf("\n");
+  public:
+    std::string
+    name() const override
+    {
+        return "tab4";
     }
-    std::printf("\npaper shape: optima differ across benchmarks and "
-                "grow with the exponent;\nhmmer stays at (64 KB, 1-2 "
-                "Slices) while gobmk/gcc move to several Slices\nand "
-                "hundreds of KB to MBs of cache.\n");
-    return 0;
-}
+
+    std::string
+    description() const override
+    {
+        return "Optimal (L2 KB, Slices) per performance/area metric";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        return study::fullPaperGrid();
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+
+        study::Table &t = ctx.report.addTable(
+            "tab4", "Optimal (L2 KB, Slices) per metric perf^k/area");
+        t.col("benchmark", study::Value::Kind::Text);
+        for (int k = 1; k <= 3; ++k) {
+            const std::string p = "perf" + std::to_string(k);
+            t.col(p + "_l2_kb", study::Value::Kind::Integer)
+                .col(p + "_slices", study::Value::Kind::Integer);
+        }
+        for (const std::string &bench : benchmarkNames()) {
+            std::vector<study::Value> row{bench};
+            for (int k = 1; k <= 3; ++k) {
+                const OptResult r = opt.peakPerfPerArea(bench, k);
+                row.push_back(r.cacheKb());
+                row.push_back(r.slices);
+            }
+            t.addRow(std::move(row));
+        }
+        ctx.report.addNote(
+            "paper shape: optima differ across benchmarks and grow "
+            "with the exponent; hmmer stays at (64 KB, 1-2 Slices) "
+            "while gobmk/gcc move to several Slices and hundreds of "
+            "KB to MBs of cache.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Tab4PerfAreaStudy)

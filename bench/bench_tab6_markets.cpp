@@ -7,40 +7,83 @@
  * deviate from area, customers substitute toward the cheap resource.
  */
 
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
 #include "econ/market.hh"
+#include "econ/optimizer.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
 #include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+class Tab6MarketsStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    prefillSurface(pm, fullPaperGrid());
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-    const double budget = defaultBudget();
-
-    printHeader("Table 6",
-                "Optimal (L2 KB, Slices) in different markets");
-    for (const Market &m : allMarkets()) {
-        std::printf("\n%s (slice price %.0f, 64 KB bank price %.0f)\n",
-                    m.name.c_str(), m.slicePrice, m.bankPrice);
-        std::printf("%-12s %16s %16s %16s\n", "benchmark", "Utility1",
-                    "Utility2", "Utility3");
-        for (const std::string &name : benchmarkNames()) {
-            std::printf("%-12s", name.c_str());
-            for (UtilityKind u : kAllUtilities) {
-                const OptResult r = opt.peakUtility(name, u, m, budget);
-                std::printf("    (%5uK, %u)  ", r.cacheKb(), r.slices);
-            }
-            std::printf("\n");
-        }
+  public:
+    std::string
+    name() const override
+    {
+        return "tab6";
     }
-    std::printf("\npaper shape: Market1 (expensive Slices) shifts "
-                "optima toward cache;\nMarket3 (expensive cache) "
-                "shifts them toward Slices.\n");
-    return 0;
-}
+
+    std::string
+    description() const override
+    {
+        return "Optimal (L2 KB, Slices) in different markets";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        return study::fullPaperGrid();
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+        const double budget = defaultBudget();
+
+        study::Table &prices =
+            ctx.report.addTable("markets", "The three markets");
+        prices.col("market", study::Value::Kind::Text)
+            .col("slice_price", study::Value::Kind::Real, 0)
+            .col("bank_price", study::Value::Kind::Real, 0);
+
+        study::Table &t = ctx.report.addTable(
+            "tab6",
+            "Optimal (L2 KB, Slices) per market and utility");
+        t.col("market", study::Value::Kind::Text)
+            .col("benchmark", study::Value::Kind::Text);
+        for (int u = 1; u <= 3; ++u) {
+            const std::string p = "u" + std::to_string(u);
+            t.col(p + "_l2_kb", study::Value::Kind::Integer)
+                .col(p + "_slices", study::Value::Kind::Integer);
+        }
+        for (const Market &m : allMarkets()) {
+            prices.addRow({m.name, m.slicePrice, m.bankPrice});
+            for (const std::string &bench : benchmarkNames()) {
+                std::vector<study::Value> row{m.name, bench};
+                for (UtilityKind u : kAllUtilities) {
+                    const OptResult r =
+                        opt.peakUtility(bench, u, m, budget);
+                    row.push_back(r.cacheKb());
+                    row.push_back(r.slices);
+                }
+                t.addRow(std::move(row));
+            }
+        }
+        ctx.report.addNote(
+            "paper shape: Market1 (expensive Slices) shifts optima "
+            "toward cache; Market3 (expensive cache) shifts them "
+            "toward Slices.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Tab6MarketsStudy)

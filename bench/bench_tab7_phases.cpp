@@ -9,46 +9,83 @@
  * perf^3 per area, with the gain growing with the exponent.
  */
 
-#include "bench_util.hh"
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
 #include "econ/phases.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "trace/profile.hh"
 
 using namespace sharch;
-using namespace sharch::bench;
 
-int
-main()
+namespace {
+
+class Tab7PhasesStudy final : public study::Study
 {
-    PerfModel &pm = sharedPerfModel();
-    // The phase study sweeps the full grid for each gcc phase.
-    prefillSurface(pm, exec::sweepGrid(gccPhaseProfiles(),
-                                       l2BankGrid(),
-                                       exec::sliceRange()));
-    AreaModel am;
-    UtilityOptimizer opt(pm, am);
-
-    printHeader("Table 7",
-                "Optimal configurations for 10 gcc phases");
-    const PhaseStudyResult res = phaseStudy(opt);
-
-    for (const PhaseStudyRow &row : res.rows) {
-        std::printf("\nmetric: perf^%d/area\n", row.metricExponent);
-        std::printf("  %-14s", "L2 (KB):");
-        for (const VCoreShape &sh : row.perPhase)
-            std::printf("%6u", sh.banks * 64);
-        std::printf("\n  %-14s", "Slices:");
-        for (const VCoreShape &sh : row.perPhase)
-            std::printf("%6u", sh.slices);
-        std::printf("\n  static optimal: (%u KB, %u Slices)\n",
-                    row.staticOptimal.banks * 64,
-                    row.staticOptimal.slices);
-        std::printf("  dynamic/static gain: %.1f%%  (paper: %s)\n",
-                    100.0 * row.gain,
-                    row.metricExponent == 1   ? "9.1%"
-                    : row.metricExponent == 2 ? "15.1%"
-                                              : "19.4%");
+  public:
+    std::string
+    name() const override
+    {
+        return "tab7";
     }
-    std::printf("\npaper shape: optimal shapes drift across phases, "
-                "and the dynamic gain\nincreases with the metric "
-                "exponent.\n");
-    return 0;
-}
+
+    std::string
+    description() const override
+    {
+        return "Optimal configurations for 10 gcc phases and the "
+               "dynamic/static gain";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        // The phase study sweeps the full grid for each gcc phase.
+        return exec::sweepGrid(gccPhaseProfiles(), l2BankGrid(),
+                               exec::sliceRange());
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+        const PhaseStudyResult res = phaseStudy(opt);
+
+        study::Table &p = ctx.report.addTable(
+            "per_phase", "Optimal shape per gcc phase and metric");
+        p.col("metric_exponent", study::Value::Kind::Integer)
+            .col("phase", study::Value::Kind::Integer)
+            .col("l2_kb", study::Value::Kind::Integer)
+            .col("slices", study::Value::Kind::Integer);
+
+        study::Table &s = ctx.report.addTable(
+            "summary", "Static optimum and dynamic/static gain");
+        s.col("metric_exponent", study::Value::Kind::Integer)
+            .col("static_l2_kb", study::Value::Kind::Integer)
+            .col("static_slices", study::Value::Kind::Integer)
+            .col("gain_pct", study::Value::Kind::Real, 1)
+            .col("paper_gain_pct", study::Value::Kind::Real, 1);
+
+        for (const PhaseStudyRow &row : res.rows) {
+            for (std::size_t i = 0; i < row.perPhase.size(); ++i) {
+                const VCoreShape &sh = row.perPhase[i];
+                p.addRow({row.metricExponent, i, sh.banks * 64,
+                          sh.slices});
+            }
+            const double paper = row.metricExponent == 1   ? 9.1
+                                 : row.metricExponent == 2 ? 15.1
+                                                           : 19.4;
+            s.addRow({row.metricExponent,
+                      row.staticOptimal.banks * 64,
+                      row.staticOptimal.slices, 100.0 * row.gain,
+                      paper});
+        }
+        ctx.report.addNote(
+            "paper shape: optimal shapes drift across phases, and "
+            "the dynamic gain increases with the metric exponent.");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(Tab7PhasesStudy)

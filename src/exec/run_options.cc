@@ -94,8 +94,9 @@ runUsage(const std::string &prog)
 namespace {
 
 /** Fetch the value of a --flag; sets error when it is missing. */
+template <typename Options>
 const char *
-flagValue(int argc, const char *const *argv, int *i, RunOptions *opts)
+flagValue(int argc, const char *const *argv, int *i, Options *opts)
 {
     if (*i + 1 >= argc) {
         opts->error = std::string(argv[*i]) + " requires a value";
@@ -232,6 +233,110 @@ parseRunOptions(int argc, const char *const *argv)
         opts.faultSpec.empty() && opts.benchmark.empty()) {
         opts.error = "missing benchmark name";
     }
+    return opts;
+}
+
+std::string
+benchUsage(const std::string &prog)
+{
+    return "usage: " + prog + " --list\n"
+           "       " + prog +
+           " --run GLOB [--run GLOB ...] [--format text|csv|json]\n"
+           "            [--out DIR] [--instructions N] [--seed N]\n"
+           "            [--threads N]\n"
+           "\n"
+           "  Runs the registered paper studies (figures, tables,\n"
+           "  ablations).  --run takes shell-style globs over study\n"
+           "  ids ('fig*', 'tab?', 'fig13'); several patterns union.\n"
+           "  The union of the selected studies' grids is simulated\n"
+           "  in one parallel batch before any study prints, and the\n"
+           "  surface is shared through " +
+           std::string("sharch_perf_cache.csv") + " in the\n"
+           "  working directory.  With --out, one <study>.<ext> file\n"
+           "  is written per study; JSON/CSV reports are bit-identical\n"
+           "  across --threads values.\n";
+}
+
+BenchOptions
+parseBenchOptions(int argc, const char *const *argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc && opts.ok(); ++i) {
+        const std::string arg = argv[i];
+        std::uint64_t v = 0;
+        if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--run") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            // A comma-separated value contributes several patterns.
+            const std::string list = val;
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string pat =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (pat.empty()) {
+                    opts.error = "empty pattern in --run '" + list +
+                                 "'";
+                    break;
+                }
+                opts.patterns.push_back(pat);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        } else if (arg == "--format") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            const std::string fmt = val;
+            if (fmt != "text" && fmt != "csv" && fmt != "json")
+                opts.error = "bad --format '" + fmt +
+                             "' (want text, csv, or json)";
+            else
+                opts.format = fmt;
+        } else if (arg == "--out") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.outDir = val;
+        } else if (arg == "--instructions") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            if (!parseU64(val, &v) || v == 0)
+                opts.error = "bad --instructions '" +
+                             std::string(val) + "'";
+            else
+                opts.instructions = static_cast<std::size_t>(v);
+        } else if (arg == "--seed") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            if (!parseU64(val, &opts.seed))
+                opts.error = "bad --seed '" + std::string(val) + "'";
+            else
+                opts.seedSet = true;
+        } else if (arg == "--threads") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            if (!parseU64(val, &v) || v == 0 || v > 4096)
+                opts.error = "bad --threads '" + std::string(val) +
+                             "' (want 1..4096)";
+            else
+                opts.threads = static_cast<unsigned>(v);
+        } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            opts.error = "unknown flag '" + arg + "'";
+        } else {
+            // Bare positionals are run patterns: `sharch-bench fig13`.
+            opts.patterns.push_back(arg);
+        }
+    }
+    if (opts.ok() && !opts.list && opts.patterns.empty())
+        opts.error = "nothing to do: give --list or --run GLOB";
     return opts;
 }
 

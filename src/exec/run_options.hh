@@ -76,6 +76,49 @@ RunOptions parseRunOptions(int argc, const char *const *argv);
 /** Usage text for the redesigned CLI. */
 std::string runUsage(const std::string &prog);
 
+/**
+ * Parsed sharch-bench invocation (the study-engine driver that
+ * replaced the per-figure harness binaries):
+ *
+ *   --list              list registered studies and exit
+ *   --run GLOB          run studies matching GLOB (repeatable; a
+ *                       comma-separated value adds several patterns;
+ *                       bare positionals are also patterns)
+ *   --format FMT        text | csv | json (default text)
+ *   --out DIR           write one report file per study into DIR
+ *                       instead of stdout
+ *   --instructions N    trace length per thread
+ *                       (default SHARCH_BENCH_INSTRUCTIONS or 40000)
+ *   --seed N            base generation seed
+ *                       (default SHARCH_BENCH_SEED or 1)
+ *   --threads N         sweep worker threads (default SHARCH_THREADS,
+ *                       else hardware concurrency)
+ *
+ * Same contract as parseRunOptions: never throws, never exits;
+ * malformed input comes back as .error.
+ */
+struct BenchOptions
+{
+    bool list = false;
+    std::vector<std::string> patterns; //!< study-name globs to run
+    std::string format = "text";
+    std::string outDir;                //!< empty: stdout
+    std::size_t instructions = 0;      //!< 0: environment default
+    std::uint64_t seed = 0;
+    bool seedSet = false;              //!< --seed given
+    unsigned threads = 0;              //!< 0: resolveThreadCount()
+
+    std::string error; //!< nonempty: parse failed, show usage
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse a sharch-bench command line (never throws). */
+BenchOptions parseBenchOptions(int argc, const char *const *argv);
+
+/** Usage text for sharch-bench. */
+std::string benchUsage(const std::string &prog);
+
 /** Strict base-10 parse of a full string; false on any garbage. */
 bool parseU64(const std::string &text, std::uint64_t *out);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -175,6 +176,68 @@ SimStats::report() const
         oss << "  " << stageName(static_cast<Stage>(i)) << ": "
             << stallCycles[i] << "\n";
     }
+    return oss.str();
+}
+
+std::string
+SimStats::toJson() const
+{
+    std::ostringstream oss;
+    bool first = true;
+    auto num = [&](const char *key, std::uint64_t v) {
+        oss << (first ? "" : ",") << "\"" << key << "\":" << v;
+        first = false;
+    };
+    auto real = [&](const char *key, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        oss << (first ? "" : ",") << "\"" << key << "\":" << buf;
+        first = false;
+    };
+
+    oss << "{";
+    num("cycles", cycles);
+    num("instructions_committed", instructionsCommitted);
+    num("instructions_fetched", instructionsFetched);
+    num("squashed_instructions", squashedInstructions);
+    real("ipc", ipc());
+    num("branches", branches);
+    num("branch_mispredicts", branchMispredicts);
+    real("branch_mispredict_rate", branchMispredictRate());
+    num("loads", loads);
+    num("stores", stores);
+    num("lsq_violations", lsqViolations);
+    num("l1d_accesses", l1dAccesses);
+    num("l1d_misses", l1dMisses);
+    real("l1d_miss_rate", l1dMissRate());
+    num("l1i_accesses", l1iAccesses);
+    num("l1i_misses", l1iMisses);
+    num("l2_accesses", l2Accesses);
+    num("l2_misses", l2Misses);
+    real("l2_miss_rate", l2MissRate());
+    num("coherence_invalidations", coherenceInvalidations);
+    num("operand_requests", operandRequests);
+    num("operand_replies", operandReplies);
+    num("operand_network_hops", operandNetworkHops);
+    num("operand_network_stalls", operandNetworkStalls);
+    num("rename_broadcasts", renameBroadcasts);
+    real("avg_operand_wait",
+         safeDiv(double(sumOperandWait),
+                 double(instructionsCommitted)));
+    real("avg_issue_wait",
+         safeDiv(double(sumIssueWait),
+                 double(instructionsCommitted)));
+    real("avg_exec_latency",
+         safeDiv(double(sumExecLatency),
+                 double(instructionsCommitted)));
+    oss << ",\"stall_cycles\":{";
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(Stage::NumStages); ++i) {
+        oss << (i ? "," : "") << "\""
+            << stageName(static_cast<Stage>(i))
+            << "\":" << stallCycles[i];
+    }
+    oss << "}}";
     return oss.str();
 }
 

@@ -143,6 +143,16 @@ struct SimStats
 
     /** Human-readable multi-line report. */
     std::string report() const;
+
+    /**
+     * One JSON object with every counter, the derived rates, and the
+     * per-stage stall cycles.  This is the "stats" section of the
+     * sharch-report-v1 schema (see study/report.hh): ssim --json and
+     * the study reports embed it verbatim, so every layer agrees on
+     * field names.  Reals are emitted with "%.17g" -- equal stats
+     * always serialize to identical bytes.
+     */
+    std::string toJson() const;
 };
 
 } // namespace sharch

@@ -1,0 +1,93 @@
+#include "study/registry.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sharch::study {
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative glob with single-star backtracking: `star`/`starText`
+    // remember the last `*` so a mismatch rewinds there and consumes
+    // one more text character.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, starText = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            starText = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++starText;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+StudyRegistry &
+StudyRegistry::instance()
+{
+    static StudyRegistry registry;
+    return registry;
+}
+
+void
+StudyRegistry::add(std::unique_ptr<Study> s)
+{
+    const std::string name = s->name();
+    for (const std::unique_ptr<Study> &existing : studies_) {
+        SHARCH_ASSERT(existing->name() != name,
+                      "duplicate study id '", name, "'");
+    }
+    studies_.push_back(std::move(s));
+}
+
+std::vector<Study *>
+StudyRegistry::all() const
+{
+    std::vector<Study *> out;
+    out.reserve(studies_.size());
+    for (const std::unique_ptr<Study> &s : studies_)
+        out.push_back(s.get());
+    std::sort(out.begin(), out.end(),
+              [](const Study *a, const Study *b) {
+                  return a->name() < b->name();
+              });
+    return out;
+}
+
+std::vector<Study *>
+StudyRegistry::match(const std::string &pattern) const
+{
+    std::vector<Study *> out;
+    for (Study *s : all())
+        if (globMatch(pattern, s->name()))
+            out.push_back(s);
+    return out;
+}
+
+Study *
+StudyRegistry::find(const std::string &name) const
+{
+    for (const std::unique_ptr<Study> &s : studies_)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+StudyRegistrar::StudyRegistrar(std::unique_ptr<Study> s)
+{
+    StudyRegistry::instance().add(std::move(s));
+}
+
+} // namespace sharch::study

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Self-registering study catalogue.
+ *
+ * A study translation unit defines its Study subclass and registers it
+ * with SHARCH_REGISTER_STUDY(Class); the driver (and the tests) then
+ * discover every study through StudyRegistry::instance() without a
+ * hand-maintained list.  Registration happens during static
+ * initialization, so study objects must not touch other globals in
+ * their constructors -- all work belongs in grid()/run().
+ */
+
+#ifndef SHARCH_STUDY_REGISTRY_HH
+#define SHARCH_STUDY_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "study/study.hh"
+
+namespace sharch::study {
+
+/**
+ * Match @p text against a shell-style pattern: `*` matches any run
+ * (including empty), `?` any one character, everything else itself.
+ */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/** The process-wide catalogue of registered studies. */
+class StudyRegistry
+{
+  public:
+    static StudyRegistry &instance();
+
+    /** Register a study; fatal() on a duplicate name. */
+    void add(std::unique_ptr<Study> s);
+
+    /** Every registered study, sorted by name. */
+    std::vector<Study *> all() const;
+
+    /** Studies whose name matches @p pattern (globMatch), sorted. */
+    std::vector<Study *> match(const std::string &pattern) const;
+
+    /** The study named exactly @p name, or nullptr. */
+    Study *find(const std::string &name) const;
+
+  private:
+    StudyRegistry() = default;
+
+    std::vector<std::unique_ptr<Study>> studies_;
+};
+
+/** Registers a study instance at static-initialization time. */
+class StudyRegistrar
+{
+  public:
+    explicit StudyRegistrar(std::unique_ptr<Study> s);
+};
+
+/**
+ * Place at namespace scope in the study's translation unit.  The
+ * studies library is an OBJECT library so these registrations are
+ * never dropped by the linker.
+ */
+#define SHARCH_REGISTER_STUDY(cls) \
+    static ::sharch::study::StudyRegistrar registrar_##cls{ \
+        std::make_unique<cls>()};
+
+} // namespace sharch::study
+
+#endif // SHARCH_STUDY_REGISTRY_HH

@@ -1,0 +1,339 @@
+#include "study/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace sharch::study {
+
+namespace {
+
+std::string
+formatReal(double v, const char *fmt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+Value::toCanonical() const
+{
+    switch (kind) {
+      case Kind::Null: return "";
+      case Kind::Text: return text;
+      case Kind::Integer: return std::to_string(integer);
+      case Kind::Real: return formatReal(real, "%.17g");
+      case Kind::Boolean: return boolean ? "true" : "false";
+    }
+    return "";
+}
+
+std::string
+Value::toText(int precision) const
+{
+    if (kind == Kind::Real) {
+        if (precision >= 0) {
+            char fmt[16];
+            std::snprintf(fmt, sizeof(fmt), "%%.%df", precision);
+            return formatReal(real, fmt);
+        }
+        return formatReal(real, "%g");
+    }
+    return toCanonical();
+}
+
+std::string
+Value::toJson() const
+{
+    switch (kind) {
+      case Kind::Null: return "null";
+      case Kind::Text: return "\"" + jsonEscape(text) + "\"";
+      case Kind::Integer:
+      case Kind::Real:
+      case Kind::Boolean: return toCanonical();
+    }
+    return "null";
+}
+
+Table &
+Table::col(std::string name, Value::Kind kind, int precision)
+{
+    columns.push_back(Column{std::move(name), kind, precision});
+    return *this;
+}
+
+void
+Table::addRow(std::vector<Value> row)
+{
+    SHARCH_ASSERT(row.size() == columns.size(),
+                  "table '", id, "': row arity ", row.size(),
+                  " != ", columns.size(), " columns");
+    rows.push_back(std::move(row));
+}
+
+Table &
+Report::addTable(std::string id_, std::string title_)
+{
+    tables.emplace_back(std::move(id_), std::move(title_));
+    return tables.back();
+}
+
+bool
+parseFormat(const std::string &name, Format *out)
+{
+    if (name == "text") {
+        *out = Format::Text;
+    } else if (name == "csv") {
+        *out = Format::Csv;
+    } else if (name == "json") {
+        *out = Format::Json;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+formatExtension(Format f)
+{
+    switch (f) {
+      case Format::Text: return "txt";
+      case Format::Csv: return "csv";
+      case Format::Json: return "json";
+    }
+    return "txt";
+}
+
+std::string
+render(const Report &report, Format format)
+{
+    switch (format) {
+      case Format::Text: return renderText(report);
+      case Format::Csv: return renderCsv(report);
+      case Format::Json: return renderJson(report);
+    }
+    return renderText(report);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+bool
+rightAligned(Value::Kind k)
+{
+    return k == Value::Kind::Integer || k == Value::Kind::Real;
+}
+
+void
+renderTableText(std::ostringstream &oss, const Table &t)
+{
+    if (!t.title.empty())
+        oss << t.id << " -- " << t.title << "\n";
+
+    // Pre-render every cell, then size columns to content.
+    std::vector<std::vector<std::string>> cells;
+    cells.reserve(t.rows.size());
+    for (const std::vector<Value> &row : t.rows) {
+        cells.emplace_back();
+        for (std::size_t c = 0; c < row.size(); ++c)
+            cells.back().push_back(
+                row[c].toText(t.columns[c].precision));
+    }
+    std::vector<std::size_t> width;
+    for (const Column &col : t.columns)
+        width.push_back(col.name.size());
+    for (const std::vector<std::string> &row : cells)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::string &cell, std::size_t c) {
+        const std::size_t pad = width[c] - cell.size();
+        if (rightAligned(t.columns[c].kind)) {
+            oss << std::string(pad, ' ') << cell;
+        } else {
+            oss << cell;
+            if (c + 1 < width.size())
+                oss << std::string(pad, ' ');
+        }
+        if (c + 1 < width.size())
+            oss << "  ";
+    };
+    for (std::size_t c = 0; c < t.columns.size(); ++c)
+        emit(t.columns[c].name, c);
+    oss << "\n";
+    for (const std::vector<std::string> &row : cells) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            emit(row[c], c);
+        oss << "\n";
+    }
+}
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+renderText(const Report &report)
+{
+    std::ostringstream oss;
+    const std::string rule(68, '=');
+    oss << rule << "\n" << report.id;
+    if (!report.title.empty())
+        oss << " -- " << report.title;
+    oss << "\n" << rule << "\n";
+
+    auto kv = [&](const std::vector<std::pair<std::string, Value>> &m) {
+        for (std::size_t i = 0; i < m.size(); ++i)
+            oss << (i ? "  " : "") << m[i].first << "="
+                << m[i].second.toText(-1);
+    };
+    if (!report.meta.empty()) {
+        kv(report.meta);
+        oss << "\n";
+    }
+    if (!report.runInfo.empty()) {
+        kv(report.runInfo);
+        oss << "\n";
+    }
+
+    for (const Table &t : report.tables) {
+        oss << "\n";
+        renderTableText(oss, t);
+    }
+    if (!report.notes.empty()) {
+        oss << "\n";
+        for (const std::string &n : report.notes)
+            oss << n << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+renderCsv(const Report &report)
+{
+    std::ostringstream oss;
+    oss << "# report: " << report.id;
+    if (!report.title.empty())
+        oss << " -- " << report.title;
+    oss << "\n";
+    for (const auto &[key, value] : report.meta)
+        oss << "# meta: " << key << "=" << value.toCanonical() << "\n";
+
+    for (const Table &t : report.tables) {
+        oss << "\n# table: " << t.id;
+        if (!t.title.empty())
+            oss << " -- " << t.title;
+        oss << "\n";
+        for (std::size_t c = 0; c < t.columns.size(); ++c)
+            oss << (c ? "," : "") << csvQuote(t.columns[c].name);
+        oss << "\n";
+        for (const std::vector<Value> &row : t.rows) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                oss << (c ? "," : "")
+                    << csvQuote(row[c].toCanonical());
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+std::string
+renderJson(const Report &report)
+{
+    std::ostringstream oss;
+    oss << "{\"schema\":\"sharch-report-v1\"";
+    oss << ",\"id\":\"" << jsonEscape(report.id) << "\"";
+    oss << ",\"title\":\"" << jsonEscape(report.title) << "\"";
+
+    oss << ",\"meta\":{";
+    for (std::size_t i = 0; i < report.meta.size(); ++i)
+        oss << (i ? "," : "") << "\""
+            << jsonEscape(report.meta[i].first)
+            << "\":" << report.meta[i].second.toJson();
+    oss << "}";
+
+    oss << ",\"tables\":[";
+    for (std::size_t t = 0; t < report.tables.size(); ++t) {
+        const Table &tab = report.tables[t];
+        oss << (t ? "," : "") << "{\"id\":\"" << jsonEscape(tab.id)
+            << "\",\"title\":\"" << jsonEscape(tab.title)
+            << "\",\"columns\":[";
+        for (std::size_t c = 0; c < tab.columns.size(); ++c) {
+            const char *kind = "text";
+            switch (tab.columns[c].kind) {
+              case Value::Kind::Integer: kind = "integer"; break;
+              case Value::Kind::Real: kind = "real"; break;
+              case Value::Kind::Boolean: kind = "boolean"; break;
+              default: break;
+            }
+            oss << (c ? "," : "") << "{\"name\":\""
+                << jsonEscape(tab.columns[c].name) << "\",\"kind\":\""
+                << kind << "\"}";
+        }
+        oss << "],\"rows\":[";
+        for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+            oss << (r ? "," : "") << "[";
+            for (std::size_t c = 0; c < tab.rows[r].size(); ++c)
+                oss << (c ? "," : "") << tab.rows[r][c].toJson();
+            oss << "]";
+        }
+        oss << "]}";
+    }
+    oss << "]";
+
+    oss << ",\"notes\":[";
+    for (std::size_t i = 0; i < report.notes.size(); ++i)
+        oss << (i ? "," : "") << "\"" << jsonEscape(report.notes[i])
+            << "\"";
+    oss << "]";
+
+    for (const auto &[key, json] : report.rawJson)
+        oss << ",\"" << jsonEscape(key) << "\":" << json;
+
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace sharch::study

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The structured report model every layer emits (stats, exec, bench,
+ * tools): typed tables plus metadata, with pluggable renderers for
+ * aligned text, CSV, and JSON.
+ *
+ * The historical harnesses printf'd their tables, which no tool could
+ * consume; a Report separates *what* a study produced (tables of typed
+ * cells, metadata, prose notes) from *how* it is shown.  One schema --
+ * "sharch-report-v1" -- covers every producer, so perf trajectories
+ * can be tracked and diffed across commits.
+ *
+ * Determinism contract: renderers are pure functions of the Report,
+ * and the JSON/CSV renderers emit only the deterministic fields.
+ * Volatile run facts (worker threads, wall-clock elapsed) live in
+ * Report::runInfo, which only the text renderer shows -- so a JSON
+ * report is bit-identical across `--threads` values and across runs,
+ * and machine-readable outputs diff cleanly.
+ */
+
+#ifndef SHARCH_STUDY_REPORT_HH
+#define SHARCH_STUDY_REPORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sharch::study {
+
+/** One typed cell of a table (or one metadata value). */
+struct Value
+{
+    enum class Kind { Null, Text, Integer, Real, Boolean };
+
+    Kind kind = Kind::Null;
+    std::string text;
+    std::int64_t integer = 0;
+    double real = 0.0;
+    bool boolean = false;
+
+    Value() = default;
+    Value(const char *t) : kind(Kind::Text), text(t) {}
+    Value(std::string t) : kind(Kind::Text), text(std::move(t)) {}
+    Value(int v) : kind(Kind::Integer), integer(v) {}
+    Value(long v) : kind(Kind::Integer), integer(v) {}
+    Value(long long v) : kind(Kind::Integer), integer(v) {}
+    Value(unsigned v) : kind(Kind::Integer), integer(v) {}
+    Value(unsigned long v)
+        : kind(Kind::Integer), integer(static_cast<std::int64_t>(v)) {}
+    Value(unsigned long long v)
+        : kind(Kind::Integer), integer(static_cast<std::int64_t>(v)) {}
+    Value(double v) : kind(Kind::Real), real(v) {}
+    Value(bool v) : kind(Kind::Boolean), boolean(v) {}
+
+    /**
+     * Canonical machine form: integers in full, reals via "%.17g"
+     * (round-trippable, so equal doubles render equally), booleans as
+     * true/false.  Used by the CSV renderer and for JSON primitives.
+     */
+    std::string toCanonical() const;
+
+    /**
+     * Human form for the text renderer: reals honor @p precision
+     * ("%.*f") when it is >= 0, else "%g".
+     */
+    std::string toText(int precision) const;
+
+    /** JSON token (canonical form; text gets quoted and escaped). */
+    std::string toJson() const;
+};
+
+/** A table column: name, cell kind, and text-renderer precision. */
+struct Column
+{
+    std::string name;
+    Value::Kind kind = Value::Kind::Text;
+    int precision = -1; //!< text-renderer decimals for reals; -1: %g
+};
+
+/** A named grid of typed rows. */
+struct Table
+{
+    std::string id;    //!< stable key, e.g. "fig13"
+    std::string title; //!< one-line caption
+
+    std::vector<Column> columns;
+    std::vector<std::vector<Value>> rows;
+
+    Table() = default;
+    Table(std::string id_, std::string title_)
+        : id(std::move(id_)), title(std::move(title_)) {}
+
+    /** Append a column (builder style; returns *this for chaining). */
+    Table &col(std::string name, Value::Kind kind,
+               int precision = -1);
+
+    /** Append a row; asserts the arity matches the columns. */
+    void addRow(std::vector<Value> row);
+};
+
+/** Everything one study (or tool invocation) reports. */
+struct Report
+{
+    std::string id;    //!< study id, e.g. "fig13"
+    std::string title; //!< human title
+
+    /** Deterministic run parameters (seed, instructions, ...). */
+    std::vector<std::pair<std::string, Value>> meta;
+
+    /**
+     * Volatile facts about this particular run (threads, elapsed
+     * seconds).  Shown by the text renderer only; never part of the
+     * machine-readable outputs (see the determinism contract above).
+     */
+    std::vector<std::pair<std::string, Value>> runInfo;
+
+    /**
+     * A deque so the reference addTable() returns stays valid while
+     * later tables are added (builder-style study code holds several
+     * at once).
+     */
+    std::deque<Table> tables;
+
+    /** Prose observations ("paper shape: ..."). */
+    std::vector<std::string> notes;
+
+    /**
+     * Pre-rendered JSON sections spliced into the JSON output under
+     * their key (e.g. SimStats::toJson() under "stats").  Values must
+     * be complete JSON values.  Ignored by the text/CSV renderers.
+     */
+    std::vector<std::pair<std::string, std::string>> rawJson;
+
+    void addMeta(std::string key, Value v)
+    { meta.emplace_back(std::move(key), std::move(v)); }
+
+    void addRunInfo(std::string key, Value v)
+    { runInfo.emplace_back(std::move(key), std::move(v)); }
+
+    /** Append an empty table and return it for filling. */
+    Table &addTable(std::string id, std::string title);
+
+    void addNote(std::string note)
+    { notes.push_back(std::move(note)); }
+
+    void attachJson(std::string key, std::string json)
+    { rawJson.emplace_back(std::move(key), std::move(json)); }
+};
+
+/** Output format of a rendered report. */
+enum class Format { Text, Csv, Json };
+
+/** Parse "text" / "csv" / "json"; false on anything else. */
+bool parseFormat(const std::string &name, Format *out);
+
+/** File extension (without dot) for a format. */
+const char *formatExtension(Format f);
+
+/** Render @p report in @p format. */
+std::string render(const Report &report, Format format);
+
+/** Aligned, human-readable text (the historical harness look). */
+std::string renderText(const Report &report);
+
+/**
+ * CSV: each table as `# table: id -- title`, a header row, then data
+ * rows, separated by blank lines.  Cells in canonical form.
+ */
+std::string renderCsv(const Report &report);
+
+/** The "sharch-report-v1" JSON schema (deterministic fields only). */
+std::string renderJson(const Report &report);
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
+
+} // namespace sharch::study
+
+#endif // SHARCH_STUDY_REPORT_HH

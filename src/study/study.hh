@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Study interface: one registered, parameterized experiment over
+ * the shared simulation engine.
+ *
+ * Every figure/table of the paper's evaluation (and every later
+ * ablation or fault study) is a Study: it declares the slice of the
+ * performance surface it needs via grid(), and fills a structured
+ * Report from the ReportContext it is run with.  Studies self-register
+ * with the StudyRegistry (see registry.hh), and the `sharch-bench`
+ * driver runs any subset of them as one traffic-shaped workload: the
+ * union of the selected grids is prefilled through a single
+ * PerfModel::performanceBatch(), saturating the sweep worker pool
+ * once instead of once per study.
+ */
+
+#ifndef SHARCH_STUDY_STUDY_HH
+#define SHARCH_STUDY_STUDY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.hh"
+#include "study/report.hh"
+
+namespace sharch {
+
+class PerfModel;
+
+namespace study {
+
+/** Everything a study needs to run, plus the report it fills. */
+struct ReportContext
+{
+    PerfModel &pm;            //!< shared, usually prefilled surface
+    std::size_t instructions; //!< trace length per thread
+    std::uint64_t seed;       //!< base generation seed
+    unsigned threads;         //!< resolved sweep worker count
+
+    Report report;            //!< the study's output
+};
+
+/** One registered experiment (a figure, table, or ablation). */
+class Study
+{
+  public:
+    virtual ~Study() = default;
+
+    /** Stable id, e.g. "fig13" or "tab7" (the paper's names). */
+    virtual std::string name() const = 0;
+
+    /** One-line description for `sharch-bench --list`. */
+    virtual std::string description() const = 0;
+
+    /**
+     * The performance-surface points this study reads.  The engine
+     * prefills them (deduplicated across studies) before run(); a
+     * study whose data does not come from the P(c, s) surface returns
+     * the default empty grid.
+     */
+    virtual std::vector<exec::SweepPoint> grid() const { return {}; }
+
+    /** Produce the report (fill ctx.report's tables and notes). */
+    virtual void run(ReportContext &ctx) = 0;
+};
+
+} // namespace study
+} // namespace sharch
+
+#endif // SHARCH_STUDY_STUDY_HH

@@ -209,6 +209,53 @@ TEST(CliParse, HelpersRejectGarbage)
     EXPECT_FALSE(parseCountList("a,b", &list));
 }
 
+TEST(BenchParse, ListRunAndFormats)
+{
+    const char *argv1[] = {"sharch-bench", "--list"};
+    BenchOptions o = parseBenchOptions(2, argv1);
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_TRUE(o.list);
+    EXPECT_TRUE(o.patterns.empty());
+
+    const char *argv2[] = {"sharch-bench", "--run", "fig*,tab1",
+                           "--format", "json", "--out", "reports",
+                           "--instructions", "2000", "--seed", "7",
+                           "--threads", "2"};
+    o = parseBenchOptions(13, argv2);
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.patterns,
+              (std::vector<std::string>{"fig*", "tab1"}));
+    EXPECT_EQ(o.format, "json");
+    EXPECT_EQ(o.outDir, "reports");
+    EXPECT_EQ(o.instructions, 2000u);
+    EXPECT_TRUE(o.seedSet);
+    EXPECT_EQ(o.seed, 7u);
+    EXPECT_EQ(o.threads, 2u);
+
+    // Bare positionals are patterns too.
+    const char *argv3[] = {"sharch-bench", "fig13"};
+    o = parseBenchOptions(2, argv3);
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.patterns, (std::vector<std::string>{"fig13"}));
+}
+
+TEST(BenchParse, Rejections)
+{
+    const char *none[] = {"sharch-bench"};
+    EXPECT_FALSE(parseBenchOptions(1, none).ok());
+    const char *fmt[] = {"sharch-bench", "--run", "fig13",
+                         "--format", "yaml"};
+    EXPECT_FALSE(parseBenchOptions(5, fmt).ok());
+    const char *instr[] = {"sharch-bench", "--run", "fig13",
+                           "--instructions", "0"};
+    EXPECT_FALSE(parseBenchOptions(5, instr).ok());
+    const char *thr[] = {"sharch-bench", "--run", "fig13",
+                         "--threads", "junk"};
+    EXPECT_FALSE(parseBenchOptions(5, thr).ok());
+    const char *flag[] = {"sharch-bench", "--frobnicate"};
+    EXPECT_FALSE(parseBenchOptions(2, flag).ok());
+}
+
 TEST(Determinism, ParallelSweepMatchesSerialBitwise)
 {
     // The acceptance criterion in miniature: same grid, 1 worker vs 4,

@@ -1,73 +1,146 @@
-// Internal calibration scratch tool (not part of the library).
-//
-// Usage: calibrate [fig12|fig13|ipc|all] [--threads N]
-// The figure sweeps prefill the surface through the parallel batch
-// API (SHARCH_THREADS also honored), then print from the memo.
+/**
+ * @file
+ * Internal calibration scratch tool (not part of the library).
+ *
+ * Usage: calibrate [fig12|fig13|ipc|all] [--threads N] [--format F]
+ *
+ * The figure sweeps prefill the shared disk-cached surface through
+ * the parallel batch API (SHARCH_THREADS also honored), then report
+ * from the memo through the same Report layer sharch-bench uses, so
+ * calibration output can be diffed against study output directly.
+ */
+
 #include <cstdio>
 #include <string>
+
 #include "core/perf_model.hh"
 #include "exec/run_options.hh"
 #include "exec/sweep.hh"
+#include "study/report.hh"
+#include "study/surface.hh"
 #include "trace/profile.hh"
+
 using namespace sharch;
 
-int main(int argc, char**argv) {
-    PerfModel pm(40000);
+namespace {
+
+void
+emit(const study::Report &report, study::Format format)
+{
+    std::fputs(study::render(report, format).c_str(), stdout);
+    if (format == study::Format::Text)
+        std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
     std::string mode = "all";
+    std::string format_name = "text";
     unsigned threads = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--threads" && i + 1 < argc) {
             std::uint64_t v = 0;
             if (!exec::parseU64(argv[++i], &v) || v == 0) {
-                std::fprintf(stderr, "bad --threads '%s'\n", argv[i]);
+                std::fprintf(stderr, "bad --threads '%s'\n",
+                             argv[i]);
                 return 1;
             }
             threads = static_cast<unsigned>(v);
+        } else if (arg == "--format" && i + 1 < argc) {
+            format_name = argv[++i];
         } else {
             mode = arg;
         }
     }
-    const bool all = mode == "all";
-    if (mode=="fig12" || all) {
-        pm.performanceBatch(
-            exec::sweepGrid(benchmarkNames(), {2}, exec::sliceRange()),
-            threads);
-        printf("== Fig12: perf vs slices (norm to 1 slice,128KB) ==\n%-12s","bench");
-        for (int s=1;s<=8;s++) printf(" s=%d  ",s);
-        printf("\n");
-        for (auto &n : benchmarkNames()) {
-            double base = pm.performance(n,2,1);
-            printf("%-12s", n.c_str());
-            for (int s=1;s<=8;s++) printf("%5.2f ", pm.performance(n,2,s)/base);
-            printf("\n");
-        }
+    study::Format format = study::Format::Text;
+    if (!study::parseFormat(format_name, &format)) {
+        std::fprintf(stderr, "bad --format '%s'\n",
+                     format_name.c_str());
+        return 1;
     }
-    if (mode=="fig13" || all) {
-        pm.performanceBatch(
+
+    PerfModel &pm = study::sharedPerfModel();
+    const bool all = mode == "all";
+
+    if (mode == "fig12" || all) {
+        study::prefillSurface(
+            pm,
+            exec::sweepGrid(benchmarkNames(), {2},
+                            exec::sliceRange()),
+            threads);
+        study::Report report;
+        report.id = "calibrate_fig12";
+        report.title =
+            "Fig12 calibration: perf vs slices (norm to 1 "
+            "slice, 128 KB)";
+        study::Table &t = report.addTable("fig12", "normalized IPC");
+        t.col("benchmark", study::Value::Kind::Text);
+        for (int s = 1; s <= 8; ++s)
+            t.col("s" + std::to_string(s),
+                  study::Value::Kind::Real, 2);
+        for (const auto &n : benchmarkNames()) {
+            const double base = pm.performance(n, 2, 1);
+            std::vector<study::Value> row{n};
+            for (int s = 1; s <= 8; ++s)
+                row.push_back(pm.performance(n, 2, s) / base);
+            t.addRow(std::move(row));
+        }
+        emit(report, format);
+    }
+    if (mode == "fig13" || all) {
+        study::prefillSurface(
+            pm,
             exec::sweepGrid(benchmarkNames(), l2BankGrid(), {2}),
             threads);
-        printf("\n== Fig13: perf vs L2 size (2 slices, norm to 0KB) ==\n%-12s","bench");
-        for (unsigned b : l2BankGrid()) printf("%6uK", b*64);
-        printf("\n");
-        for (auto &n : benchmarkNames()) {
-            double base = pm.performance(n,0,2);
-            printf("%-12s", n.c_str());
-            for (unsigned b : l2BankGrid()) printf("%7.2f", pm.performance(n,b,2)/base);
-            printf("\n");
+        study::Report report;
+        report.id = "calibrate_fig13";
+        report.title =
+            "Fig13 calibration: perf vs L2 size (2 slices, norm "
+            "to 0 KB)";
+        study::Table &t = report.addTable("fig13", "normalized IPC");
+        t.col("benchmark", study::Value::Kind::Text);
+        for (unsigned b : l2BankGrid())
+            t.col("l2_" + std::to_string(b * 64) + "k",
+                  study::Value::Kind::Real, 2);
+        for (const auto &n : benchmarkNames()) {
+            const double base = pm.performance(n, 0, 2);
+            std::vector<study::Value> row{n};
+            for (unsigned b : l2BankGrid())
+                row.push_back(pm.performance(n, b, 2) / base);
+            t.addRow(std::move(row));
         }
+        emit(report, format);
     }
-    if (mode=="ipc" || all) {
-        printf("\n== raw IPC + rates at (2 banks, 2 slices) ==\n");
-        for (auto &n : benchmarkNames()) {
-            auto r = pm.detailedRun(profileFor(n),2,2);
-            auto &st = r.aggregate;
-            printf("%-12s ipc=%5.2f br_mpki=%5.1f l1d_miss=%4.1f%% l1i_miss=%4.1f%% l2_miss=%4.1f%%\n",
-                n.c_str(), r.throughput(),
-                1000.0*st.branchMispredicts/st.instructionsCommitted,
-                100.0*st.l1dMissRate(), 100.0*(st.l1iAccesses? (double)st.l1iMisses/st.l1iAccesses:0),
-                100.0*st.l2MissRate());
+    if (mode == "ipc" || all) {
+        study::Report report;
+        report.id = "calibrate_ipc";
+        report.title = "Raw IPC and rates at (2 banks, 2 slices)";
+        study::Table &t = report.addTable("ipc", "per-benchmark");
+        t.col("benchmark", study::Value::Kind::Text)
+            .col("ipc", study::Value::Kind::Real, 2)
+            .col("br_mpki", study::Value::Kind::Real, 1)
+            .col("l1d_miss_pct", study::Value::Kind::Real, 1)
+            .col("l1i_miss_pct", study::Value::Kind::Real, 1)
+            .col("l2_miss_pct", study::Value::Kind::Real, 1);
+        for (const auto &n : benchmarkNames()) {
+            const auto r = pm.detailedRun(profileFor(n), 2, 2);
+            const auto &st = r.aggregate;
+            const double l1i =
+                st.l1iAccesses
+                    ? static_cast<double>(st.l1iMisses) /
+                          st.l1iAccesses
+                    : 0.0;
+            t.addRow({n, r.throughput(),
+                      1000.0 * st.branchMispredicts /
+                          st.instructionsCommitted,
+                      100.0 * st.l1dMissRate(), 100.0 * l1i,
+                      100.0 * st.l2MissRate()});
         }
+        emit(report, format);
     }
     return 0;
 }

@@ -31,6 +31,7 @@
 #include "exec/sweep.hh"
 #include "fault/fault_model.hh"
 #include "hyper/fabric_manager.hh"
+#include "study/report.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
 
@@ -70,18 +71,28 @@ runSingle(const exec::RunOptions &opts, const SimConfig &cfg,
     const VmResult res = vm.run(gen.generateThreads(opts.instructions));
 
     if (opts.json) {
-        std::printf("{\"benchmark\":\"%s\",\"slices\":%u,\"banks\":%u,"
-                    "\"l2_kb\":%llu,\"instructions\":%zu,"
-                    "\"seed\":%llu,\"vcores\":%u,\"cycles\":%llu,"
-                    "\"ipc\":%.17g}\n",
-                    profile.name.c_str(), cfg.numSlices,
-                    cfg.numL2Banks,
-                    static_cast<unsigned long long>(cfg.l2Bytes() /
-                                                    1024),
-                    opts.instructions,
-                    static_cast<unsigned long long>(cfg.seed), vcores,
-                    static_cast<unsigned long long>(res.cycles),
-                    res.throughput());
+        // The same sharch-report-v1 schema sharch-bench emits, with
+        // the full SimStats spliced in as the "stats" section.
+        study::Report report;
+        report.id = "ssim_run";
+        report.title = "ssim single run";
+        report.addMeta("benchmark", profile.name);
+        report.addMeta("slices", cfg.numSlices);
+        report.addMeta("banks", cfg.numL2Banks);
+        report.addMeta("l2_kb",
+                       static_cast<unsigned long long>(
+                           cfg.l2Bytes() / 1024));
+        report.addMeta("instructions", opts.instructions);
+        report.addMeta("seed",
+                       static_cast<unsigned long long>(cfg.seed));
+        report.addMeta("vcores", vcores);
+        report.addMeta("cycles",
+                       static_cast<unsigned long long>(res.cycles));
+        report.addMeta("ipc", res.throughput());
+        report.attachJson("stats", res.aggregate.toJson());
+        std::fputs(
+            study::render(report, study::Format::Json).c_str(),
+            stdout);
         return 0;
     }
 
@@ -119,15 +130,24 @@ runSweep(const exec::RunOptions &opts, const SimConfig &cfg,
         pm.performanceBatch(grid, opts.threads);
 
     if (opts.json) {
-        std::printf("[");
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const exec::SweepResult &r = results[i];
-            std::printf("%s{\"benchmark\":\"%s\",\"banks\":%u,"
-                        "\"slices\":%u,\"ipc\":%.17g}",
-                        i ? "," : "", r.name.c_str(), r.banks,
-                        r.slices, r.ipc);
-        }
-        std::printf("]\n");
+        study::Report report;
+        report.id = "ssim_sweep";
+        report.title = "ssim sweep";
+        report.addMeta("benchmark", profile.name);
+        report.addMeta("instructions", opts.instructions);
+        report.addMeta("seed",
+                       static_cast<unsigned long long>(cfg.seed));
+        study::Table &t =
+            report.addTable("sweep", "Per-VCore IPC, P(c, s)");
+        t.col("benchmark", study::Value::Kind::Text)
+            .col("banks", study::Value::Kind::Integer)
+            .col("slices", study::Value::Kind::Integer)
+            .col("ipc", study::Value::Kind::Real, 3);
+        for (const exec::SweepResult &r : results)
+            t.addRow({r.name, r.banks, r.slices, r.ipc});
+        std::fputs(
+            study::render(report, study::Format::Json).c_str(),
+            stdout);
         return 0;
     }
 
@@ -186,9 +206,8 @@ runFaultReplay(const exec::RunOptions &opts, const char *prog)
     unsigned slices_lost = 0, banks_lost = 0;
     Cycles reconfig_cycles = 0;
     const bool json = opts.json;
-    if (json)
-        std::printf("{\"tenants\":%u,\"events\":[", tenants);
-    else
+    std::string events = "[";
+    if (!json)
         std::printf("ssim fault replay: %dx%d fabric, %u VCore(s) of "
                     "%u Slice(s) + %u bank(s)\n\n",
                     opts.fabricWidth, opts.fabricHeight, tenants,
@@ -197,24 +216,30 @@ runFaultReplay(const exec::RunOptions &opts, const char *prog)
     for (const fault::FaultEvent &ev : model.schedule()) {
         const auto actions = fm.apply(ev);
         if (json) {
-            std::printf("%s{\"at\":%llu,\"kind\":\"%s\",\"tile\":"
-                        "[%d,%d],\"heal\":%s,\"actions\":[",
-                        first ? "" : ",",
-                        static_cast<unsigned long long>(ev.at),
-                        fault::faultKindName(ev.kind), ev.tile.y,
-                        ev.tile.x, ev.heal ? "true" : "false");
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"at\":%llu,\"kind\":\"%s\",\"tile\":"
+                          "[%d,%d],\"heal\":%s,\"actions\":[",
+                          first ? "" : ",",
+                          static_cast<unsigned long long>(ev.at),
+                          fault::faultKindName(ev.kind), ev.tile.y,
+                          ev.tile.x, ev.heal ? "true" : "false");
+            events += buf;
             for (std::size_t i = 0; i < actions.size(); ++i) {
                 const DegradeAction &a = actions[i];
-                std::printf("%s{\"vcore\":%llu,\"outcome\":\"%s\","
-                            "\"slices_lost\":%u,\"banks_lost\":%u,"
-                            "\"cost\":%llu}",
-                            i ? "," : "",
-                            static_cast<unsigned long long>(a.id),
-                            degradeKindName(a.kind), a.slicesLost,
-                            a.banksLost,
-                            static_cast<unsigned long long>(a.cost));
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "%s{\"vcore\":%llu,\"outcome\":\"%s\","
+                    "\"slices_lost\":%u,\"banks_lost\":%u,"
+                    "\"cost\":%llu}",
+                    i ? "," : "",
+                    static_cast<unsigned long long>(a.id),
+                    degradeKindName(a.kind), a.slicesLost,
+                    a.banksLost,
+                    static_cast<unsigned long long>(a.cost));
+                events += buf;
             }
-            std::printf("]}");
+            events += "]}";
             first = false;
         } else {
             std::printf("cycle %10llu  %-5s %s (%d,%d)\n",
@@ -245,18 +270,37 @@ runFaultReplay(const exec::RunOptions &opts, const char *prog)
     }
 
     if (json) {
-        std::printf("],\"summary\":{\"replaced\":%u,\"shrunk\":%u,"
-                    "\"evicted\":%u,\"slices_lost\":%u,"
-                    "\"banks_lost\":%u,\"reconfig_cycles\":%llu,"
-                    "\"faulty_slices\":%u,\"faulty_banks\":%u,"
-                    "\"live_vcores\":%zu,"
-                    "\"slice_utilization\":%.17g,"
-                    "\"fragmentation\":%.17g}}\n",
-                    moved, shrunk, evicted, slices_lost, banks_lost,
-                    static_cast<unsigned long long>(reconfig_cycles),
-                    fm.faultySlices(), fm.faultyBanks(),
-                    fm.allocations().size(), fm.sliceUtilization(),
-                    fm.fragmentation());
+        events += "]";
+        study::Report report;
+        report.id = "ssim_fault_replay";
+        report.title = "ssim fault replay";
+        report.addMeta("fabric_width", opts.fabricWidth);
+        report.addMeta("fabric_height", opts.fabricHeight);
+        report.addMeta("tenants", tenants);
+        report.addMeta("vcore_slices", vslices);
+        report.addMeta("vcore_banks", vbanks);
+        study::Table &t = report.addTable(
+            "summary", "Degradation outcome totals");
+        t.col("replaced", study::Value::Kind::Integer)
+            .col("shrunk", study::Value::Kind::Integer)
+            .col("evicted", study::Value::Kind::Integer)
+            .col("slices_lost", study::Value::Kind::Integer)
+            .col("banks_lost", study::Value::Kind::Integer)
+            .col("reconfig_cycles", study::Value::Kind::Integer)
+            .col("faulty_slices", study::Value::Kind::Integer)
+            .col("faulty_banks", study::Value::Kind::Integer)
+            .col("live_vcores", study::Value::Kind::Integer)
+            .col("slice_utilization", study::Value::Kind::Real, 3)
+            .col("fragmentation", study::Value::Kind::Real, 3);
+        t.addRow({moved, shrunk, evicted, slices_lost, banks_lost,
+                  static_cast<unsigned long long>(reconfig_cycles),
+                  fm.faultySlices(), fm.faultyBanks(),
+                  fm.allocations().size(), fm.sliceUtilization(),
+                  fm.fragmentation()});
+        report.attachJson("events", events);
+        std::fputs(
+            study::render(report, study::Format::Json).c_str(),
+            stdout);
         return 0;
     }
     std::printf("\nsummary: %u replaced, %u shrunk, %u evicted; "
