@@ -29,7 +29,8 @@ L2System::registerL1s(VCoreId vc, std::vector<CacheModel *> l1ds)
 BankId
 L2System::bankFor(Addr addr) const
 {
-    SHARCH_ASSERT(!banks_.empty(), "no banks attached");
+    // Hot loop: one bank sort per L1 miss and store drain.
+    SHARCH_DCHECK(!banks_.empty(), "no banks attached");
     const Addr line = addr / cfg_.l2Bank.blockBytes;
     return static_cast<BankId>(line % banks_.size());
 }
@@ -37,7 +38,7 @@ L2System::bankFor(Addr addr) const
 unsigned
 L2System::hopsTo(VCoreId vc, SliceId slice, BankId bank) const
 {
-    SHARCH_ASSERT(vc < placements_.size(), "VCore id out of range");
+    SHARCH_DCHECK(vc < placements_.size(), "VCore id out of range");
     return placements_[vc].sliceToBankHops(slice, bank);
 }
 

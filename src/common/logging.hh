@@ -83,4 +83,20 @@ concat(Args &&...args)
         } \
     } while (0)
 
+/**
+ * Debug-only invariant check for per-instruction hot loops (network
+ * injection, bank selection, ring indexing).  Identical to
+ * SHARCH_ASSERT in debug builds; compiles to nothing under NDEBUG so
+ * Release / RelWithDebInfo throughput reflects what a production build
+ * does.  Use SHARCH_ASSERT for construction-time and cold-path checks
+ * -- those must hold in every build.
+ */
+#ifdef NDEBUG
+#define SHARCH_DCHECK(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define SHARCH_DCHECK(cond, ...) SHARCH_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 #endif // SHARCH_COMMON_LOGGING_HH

@@ -53,6 +53,13 @@ ceilLog2(std::uint64_t x)
 }
 
 std::uint64_t
+ceilPow2(std::uint64_t x)
+{
+    SHARCH_ASSERT(x > 0, "ceilPow2(0)");
+    return std::uint64_t{1} << ceilLog2(x);
+}
+
+std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)
 {
     SHARCH_ASSERT(b > 0, "divCeil by zero");

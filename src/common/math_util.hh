@@ -33,6 +33,9 @@ unsigned floorLog2(std::uint64_t x);
 /** ceil(log2(x)) for x > 0. */
 unsigned ceilLog2(std::uint64_t x);
 
+/** Smallest power of two >= x, for x > 0 (e.g. for mask indexing). */
+std::uint64_t ceilPow2(std::uint64_t x);
+
 /** Integer division rounding up; b > 0. */
 std::uint64_t divCeil(std::uint64_t a, std::uint64_t b);
 

@@ -6,42 +6,74 @@
 
 namespace sharch {
 
-SlottedPort::SlottedPort(std::uint32_t width) : width_(width)
+SlottedPort::SlottedPort(std::uint32_t width)
+    : width_(width), ring_(kWindow, 0)
 {
     SHARCH_ASSERT(width > 0, "unit needs at least one port");
+    SHARCH_ASSERT(width <= 0xff, "per-cycle counts are 8-bit");
+}
+
+/**
+ * Advance the window start to @p new_base, zeroing the recycled slots
+ * [base_, new_base).  Safety argument (why recycling cannot resurrect
+ * a claimable cycle): slide() is only called from schedule() with
+ * new_base = c + 1 - kWindow for the grant cycle c.
+ *
+ *  - If c >= watermark_ + 2*kLag, this grant's watermark update sets
+ *    watermark_' = c - kLag >= c + 1 - kWindow (kLag <= kWindow - 1),
+ *    so every recycled slot ends the call below the watermark.
+ *  - Otherwise c < watermark_ + 2*kLag = watermark_ + kWindow, so
+ *    new_base <= watermark_ and the recycled slots already sit below
+ *    the watermark.
+ *
+ * Either way no future request can be granted in a recycled slot
+ * (schedule() clamps to the watermark), which is exactly the map
+ * version's prune guarantee.
+ */
+void
+SlottedPort::slide(Cycles new_base)
+{
+    if (new_base >= base_ + kWindow) {
+        // The whole window is stale; every slot recycles.
+        std::fill(ring_.begin(), ring_.end(), 0);
+    } else {
+        for (Cycles c = base_; c != new_base; ++c)
+            ring_[c & kWindowMask] = 0;
+    }
+    base_ = new_base;
 }
 
 Cycles
 SlottedPort::schedule(Cycles ready)
 {
     Cycles c = std::max(ready, watermark_);
-    auto it = used_.lower_bound(c);
-    while (it != used_.end() && it->first == c && it->second >= width_) {
+    for (;;) {
+        if (c >= base_ + kWindow) {
+            // Overflow fallback: a pathological ready-time spread (or
+            // a fully saturated window) ran past the ring; slide it.
+            slide(c + 1 - kWindow);
+        }
+        std::uint8_t &used = ring_[c & kWindowMask];
+        if (used < width_) {
+            ++used;
+            break;
+        }
         ++c;
-        ++it;
     }
-    ++used_[c];
-    prune(c);
+    // Carry the watermark: slots far behind the scheduling frontier
+    // can never be claimed again (ready times trail the frontier by a
+    // bounded window).  Same policy the map version enforced by
+    // erasing entries below now - kLag.
+    if (c >= watermark_ + 2 * kLag)
+        watermark_ = c - kLag;
     return c;
-}
-
-void
-SlottedPort::prune(Cycles now)
-{
-    // Entries far behind the scheduling frontier can never be claimed
-    // again (ready times trail the frontier by a bounded window).
-    constexpr Cycles kLag = 4096;
-    if (now < watermark_ + 2 * kLag)
-        return;
-    const Cycles new_mark = now - kLag;
-    used_.erase(used_.begin(), used_.lower_bound(new_mark));
-    watermark_ = new_mark;
 }
 
 void
 SlottedPort::reset()
 {
-    used_.clear();
+    std::fill(ring_.begin(), ring_.end(), 0);
+    base_ = 0;
     watermark_ = 0;
 }
 

@@ -8,7 +8,7 @@
 #define SHARCH_COMMON_SCHEDULING_HH
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -21,6 +21,28 @@ namespace sharch {
  * cycles.  Used for ALU/LSU/cache ports and network injection ports,
  * all of which see non-monotonic request times from the program-order
  * timing walk.
+ *
+ * Representation: a power-of-two sliding-window ring buffer of
+ * per-cycle grant counts indexed by `cycle & kWindowMask`, valid over
+ * [base_, base_ + kWindow).  schedule() is O(1) allocation-free in
+ * steady state -- the historical std::map representation paid a node
+ * allocation and a rebalance on *every* committed instruction (this
+ * is the per-instruction hot path of the whole simulator).
+ *
+ * Grant semantics are bit-identical to the map version, which is kept
+ * as a reference implementation under tests/ and checked by a
+ * randomized differential test:
+ *
+ *  - a request ready below the carried watermark is clamped up to it
+ *    (the map pruned entries below the watermark, so they could never
+ *    be claimed again);
+ *  - the watermark advances exactly as before: when a grant lands
+ *    2*kLag past it, it jumps to grant - kLag;
+ *  - a pathological ready-time spread (a request beyond the window)
+ *    slides the window forward, recycling only slots that are already
+ *    -- or by this grant's watermark update become -- unreachable.
+ *    kWindow == 2*kLag makes that recycling provably dead (see
+ *    slide() in the .cc).
  */
 class SlottedPort
 {
@@ -32,12 +54,21 @@ class SlottedPort
 
     void reset();
 
+    /** Watermark-carry distance (see prune policy above). */
+    static constexpr Cycles kLag = 4096;
+    /** Ring capacity in cycles; must equal 2*kLag (proof in slide()). */
+    static constexpr Cycles kWindow = 2 * kLag;
+    static constexpr Cycles kWindowMask = kWindow - 1;
+    static_assert((kWindow & (kWindow - 1)) == 0,
+                  "window must be a power of two for mask indexing");
+
   private:
     std::uint32_t width_;
-    std::map<Cycles, std::uint32_t> used_; //!< cycle -> slots taken
-    Cycles watermark_ = 0;                 //!< prune below this
+    std::vector<std::uint8_t> ring_; //!< grants per cycle, windowed
+    Cycles base_ = 0;                //!< cycle of the window start
+    Cycles watermark_ = 0;           //!< grant floor (carried)
 
-    void prune(Cycles now);
+    void slide(Cycles new_base);
 };
 
 } // namespace sharch

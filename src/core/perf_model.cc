@@ -3,8 +3,11 @@
 #include <cmath>
 #include <fstream>
 #include <iomanip>
+#include <iterator>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "config/sim_config.hh"
@@ -34,24 +37,62 @@ PerfModel::PerfModel(std::size_t instructions_per_thread,
     SHARCH_ASSERT(instructions_per_thread > 0, "empty workload");
 }
 
-const std::vector<Trace> &
+void
+PerfModel::evictTracesLocked()
+{
+    while (traces_.size() > traceCapacity_) {
+        auto victim = traces_.begin();
+        for (auto it = std::next(victim); it != traces_.end(); ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        traces_.erase(victim);
+    }
+}
+
+TraceBundlePtr
 PerfModel::tracesFor(const BenchmarkProfile &p)
 {
     {
         std::lock_guard<std::mutex> lock(traceMutex_);
         auto it = traces_.find(p.name);
-        if (it != traces_.end())
-            return it->second;
+        if (it != traces_.end()) {
+            it->second.lastUse = ++traceUseTick_;
+            return it->second.traces;
+        }
     }
     // Generate outside the lock: traces are deterministic in
     // (profile, seed, thread), so a racing duplicate is identical and
-    // the loser's copy is simply discarded.  std::map nodes are
-    // stable, so the returned reference outlives later insertions.
+    // the loser's copy is simply discarded.  The bundle is immutable
+    // and reference-counted: callers mid-simulation keep theirs alive
+    // even if the LRU bound evicts it from the cache meanwhile.
     TraceGenerator gen(p, seed_);
-    auto generated = gen.generateThreads(instructions_);
+    auto bundle = std::make_shared<const TraceBundle>(
+        gen.generateThreads(instructions_));
     std::lock_guard<std::mutex> lock(traceMutex_);
-    return traces_.try_emplace(p.name, std::move(generated))
-        .first->second;
+    auto [it, inserted] = traces_.try_emplace(p.name);
+    if (inserted)
+        it->second.traces = std::move(bundle);
+    it->second.lastUse = ++traceUseTick_;
+    TraceBundlePtr result = it->second.traces;
+    evictTracesLocked();
+    return result;
+}
+
+void
+PerfModel::setTraceCacheCapacity(std::size_t benchmarks)
+{
+    SHARCH_ASSERT(benchmarks > 0, "trace cache needs >= 1 slot");
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    traceCapacity_ = benchmarks;
+    evictTracesLocked();
+}
+
+std::size_t
+PerfModel::traceCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    return traces_.size();
 }
 
 VmResult
@@ -69,7 +110,9 @@ PerfModel::detailedRun(const BenchmarkProfile &profile, unsigned banks,
         profile.multithreaded ? profile.numThreads : 1;
     VmSim vm(cfg, vcores);
     vm.prewarm(profile);
-    return vm.run(tracesFor(profile));
+    // Pin the bundle for the whole run; the cache may evict it.
+    const TraceBundlePtr traces = tracesFor(profile);
+    return vm.run(*traces);
 }
 
 double
@@ -114,11 +157,11 @@ PerfModel::performanceBatch(
     std::vector<std::size_t> missing; // indices of first occurrences
     {
         std::lock_guard<std::mutex> lock(memoMutex_);
-        std::map<MemoKey, bool> seen;
+        std::unordered_set<MemoKey, MemoKeyHash> seen;
         for (std::size_t i = 0; i < points.size(); ++i) {
             const exec::SweepPoint &pt = points[i];
             const MemoKey key{pt.profile.name, pt.banks, pt.slices};
-            if (memo_.count(key) || !seen.emplace(key, true).second)
+            if (memo_.count(key) || !seen.insert(key).second)
                 continue;
             missing.push_back(i);
         }
@@ -171,11 +214,11 @@ PerfModel::performanceBatch(
     std::vector<exec::SweepResult> results;
     results.reserve(points.size());
     std::lock_guard<std::mutex> lock(memoMutex_);
-    std::map<MemoKey, bool> freshKeys;
+    std::unordered_set<MemoKey, MemoKeyHash> freshKeys;
     for (std::size_t i : missing) {
         const exec::SweepPoint &pt = points[i];
-        freshKeys.emplace(MemoKey{pt.profile.name, pt.banks,
-                                  pt.slices}, true);
+        freshKeys.insert(MemoKey{pt.profile.name, pt.banks,
+                                 pt.slices});
     }
     for (const exec::SweepPoint &pt : points) {
         const MemoKey key{pt.profile.name, pt.banks, pt.slices};
@@ -229,7 +272,7 @@ PerfModel::enableDiskCache(const std::string &path)
         // (several studies may share one cache file); skip silently.
         if (instructions != instructions_ || seed != seed_)
             continue;
-        memo_[std::make_tuple(name, banks, slices)] = perf;
+        memo_[MemoKey{name, banks, slices}] = perf;
         ++loaded;
     }
     if (skipped > 0) {

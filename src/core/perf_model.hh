@@ -23,11 +23,12 @@
 #ifndef SHARCH_CORE_PERF_MODEL_HH
 #define SHARCH_CORE_PERF_MODEL_HH
 
+#include <cstdint>
 #include <iosfwd>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "config/sim_config.hh"
@@ -43,6 +44,18 @@ const std::vector<unsigned> &l2BankGrid();
 
 /** Cache size in KB for a bank count under the 64 KB-bank default. */
 unsigned banksToKb(unsigned banks);
+
+/**
+ * An immutable, shareable set of generated per-thread traces.  Trace
+ * storage is the dominant memory consumer of long multi-benchmark
+ * batches (instructions x threads x 32 B per benchmark), so generated
+ * bundles are reference-counted: PerfModel's cache keeps at most a
+ * bounded number of benchmarks hot and in-flight simulations pin the
+ * bundle they replay, while evicted benchmarks regenerate
+ * deterministically on next use.
+ */
+using TraceBundle = std::vector<Trace>;
+using TraceBundlePtr = std::shared_ptr<const TraceBundle>;
 
 /** Memoized, thread-safe SSim runner over (benchmark, banks, slices). */
 class PerfModel
@@ -98,17 +111,69 @@ class PerfModel
      */
     void enableDiskCache(const std::string &path);
 
+    /**
+     * Bound the generated-trace cache to @p benchmarks distinct
+     * workloads (>= 1); least-recently-used bundles are dropped.
+     * Simulations already holding a bundle keep it alive; an evicted
+     * benchmark regenerates bit-identically on next use.
+     */
+    void setTraceCacheCapacity(std::size_t benchmarks);
+
+    /** Distinct benchmarks currently held by the trace cache. */
+    std::size_t traceCacheSize() const;
+
+    /** Default trace-cache bound (distinct benchmarks). */
+    static constexpr std::size_t kDefaultTraceCacheCapacity = 8;
+
   private:
-    using MemoKey = std::tuple<std::string, unsigned, unsigned>;
+    /**
+     * Memo key over (benchmark, banks, slices), hashed -- the batch
+     * phases probe it once per grid point, and the historical
+     * tuple-of-string std::map paid an O(log n) chain of string
+     * comparisons per probe.
+     */
+    struct MemoKey
+    {
+        std::string name;
+        std::uint32_t banks = 0;
+        std::uint32_t slices = 0;
+
+        bool operator==(const MemoKey &) const = default;
+    };
+
+    struct MemoKeyHash
+    {
+        std::size_t operator()(const MemoKey &k) const
+        {
+            // Fold the grid coordinates into the string hash with a
+            // Fibonacci multiplier so (banks, slices) permutations of
+            // one benchmark spread over the table.
+            std::size_t h = std::hash<std::string>{}(k.name);
+            const std::uint64_t coord =
+                (static_cast<std::uint64_t>(k.banks) << 32) |
+                k.slices;
+            h ^= coord * 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+            return h;
+        }
+    };
+
+    /** One cached trace bundle plus its LRU recency stamp. */
+    struct TraceCacheEntry
+    {
+        TraceBundlePtr traces;
+        std::uint64_t lastUse = 0;
+    };
 
     std::size_t instructions_;
     std::uint64_t seed_;
-    std::map<MemoKey, double> memo_;
-    std::map<std::string, std::vector<Trace>> traces_;
+    std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
+    std::unordered_map<std::string, TraceCacheEntry> traces_;
+    std::size_t traceCapacity_ = kDefaultTraceCacheCapacity;
+    std::uint64_t traceUseTick_ = 0;
     std::string cachePath_;
 
     mutable std::mutex memoMutex_;  //!< guards memo_ and CSV appends
-    mutable std::mutex traceMutex_; //!< guards traces_
+    mutable std::mutex traceMutex_; //!< guards traces_ and the LRU
 
     /** Simulate one point (no memo side effects; thread-safe). */
     double simulatePoint(const BenchmarkProfile &profile,
@@ -119,7 +184,11 @@ class PerfModel
                        unsigned banks, unsigned slices,
                        double perf) const;
 
-    const std::vector<Trace> &tracesFor(const BenchmarkProfile &p);
+    /** Drop least-recently-used bundles down to the capacity.
+     *  Caller holds traceMutex_. */
+    void evictTracesLocked();
+
+    TraceBundlePtr tracesFor(const BenchmarkProfile &p);
 };
 
 } // namespace sharch

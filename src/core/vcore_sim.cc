@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/math_util.hh"
 
 namespace sharch {
 
@@ -26,7 +27,12 @@ constexpr Cycles kForwardLatency = 2;
 VCoreSim::VCoreSim(const SimConfig &cfg, VCoreId vc,
                    const FabricPlacement &placement, L2System &l2)
     : cfg_(cfg), vc_(vc), placement_(placement), l2_(&l2),
-      s_(cfg.numSlices),
+      s_(cfg.numSlices), slicePow2_(isPow2(cfg.numSlices)),
+      sliceMask_(cfg.numSlices - 1),
+      // Guarded so a degenerate config still reaches the validate()
+      // diagnostic below instead of panicking in floorLog2.
+      l1dBlockShift_(cfg.l1d.blockBytes > 0
+                         ? floorLog2(cfg.l1d.blockBytes) : 0),
       operandNet_(cfg.numSlices, cfg.network.baseOperandLatency,
                   cfg.network.perHopLatency,
                   cfg.network.operandNetworks *
@@ -80,7 +86,9 @@ SliceId
 VCoreSim::fetchSliceOf(Addr pc) const
 {
     // Interleaved fetch: PC pair p goes to Slice p mod s (section 3.1).
-    return static_cast<SliceId>((pc >> 3) % s_);
+    const Addr pair = pc >> 3;
+    return static_cast<SliceId>(slicePow2_ ? pair & sliceMask_
+                                           : pair % s_);
 }
 
 SliceId
@@ -88,7 +96,9 @@ VCoreSim::homeSliceOf(Addr addr) const
 {
     // Loads/stores are low-order interleaved by cache line so the same
     // line always sorts to the same Slice (section 3.5/3.6).
-    return static_cast<SliceId>((addr / cfg_.l1d.blockBytes) % s_);
+    const Addr line = addr >> l1dBlockShift_;
+    return static_cast<SliceId>(slicePow2_ ? line & sliceMask_
+                                           : line % s_);
 }
 
 unsigned

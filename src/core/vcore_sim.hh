@@ -100,6 +100,12 @@ class VCoreSim
     FabricPlacement placement_;
     L2System *l2_;
     unsigned s_; //!< Slice count
+    // Hot-path strength reduction: the per-instruction slice sorts
+    // (fetch and load/store home) divide by s_ and blockBytes; both
+    // are usually powers of two, so precompute masks and a shift.
+    bool slicePow2_;         //!< s_ is a power of two
+    unsigned sliceMask_;     //!< s_ - 1 when slicePow2_
+    unsigned l1dBlockShift_; //!< log2(cfg.l1d.blockBytes)
 
     // Networks (operand, LS-sorting; rename rides its own network but
     // its cost is the added pipeline depth).

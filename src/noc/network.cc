@@ -28,7 +28,8 @@ SwitchedNetwork::uncontendedLatency(unsigned hops) const
 Cycles
 SwitchedNetwork::send(SliceId from, Cycles now, unsigned hops)
 {
-    SHARCH_ASSERT(from < ports_.size(), "bad network source");
+    // Hot loop: one send per remote operand / sorted memory op.
+    SHARCH_DCHECK(from < ports_.size(), "bad network source");
     if (hops == 0)
         return now;
 

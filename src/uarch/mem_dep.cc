@@ -1,10 +1,12 @@
 #include "uarch/mem_dep.hh"
 
 #include "common/logging.hh"
+#include "common/math_util.hh"
 
 namespace sharch {
 
-MemDepTracker::MemDepTracker(std::size_t window) : ring_(window)
+MemDepTracker::MemDepTracker(std::size_t window)
+    : window_(window), ring_(ceilPow2(window)), mask_(ring_.size() - 1)
 {
     SHARCH_ASSERT(window > 0, "window must be nonempty");
 }
@@ -14,8 +16,8 @@ MemDepTracker::recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
                            Cycles data_ready)
 {
     ring_[head_] = StoreEntry{addr >> 3, seq, addr_ready, data_ready};
-    head_ = (head_ + 1) % ring_.size();
-    if (live_ < ring_.size())
+    head_ = (head_ + 1) & mask_;
+    if (live_ < window_)
         ++live_;
 }
 
@@ -26,8 +28,7 @@ MemDepTracker::queryLoad(Addr addr, SeqNum load_seq) const
     const Addr word = addr >> 3;
     // Scan newest to oldest; the first (youngest) older store wins.
     for (std::size_t i = 0; i < live_; ++i) {
-        const std::size_t idx =
-            (head_ + ring_.size() - 1 - i) % ring_.size();
+        const std::size_t idx = (head_ + ring_.size() - 1 - i) & mask_;
         const StoreEntry &e = ring_[idx];
         if (e.word == word && e.seq < load_seq) {
             res.conflict = true;

@@ -36,7 +36,15 @@ struct MemDepResult
     SeqNum storeSeq = 0;
 };
 
-/** Sliding window of recent in-flight stores. */
+/**
+ * Sliding window of recent in-flight stores.
+ *
+ * The ring is allocated at the next power of two above the requested
+ * window so the per-store/per-load index math is a mask instead of an
+ * integer divide; only the youngest @p window entries are ever
+ * scanned, so a non-power-of-two window behaves exactly as a ring of
+ * that precise size would (covered by tests).
+ */
 class MemDepTracker
 {
   public:
@@ -63,7 +71,9 @@ class MemDepTracker
         Cycles dataReady = 0;
     };
 
-    std::vector<StoreEntry> ring_;
+    std::size_t window_; //!< searchable depth (as requested)
+    std::vector<StoreEntry> ring_; //!< pow2-sized backing store
+    std::size_t mask_;   //!< ring_.size() - 1
     std::size_t head_ = 0;
     std::size_t live_ = 0;
 };

@@ -26,7 +26,11 @@ void
 OccupancyLimiter::allocate(Cycles release_cycle)
 {
     releases_[head_] = release_cycle;
-    head_ = (head_ + 1) % releases_.size();
+    // Branchy wrap instead of a modulo: capacities are arbitrary
+    // (not power-of-two), and this runs once per committed
+    // instruction per structure.
+    if (++head_ == releases_.size())
+        head_ = 0;
     ++allocated_;
 }
 

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The historical std::map implementation of SlottedPort, kept verbatim
+ * as the semantic reference for the ring-buffer rewrite.
+ *
+ * SlottedPort's contract is that the ring representation is
+ * *bit-identical* in its grants to this map version for every request
+ * sequence; test_common.cpp drives both with randomized ready streams
+ * (drifting, jittered, and pathologically spread) across a width sweep
+ * and compares every grant.  If you change the scheduling semantics,
+ * change both -- a divergence here is a simulation-result change and
+ * invalidates every golden report.
+ */
+
+#ifndef SHARCH_TESTS_REFERENCE_SLOTTED_PORT_HH
+#define SHARCH_TESTS_REFERENCE_SLOTTED_PORT_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "common/types.hh"
+
+namespace sharch::testing {
+
+/** Map-based SlottedPort as it shipped before the ring rewrite. */
+class MapSlottedPort
+{
+  public:
+    explicit MapSlottedPort(std::uint32_t width = 1) : width_(width) {}
+
+    Cycles
+    schedule(Cycles ready)
+    {
+        Cycles c = std::max(ready, watermark_);
+        auto it = used_.lower_bound(c);
+        while (it != used_.end() && it->first == c &&
+               it->second >= width_) {
+            ++c;
+            ++it;
+        }
+        ++used_[c];
+        prune(c);
+        return c;
+    }
+
+    void
+    reset()
+    {
+        used_.clear();
+        watermark_ = 0;
+    }
+
+  private:
+    std::uint32_t width_;
+    std::map<Cycles, std::uint32_t> used_;
+    Cycles watermark_ = 0;
+
+    void
+    prune(Cycles now)
+    {
+        constexpr Cycles kLag = 4096;
+        if (now < watermark_ + 2 * kLag)
+            return;
+        const Cycles new_mark = now - kLag;
+        used_.erase(used_.begin(), used_.lower_bound(new_mark));
+        watermark_ = new_mark;
+    }
+};
+
+} // namespace sharch::testing
+
+#endif // SHARCH_TESTS_REFERENCE_SLOTTED_PORT_HH

@@ -17,6 +17,7 @@
 #include "common/math_util.hh"
 #include "common/random.hh"
 #include "common/scheduling.hh"
+#include "reference_slotted_port.hh"
 
 using namespace sharch;
 
@@ -257,3 +258,115 @@ TEST_P(SlottedPortWidth, GrantsBoundedByWidth)
 
 INSTANTIATE_TEST_SUITE_P(Widths, SlottedPortWidth,
                          ::testing::Values(1u, 2u, 3u, 8u));
+
+// ---------------------------------------------------------------------
+// Differential tests: the ring-buffer SlottedPort must grant
+// bit-identically to the historical std::map implementation
+// (tests/reference_slotted_port.hh) for any request sequence --
+// that equivalence is what keeps every golden report valid.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Drive both implementations with the same ready stream. */
+void
+expectIdenticalGrants(const std::vector<Cycles> &readies,
+                      std::uint32_t width)
+{
+    SlottedPort ring(width);
+    sharch::testing::MapSlottedPort ref(width);
+    for (std::size_t i = 0; i < readies.size(); ++i) {
+        const Cycles r = readies[i];
+        ASSERT_EQ(ring.schedule(r), ref.schedule(r))
+            << "diverged at request " << i << " (ready " << r
+            << ", width " << width << ")";
+    }
+}
+
+} // namespace
+
+/** Randomized drifting frontier with jitter, across a width sweep. */
+TEST(SlottedPortDifferential, DriftingJitteredStream)
+{
+    for (std::uint32_t width : {1u, 2u, 3u, 5u, 8u, 16u}) {
+        Rng rng(1000 + width);
+        std::vector<Cycles> readies;
+        Cycles frontier = 0;
+        for (int i = 0; i < 50000; ++i) {
+            frontier += rng.nextBounded(3);
+            const Cycles jitter = rng.nextBounded(200);
+            readies.push_back(frontier > jitter ? frontier - jitter
+                                                : 0);
+        }
+        expectIdenticalGrants(readies, width);
+    }
+}
+
+/** Bursts of identical ready times saturate single cycles. */
+TEST(SlottedPortDifferential, SaturatingBursts)
+{
+    for (std::uint32_t width : {1u, 2u, 4u}) {
+        Rng rng(77 + width);
+        std::vector<Cycles> readies;
+        Cycles base = 0;
+        for (int burst = 0; burst < 400; ++burst) {
+            base += rng.nextBounded(10);
+            const std::uint64_t n = 1 + rng.nextBounded(6 * width);
+            for (std::uint64_t i = 0; i < n; ++i)
+                readies.push_back(base);
+        }
+        expectIdenticalGrants(readies, width);
+    }
+}
+
+/** Pathological spreads: far jumps past the ring window, then
+ *  requests behind the (carried) watermark. */
+TEST(SlottedPortDifferential, PathologicalSpreadsAndWatermark)
+{
+    for (std::uint32_t width : {1u, 2u, 8u}) {
+        Rng rng(9 + width);
+        std::vector<Cycles> readies;
+        Cycles frontier = 0;
+        for (int i = 0; i < 20000; ++i) {
+            switch (rng.nextBounded(10)) {
+              case 0: // jump far beyond the window
+                frontier += SlottedPort::kWindow +
+                            rng.nextBounded(3 * SlottedPort::kWindow);
+                readies.push_back(frontier);
+                break;
+              case 1: // fall far behind (clamped by the watermark)
+                readies.push_back(
+                    frontier > 3 * SlottedPort::kLag
+                        ? frontier - 3 * SlottedPort::kLag
+                        : 0);
+                break;
+              case 2: // land exactly on window/lag boundaries
+                readies.push_back(frontier + SlottedPort::kLag);
+                break;
+              default:
+                frontier += rng.nextBounded(4);
+                readies.push_back(frontier);
+                break;
+            }
+        }
+        expectIdenticalGrants(readies, width);
+    }
+}
+
+/** Reset must restore the pristine state in both implementations. */
+TEST(SlottedPortDifferential, ResetMatches)
+{
+    SlottedPort ring(2);
+    sharch::testing::MapSlottedPort ref(2);
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+        const Cycles r = rng.nextBounded(100000);
+        ASSERT_EQ(ring.schedule(r), ref.schedule(r));
+    }
+    ring.reset();
+    ref.reset();
+    for (int i = 0; i < 5000; ++i) {
+        const Cycles r = rng.nextBounded(300);
+        ASSERT_EQ(ring.schedule(r), ref.schedule(r));
+    }
+}

@@ -234,6 +234,39 @@ TEST(PerfModel, DiskCacheRoundTrips)
     std::filesystem::remove(path);
 }
 
+TEST(PerfModel, TraceCacheBoundedAcrossBatches)
+{
+    // A long multi-benchmark batch must not hold every benchmark's
+    // trace streams forever: the LRU bound caps the distinct
+    // workloads resident at once.
+    PerfModel pm(2000);
+    pm.setTraceCacheCapacity(2);
+    const auto grid = exec::sweepGrid(
+        {std::string("gcc"), "hmmer", "sjeng", "mcf", "astar"}, {1},
+        {1u, 2u});
+    const auto results = pm.performanceBatch(grid, 2);
+    ASSERT_EQ(results.size(), grid.size());
+    for (const auto &r : results)
+        EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(pm.traceCacheSize(), 2u);
+}
+
+TEST(PerfModel, EvictedTracesRegenerateIdentically)
+{
+    // Eviction must be invisible in the results: a capacity-1 model
+    // (every switch regenerates) matches an unbounded one bit-for-bit.
+    PerfModel bounded(2000);
+    bounded.setTraceCacheCapacity(1);
+    PerfModel roomy(2000);
+    for (unsigned banks : {1u, 4u}) {
+        for (const char *b : {"gcc", "hmmer", "gcc", "hmmer"}) {
+            EXPECT_DOUBLE_EQ(bounded.performance(b, banks, 2),
+                             roomy.performance(b, banks, 2));
+        }
+    }
+    EXPECT_EQ(bounded.traceCacheSize(), 1u);
+}
+
 TEST(PerfModel, PhaseProfilesWork)
 {
     PerfModel pm(4000);
@@ -259,7 +292,24 @@ TEST_P(ConfigSweep, EveryShapeRunsToCompletion)
     EXPECT_LE(r.throughput(), 2.0 * slices);
 }
 
+// Slice counts deliberately mix powers of two (mask-indexed fetch and
+// load/store sorting) and non-powers (modulo fallback); see
+// VCoreSim::fetchSliceOf / homeSliceOf.
 INSTANTIATE_TEST_SUITE_P(
     Shapes, ConfigSweep,
-    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u),
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 6u, 7u, 8u),
                        ::testing::Values(0u, 1u, 4u, 32u, 128u)));
+
+/** The pow2 fast path and the modulo fallback must spread work the
+ *  same way their shared definition says: slice = index mod s. */
+TEST(VCoreSim, SliceSortMatchesModuloForAllSliceCounts)
+{
+    for (unsigned slices : {2u, 3u, 4u, 6u, 8u}) {
+        const VmResult r = runOnce("gcc", 1, slices, 4000);
+        EXPECT_EQ(r.aggregate.instructionsCommitted, 4000u)
+            << "slices " << slices;
+        // Re-running is bit-identical regardless of indexing path.
+        const VmResult r2 = runOnce("gcc", 1, slices, 4000);
+        EXPECT_EQ(r.cycles, r2.cycles) << "slices " << slices;
+    }
+}

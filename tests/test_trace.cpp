@@ -324,6 +324,54 @@ INSTANTIATE_TEST_SUITE_P(EveryBenchmark, AllProfiles,
 
 // ---- trace file I/O --------------------------------------------------
 
+/** The packed record layout must not cost any field its full range:
+ *  every field at its extremes survives a trace_io round trip. */
+TEST(TraceIo, PackedLayoutRoundTripsFieldExtremes)
+{
+    // Replay bandwidth scales with the record size; the layout is
+    // pinned (also via static_assert in instruction.hh).
+    EXPECT_EQ(sizeof(TraceInst), 32u);
+
+    Trace t;
+    t.benchmark = "layout";
+    t.threadId = 3;
+    const Addr max64 = ~Addr{0};
+    const RegIndex maxReg = 0xfffe; // kNoReg - 1
+    const OpClass ops[] = {OpClass::IntAlu, OpClass::IntMul,
+                           OpClass::Load, OpClass::Store,
+                           OpClass::Branch};
+    for (OpClass op : ops) {
+        for (bool extremes : {false, true}) {
+            TraceInst ti;
+            ti.op = op;
+            ti.pc = extremes ? max64 : 0;
+            ti.effAddr = extremes ? max64 : 0;
+            ti.target = extremes ? max64 : 0;
+            ti.src1 = extremes ? maxReg : kNoReg;
+            ti.src2 = extremes ? RegIndex{0} : kNoReg;
+            ti.dst = extremes ? maxReg : kNoReg;
+            ti.taken = extremes;
+            t.instructions.push_back(ti);
+        }
+    }
+
+    std::stringstream buf;
+    ASSERT_TRUE(writeTrace(t, buf));
+    const auto back = readTrace(buf);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(back->size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ((*back)[i].pc, t[i].pc);
+        EXPECT_EQ((*back)[i].op, t[i].op);
+        EXPECT_EQ((*back)[i].src1, t[i].src1);
+        EXPECT_EQ((*back)[i].src2, t[i].src2);
+        EXPECT_EQ((*back)[i].dst, t[i].dst);
+        EXPECT_EQ((*back)[i].effAddr, t[i].effAddr);
+        EXPECT_EQ((*back)[i].target, t[i].target);
+        EXPECT_EQ((*back)[i].taken, t[i].taken);
+    }
+}
+
 TEST(TraceIo, RoundTripsExactly)
 {
     const Trace original = genTrace("gcc", 4000, 5);

@@ -221,6 +221,38 @@ TEST(MemDep, ResetForgetsEverything)
     EXPECT_FALSE(md.queryLoad(0x1000, 9).conflict);
 }
 
+/** The backing ring is power-of-two sized for mask indexing, but a
+ *  non-power-of-two window must still evict at *exactly* the window
+ *  depth -- not at the rounded ring capacity. */
+TEST(MemDep, NonPowerOfTwoWindowEvictsExactly)
+{
+    for (std::size_t window : {3u, 5u, 7u}) {
+        MemDepTracker md(window);
+        md.recordStore(0x1000, 1, 10, 11);
+        // Fill the remaining window-1 slots, then one more to evict.
+        for (SeqNum s = 2; s <= static_cast<SeqNum>(window); ++s) {
+            md.recordStore(0x2000 + s * 64, s, 10, 11);
+            EXPECT_TRUE(md.queryLoad(0x1000, 99).conflict)
+                << "window " << window << " evicted too early";
+        }
+        md.recordStore(0x9000, window + 1, 10, 11);
+        EXPECT_FALSE(md.queryLoad(0x1000, 99).conflict)
+            << "window " << window << " kept a store too long";
+    }
+}
+
+/** A wrapped non-power-of-two window still finds the youngest match. */
+TEST(MemDep, NonPowerOfTwoWindowWrapsCorrectly)
+{
+    MemDepTracker md(3);
+    for (SeqNum s = 1; s <= 20; ++s)
+        md.recordStore(0x1000, s, 100 + s, 200 + s);
+    const MemDepResult r = md.queryLoad(0x1000, 99);
+    EXPECT_TRUE(r.conflict);
+    EXPECT_EQ(r.storeSeq, 20u); // youngest of the three live stores
+    EXPECT_EQ(r.storeAddrReady, 120u);
+}
+
 TEST(StructurePolicy, MatchesTableOne)
 {
     using CS = CoreStructure;

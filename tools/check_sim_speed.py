@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Compare a fresh sim_speed report against the committed baseline.
+
+Usage:
+    check_sim_speed.py BASELINE.json CURRENT.json [--threshold X]
+
+Both files are sharch-report-v1 JSON documents produced by
+`sharch-bench --run 'sim_speed*' --format json`.  For every
+(kernel, param) row present in both, the current items_per_sec must be
+at least baseline/threshold.  The default threshold of 2.0 is
+deliberately generous: sim_speed is wall-clock and CI machines are
+noisy and heterogeneous, so the gate only catches large regressions
+(an accidental O(n) -> O(n log n) hot path, a debug build slipping into
+Release CI), not few-percent jitter.
+
+Rows present only on one side are reported but never fail the check,
+so kernels can be added or retired without lock-step baseline edits.
+
+Exit status: 0 on pass, 1 on regression, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Map (kernel, param) -> items_per_sec from a sim_speed report."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    for table in doc.get("tables", []):
+        names = [c["name"] for c in table.get("columns", [])]
+        try:
+            k = names.index("kernel")
+            p = names.index("param")
+            r = names.index("items_per_sec")
+        except ValueError:
+            continue
+        return {(row[k], row[p]): float(row[r])
+                for row in table.get("rows", [])}
+    raise SystemExit(f"error: {path}: no table with "
+                     "kernel/param/items_per_sec columns")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="fail if current is more than this factor "
+                         "slower than baseline (default: 2.0)")
+    args = ap.parse_args(argv)
+
+    try:
+        base = load_rows(args.baseline)
+        cur = load_rows(args.current)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in sorted(base, key=str):
+        kernel, param = key
+        if key not in cur:
+            print(f"note: {kernel}/{param}: only in baseline, skipped")
+            continue
+        floor = base[key] / args.threshold
+        verdict = "ok" if cur[key] >= floor else "REGRESSION"
+        print(f"{verdict:>10}  {kernel}/{param}: "
+              f"{cur[key]:,.0f} items/s "
+              f"(baseline {base[key]:,.0f}, floor {floor:,.0f})")
+        if cur[key] < floor:
+            failures.append(key)
+    for key in sorted(set(cur) - set(base), key=str):
+        print(f"note: {key[0]}/{key[1]}: new kernel, no baseline")
+
+    if failures:
+        print(f"\n{len(failures)} kernel(s) regressed more than "
+              f"{args.threshold}x; if intentional, regenerate "
+              "bench/BENCH_sim_speed.json on the reference machine.",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(base)} baseline kernels within "
+          f"{args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
