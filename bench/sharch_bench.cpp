@@ -28,7 +28,9 @@
 
 #include "exec/run_options.hh"
 #include "exec/sweep.hh"
+#include "obs/obs.hh"
 #include "study/engine.hh"
+#include "study/metrics_report.hh"
 #include "study/registry.hh"
 #include "study/report.hh"
 #include "study/surface.hh"
@@ -36,6 +38,31 @@
 using namespace sharch;
 
 namespace {
+
+/**
+ * Write the current metrics snapshot as <name>.metrics.json under
+ * @p dir, then reset the registry so the next study's counts start
+ * from zero (per-study attribution).
+ */
+bool
+dumpMetrics(const std::string &dir, const std::string &name)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    const study::Report report =
+        study::metricsReport(registry.snapshot());
+    registry.reset();
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (name + ".metrics.json");
+    std::ofstream out(path, std::ios::binary);
+    out << study::render(report, study::Format::Json);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     path.string().c_str());
+        return false;
+    }
+    std::fprintf(stderr, "[metrics] %s\n", path.string().c_str());
+    return true;
+}
 
 /** The studies matching any of @p patterns, deduplicated, sorted. */
 std::vector<study::Study *>
@@ -105,6 +132,27 @@ main(int argc, char **argv)
     study::Format format = study::Format::Text;
     study::parseFormat(opts.format, &format); // parser validated it
 
+    if (!opts.metricsOut.empty() || !opts.traceOut.empty()) {
+        obs::setEnabled(true);
+        if (!obs::compiledIn()) {
+            std::fprintf(stderr,
+                         "warning: telemetry was compiled out of "
+                         "this build; reconfigure with "
+                         "-DSHARCH_OBS=ON for non-empty "
+                         "--metrics-out/--trace-out output\n");
+        }
+    }
+    if (!opts.metricsOut.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.metricsOut, ec);
+        if (ec) {
+            std::fprintf(stderr, "error: cannot create '%s': %s\n",
+                         opts.metricsOut.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+    }
+
     study::EngineOptions engine;
     engine.instructions = opts.instructions
                               ? opts.instructions
@@ -126,6 +174,12 @@ main(int argc, char **argv)
                      "cached, %u thread(s), %.1fs\n",
                      ps.points, ps.simulated, ps.cached, ps.threads,
                      ps.seconds);
+    }
+    // The shared prefill's telemetry belongs to no single study;
+    // dump it under its own name so per-study files stay honest.
+    if (!opts.metricsOut.empty() &&
+        !dumpMetrics(opts.metricsOut, "_prefill")) {
+        return 1;
     }
 
     if (!opts.outDir.empty()) {
@@ -164,7 +218,23 @@ main(int argc, char **argv)
             std::fprintf(stderr, "[out] %s\n",
                          path.string().c_str());
         }
+        if (!opts.metricsOut.empty() &&
+            !dumpMetrics(opts.metricsOut, s->name())) {
+            return 1;
+        }
         first = false;
+    }
+
+    if (!opts.traceOut.empty()) {
+        std::ofstream out(opts.traceOut,
+                          std::ios::out | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write trace to "
+                         "'%s'\n", opts.traceOut.c_str());
+            return 1;
+        }
+        obs::Tracer::instance().writeChromeTrace(out);
+        std::fprintf(stderr, "[trace] %s\n", opts.traceOut.c_str());
     }
     return 0;
 }

@@ -3,8 +3,38 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace sharch {
+
+#if SHARCH_OBS
+namespace {
+
+/** Registered once per process; per-thread shards keep bumps cheap. */
+struct CacheMetrics
+{
+    obs::MetricId accesses =
+        obs::MetricsRegistry::instance().addCounter(
+            "cache.l2_accesses");
+    obs::MetricId misses =
+        obs::MetricsRegistry::instance().addCounter("cache.l2_misses");
+    obs::MetricId invalidations =
+        obs::MetricsRegistry::instance().addCounter(
+            "cache.invalidations");
+    obs::HistogramHandle latency =
+        obs::MetricsRegistry::instance().addHistogram(
+            "cache.l2_latency", 0.0, 8.0, 32);
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics m;
+    return m;
+}
+
+} // namespace
+#endif
 
 L2System::L2System(const SimConfig &cfg,
                    std::vector<FabricPlacement> placements)
@@ -17,6 +47,14 @@ L2System::L2System(const SimConfig &cfg,
         bankPort_.emplace_back(1);
     }
     l1ds_.resize(placements_.size());
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        for (std::uint32_t b = 0; b < cfg_.numL2Banks; ++b) {
+            obs::Tracer::instance().nameTrack(
+                obs::kPidCache, b, "bank" + std::to_string(b));
+        }
+    }
+#endif
 }
 
 void
@@ -100,6 +138,21 @@ L2System::access(VCoreId vc, SliceId slice, Addr addr, bool is_write,
         done += 6; // invalidation round-trip before data is usable
     res.l2Hit = bank_res.hit;
     res.doneCycle = done;
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        auto &reg = obs::MetricsRegistry::instance();
+        const CacheMetrics &m = cacheMetrics();
+        reg.add(m.accesses);
+        if (!bank_res.hit)
+            reg.add(m.misses);
+        if (res.invalidations > 0)
+            reg.add(m.invalidations, res.invalidations);
+        reg.observe(m.latency, static_cast<double>(done - now));
+        obs::Tracer::instance().record(
+            {bank_res.hit ? "l2_hit" : "l2_miss", "cache", start,
+             done, obs::kPidCache, bank, hops, "hops"});
+    }
+#endif
     return res;
 }
 

@@ -242,7 +242,10 @@ PerfModel::enableDiskCache(const std::string &path)
     std::string line;
     std::size_t loaded = 0;
     std::size_t skipped = 0;
+    std::size_t line_no = 0;
+    std::size_t first_bad_line = 0;
     while (std::getline(in, line)) {
+        ++line_no;
         std::istringstream iss(line);
         std::string name;
         std::size_t instructions = 0;
@@ -255,17 +258,20 @@ PerfModel::enableDiskCache(const std::string &path)
         // A cache file is append-only and may be cut mid-row by a
         // crash, or corrupted outright; a bad row must be dropped,
         // never memoized (it would silently poison every figure that
-        // reads this surface).
+        // reads this surface).  One summarized warning below -- a big
+        // corrupt file must not flood the log with a line per row.
         if (!std::getline(iss, name, ',') || name.empty() ||
             !(iss >> instructions >> comma >> seed >> comma >> banks >>
               comma >> slices >> comma >> perf)) {
-            ++skipped;
+            if (++skipped == 1)
+                first_bad_line = line_no;
             continue;
         }
         if (!std::isfinite(perf) || perf < 0.0 || slices < 1 ||
             slices > SimConfig::kMaxSlices ||
             banks > SimConfig::kMaxL2Banks) {
-            ++skipped;
+            if (++skipped == 1)
+                first_bad_line = line_no;
             continue;
         }
         // Rows written under another workload/seed are legitimate
@@ -277,7 +283,8 @@ PerfModel::enableDiskCache(const std::string &path)
     }
     if (skipped > 0) {
         SHARCH_WARN("ignored ", skipped, " corrupt row(s) in cache ",
-                    path);
+                    path, " (first at line ", first_bad_line,
+                    "); delete the file to silence this");
     }
     if (loaded > 0)
         SHARCH_INFORM("loaded ", loaded, " cached results from ", path);

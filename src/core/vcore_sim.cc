@@ -7,8 +7,36 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "obs/obs.hh"
 
 namespace sharch {
+
+#if SHARCH_OBS
+namespace {
+
+/** Registered once per process; per-thread shards keep bumps cheap. */
+struct PipelineMetrics
+{
+    obs::MetricId instructions =
+        obs::MetricsRegistry::instance().addCounter(
+            "pipeline.instructions");
+    obs::MetricId mispredicts =
+        obs::MetricsRegistry::instance().addCounter(
+            "pipeline.mispredicts");
+    obs::HistogramHandle commitLatency =
+        obs::MetricsRegistry::instance().addHistogram(
+            "pipeline.commit_latency", 0.0, 16.0, 64);
+};
+
+PipelineMetrics &
+pipelineMetrics()
+{
+    static PipelineMetrics m;
+    return m;
+}
+
+} // namespace
+#endif
 
 namespace {
 
@@ -36,9 +64,11 @@ VCoreSim::VCoreSim(const SimConfig &cfg, VCoreId vc,
       operandNet_(cfg.numSlices, cfg.network.baseOperandLatency,
                   cfg.network.perHopLatency,
                   cfg.network.operandNetworks *
-                      cfg.network.injectionsPerCycle),
+                      cfg.network.injectionsPerCycle,
+                  "operand"),
       sortNet_(cfg.numSlices, cfg.network.baseOperandLatency,
-               cfg.network.perHopLatency, cfg.network.injectionsPerCycle),
+               cfg.network.perHopLatency, cfg.network.injectionsPerCycle,
+               "sort"),
       predictor_(cfg.numSlices, cfg.slice.bimodalEntries,
                  cfg.slice.btbEntries),
       commitPort_(2 * cfg.numSlices),
@@ -64,6 +94,18 @@ VCoreSim::VCoreSim(const SimConfig &cfg, VCoreId vc,
         lsPort_.emplace_back(1);
         l1dPort_.emplace_back(1);
     }
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        for (unsigned i = 0; i < s_; ++i) {
+            obs::Tracer::instance().nameTrack(
+                obs::kPidPipeline,
+                static_cast<std::uint32_t>(
+                    vc_ * SimConfig::kMaxSlices + i),
+                "vc" + std::to_string(vc_) + ".slice" +
+                    std::to_string(i));
+        }
+    }
+#endif
 }
 
 std::vector<CacheModel *>
@@ -169,6 +211,16 @@ VCoreSim::fetchOne(const TraceInst &ti, SliceId slice)
             curGroupCycle_ += delay;
             fc = curGroupCycle_;
             stats_.addStall(Stage::Fetch, delay);
+#if SHARCH_OBS
+            if (obs::enabled()) {
+                obs::Tracer::instance().record(
+                    {"fetch_stall", "pipeline", fc - delay, fc,
+                     obs::kPidPipeline,
+                     static_cast<std::uint32_t>(
+                         vc_ * SimConfig::kMaxSlices + slice),
+                     delay, "cycles"});
+            }
+#endif
         }
         lastFetchLine_ = line;
     }
@@ -283,6 +335,16 @@ VCoreSim::processOne(const TraceInst &ti)
             stats_.squashedInstructions +=
                 cfg_.slice.fetchWidth * s_;
             stats_.addStall(Stage::Fetch, penalty);
+#if SHARCH_OBS
+            if (obs::enabled()) {
+                obs::Tracer::instance().record(
+                    {"mispredict_flush", "pipeline", complete,
+                     complete + penalty, obs::kPidPipeline,
+                     static_cast<std::uint32_t>(
+                         vc_ * SimConfig::kMaxSlices + slice),
+                     seq_, "seq"});
+            }
+#endif
         } else if (group_break) {
             // Correctly predicted taken branch: redirect ends the
             // group; a BTB miss costs an extra bubble even when the
@@ -323,6 +385,18 @@ VCoreSim::processOne(const TraceInst &ti)
                 dep.storeAddrReady + cfg_.slice.branchMispredictPenalty);
             groupUsed_ = 0;
             stats_.squashedInstructions += cfg_.slice.fetchWidth * s_;
+#if SHARCH_OBS
+            if (obs::enabled()) {
+                obs::Tracer::instance().record(
+                    {"lsq_squash", "pipeline", dep.storeAddrReady,
+                     dep.storeAddrReady +
+                         cfg_.slice.branchMispredictPenalty,
+                     obs::kPidPipeline,
+                     static_cast<std::uint32_t>(
+                         vc_ * SimConfig::kMaxSlices + slice),
+                     seq_, "seq"});
+            }
+#endif
         } else if (dep.conflict) {
             // Forward the in-flight store's data from the LSQ bank.
             data_at_bank = std::max(at_bank, dep.storeDataReady) +
@@ -423,6 +497,24 @@ VCoreSim::processOne(const TraceInst &ti)
 
     ++stats_.instructionsCommitted;
     stats_.cycles = lastCommit_;
+
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        auto &reg = obs::MetricsRegistry::instance();
+        const PipelineMetrics &m = pipelineMetrics();
+        reg.add(m.instructions);
+        if (mispredict)
+            reg.add(m.mispredicts);
+        reg.observe(m.commitLatency,
+                    static_cast<double>(commit - fetch_cycle));
+        obs::Tracer::instance().record(
+            {opClassName(ti.op), "pipeline", fetch_cycle, commit,
+             obs::kPidPipeline,
+             static_cast<std::uint32_t>(vc_ * SimConfig::kMaxSlices +
+                                        slice),
+             seq_, "seq"});
+    }
+#endif
 
     // Timeline debugging: SHARCH_DEBUG_TIMELINE=<start>:<count> dumps
     // per-instruction event times to stderr.

@@ -73,7 +73,8 @@ runUsage(const std::string &prog)
            "       " + prog +
            " <benchmark> [--config FILE] [--instructions N]\n"
            "            [--slices LIST] [--banks LIST] [--seed N]\n"
-           "            [--threads N] [--json]\n"
+           "            [--threads N] [--json] [--trace-out FILE]\n"
+           "            [--metrics]\n"
            "       " + prog +
            " --inject-faults SPEC [--fabric WxH] [--slices LIST]\n"
            "            [--banks LIST] [--json]\n"
@@ -88,7 +89,12 @@ runUsage(const std::string &prog)
            "fabric allocator\n"
            "  (spec: seed=N,mtbf=N,count=N[,mttr=N] or fixed "
            "slice:R:C/bank:R:C/link:R:C\n"
-           "  events) and reports each VCore's degradation.\n";
+           "  events) and reports each VCore's degradation.\n"
+           "  --trace-out writes a Chrome trace-event JSON timeline "
+           "(load in Perfetto);\n"
+           "  --metrics prints telemetry counters to stderr.  Both "
+           "need a build with\n"
+           "  -DSHARCH_OBS=ON to see any data.\n";
 }
 
 namespace {
@@ -187,6 +193,11 @@ parseRunOptions(int argc, const char *const *argv)
         } else if (arg == "--inject-faults") {
             if (const char *val = flagValue(argc, argv, &i, &opts))
                 opts.faultSpec = val;
+        } else if (arg == "--trace-out") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.traceOut = val;
+        } else if (arg == "--metrics") {
+            opts.metrics = true;
         } else if (arg == "--fabric") {
             const char *val = flagValue(argc, argv, &i, &opts);
             if (!val)
@@ -243,7 +254,8 @@ benchUsage(const std::string &prog)
            "       " + prog +
            " --run GLOB [--run GLOB ...] [--format text|csv|json]\n"
            "            [--out DIR] [--instructions N] [--seed N]\n"
-           "            [--threads N]\n"
+           "            [--threads N] [--metrics-out DIR]\n"
+           "            [--trace-out FILE]\n"
            "\n"
            "  Runs the registered paper studies (figures, tables,\n"
            "  ablations).  --run takes shell-style globs over study\n"
@@ -254,7 +266,11 @@ benchUsage(const std::string &prog)
            std::string("sharch_perf_cache.csv") + " in the\n"
            "  working directory.  With --out, one <study>.<ext> file\n"
            "  is written per study; JSON/CSV reports are bit-identical\n"
-           "  across --threads values.\n";
+           "  across --threads values.\n"
+           "  --metrics-out writes one <study>.metrics.json of telemetry\n"
+           "  counters per study; --trace-out writes a Chrome trace-event\n"
+           "  timeline for the whole invocation.  Both need a build with\n"
+           "  -DSHARCH_OBS=ON to see any data.\n";
 }
 
 BenchOptions
@@ -302,6 +318,12 @@ parseBenchOptions(int argc, const char *const *argv)
         } else if (arg == "--out") {
             if (const char *val = flagValue(argc, argv, &i, &opts))
                 opts.outDir = val;
+        } else if (arg == "--metrics-out") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.metricsOut = val;
+        } else if (arg == "--trace-out") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.traceOut = val;
         } else if (arg == "--instructions") {
             const char *val = flagValue(argc, argv, &i, &opts);
             if (!val)

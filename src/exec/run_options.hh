@@ -16,6 +16,9 @@
  *   --inject-faults S   fault-injection spec (see fault/fault_model.hh)
  *   --fabric WxH        chip geometry for fault replay (default 8x8)
  *   --json              machine-readable output
+ *   --trace-out FILE    write a Chrome trace-event JSON timeline
+ *                       (needs a -DSHARCH_OBS=ON build to be non-empty)
+ *   --metrics           print telemetry counters to stderr at exit
  *   --dump-config       print the default XML config and exit
  *   --list              list benchmark profiles and exit
  *
@@ -52,6 +55,8 @@ struct RunOptions
     std::string faultSpec;             //!< empty: no fault injection
     int fabricWidth = 8;               //!< --fabric geometry
     int fabricHeight = 8;
+    std::string traceOut;              //!< empty: no timeline export
+    bool metrics = false;              //!< print counters to stderr
     bool json = false;
     bool dumpConfig = false;
     bool listBenchmarks = false;
@@ -93,6 +98,8 @@ std::string runUsage(const std::string &prog);
  *                       (default SHARCH_BENCH_SEED or 1)
  *   --threads N         sweep worker threads (default SHARCH_THREADS,
  *                       else hardware concurrency)
+ *   --metrics-out DIR   write one <study>.metrics.json per study
+ *   --trace-out FILE    write a Chrome trace-event JSON timeline
  *
  * Same contract as parseRunOptions: never throws, never exits;
  * malformed input comes back as .error.
@@ -107,6 +114,8 @@ struct BenchOptions
     std::uint64_t seed = 0;
     bool seedSet = false;              //!< --seed given
     unsigned threads = 0;              //!< 0: resolveThreadCount()
+    std::string metricsOut;            //!< empty: no metrics files
+    std::string traceOut;              //!< empty: no timeline export
 
     std::string error; //!< nonempty: parse failed, show usage
 

@@ -7,8 +7,33 @@
 
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/obs.hh"
 
 namespace sharch::exec {
+
+#if SHARCH_OBS
+namespace {
+
+/** Registered once per process; per-thread shards keep bumps cheap. */
+struct ExecMetrics
+{
+    obs::MetricId jobs =
+        obs::MetricsRegistry::instance().addCounter("exec.jobs");
+    obs::MetricId retries =
+        obs::MetricsRegistry::instance().addCounter("exec.retries");
+    obs::MetricId failures =
+        obs::MetricsRegistry::instance().addCounter("exec.failures");
+};
+
+ExecMetrics &
+execMetrics()
+{
+    static ExecMetrics m;
+    return m;
+}
+
+} // namespace
+#endif
 
 SweepPoint
 sweepPoint(const std::string &benchmark, unsigned banks,
@@ -158,6 +183,9 @@ SweepRunner::runDetailed(const std::vector<SweepPoint> &points,
             // point can never unwind a worker or starve the queue.
             pool.submit([&, i] {
                 PointStatus &st = status[i];
+#if SHARCH_OBS
+                const std::uint64_t job_t0 = obs::nowMicros();
+#endif
                 for (unsigned attempt = 0; attempt < max_attempts;
                      ++attempt) {
                     ++st.attempts;
@@ -165,7 +193,7 @@ SweepRunner::runDetailed(const std::vector<SweepPoint> &points,
                         st.value = eval(points[i], attempt);
                         st.ok = true;
                         st.error.clear();
-                        return;
+                        break;
                     } catch (const std::exception &e) {
                         st.error = e.what();
                         if (errors)
@@ -176,6 +204,24 @@ SweepRunner::runDetailed(const std::vector<SweepPoint> &points,
                             (*errors)[i] = std::current_exception();
                     }
                 }
+#if SHARCH_OBS
+                if (obs::enabled()) {
+                    auto &reg = obs::MetricsRegistry::instance();
+                    auto &tracer = obs::Tracer::instance();
+                    const ExecMetrics &m = execMetrics();
+                    reg.add(m.jobs);
+                    if (st.attempts > 1)
+                        reg.add(m.retries, st.attempts - 1);
+                    if (!st.ok)
+                        reg.add(m.failures);
+                    tracer.record(
+                        {tracer.intern(points[i].profile.name),
+                         "exec", job_t0, obs::nowMicros(),
+                         obs::kPidExec,
+                         tracer.threadTrackId(obs::kPidExec),
+                         st.attempts, "attempts"});
+                }
+#endif
             });
         }
         pool.wait();

@@ -1,12 +1,77 @@
 #include "hyper/fabric_manager.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "common/logging.hh"
 #include "noc/placement.hh"
+#include "obs/obs.hh"
 
 namespace sharch {
+
+#if SHARCH_OBS
+namespace {
+
+/** Registered once per process; per-thread shards keep bumps cheap. */
+struct FabricMetrics
+{
+    obs::MetricId allocs =
+        obs::MetricsRegistry::instance().addCounter("fabric.allocs");
+    obs::MetricId releases =
+        obs::MetricsRegistry::instance().addCounter("fabric.releases");
+    obs::MetricId degrades =
+        obs::MetricsRegistry::instance().addCounter("fabric.degrades");
+    obs::MetricId defragMoves =
+        obs::MetricsRegistry::instance().addCounter(
+            "fabric.defrag_moves");
+    obs::MetricId freeSlices =
+        obs::MetricsRegistry::instance().addGauge(
+            "fabric.free_slices");
+    obs::MetricId freeBanks =
+        obs::MetricsRegistry::instance().addGauge("fabric.free_banks");
+};
+
+FabricMetrics &
+fabricMetrics()
+{
+    static FabricMetrics m;
+    return m;
+}
+
+/**
+ * The fabric has no clock of its own (the caller's fault schedule
+ * does): trace instants tick a process-wide decision counter, which
+ * keeps every hypervisor decision ordered on one timeline.
+ */
+std::uint64_t
+nextFabricSeq()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return seq.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** One instant event on the fabric timeline. */
+void
+recordFabric(const char *name, std::uint64_t arg, const char *arg_name)
+{
+    const std::uint64_t at = nextFabricSeq();
+    obs::Tracer::instance().record(
+        {name, "fabric", at, at, obs::kPidFabric, 0, arg, arg_name});
+}
+
+/** Refresh the free-capacity gauges after a mutation. */
+void
+setFabricGauges(unsigned free_slices, unsigned free_banks)
+{
+    auto &reg = obs::MetricsRegistry::instance();
+    const FabricMetrics &m = fabricMetrics();
+    reg.set(m.freeSlices, free_slices);
+    reg.set(m.freeBanks, free_banks);
+}
+
+} // namespace
+#endif
 
 const char *
 degradeKindName(DegradeKind kind)
@@ -191,11 +256,21 @@ FabricManager::takeBanks(unsigned count, const SliceRun &near,
 std::optional<AllocationId>
 FabricManager::allocate(unsigned slices, unsigned banks)
 {
-    if (slices == 0 || banks > freeBanks())
+    if (slices == 0 || banks > freeBanks()) {
+#if SHARCH_OBS
+        if (obs::enabled())
+            recordFabric("place_fail", slices, "slices");
+#endif
         return std::nullopt;
+    }
     const auto run = findRun(slices);
-    if (!run)
+    if (!run) {
+#if SHARCH_OBS
+        if (obs::enabled())
+            recordFabric("place_fail", slices, "slices");
+#endif
         return std::nullopt;
+    }
 
     const AllocationId id = next_++;
     claim(*run, id);
@@ -204,6 +279,13 @@ FabricManager::allocate(unsigned slices, unsigned banks)
     alloc.slices = *run;
     alloc.banks = takeBanks(banks, *run, id);
     live_.emplace(id, std::move(alloc));
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        obs::MetricsRegistry::instance().add(fabricMetrics().allocs);
+        recordFabric("place", id, "vcore");
+        setFabricGauges(freeSlices(), freeBanks());
+    }
+#endif
     return id;
 }
 
@@ -217,6 +299,13 @@ FabricManager::release(AllocationId id)
     for (const Coord &b : it->second.banks)
         bankOwner_[bankRowIndex(b.y)][b.x] = kFree;
     live_.erase(it);
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        obs::MetricsRegistry::instance().add(fabricMetrics().releases);
+        recordFabric("release", id, "vcore");
+        setFabricGauges(freeSlices(), freeBanks());
+    }
+#endif
     return true;
 }
 
@@ -397,6 +486,13 @@ FabricManager::defragment()
             VCoreShape{0, from.count},
             VCoreShape{0, from.count + 1});
         moves.push_back(mv);
+#if SHARCH_OBS
+        if (obs::enabled()) {
+            obs::MetricsRegistry::instance().add(
+                fabricMetrics().defragMoves);
+            recordFabric("defrag_move", id, "vcore");
+        }
+#endif
     }
     return moves;
 }
@@ -469,6 +565,19 @@ FabricManager::markFaulty(fault::FaultKind kind, Coord tile)
         break;
       }
     }
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        recordFabric("fault", static_cast<std::uint64_t>(
+                                  tile.y) * width_ + tile.x,
+                     "tile");
+        auto &reg = obs::MetricsRegistry::instance();
+        for (const DegradeAction &a : actions) {
+            reg.add(fabricMetrics().degrades);
+            recordFabric(degradeKindName(a.kind), a.id, "vcore");
+        }
+        setFabricGauges(freeSlices(), freeBanks());
+    }
+#endif
     return actions;
 }
 
@@ -574,7 +683,18 @@ std::vector<DegradeAction>
 FabricManager::apply(const fault::FaultEvent &event)
 {
     if (event.heal) {
-        heal(event.kind, event.tile);
+        const bool healed = heal(event.kind, event.tile);
+#if SHARCH_OBS
+        if (healed && obs::enabled()) {
+            recordFabric("heal", static_cast<std::uint64_t>(
+                                     event.tile.y) * width_ +
+                                     event.tile.x,
+                         "tile");
+            setFabricGauges(freeSlices(), freeBanks());
+        }
+#else
+        (void)healed;
+#endif
         return {};
     }
     return markFaulty(event.kind, event.tile);

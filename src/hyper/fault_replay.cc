@@ -1,0 +1,120 @@
+#include "hyper/fault_replay.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace sharch {
+
+FaultReplayResult
+replayFaults(const fault::FaultSpec &spec, int width, int height,
+             unsigned vcore_slices, unsigned vcore_banks)
+{
+    SHARCH_ASSERT(spec.ok(), "replayFaults needs a valid spec");
+
+    FaultReplayResult result;
+    result.vcoreSlices = vcore_slices;
+    result.vcoreBanks = vcore_banks;
+    result.fabricWidth = width;
+    result.fabricHeight = height;
+
+    FabricManager fm(width, height);
+
+    // Populate the chip with identical tenants until allocation
+    // fails, so the schedule always hits live state.
+    while (fm.allocate(vcore_slices, vcore_banks))
+        ++result.tenants;
+
+    fault::FaultModel model(spec, width, height);
+    for (const fault::FaultEvent &ev : model.schedule()) {
+        std::vector<DegradeAction> actions = fm.apply(ev);
+        for (const DegradeAction &a : actions) {
+            result.replaced += a.kind == DegradeKind::Replaced;
+            result.shrunk += a.kind == DegradeKind::Shrunk;
+            result.evicted += a.kind == DegradeKind::Evicted;
+            result.slicesLost += a.slicesLost;
+            result.banksLost += a.banksLost;
+            result.reconfigCycles += a.cost;
+        }
+        result.events.emplace_back(ev, std::move(actions));
+    }
+
+    result.faultySlices = fm.faultySlices();
+    result.totalSlices = fm.totalSlices();
+    result.faultyBanks = fm.faultyBanks();
+    result.liveVCores = fm.allocations().size();
+    result.sliceUtilization = fm.sliceUtilization();
+    result.fragmentation = fm.fragmentation();
+    return result;
+}
+
+std::string
+faultEventsJson(const FaultReplayResult &result)
+{
+    std::string events = "[";
+    bool first = true;
+    char buf[160];
+    for (const auto &[ev, actions] : result.events) {
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"at\":%llu,\"kind\":\"%s\",\"tile\":"
+                      "[%d,%d],\"heal\":%s,\"actions\":[",
+                      first ? "" : ",",
+                      static_cast<unsigned long long>(ev.at),
+                      fault::faultKindName(ev.kind), ev.tile.y,
+                      ev.tile.x, ev.heal ? "true" : "false");
+        events += buf;
+        for (std::size_t i = 0; i < actions.size(); ++i) {
+            const DegradeAction &a = actions[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s{\"vcore\":%llu,\"outcome\":\"%s\","
+                "\"slices_lost\":%u,\"banks_lost\":%u,"
+                "\"cost\":%llu}",
+                i ? "," : "",
+                static_cast<unsigned long long>(a.id),
+                degradeKindName(a.kind), a.slicesLost, a.banksLost,
+                static_cast<unsigned long long>(a.cost));
+            events += buf;
+        }
+        events += "]}";
+        first = false;
+    }
+    events += "]";
+    return events;
+}
+
+study::Report
+faultReplayReport(const FaultReplayResult &result)
+{
+    study::Report report;
+    report.id = "ssim_fault_replay";
+    report.title = "ssim fault replay";
+    report.addMeta("fabric_width", result.fabricWidth);
+    report.addMeta("fabric_height", result.fabricHeight);
+    report.addMeta("tenants", result.tenants);
+    report.addMeta("vcore_slices", result.vcoreSlices);
+    report.addMeta("vcore_banks", result.vcoreBanks);
+    study::Table &t =
+        report.addTable("summary", "Degradation outcome totals");
+    t.col("replaced", study::Value::Kind::Integer)
+        .col("shrunk", study::Value::Kind::Integer)
+        .col("evicted", study::Value::Kind::Integer)
+        .col("slices_lost", study::Value::Kind::Integer)
+        .col("banks_lost", study::Value::Kind::Integer)
+        .col("reconfig_cycles", study::Value::Kind::Integer)
+        .col("faulty_slices", study::Value::Kind::Integer)
+        .col("faulty_banks", study::Value::Kind::Integer)
+        .col("live_vcores", study::Value::Kind::Integer)
+        .col("slice_utilization", study::Value::Kind::Real, 3)
+        .col("fragmentation", study::Value::Kind::Real, 3);
+    t.addRow({result.replaced, result.shrunk, result.evicted,
+              result.slicesLost, result.banksLost,
+              static_cast<unsigned long long>(result.reconfigCycles),
+              result.faultySlices, result.faultyBanks,
+              result.liveVCores, result.sliceUtilization,
+              result.fragmentation});
+    report.attachJson("events", faultEventsJson(result));
+    return report;
+}
+
+} // namespace sharch

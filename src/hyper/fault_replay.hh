@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Library form of ssim's `--inject-faults` replay: populate a fabric
+ * with identical tenants, run a fault schedule through
+ * FabricManager::apply(), and report the graceful-degradation
+ * outcome.
+ *
+ * Extracted from tools/ssim.cpp so the replay itself -- placement,
+ * event loop, totals, and the exact JSON report bytes -- is unit
+ * testable without spawning the binary.  The CLI keeps only argument
+ * handling and printing.
+ */
+
+#ifndef SHARCH_HYPER_FAULT_REPLAY_HH
+#define SHARCH_HYPER_FAULT_REPLAY_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "hyper/fabric_manager.hh"
+#include "study/report.hh"
+
+namespace sharch {
+
+/** Everything one fault-schedule replay produced. */
+struct FaultReplayResult
+{
+    unsigned tenants = 0;      //!< VCores placed before the schedule
+    unsigned vcoreSlices = 0;  //!< Slices per tenant
+    unsigned vcoreBanks = 0;   //!< banks per tenant
+    int fabricWidth = 0;
+    int fabricHeight = 0;
+
+    /** Each scheduled event with the degradation actions it forced. */
+    std::vector<std::pair<fault::FaultEvent,
+                          std::vector<DegradeAction>>> events;
+
+    /** Outcome totals over every event. */
+    unsigned replaced = 0;
+    unsigned shrunk = 0;
+    unsigned evicted = 0;
+    unsigned slicesLost = 0;
+    unsigned banksLost = 0;
+    Cycles reconfigCycles = 0;
+
+    /** Fabric state after the last event. */
+    unsigned faultySlices = 0;
+    unsigned totalSlices = 0;
+    unsigned faultyBanks = 0;
+    std::size_t liveVCores = 0;
+    double sliceUtilization = 0.0;
+    double fragmentation = 0.0;
+};
+
+/**
+ * Replay @p spec against a fresh @p width x @p height fabric packed
+ * with as many (@p vcore_slices, @p vcore_banks) tenants as fit.
+ * @pre spec.ok() and !spec.empty().
+ */
+FaultReplayResult replayFaults(const fault::FaultSpec &spec,
+                               int width, int height,
+                               unsigned vcore_slices,
+                               unsigned vcore_banks);
+
+/**
+ * The per-event JSON array ssim attaches under "events": one object
+ * per event with its cycle, kind, tile, heal flag, and actions.
+ */
+std::string faultEventsJson(const FaultReplayResult &result);
+
+/**
+ * The full "ssim_fault_replay" report (summary table, meta, events
+ * section) -- render with study::Format::Json for the historical
+ * `ssim --inject-faults --json` bytes.
+ */
+study::Report faultReplayReport(const FaultReplayResult &result);
+
+} // namespace sharch
+
+#endif // SHARCH_HYPER_FAULT_REPLAY_HH

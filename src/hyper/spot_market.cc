@@ -4,8 +4,32 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace sharch {
+
+#if SHARCH_OBS
+namespace {
+
+/** Registered once per process; per-thread shards keep bumps cheap. */
+struct MarketMetrics
+{
+    obs::MetricId rounds =
+        obs::MetricsRegistry::instance().addCounter("market.rounds");
+    obs::MetricId reauctions =
+        obs::MetricsRegistry::instance().addCounter(
+            "market.reauctions");
+};
+
+MarketMetrics &
+marketMetrics()
+{
+    static MarketMetrics m;
+    return m;
+}
+
+} // namespace
+#endif
 
 SpotMarket::SpotMarket(UtilityOptimizer &opt, double slice_capacity,
                        double bank_capacity)
@@ -56,6 +80,15 @@ SpotMarket::step(double adjust_rate)
     };
     prices_.slicePrice = adjust(prices_.slicePrice, round.sliceExcess);
     prices_.bankPrice = adjust(prices_.bankPrice, round.bankExcess);
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        obs::MetricsRegistry::instance().add(marketMetrics().rounds);
+        // Each auction round is one tick of the market timeline.
+        obs::Tracer::instance().record(
+            {"round", "market", round_ - 1, round_, obs::kPidMarket,
+             0, round.bids.size(), "bids"});
+    }
+#endif
     return round;
 }
 
@@ -125,6 +158,15 @@ SpotMarket::reauctionAfterFailure(double slices_lost,
     }
 
     reduceCapacity(slices_lost, banks_lost);
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        obs::MetricsRegistry::instance().add(
+            marketMetrics().reauctions);
+        obs::Tracer::instance().record(
+            {"reauction", "market", round_, round_, obs::kPidMarket,
+             0, static_cast<std::uint64_t>(slices_lost), "slices_lost"});
+    }
+#endif
     result.rounds = runToClearing(tolerance, max_rounds, adjust_rate);
     return result;
 }

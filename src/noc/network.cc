@@ -3,12 +3,40 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace sharch {
 
+#if SHARCH_OBS
+namespace {
+
+/** Registered once per process; per-thread shards keep bumps cheap. */
+struct NocMetrics
+{
+    obs::MetricId messages =
+        obs::MetricsRegistry::instance().addCounter("noc.messages");
+    obs::MetricId stallCycles =
+        obs::MetricsRegistry::instance().addCounter(
+            "noc.injection_stall_cycles");
+    obs::HistogramHandle hops =
+        obs::MetricsRegistry::instance().addHistogram("noc.hops", 0.0,
+                                                      1.0, 16);
+};
+
+NocMetrics &
+nocMetrics()
+{
+    static NocMetrics m;
+    return m;
+}
+
+} // namespace
+#endif
+
 SwitchedNetwork::SwitchedNetwork(unsigned num_sources, Cycles base_latency,
-                                 Cycles per_hop, unsigned ports_per_cycle)
-    : base_(base_latency), perHop_(per_hop)
+                                 Cycles per_hop, unsigned ports_per_cycle,
+                                 const char *name)
+    : base_(base_latency), perHop_(per_hop), name_(name)
 {
     SHARCH_ASSERT(num_sources > 0, "network needs at least one source");
     SHARCH_ASSERT(ports_per_cycle > 0, "need at least one port");
@@ -39,7 +67,21 @@ SwitchedNetwork::send(SliceId from, Cycles now, unsigned hops)
 
     ++stats_.messages;
     stats_.totalHops += hops;
-    return inject + uncontendedLatency(hops);
+    const Cycles arrive = inject + uncontendedLatency(hops);
+#if SHARCH_OBS
+    if (obs::enabled()) {
+        auto &reg = obs::MetricsRegistry::instance();
+        const NocMetrics &m = nocMetrics();
+        reg.add(m.messages);
+        if (inject > now)
+            reg.add(m.stallCycles, inject - now);
+        reg.observe(m.hops, static_cast<double>(hops));
+        obs::Tracer::instance().record(
+            {name_, "noc", now, arrive, obs::kPidNoc, from, hops,
+             "hops"});
+    }
+#endif
+    return arrive;
 }
 
 void

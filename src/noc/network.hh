@@ -52,9 +52,12 @@ class SwitchedNetwork
      * @param per_hop       additional cycles per hop beyond the first
      * @param ports_per_cycle injections allowed per source per cycle
      *                        (operandNetworks * injectionsPerCycle)
+     * @param name          label for obs trace spans (a string
+     *                      literal; e.g. "operand", "sort")
      */
     SwitchedNetwork(unsigned num_sources, Cycles base_latency,
-                    Cycles per_hop, unsigned ports_per_cycle);
+                    Cycles per_hop, unsigned ports_per_cycle,
+                    const char *name = "net");
 
     /**
      * Send a message of @p hops hops at time @p now.
@@ -75,6 +78,7 @@ class SwitchedNetwork
   private:
     Cycles base_;
     Cycles perHop_;
+    const char *name_; //!< obs trace label (static storage)
     /** Per-source injection ports; slots claimable out of order. */
     std::vector<SlottedPort> ports_;
     NetworkStats stats_;

@@ -1,0 +1,206 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace sharch::obs {
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+std::uint64_t
+MetricValue::samples() const
+{
+    std::uint64_t n = underflow + overflow;
+    for (std::uint64_t c : buckets)
+        n += c;
+    return n;
+}
+
+const MetricValue *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricValue &m : metrics) {
+        if (m.name == name)
+            return &m;
+    }
+    return nullptr;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Deliberately leaked: worker threads may touch their shard during
+    // static destruction, after a function-local static would be gone.
+    static MetricsRegistry *registry = new MetricsRegistry;
+    return *registry;
+}
+
+MetricId
+MetricsRegistry::registerMetric(const std::string &name,
+                                MetricKind kind, std::uint32_t cells,
+                                double lo, double width)
+{
+    SHARCH_ASSERT(!name.empty(), "metrics need names");
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Registration &r : metrics_) {
+        SHARCH_ASSERT(r.name != name,
+                      "duplicate metric registration: ", name);
+    }
+    Registration reg;
+    reg.name = name;
+    reg.kind = kind;
+    reg.id = cellCount_;
+    reg.cells = cells;
+    reg.lo = lo;
+    reg.width = width;
+    metrics_.push_back(reg);
+    cellCount_ += cells;
+    return reg.id;
+}
+
+MetricId
+MetricsRegistry::addCounter(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Counter, 1, 0.0, 0.0);
+}
+
+MetricId
+MetricsRegistry::addGauge(const std::string &name)
+{
+    return registerMetric(name, MetricKind::Gauge, 1, 0.0, 0.0);
+}
+
+HistogramHandle
+MetricsRegistry::addHistogram(const std::string &name, double lo,
+                              double width, std::uint32_t buckets)
+{
+    SHARCH_ASSERT(width > 0.0, "histogram width must be positive");
+    SHARCH_ASSERT(buckets > 0, "histogram needs >= 1 bucket");
+    HistogramHandle h;
+    // Layout: [underflow][bucket 0..buckets-1][overflow].
+    h.id = registerMetric(name, MetricKind::Histogram, buckets + 2,
+                          lo, width);
+    h.lo = lo;
+    h.width = width;
+    h.buckets = buckets;
+    return h;
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::shardFor()
+{
+    thread_local Shard *cached = nullptr;
+    if (!cached) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::make_unique<Shard>());
+        shards_.back()->cells.resize(cellCount_, 0);
+        cached = shards_.back().get();
+    }
+    return *cached;
+}
+
+void
+MetricsRegistry::add(MetricId id, std::uint64_t by)
+{
+    Shard &s = shardFor();
+    if (id >= s.cells.size()) {
+        // A metric registered after this shard was created: catch the
+        // cell array up (rare, cold; owner thread resizes its own
+        // shard under the lock so snapshot() never races the move).
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.cells.resize(cellCount_, 0);
+    }
+    s.cells[id] += by;
+}
+
+void
+MetricsRegistry::set(MetricId id, std::int64_t v)
+{
+    Shard &s = shardFor();
+    if (id >= s.cells.size()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.cells.resize(cellCount_, 0);
+    }
+    s.cells[id] = static_cast<std::uint64_t>(v);
+}
+
+void
+MetricsRegistry::observe(const HistogramHandle &h, double v)
+{
+    Shard &s = shardFor();
+    const std::size_t last = h.id + h.buckets + 1;
+    if (last >= s.cells.size()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.cells.resize(cellCount_, 0);
+    }
+    std::size_t cell = 0; // underflow
+    if (v >= h.lo) {
+        const double idx = (v - h.lo) / h.width;
+        cell = idx >= h.buckets
+                   ? h.buckets + 1 // overflow
+                   : static_cast<std::size_t>(idx) + 1;
+    }
+    ++s.cells[h.id + cell];
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Merge by summation: commutative, so the totals are independent
+    // of thread count and scheduling order.
+    std::vector<std::uint64_t> merged(cellCount_, 0);
+    for (const auto &shard : shards_) {
+        for (std::size_t i = 0; i < shard->cells.size(); ++i)
+            merged[i] += shard->cells[i];
+    }
+
+    MetricsSnapshot snap;
+    snap.metrics.reserve(metrics_.size());
+    for (const Registration &r : metrics_) {
+        MetricValue v;
+        v.name = r.name;
+        v.kind = r.kind;
+        if (r.kind == MetricKind::Histogram) {
+            v.lo = r.lo;
+            v.width = r.width;
+            v.underflow = merged[r.id];
+            v.buckets.assign(merged.begin() + r.id + 1,
+                             merged.begin() + r.id + r.cells - 1);
+            v.overflow = merged[r.id + r.cells - 1];
+        } else {
+            // Gauges stored their int64 bit pattern; counters are
+            // plain sums.  Both merge by 64-bit addition.
+            v.value = static_cast<std::int64_t>(merged[r.id]);
+        }
+        snap.metrics.push_back(std::move(v));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_)
+        std::fill(shard->cells.begin(), shard->cells.end(), 0);
+}
+
+std::size_t
+MetricsRegistry::numMetrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size();
+}
+
+} // namespace sharch::obs

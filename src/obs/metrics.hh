@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The obs metrics registry: named monotonic counters, gauges, and
+ * fixed-bucket histograms.
+ *
+ * Registration happens once (typically from a function-local static in
+ * the instrumented translation unit) and returns a small handle; the
+ * hot path then updates plain 64-bit cells in a *per-thread shard*, so
+ * the exec ThreadPool's workers never contend on a lock or share a
+ * cache line with one another.  A snapshot merges all shards by
+ * summation -- commutative, so the merged totals are deterministic
+ * regardless of which worker did which job.
+ *
+ * Quiescence contract: updates are unsynchronized by design (each
+ * thread writes only its own shard).  snapshot() and reset() must run
+ * while no other thread is updating -- e.g. after ThreadPool::wait() or
+ * at end of run.  That is exactly when the CLIs call them.
+ */
+
+#ifndef SHARCH_OBS_METRICS_HH
+#define SHARCH_OBS_METRICS_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sharch::obs {
+
+/** What a registered metric is. */
+enum class MetricKind
+{
+    Counter,   //!< monotonic sum across threads
+    Gauge,     //!< signed level; per-thread last-set values sum
+    Histogram, //!< fixed-bucket counts plus underflow/overflow
+};
+
+/** Printable kind name ("counter", "gauge", "histogram"). */
+const char *metricKindName(MetricKind kind);
+
+/** Index of a metric's first cell in every shard's cell array. */
+using MetricId = std::uint32_t;
+
+/**
+ * Everything observe() needs to find a bucket without consulting the
+ * registry.  Bucket i counts values in [lo + i*width, lo + (i+1)*width);
+ * values below lo land in the underflow cell, values at or above
+ * lo + buckets*width in the overflow cell.
+ */
+struct HistogramHandle
+{
+    MetricId id = 0;
+    double lo = 0.0;
+    double width = 1.0;
+    std::uint32_t buckets = 0;
+};
+
+/** One merged metric in a snapshot. */
+struct MetricValue
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::int64_t value = 0; //!< counter/gauge total (0 for histograms)
+    double lo = 0.0;        //!< histogram lower bound
+    double width = 0.0;     //!< histogram bucket width
+    std::vector<std::uint64_t> buckets; //!< histogram only
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+
+    /** Total histogram observations including under/overflow. */
+    std::uint64_t samples() const;
+};
+
+/** The merged view of every registered metric, registration order. */
+struct MetricsSnapshot
+{
+    std::vector<MetricValue> metrics;
+
+    bool empty() const { return metrics.empty(); }
+    /** The metric named @p name, or nullptr. */
+    const MetricValue *find(const std::string &name) const;
+};
+
+/**
+ * Process-wide registry.  Thread-safe registration; wait-free updates
+ * (each thread owns its shard); snapshot/reset under the quiescence
+ * contract above.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Register a monotonic counter.  Names must be unique. */
+    MetricId addCounter(const std::string &name);
+
+    /** Register a signed gauge.  Names must be unique. */
+    MetricId addGauge(const std::string &name);
+
+    /**
+     * Register a histogram of @p buckets cells of @p width starting at
+     * @p lo (see HistogramHandle for the edge semantics).
+     */
+    HistogramHandle addHistogram(const std::string &name, double lo,
+                                 double width, std::uint32_t buckets);
+
+    /** Bump a counter by @p by on the calling thread's shard. */
+    void add(MetricId id, std::uint64_t by = 1);
+
+    /**
+     * Set a gauge on the calling thread's shard.  Per-thread values
+     * sum in the snapshot, so "set" is last-write-wins per thread
+     * (useful for levels a single thread owns, e.g. free Slices).
+     */
+    void set(MetricId id, std::int64_t v);
+
+    /** Record one histogram observation. */
+    void observe(const HistogramHandle &h, double v);
+
+    /** Merge every shard into one deterministic snapshot. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every cell in every shard; registrations survive. */
+    void reset();
+
+    /** Number of registered metrics. */
+    std::size_t numMetrics() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    struct Registration
+    {
+        std::string name;
+        MetricKind kind = MetricKind::Counter;
+        MetricId id = 0;            //!< first cell
+        std::uint32_t cells = 1;    //!< cells occupied
+        double lo = 0.0;            //!< histogram geometry
+        double width = 0.0;
+    };
+
+    /** One thread's private cell array. */
+    struct Shard
+    {
+        std::vector<std::uint64_t> cells;
+    };
+
+    MetricId registerMetric(const std::string &name, MetricKind kind,
+                            std::uint32_t cells, double lo,
+                            double width);
+    Shard &shardFor();
+
+    mutable std::mutex mutex_;
+    std::vector<Registration> metrics_;
+    /** Shards are owned here and outlive their threads, so counts
+     *  from finished ThreadPool workers survive into the snapshot. */
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::uint32_t cellCount_ = 0;
+};
+
+} // namespace sharch::obs
+
+#endif // SHARCH_OBS_METRICS_HH

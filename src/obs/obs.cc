@@ -1,0 +1,40 @@
+#include "obs/obs.hh"
+
+#include <chrono>
+
+namespace sharch::obs {
+
+namespace detail {
+std::atomic<bool> enabled_{false};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    const bool was = detail::enabled_.exchange(on);
+    if (on && !was) {
+        // Label the standard layer processes once, with their time
+        // domains, so exported traces read honestly without any
+        // naming work on the hot paths.
+        Tracer &t = Tracer::instance();
+        t.nameProcess(kPidPipeline, "pipeline (cycles)");
+        t.nameProcess(kPidCache, "cache (cycles)");
+        t.nameProcess(kPidNoc, "noc (cycles)");
+        t.nameProcess(kPidFabric, "fabric (decision seq)");
+        t.nameProcess(kPidMarket, "market (auction rounds)");
+        t.nameProcess(kPidExec, "exec (wall-clock us)");
+    }
+}
+
+std::uint64_t
+nowMicros()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+} // namespace sharch::obs

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Umbrella header of the obs telemetry subsystem.
+ *
+ * obs gives every layer of the simulator a common way to answer "what
+ * actually happened in that run?" without printf archaeology:
+ *
+ *  - a metrics registry (obs/metrics.hh): named counters, gauges, and
+ *    fixed-bucket histograms on contention-free per-thread shards;
+ *  - a timeline tracer (obs/trace.hh): bounded per-thread ring buffers
+ *    of spans, exported as Chrome trace-event JSON for chrome://tracing
+ *    or Perfetto.
+ *
+ * Gating contract (the reason the PR 4 sim-speed gate keeps passing):
+ *
+ *  - Compile time: every instrumentation point in a hot layer lives in
+ *    an `#if SHARCH_OBS` block.  The macro is 0 unless the build is
+ *    configured with -DSHARCH_OBS=ON, so the default Release build
+ *    carries no instrumentation at all -- not even a branch.
+ *  - Run time: in an obs build the points additionally check
+ *    obs::enabled() (one relaxed atomic load) so an instrumented
+ *    binary still runs clean unless a --trace-out/--metrics flag (or
+ *    library caller) turned collection on.
+ *
+ * The obs *library* (registry, tracer, exporters) is always compiled,
+ * so CLIs can link the flag plumbing unconditionally and unit tests
+ * run in every configuration; only the hot-path call sites are gated.
+ */
+
+#ifndef SHARCH_OBS_OBS_HH
+#define SHARCH_OBS_OBS_HH
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+// Instrumentation points are compiled in only when the build sets
+// SHARCH_OBS=1 (cmake -DSHARCH_OBS=ON); default to "compiled out".
+#ifndef SHARCH_OBS
+#define SHARCH_OBS 0
+#endif
+
+namespace sharch::obs {
+
+/**
+ * Chrome-trace "process" ids, one per instrumented layer.  Each pid is
+ * its own track group *and* its own time domain -- spans within one
+ * pid share a clock, spans across pids do not (the exporter names each
+ * process with its domain so traces read honestly).
+ */
+inline constexpr std::uint32_t kPidPipeline = 1; //!< VCore cycles
+inline constexpr std::uint32_t kPidCache = 2;    //!< VCore cycles
+inline constexpr std::uint32_t kPidNoc = 3;      //!< VCore cycles
+inline constexpr std::uint32_t kPidFabric = 4;   //!< decision sequence
+inline constexpr std::uint32_t kPidMarket = 5;   //!< auction rounds
+inline constexpr std::uint32_t kPidExec = 6;     //!< wall-clock us
+
+namespace detail {
+extern std::atomic<bool> enabled_;
+} // namespace detail
+
+/** Is collection on?  One relaxed load; safe from any thread. */
+inline bool
+enabled()
+{
+    return detail::enabled_.load(std::memory_order_relaxed);
+}
+
+/**
+ * Turn collection on or off.  Enabling also names the standard
+ * per-layer trace processes (pipeline/cache/noc/fabric/market/exec)
+ * so exported traces are labelled without any hot-path work.
+ */
+void setEnabled(bool on);
+
+/** True when the instrumentation points were compiled in. */
+constexpr bool
+compiledIn()
+{
+    return SHARCH_OBS != 0;
+}
+
+/**
+ * Microseconds since the process-wide obs epoch (first call).  The
+ * wall-clock time domain of kPidExec; everything else uses simulated
+ * cycles or decision counters.
+ */
+std::uint64_t nowMicros();
+
+} // namespace sharch::obs
+
+#endif // SHARCH_OBS_OBS_HH

@@ -1,0 +1,235 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace sharch::obs {
+
+namespace {
+
+std::size_t
+ceilPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Minimal JSON string escaping for names the trace embeds. */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    // Leaked for the same reason as MetricsRegistry::instance().
+    static Tracer *tracer = new Tracer;
+    return *tracer;
+}
+
+void
+Tracer::setCapacity(std::size_t spans_per_thread)
+{
+    SHARCH_ASSERT(spans_per_thread > 0, "ring needs >= 1 span");
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = ceilPow2(spans_per_thread);
+}
+
+Tracer::Ring &
+Tracer::ringFor()
+{
+    thread_local Ring *cached = nullptr;
+    thread_local std::uint64_t cachedGen = 0;
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_relaxed);
+    if (!cached || cachedGen != gen) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rings_.push_back(std::make_unique<Ring>());
+        rings_.back()->buf.resize(capacity_);
+        cached = rings_.back().get();
+        cachedGen = gen;
+    }
+    return *cached;
+}
+
+void
+Tracer::record(const TraceSpan &span)
+{
+    Ring &r = ringFor();
+    r.buf[r.head & (r.buf.size() - 1)] = span;
+    ++r.head;
+}
+
+const char *
+Tracer::intern(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = internIndex_.find(text);
+    if (it != internIndex_.end())
+        return it->second;
+    internPool_.push_back(text);
+    const char *stable = internPool_.back().c_str();
+    internIndex_.emplace(text, stable);
+    return stable;
+}
+
+void
+Tracer::nameProcess(std::uint32_t pid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    processNames_[pid] = name;
+}
+
+void
+Tracer::nameTrack(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trackNames_[{pid, tid}] = name;
+}
+
+std::uint32_t
+Tracer::threadTrackId(std::uint32_t pid)
+{
+    thread_local std::uint32_t id = ~0u;
+    if (id == ~0u) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = nextThreadTrack_++;
+        trackNames_[{pid, id}] = "worker" + std::to_string(id);
+    }
+    return id;
+}
+
+std::vector<TraceSpan>
+Tracer::collect() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceSpan> spans;
+    for (const auto &ring : rings_) {
+        const std::uint64_t size = ring->buf.size();
+        const std::uint64_t first =
+            ring->head > size ? ring->head - size : 0;
+        for (std::uint64_t i = first; i < ring->head; ++i)
+            spans.push_back(ring->buf[i & (size - 1)]);
+    }
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TraceSpan &a, const TraceSpan &b) {
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         if (a.begin != b.begin)
+                             return a.begin < b.begin;
+                         return a.end < b.end;
+                     });
+    return spans;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &ring : rings_) {
+        if (ring->head > ring->buf.size())
+            n += ring->head - ring->buf.size();
+    }
+    return n;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.clear();
+    processNames_.clear();
+    trackNames_.clear();
+    nextThreadTrack_ = 0;
+    // Invalidate every thread's cached ring pointer (interned strings
+    // stay: handed-out pointers must remain valid).
+    generation_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &out) const
+{
+    const std::vector<TraceSpan> spans = collect();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&]() -> std::ostream & {
+        if (!first)
+            out << ",\n";
+        first = false;
+        return out;
+    };
+
+    for (const auto &[pid, name] : processNames_) {
+        sep() << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
+              << pid << ",\"tid\":0,\"args\":{\"name\":\""
+              << escapeJson(name) << "\"}}";
+    }
+    for (const auto &[key, name] : trackNames_) {
+        sep() << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+              << key.first << ",\"tid\":" << key.second
+              << ",\"args\":{\"name\":\"" << escapeJson(name)
+              << "\"}}";
+    }
+
+    for (const TraceSpan &s : spans) {
+        sep() << "{\"name\":\"" << escapeJson(s.name)
+              << "\",\"cat\":\"" << escapeJson(s.category) << "\",";
+        if (s.end > s.begin) {
+            out << "\"ph\":\"X\",\"ts\":" << s.begin
+                << ",\"dur\":" << s.end - s.begin;
+        } else {
+            out << "\"ph\":\"i\",\"s\":\"t\",\"ts\":" << s.begin;
+        }
+        out << ",\"pid\":" << s.pid << ",\"tid\":" << s.tid;
+        if (s.argName) {
+            out << ",\"args\":{\"" << escapeJson(s.argName)
+                << "\":" << s.arg << "}";
+        }
+        out << "}";
+    }
+
+    std::uint64_t dropped = 0;
+    for (const auto &ring : rings_) {
+        if (ring->head > ring->buf.size())
+            dropped += ring->head - ring->buf.size();
+    }
+    out << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{"
+        << "\"schema\":\"sharch-trace-v1\",\"dropped\":" << dropped
+        << "}}\n";
+}
+
+} // namespace sharch::obs

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The obs timeline tracer: bounded per-thread ring buffers of spans,
+ * exported as Chrome trace-event JSON (chrome://tracing and Perfetto
+ * both load it).
+ *
+ * A span is (name, category, begin, end) on a (pid, tid) track plus
+ * one optional integer argument.  Names and categories are stored as
+ * `const char *` so the hot path copies two pointers and four
+ * integers -- use string literals, or intern() for dynamic names.
+ *
+ * Each thread records into its own power-of-two ring; when a ring
+ * fills, the oldest spans are overwritten and counted as dropped, so
+ * tracing a long run costs bounded memory.  collect() and
+ * writeChromeTrace() merge the rings under the same quiescence
+ * contract as the metrics registry: call them when no thread is
+ * recording.
+ *
+ * Time is whatever the instrumentation point says it is: spans within
+ * one pid must share a clock (cycles, decision counters, wall-clock
+ * microseconds), spans across pids need not (see obs.hh's kPid
+ * constants, one per time domain).
+ */
+
+#ifndef SHARCH_OBS_TRACE_HH
+#define SHARCH_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sharch::obs {
+
+/** One recorded interval (or instant, when end == begin). */
+struct TraceSpan
+{
+    const char *name = "";     //!< must outlive the tracer; intern()
+    const char *category = ""; //!< trace-viewer filter group
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;     //!< == begin renders as an instant
+    std::uint32_t pid = 0;     //!< layer/time-domain (obs.hh kPid*)
+    std::uint32_t tid = 0;     //!< track within the layer
+    std::uint64_t arg = 0;     //!< shown when argName != nullptr
+    const char *argName = nullptr;
+};
+
+/** Process-wide span collector. */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /**
+     * Capacity (spans) of each per-thread ring, rounded up to a power
+     * of two.  Affects only rings created after the call; existing
+     * rings keep their size.
+     */
+    void setCapacity(std::size_t spans_per_thread);
+
+    /** Record one span into the calling thread's ring (wait-free). */
+    void record(const TraceSpan &span);
+
+    /**
+     * Copy @p text into tracer-owned storage and return a stable
+     * pointer for TraceSpan::name.  Repeated calls with equal text
+     * return the same pointer.  Takes a lock -- intern outside the
+     * hot loop (e.g. once per sweep job, not once per instruction).
+     */
+    const char *intern(const std::string &text);
+
+    /** Label a process (track group) in the exported trace. */
+    void nameProcess(std::uint32_t pid, const std::string &name);
+
+    /** Label one (pid, tid) track in the exported trace. */
+    void nameTrack(std::uint32_t pid, std::uint32_t tid,
+                   const std::string &name);
+
+    /**
+     * A small per-thread id for wall-clock tracks: the first call on
+     * each thread assigns the next id and names the (pid, id) track
+     * "worker<N>".  Later calls return the same id regardless of pid.
+     */
+    std::uint32_t threadTrackId(std::uint32_t pid);
+
+    /** All surviving spans, sorted by (pid, tid, begin, end). */
+    std::vector<TraceSpan> collect() const;
+
+    /** Spans overwritten by ring wrap-around, across all threads. */
+    std::uint64_t dropped() const;
+
+    /** Forget all spans, names, and rings (not interned strings). */
+    void clear();
+
+    /**
+     * Write the Chrome trace-event JSON document: thread/process
+     * metadata, every surviving span ("X" complete events, "i"
+     * instants), and an otherData section with the schema id
+     * ("sharch-trace-v1") and the dropped count.
+     */
+    void writeChromeTrace(std::ostream &out) const;
+
+  private:
+    Tracer() = default;
+
+    struct Ring
+    {
+        std::vector<TraceSpan> buf; //!< power-of-two size
+        std::uint64_t head = 0;     //!< total spans ever recorded
+    };
+
+    Ring &ringFor();
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+    std::size_t capacity_ = 1u << 15;
+    std::map<std::uint32_t, std::string> processNames_;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+        trackNames_;
+    /** Stable storage for intern(): a deque never moves elements. */
+    std::deque<std::string> internPool_;
+    std::map<std::string, const char *> internIndex_;
+    std::uint32_t nextThreadTrack_ = 0;
+    /** Bumped by clear() so threads drop their cached ring pointer. */
+    std::atomic<std::uint64_t> generation_{1};
+};
+
+} // namespace sharch::obs
+
+#endif // SHARCH_OBS_TRACE_HH

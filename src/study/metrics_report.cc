@@ -1,0 +1,67 @@
+#include "study/metrics_report.hh"
+
+#include <cstdio>
+
+namespace sharch::study {
+
+namespace {
+
+/** "[lo, hi)" with %g bounds -- compact and unambiguous. */
+std::string
+bucketLabel(double lo, double hi)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%g, %g)", lo, hi);
+    return buf;
+}
+
+} // namespace
+
+Report
+metricsReport(const obs::MetricsSnapshot &snap)
+{
+    Report report;
+    report.id = "metrics";
+    report.title = "Telemetry counters (sharch-metrics-v1)";
+    report.addMeta("schema", "sharch-metrics-v1");
+
+    Table &counters = report.addTable("counters", "Counters and gauges");
+    counters.col("metric", Value::Kind::Text)
+        .col("kind", Value::Kind::Text)
+        .col("value", Value::Kind::Integer);
+
+    Table &hists = report.addTable("histograms", "Histogram buckets");
+    hists.col("metric", Value::Kind::Text)
+        .col("bucket", Value::Kind::Text)
+        .col("count", Value::Kind::Integer);
+
+    for (const obs::MetricValue &m : snap.metrics) {
+        if (m.kind != obs::MetricKind::Histogram) {
+            counters.addRow({m.name, metricKindName(m.kind),
+                             static_cast<long long>(m.value)});
+            continue;
+        }
+        // Histograms also get a one-line sample count next to the
+        // counters so a quick text glance shows activity.
+        counters.addRow({m.name, metricKindName(m.kind),
+                         static_cast<unsigned long long>(m.samples())});
+        if (m.underflow > 0) {
+            hists.addRow({m.name, "underflow",
+                          static_cast<unsigned long long>(m.underflow)});
+        }
+        for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+            if (m.buckets[b] == 0)
+                continue; // keep the table to the interesting rows
+            const double lo = m.lo + static_cast<double>(b) * m.width;
+            hists.addRow({m.name, bucketLabel(lo, lo + m.width),
+                          static_cast<unsigned long long>(m.buckets[b])});
+        }
+        if (m.overflow > 0) {
+            hists.addRow({m.name, "overflow",
+                          static_cast<unsigned long long>(m.overflow)});
+        }
+    }
+    return report;
+}
+
+} // namespace sharch::study

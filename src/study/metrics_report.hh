@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Bridge from an obs::MetricsSnapshot to a study::Report so the
+ * telemetry counters ride the same render pipeline (text/CSV/JSON) as
+ * every other table in the repo.
+ *
+ * Lives in src/study (not src/obs) to keep the dependency arrow
+ * pointing one way: obs knows nothing about reports, study links obs.
+ * The emitted report carries its own schema tag, "sharch-metrics-v1",
+ * distinct from "sharch-report-v1": metrics are volatile run facts
+ * (they vary with --threads and wall-clock), so they must never be
+ * spliced into a study's deterministic report -- they get their own
+ * document instead.
+ */
+
+#ifndef SHARCH_STUDY_METRICS_REPORT_HH
+#define SHARCH_STUDY_METRICS_REPORT_HH
+
+#include "obs/metrics.hh"
+#include "study/report.hh"
+
+namespace sharch::study {
+
+/**
+ * Render @p snap as a Report: a "counters" table (metric, kind,
+ * value) for counters and gauges, and a "histograms" table (metric,
+ * bucket, count) with one row per non-empty bucket, bucket labels
+ * formatted as "[lo, hi)" plus "underflow" / "overflow" rows.
+ *
+ * Deterministic given the snapshot: rows follow metric registration
+ * order, which is fixed by link order and first-touch.
+ */
+Report metricsReport(const obs::MetricsSnapshot &snap);
+
+} // namespace sharch::study
+
+#endif // SHARCH_STUDY_METRICS_REPORT_HH

@@ -5,8 +5,11 @@
  * memoized/disk-cached performance model.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -231,6 +234,40 @@ TEST(PerfModel, DiskCacheRoundTrips)
         other.enableDiskCache(path);
         EXPECT_GT(other.performance("hmmer", 1, 1), 0.0);
     }
+    std::filesystem::remove(path);
+}
+
+TEST(PerfModel, DiskCacheDropsCorruptRowsKeepsGoodOnes)
+{
+    const std::string path = "test_perf_cache_corrupt.csv";
+    std::filesystem::remove(path);
+    {
+        // Hand-written cache mixing valid rows (planted perf values no
+        // simulation would produce, so a load is unambiguous) with the
+        // corruption modes enableDiskCache must reject: garbage text,
+        // a row truncated mid-write, out-of-range slices, and a
+        // non-finite perf.  Loading must keep every good row and drop
+        // every bad one with a single summarized warning.
+        std::ofstream out(path);
+        out << "hmmer,4000,1,2,2,123.5\n";
+        out << "this is not a cache row\n";
+        out << "gcc,4000,1,1\n";             // truncated mid-row
+        out << "sjeng,4000,1,1,99,1.0\n";    // slices > kMaxSlices
+        out << "mcf,4000,1,1,1,nan\n";       // non-finite perf
+        out << "gcc,4000,1,4,1,67.25\n";
+    }
+    PerfModel pm(4000);
+    pm.enableDiskCache(path);
+    // Both valid rows came back memoized: the planted values are
+    // returned verbatim, proving no re-simulation happened.
+    EXPECT_DOUBLE_EQ(pm.performance("hmmer", 2, 2), 123.5);
+    EXPECT_DOUBLE_EQ(pm.performance("gcc", 4, 1), 67.25);
+    // The NaN row was dropped, not memoized: the point re-simulates
+    // to the same finite value an uncached model produces.
+    PerfModel reference(4000);
+    const double resim = pm.performance("mcf", 1, 1);
+    EXPECT_TRUE(std::isfinite(resim));
+    EXPECT_DOUBLE_EQ(resim, reference.performance("mcf", 1, 1));
     std::filesystem::remove(path);
 }
 

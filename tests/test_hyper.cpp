@@ -5,12 +5,15 @@
  * and the auto-tuner of section 4.
  */
 
+#include <algorithm>
 #include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "hyper/autotuner.hh"
 #include "hyper/fabric_manager.hh"
+#include "hyper/fault_replay.hh"
 #include "hyper/spot_market.hh"
 
 using namespace sharch;
@@ -296,4 +299,89 @@ TEST(AutoTuner, AccountsReconfigurationCosts)
     EXPECT_GT(tuner.reconfigurationSpent(), 0u);
     EXPECT_GT(tuner.best().shape.banks + tuner.best().shape.slices,
               1u);
+}
+
+TEST(FaultReplay, PacksTenantsAndAppliesSchedule)
+{
+    const fault::FaultSpec spec =
+        fault::parseFaultSpec("slice:0:1,bank:1:2");
+    ASSERT_TRUE(spec.ok());
+    const FaultReplayResult r = replayFaults(spec, 8, 4, 4, 2);
+
+    // 8x4 chip: 16 Slices / 16 banks; 4-Slice 2-bank tenants pack
+    // four deep.
+    EXPECT_EQ(r.tenants, 4u);
+    EXPECT_EQ(r.events.size(), 2u);
+    EXPECT_EQ(r.fabricWidth, 8);
+    EXPECT_EQ(r.vcoreSlices, 4u);
+    EXPECT_EQ(r.totalSlices, 16u);
+    EXPECT_EQ(r.faultySlices, 1u);
+    EXPECT_EQ(r.faultyBanks, 1u);
+    // Somebody owned tile (0,1), so the fault forced a reaction.
+    EXPECT_FALSE(r.events[0].second.empty());
+
+    // Totals re-derive from the per-event log.
+    unsigned replaced = 0, slices_lost = 0;
+    Cycles cost = 0;
+    for (const auto &[ev, actions] : r.events) {
+        for (const DegradeAction &a : actions) {
+            replaced += a.kind == DegradeKind::Replaced;
+            slices_lost += a.slicesLost;
+            cost += a.cost;
+        }
+    }
+    EXPECT_EQ(r.replaced, replaced);
+    EXPECT_EQ(r.slicesLost, slices_lost);
+    EXPECT_EQ(r.reconfigCycles, cost);
+}
+
+TEST(FaultReplay, EventsJsonMirrorsTheLog)
+{
+    const fault::FaultSpec spec =
+        fault::parseFaultSpec("slice:0:1,bank:1:2");
+    ASSERT_TRUE(spec.ok());
+    const FaultReplayResult r = replayFaults(spec, 8, 4, 4, 2);
+    const std::string json = faultEventsJson(r);
+
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    EXPECT_NE(json.find("\"kind\":\"slice\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"bank\""), std::string::npos);
+    EXPECT_NE(json.find("\"tile\":[0,1]"), std::string::npos);
+    // One object per event.
+    std::size_t at = 0, count = 0, pos = 0;
+    while ((pos = json.find("\"at\":", at)) != std::string::npos) {
+        ++count;
+        at = pos + 1;
+    }
+    EXPECT_EQ(count, r.events.size());
+}
+
+TEST(FaultReplay, ReportCarriesSummaryAndEvents)
+{
+    const fault::FaultSpec spec =
+        fault::parseFaultSpec("seed=3,mtbf=1000,count=5");
+    ASSERT_TRUE(spec.ok());
+    const FaultReplayResult r = replayFaults(spec, 8, 8, 4, 4);
+    const study::Report report = faultReplayReport(r);
+
+    EXPECT_EQ(report.id, "ssim_fault_replay");
+    ASSERT_EQ(report.tables.size(), 1u);
+    const study::Table &t = report.tables.front();
+    ASSERT_EQ(t.columns.size(), 11u);
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.columns[0].name, "replaced");
+    EXPECT_EQ(t.rows[0][0].integer,
+              static_cast<std::int64_t>(r.replaced));
+    ASSERT_EQ(report.rawJson.size(), 1u);
+    EXPECT_EQ(report.rawJson[0].first, "events");
+    EXPECT_EQ(report.rawJson[0].second, faultEventsJson(r));
+    // The rendered document must still be one valid JSON value: the
+    // events splice is a raw string, so this is where a stray quote
+    // would surface.
+    const std::string doc =
+        study::render(report, study::Format::Json);
+    EXPECT_NE(doc.find("\"events\""), std::string::npos);
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
 }

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the obs telemetry subsystem: the metrics registry (shard
+ * merge determinism, histogram bucket edges), the timeline tracer
+ * (ring wrap-around, track naming), and the Chrome trace-event JSON
+ * export (structural well-formedness).
+ *
+ * The obs *library* always compiles -- only the instrumentation call
+ * sites are gated behind SHARCH_OBS -- so this suite runs in every
+ * build configuration.
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/obs.hh"
+
+using namespace sharch;
+
+namespace {
+
+/**
+ * Minimal JSON structural check: balanced braces/brackets outside
+ * strings, no trailing garbage.  Enough to catch a missing comma's
+ * usual symptom (unbalanced nesting) and unescaped quotes without
+ * a JSON parser dependency.
+ */
+bool
+structurallyValidJson(const std::string &doc)
+{
+    int depth = 0;
+    bool in_string = false, escaped = false;
+    for (const char c : doc) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (in_string) {
+            if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            in_string = true;
+            break;
+          case '{':
+          case '[':
+            ++depth;
+            break;
+          case '}':
+          case ']':
+            if (--depth < 0)
+                return false;
+            break;
+          default:
+            break;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+/** Fresh state for each test: obs singletons are process-wide. */
+void
+resetObs()
+{
+    obs::MetricsRegistry::instance().reset();
+    obs::Tracer::instance().clear();
+    obs::setEnabled(false);
+}
+
+} // namespace
+
+TEST(ObsMetrics, CounterSumsAcrossThreadsDeterministically)
+{
+    resetObs();
+    static const obs::MetricId id =
+        obs::MetricsRegistry::instance().addCounter(
+            "test.obs.counter");
+
+    // Each worker bumps from its own shard; the merged total must be
+    // the plain sum no matter how the threads interleaved.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < 1000 + t; ++i)
+                obs::MetricsRegistry::instance().add(id);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    const obs::MetricValue *v = snap.find("test.obs.counter");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->kind, obs::MetricKind::Counter);
+    EXPECT_EQ(v->value, 1000 + 1001 + 1002 + 1003);
+
+    // Shards survive their threads: a second snapshot agrees.
+    const obs::MetricsSnapshot again =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(again.find("test.obs.counter")->value, v->value);
+}
+
+TEST(ObsMetrics, GaugeHoldsSignedLevels)
+{
+    resetObs();
+    static const obs::MetricId id =
+        obs::MetricsRegistry::instance().addGauge("test.obs.gauge");
+    obs::MetricsRegistry::instance().set(id, -7);
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(snap.find("test.obs.gauge")->value, -7);
+
+    // Last write on this thread wins.
+    obs::MetricsRegistry::instance().set(id, 42);
+    EXPECT_EQ(obs::MetricsRegistry::instance()
+                  .snapshot()
+                  .find("test.obs.gauge")
+                  ->value,
+              42);
+}
+
+TEST(ObsMetrics, HistogramBucketEdges)
+{
+    resetObs();
+    static const obs::HistogramHandle h =
+        obs::MetricsRegistry::instance().addHistogram(
+            "test.obs.hist", 0.0, 10.0, 4); // [0,10) ... [30,40)
+    auto &reg = obs::MetricsRegistry::instance();
+
+    reg.observe(h, -0.001); // underflow
+    reg.observe(h, 0.0);    // first bucket, inclusive lower edge
+    reg.observe(h, 9.999);  // still first bucket
+    reg.observe(h, 10.0);   // second bucket, exclusive upper edge
+    reg.observe(h, 39.999); // last bucket
+    reg.observe(h, 40.0);   // overflow, inclusive
+    reg.observe(h, 1e9);    // overflow
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    const obs::MetricValue *v = snap.find("test.obs.hist");
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->buckets.size(), 4u);
+    EXPECT_EQ(v->underflow, 1u);
+    EXPECT_EQ(v->buckets[0], 2u);
+    EXPECT_EQ(v->buckets[1], 1u);
+    EXPECT_EQ(v->buckets[2], 0u);
+    EXPECT_EQ(v->buckets[3], 1u);
+    EXPECT_EQ(v->overflow, 2u);
+    EXPECT_EQ(v->samples(), 7u);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsRegistrations)
+{
+    resetObs();
+    static const obs::MetricId id =
+        obs::MetricsRegistry::instance().addCounter(
+            "test.obs.reset_counter");
+    obs::MetricsRegistry::instance().add(id, 5);
+    obs::MetricsRegistry::instance().reset();
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::instance().snapshot();
+    const obs::MetricValue *v =
+        snap.find("test.obs.reset_counter");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->value, 0);
+}
+
+TEST(ObsTrace, RingWrapsAndCountsDropped)
+{
+    resetObs();
+    auto &tracer = obs::Tracer::instance();
+    tracer.setCapacity(8); // already a power of two
+
+    for (std::uint64_t i = 0; i < 20; ++i)
+        tracer.record({"span", "test", i, i + 1, 1, 0, 0, nullptr});
+
+    const std::vector<obs::TraceSpan> spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 8u);
+    EXPECT_EQ(tracer.dropped(), 12u);
+    // The survivors are the 8 newest, in begin order.
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].begin, 12 + i);
+}
+
+TEST(ObsTrace, CapacityRoundsUpToPowerOfTwo)
+{
+    resetObs();
+    auto &tracer = obs::Tracer::instance();
+    tracer.setCapacity(5); // rounds to 8
+
+    for (std::uint64_t i = 0; i < 9; ++i)
+        tracer.record({"span", "test", i, i, 1, 0, 0, nullptr});
+    EXPECT_EQ(tracer.collect().size(), 8u);
+    EXPECT_EQ(tracer.dropped(), 1u);
+}
+
+TEST(ObsTrace, CollectSortsAcrossTracks)
+{
+    resetObs();
+    auto &tracer = obs::Tracer::instance();
+    tracer.setCapacity(64);
+    tracer.record({"b", "test", 5, 6, 2, 0, 0, nullptr});
+    tracer.record({"a", "test", 9, 9, 1, 1, 0, nullptr});
+    tracer.record({"c", "test", 1, 2, 1, 0, 0, nullptr});
+
+    const auto spans = tracer.collect();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_STREQ(spans[0].name, "c"); // pid 1 before pid 2
+    EXPECT_STREQ(spans[1].name, "a");
+    EXPECT_STREQ(spans[2].name, "b");
+}
+
+TEST(ObsTrace, InternReturnsStablePointers)
+{
+    resetObs();
+    auto &tracer = obs::Tracer::instance();
+    const char *a = tracer.intern("gcc");
+    const char *b = tracer.intern("gcc");
+    const char *c = tracer.intern("mcf");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_STREQ(c, "mcf");
+}
+
+TEST(ObsTrace, ChromeJsonIsWellFormed)
+{
+    resetObs();
+    obs::setEnabled(true); // names the six standard processes
+    auto &tracer = obs::Tracer::instance();
+    tracer.setCapacity(64);
+    tracer.nameTrack(obs::kPidCache, 0, "bank0");
+    // A complete event with an argument, an instant, and a name that
+    // needs escaping.
+    tracer.record({"load \"x\"", "pipeline", 10, 25,
+                   obs::kPidPipeline, 0, 3, "hops"});
+    tracer.record({"fault", "fabric", 7, 7, obs::kPidFabric, 0, 0,
+                   nullptr});
+
+    std::ostringstream out;
+    tracer.writeChromeTrace(out);
+    const std::string doc = out.str();
+
+    EXPECT_TRUE(structurallyValidJson(doc));
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":15"), std::string::npos);
+    EXPECT_NE(doc.find("\"hops\":3"), std::string::npos);
+    EXPECT_NE(doc.find("load \\\"x\\\""), std::string::npos);
+    EXPECT_NE(doc.find("sharch-trace-v1"), std::string::npos);
+    EXPECT_NE(doc.find("pipeline (cycles)"), std::string::npos);
+    resetObs();
+}
+
+TEST(ObsGating, RuntimeToggleAndCompileTimeFlag)
+{
+    resetObs();
+    EXPECT_FALSE(obs::enabled());
+    obs::setEnabled(true);
+    EXPECT_TRUE(obs::enabled());
+    obs::setEnabled(false);
+    EXPECT_FALSE(obs::enabled());
+    // compiledIn() mirrors the build flag, whatever it is here.
+    EXPECT_EQ(obs::compiledIn(), SHARCH_OBS != 0);
+}
+
+TEST(ObsGating, NowMicrosIsMonotonic)
+{
+    const std::uint64_t a = obs::nowMicros();
+    const std::uint64_t b = obs::nowMicros();
+    EXPECT_GE(b, a);
+}

@@ -4,6 +4,10 @@
  * SimStats derived rates, merging, and reporting.
  */
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "stats/stats.hh"
@@ -137,5 +141,101 @@ TEST(Stages, AllStagesNamed)
         const char *name = stageName(static_cast<Stage>(i));
         EXPECT_NE(name, nullptr);
         EXPECT_STRNE(name, "unknown");
+    }
+}
+
+namespace {
+
+/**
+ * Every field gets a distinct prime-ish value so a swapped pair of
+ * counters in toJson() cannot cancel out in the golden diff.
+ */
+SimStats
+goldenStats()
+{
+    SimStats st;
+    st.cycles = 1000;
+    st.instructionsCommitted = 800;
+    st.instructionsFetched = 900;
+    st.squashedInstructions = 100;
+    st.branches = 150;
+    st.branchMispredicts = 15;
+    st.loads = 300;
+    st.stores = 200;
+    st.lsqViolations = 7;
+    st.l1dAccesses = 500;
+    st.l1dMisses = 50;
+    st.l1iAccesses = 450;
+    st.l1iMisses = 9;
+    st.l2Accesses = 59;
+    st.l2Misses = 13;
+    st.coherenceInvalidations = 3;
+    st.operandRequests = 120;
+    st.operandReplies = 119;
+    st.operandNetworkHops = 240;
+    st.operandNetworkStalls = 11;
+    st.renameBroadcasts = 77;
+    st.sumOperandWait = 1600;
+    st.sumIssueWait = 2400;
+    st.sumExecLatency = 4000;
+    st.addStall(Stage::Fetch, 21);
+    st.addStall(Stage::Rename, 22);
+    st.addStall(Stage::Dispatch, 23);
+    st.addStall(Stage::Issue, 24);
+    st.addStall(Stage::Execute, 25);
+    st.addStall(Stage::Memory, 26);
+    st.addStall(Stage::Commit, 27);
+    return st;
+}
+
+} // namespace
+
+TEST(SimStats, ToJsonMatchesGoldenFile)
+{
+    // The committed golden pins both the field set and the byte-level
+    // formatting: ssim --json and every study report embed this
+    // document verbatim, so a silent rename or reordering here is a
+    // schema break for every downstream consumer.  To regenerate
+    // after an *intentional* change:
+    //   build/tests/test_stats \
+    //       --gtest_filter=SimStats.ToJsonMatchesGoldenFile
+    // and copy the "actual" line from the failure message into
+    // tests/golden/simstats.json (no trailing newline).
+    std::ifstream in(std::string(SHARCH_TEST_DATA_DIR) +
+                     "/simstats.json");
+    ASSERT_TRUE(in) << "missing tests/golden/simstats.json";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(goldenStats().toJson(), golden.str())
+        << "actual: " << goldenStats().toJson();
+}
+
+TEST(SimStats, ToJsonCoversEveryField)
+{
+    // Completeness guard independent of the golden bytes: every
+    // distinct value planted by goldenStats() must surface somewhere
+    // in the document.
+    const std::string doc = goldenStats().toJson();
+    for (const char *needle :
+         {"\"cycles\":1000", "\"instructions_committed\":800",
+          "\"instructions_fetched\":900",
+          "\"squashed_instructions\":100", "\"branches\":150",
+          "\"branch_mispredicts\":15", "\"loads\":300",
+          "\"stores\":200", "\"lsq_violations\":7",
+          "\"l1d_accesses\":500", "\"l1d_misses\":50",
+          "\"l1i_accesses\":450", "\"l1i_misses\":9",
+          "\"l2_accesses\":59", "\"l2_misses\":13",
+          "\"coherence_invalidations\":3",
+          "\"operand_requests\":120", "\"operand_replies\":119",
+          "\"operand_network_hops\":240",
+          "\"operand_network_stalls\":11",
+          "\"rename_broadcasts\":77", "\"ipc\":", "\"l1d_miss_rate\":",
+          "\"l2_miss_rate\":", "\"branch_mispredict_rate\":",
+          "\"avg_operand_wait\":2", "\"avg_issue_wait\":3",
+          "\"avg_exec_latency\":5", "\"fetch\":21", "\"rename\":22",
+          "\"dispatch\":23", "\"issue\":24", "\"execute\":25",
+          "\"memory\":26", "\"commit\":27"}) {
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "missing " << needle << " in " << doc;
     }
 }

@@ -2,12 +2,12 @@
 """Compare a fresh sim_speed report against the committed baseline.
 
 Usage:
-    check_sim_speed.py BASELINE.json CURRENT.json [--threshold X]
+    check_sim_speed.py BASELINE.json CURRENT.json [--tolerance X]
 
 Both files are sharch-report-v1 JSON documents produced by
 `sharch-bench --run 'sim_speed*' --format json`.  For every
 (kernel, param) row present in both, the current items_per_sec must be
-at least baseline/threshold.  The default threshold of 2.0 is
+at least baseline/tolerance.  The default tolerance of 2.0 is
 deliberately generous: sim_speed is wall-clock and CI machines are
 noisy and heterogeneous, so the gate only catches large regressions
 (an accidental O(n) -> O(n log n) hot path, a debug build slipping into
@@ -23,11 +23,39 @@ import argparse
 import json
 import sys
 
+REGEN_HINT = (
+    "regenerate it with:\n"
+    "    ./build/bench/sharch-bench --run 'sim_speed*' --format json"
+    " > bench/BENCH_sim_speed.json\n"
+    "(Release build, quiet reference machine)"
+)
+
+
+class ReportError(Exception):
+    """A report file is missing, unreadable, or not a sim_speed doc."""
+
 
 def load_rows(path):
     """Map (kernel, param) -> items_per_sec from a sim_speed report."""
-    with open(path) as fh:
-        doc = json.load(fh)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ReportError(
+            f"{path}: cannot read ({exc.strerror}); {REGEN_HINT}")
+    except json.JSONDecodeError as exc:
+        raise ReportError(
+            f"{path}: not valid JSON ({exc}); was the report "
+            f"truncated by an interrupted run?  {REGEN_HINT}")
+    if not isinstance(doc, dict):
+        raise ReportError(
+            f"{path}: expected a sharch-report-v1 object, got "
+            f"{type(doc).__name__}; {REGEN_HINT}")
+    schema = doc.get("schema")
+    if schema not in (None, "sharch-report-v1"):
+        raise ReportError(
+            f"{path}: unexpected schema '{schema}' (this tool reads "
+            f"sharch-report-v1 sim_speed reports); {REGEN_HINT}")
     for table in doc.get("tables", []):
         names = [c["name"] for c in table.get("columns", [])]
         try:
@@ -38,24 +66,31 @@ def load_rows(path):
             continue
         return {(row[k], row[p]): float(row[r])
                 for row in table.get("rows", [])}
-    raise SystemExit(f"error: {path}: no table with "
-                     "kernel/param/items_per_sec columns")
+    raise ReportError(
+        f"{path}: no table with kernel/param/items_per_sec columns -- "
+        f"is this a sim_speed report?  {REGEN_HINT}")
 
 
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
-    ap.add_argument("--threshold", type=float, default=2.0,
+    ap.add_argument("--tolerance", "--threshold", type=float,
+                    default=2.0, dest="tolerance",
                     help="fail if current is more than this factor "
-                         "slower than baseline (default: 2.0)")
+                         "slower than baseline (default: 2.0; "
+                         "--threshold is the historical spelling)")
     args = ap.parse_args(argv)
 
     try:
         base = load_rows(args.baseline)
         cur = load_rows(args.current)
-    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+    except ReportError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: malformed report row: {exc!r}; {REGEN_HINT}",
+              file=sys.stderr)
         return 2
 
     failures = []
@@ -64,7 +99,7 @@ def main(argv=None):
         if key not in cur:
             print(f"note: {kernel}/{param}: only in baseline, skipped")
             continue
-        floor = base[key] / args.threshold
+        floor = base[key] / args.tolerance
         verdict = "ok" if cur[key] >= floor else "REGRESSION"
         print(f"{verdict:>10}  {kernel}/{param}: "
               f"{cur[key]:,.0f} items/s "
@@ -76,12 +111,12 @@ def main(argv=None):
 
     if failures:
         print(f"\n{len(failures)} kernel(s) regressed more than "
-              f"{args.threshold}x; if intentional, regenerate "
+              f"{args.tolerance}x; if intentional, regenerate "
               "bench/BENCH_sim_speed.json on the reference machine.",
               file=sys.stderr)
         return 1
     print(f"\nall {len(base)} baseline kernels within "
-          f"{args.threshold}x of baseline")
+          f"{args.tolerance}x of baseline")
     return 0
 
 

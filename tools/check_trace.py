@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `--trace-out`.
+
+Usage:
+    check_trace.py TRACE.json [--require-categories a,b,...]
+                   [--min-events N]
+
+Checks that the file is valid JSON in Chrome trace-event "JSON object
+format": a top-level object with a `traceEvents` array whose entries
+each carry `ph`/`pid`/`tid` (and `ts` for timed phases), plus the
+sharch `otherData.schema` stamp.  With `--require-categories`, every
+named category must appear on at least one event -- this is how CI
+asserts the instrumented layers (pipeline, cache, noc, fabric, ...)
+actually emitted spans rather than silently compiling to nothing.
+
+Stdlib only, so it runs on a bare CI runner with no installs.
+
+Exit status: 0 on pass, 1 on a failed check, 2 on unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Phases a sharch trace may contain: complete events, instants, and
+# process/thread-name metadata.  Anything else means the writer and
+# this checker have drifted apart.
+KNOWN_PHASES = {"X", "i", "M"}
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--require-categories", default="",
+                    help="comma-separated categories that must each "
+                         "appear on at least one event")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="minimum number of non-metadata events "
+                         "(default: 1)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"error: {args.trace}: cannot read ({exc.strerror})",
+              file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.trace}: not valid JSON ({exc})",
+              file=sys.stderr)
+        return 2
+
+    if not isinstance(doc, dict):
+        return fail(f"top level is {type(doc).__name__}, expected an "
+                    "object with a traceEvents array")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("no traceEvents array")
+    schema = doc.get("otherData", {}).get("schema")
+    if schema != "sharch-trace-v1":
+        return fail(f"otherData.schema is {schema!r}, expected "
+                    "'sharch-trace-v1'")
+
+    categories = {}
+    timed = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            return fail(f"event {i} has unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                return fail(f"event {i} ({ph}) lacks integer "
+                            f"'{field}'")
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), int):
+            return fail(f"event {i} ({ph}) lacks integer 'ts'")
+        if ph == "X" and not isinstance(ev.get("dur"), int):
+            return fail(f"event {i} (X) lacks integer 'dur'")
+        timed += 1
+        cat = ev.get("cat")
+        if not isinstance(cat, str) or not cat:
+            return fail(f"event {i} ({ph}) lacks a category")
+        categories[cat] = categories.get(cat, 0) + 1
+
+    if timed < args.min_events:
+        return fail(f"only {timed} event(s), need at least "
+                    f"{args.min_events} -- was the run traced at all?")
+
+    required = [c for c in args.require_categories.split(",") if c]
+    missing = [c for c in required if c not in categories]
+    if missing:
+        return fail(f"missing required categories: "
+                    f"{', '.join(missing)} (present: "
+                    f"{', '.join(sorted(categories)) or 'none'})")
+
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    summary = ", ".join(f"{c}={n}" for c, n in sorted(categories.items()))
+    print(f"ok: {timed} events across {len(categories)} categories "
+          f"({summary}); {dropped} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,10 @@
  * XML config for one run, so quick experiments need no config file.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +34,9 @@
 #include "exec/sweep.hh"
 #include "fault/fault_model.hh"
 #include "hyper/fabric_manager.hh"
+#include "hyper/fault_replay.hh"
+#include "obs/obs.hh"
+#include "study/metrics_report.hh"
 #include "study/report.hh"
 #include "trace/generator.hh"
 #include "trace/profile.hh"
@@ -45,6 +51,53 @@ usageError(const char *prog, const std::string &message)
     std::fprintf(stderr, "%s: %s\n%s", prog, message.c_str(),
                  exec::runUsage(prog).c_str());
     return 1;
+}
+
+/**
+ * Turn telemetry on when --trace-out/--metrics ask for it, warning
+ * when the build compiled the instrumentation out (the run would
+ * otherwise produce empty outputs with no hint why).
+ */
+void
+setupObs(const exec::RunOptions &opts)
+{
+    if (opts.traceOut.empty() && !opts.metrics)
+        return;
+    obs::setEnabled(true);
+    if (!obs::compiledIn()) {
+        std::fprintf(stderr,
+                     "warning: telemetry was compiled out of this "
+                     "build; reconfigure with -DSHARCH_OBS=ON for "
+                     "non-empty --trace-out/--metrics output\n");
+    }
+}
+
+/**
+ * Export --trace-out / --metrics after the run.  Metrics go to
+ * stderr so stdout's report bytes stay identical with and without
+ * the flag (the determinism contract in study/report.hh).
+ */
+int
+finishObs(const exec::RunOptions &opts, int rc)
+{
+    if (opts.metrics) {
+        const study::Report report = study::metricsReport(
+            obs::MetricsRegistry::instance().snapshot());
+        std::fputs(
+            study::render(report, study::Format::Text).c_str(),
+            stderr);
+    }
+    if (!opts.traceOut.empty()) {
+        std::ofstream out(opts.traceOut,
+                          std::ios::out | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr, "cannot write trace to '%s'\n",
+                         opts.traceOut.c_str());
+            return rc ? rc : 1;
+        }
+        obs::Tracer::instance().writeChromeTrace(out);
+    }
+    return rc;
 }
 
 /** One full-detail run, the historical ssim output. */
@@ -65,10 +118,44 @@ runSingle(const exec::RunOptions &opts, const SimConfig &cfg,
             static_cast<unsigned long long>(cfg.seed));
     }
 
+#if SHARCH_OBS
+    // Stand up a fabric sized for this run and place each VCore on it
+    // so even a single-run trace shows honest hypervisor place /
+    // release decisions alongside the pipeline spans.
+    std::optional<FabricManager> fabric;
+    std::vector<AllocationId> placed;
+    if (obs::enabled()) {
+        const unsigned slices = std::max(cfg.numSlices, 1u);
+        const unsigned banks = cfg.numL2Banks;
+        const int w = static_cast<int>(std::max(slices, 4u));
+        const unsigned runs_per_row =
+            static_cast<unsigned>(w) / slices;
+        const unsigned slice_rows =
+            (vcores + runs_per_row - 1) / runs_per_row;
+        const unsigned bank_rows =
+            (banks * vcores + static_cast<unsigned>(w) - 1) /
+            static_cast<unsigned>(w);
+        const int h = 2 * static_cast<int>(
+                              std::max({slice_rows, bank_rows, 1u}));
+        fabric.emplace(w, h);
+        for (unsigned i = 0; i < vcores; ++i) {
+            if (const auto id = fabric->allocate(slices, banks))
+                placed.push_back(*id);
+        }
+    }
+#endif
+
     VmSim vm(cfg, vcores);
     vm.prewarm(profile);
     TraceGenerator gen(profile, cfg.seed);
     const VmResult res = vm.run(gen.generateThreads(opts.instructions));
+
+#if SHARCH_OBS
+    if (fabric) {
+        for (const AllocationId id : placed)
+            fabric->release(id);
+    }
+#endif
 
     if (opts.json) {
         // The same sharch-report-v1 schema sharch-bench emits, with
@@ -187,133 +274,56 @@ runFaultReplay(const exec::RunOptions &opts, const char *prog)
         return usageError(prog,
                           "--inject-faults spec schedules no events");
 
-    FabricManager fm(opts.fabricWidth, opts.fabricHeight);
-
-    // Populate the chip with identical tenants (the --slices/--banks
-    // overrides, else a mid-size VCore) until allocation fails, so
-    // the schedule always hits live state.
+    // Identical tenants (the --slices/--banks overrides, else a
+    // mid-size VCore); the replay itself lives in hyper/fault_replay.
     const unsigned vslices =
         opts.slices.empty() ? 4 : opts.slices.front();
     const unsigned vbanks = opts.banks.empty() ? 4 : opts.banks.front();
-    unsigned tenants = 0;
-    while (fm.allocate(vslices, vbanks))
-        ++tenants;
+    const FaultReplayResult result = replayFaults(
+        spec, opts.fabricWidth, opts.fabricHeight, vslices, vbanks);
 
-    fault::FaultModel model(spec, opts.fabricWidth,
-                            opts.fabricHeight);
-
-    unsigned evicted = 0, moved = 0, shrunk = 0;
-    unsigned slices_lost = 0, banks_lost = 0;
-    Cycles reconfig_cycles = 0;
-    const bool json = opts.json;
-    std::string events = "[";
-    if (!json)
-        std::printf("ssim fault replay: %dx%d fabric, %u VCore(s) of "
-                    "%u Slice(s) + %u bank(s)\n\n",
-                    opts.fabricWidth, opts.fabricHeight, tenants,
-                    vslices, vbanks);
-    bool first = true;
-    for (const fault::FaultEvent &ev : model.schedule()) {
-        const auto actions = fm.apply(ev);
-        if (json) {
-            char buf[160];
-            std::snprintf(buf, sizeof(buf),
-                          "%s{\"at\":%llu,\"kind\":\"%s\",\"tile\":"
-                          "[%d,%d],\"heal\":%s,\"actions\":[",
-                          first ? "" : ",",
-                          static_cast<unsigned long long>(ev.at),
-                          fault::faultKindName(ev.kind), ev.tile.y,
-                          ev.tile.x, ev.heal ? "true" : "false");
-            events += buf;
-            for (std::size_t i = 0; i < actions.size(); ++i) {
-                const DegradeAction &a = actions[i];
-                std::snprintf(
-                    buf, sizeof(buf),
-                    "%s{\"vcore\":%llu,\"outcome\":\"%s\","
-                    "\"slices_lost\":%u,\"banks_lost\":%u,"
-                    "\"cost\":%llu}",
-                    i ? "," : "",
-                    static_cast<unsigned long long>(a.id),
-                    degradeKindName(a.kind), a.slicesLost,
-                    a.banksLost,
-                    static_cast<unsigned long long>(a.cost));
-                events += buf;
-            }
-            events += "]}";
-            first = false;
-        } else {
-            std::printf("cycle %10llu  %-5s %s (%d,%d)\n",
-                        static_cast<unsigned long long>(ev.at),
-                        fault::faultKindName(ev.kind),
-                        ev.heal ? "heal " : "fail ", ev.tile.y,
-                        ev.tile.x);
-            for (const DegradeAction &a : actions) {
-                std::printf("    vcore %llu %s: run (%d,%d)x%u -> "
-                            "(%d,%d)x%u, -%u slice(s) -%u bank(s), "
-                            "%llu cycles\n",
-                            static_cast<unsigned long long>(a.id),
-                            degradeKindName(a.kind), a.from.row,
-                            a.from.col, a.from.count, a.to.row,
-                            a.to.col, a.to.count, a.slicesLost,
-                            a.banksLost,
-                            static_cast<unsigned long long>(a.cost));
-            }
-        }
-        for (const DegradeAction &a : actions) {
-            moved += a.kind == DegradeKind::Replaced;
-            shrunk += a.kind == DegradeKind::Shrunk;
-            evicted += a.kind == DegradeKind::Evicted;
-            slices_lost += a.slicesLost;
-            banks_lost += a.banksLost;
-            reconfig_cycles += a.cost;
-        }
+    if (opts.json) {
+        std::fputs(study::render(faultReplayReport(result),
+                                 study::Format::Json)
+                       .c_str(),
+                   stdout);
+        return 0;
     }
 
-    if (json) {
-        events += "]";
-        study::Report report;
-        report.id = "ssim_fault_replay";
-        report.title = "ssim fault replay";
-        report.addMeta("fabric_width", opts.fabricWidth);
-        report.addMeta("fabric_height", opts.fabricHeight);
-        report.addMeta("tenants", tenants);
-        report.addMeta("vcore_slices", vslices);
-        report.addMeta("vcore_banks", vbanks);
-        study::Table &t = report.addTable(
-            "summary", "Degradation outcome totals");
-        t.col("replaced", study::Value::Kind::Integer)
-            .col("shrunk", study::Value::Kind::Integer)
-            .col("evicted", study::Value::Kind::Integer)
-            .col("slices_lost", study::Value::Kind::Integer)
-            .col("banks_lost", study::Value::Kind::Integer)
-            .col("reconfig_cycles", study::Value::Kind::Integer)
-            .col("faulty_slices", study::Value::Kind::Integer)
-            .col("faulty_banks", study::Value::Kind::Integer)
-            .col("live_vcores", study::Value::Kind::Integer)
-            .col("slice_utilization", study::Value::Kind::Real, 3)
-            .col("fragmentation", study::Value::Kind::Real, 3);
-        t.addRow({moved, shrunk, evicted, slices_lost, banks_lost,
-                  static_cast<unsigned long long>(reconfig_cycles),
-                  fm.faultySlices(), fm.faultyBanks(),
-                  fm.allocations().size(), fm.sliceUtilization(),
-                  fm.fragmentation()});
-        report.attachJson("events", events);
-        std::fputs(
-            study::render(report, study::Format::Json).c_str(),
-            stdout);
-        return 0;
+    std::printf("ssim fault replay: %dx%d fabric, %u VCore(s) of "
+                "%u Slice(s) + %u bank(s)\n\n",
+                opts.fabricWidth, opts.fabricHeight, result.tenants,
+                vslices, vbanks);
+    for (const auto &[ev, actions] : result.events) {
+        std::printf("cycle %10llu  %-5s %s (%d,%d)\n",
+                    static_cast<unsigned long long>(ev.at),
+                    fault::faultKindName(ev.kind),
+                    ev.heal ? "heal " : "fail ", ev.tile.y,
+                    ev.tile.x);
+        for (const DegradeAction &a : actions) {
+            std::printf("    vcore %llu %s: run (%d,%d)x%u -> "
+                        "(%d,%d)x%u, -%u slice(s) -%u bank(s), "
+                        "%llu cycles\n",
+                        static_cast<unsigned long long>(a.id),
+                        degradeKindName(a.kind), a.from.row,
+                        a.from.col, a.from.count, a.to.row, a.to.col,
+                        a.to.count, a.slicesLost, a.banksLost,
+                        static_cast<unsigned long long>(a.cost));
+        }
     }
     std::printf("\nsummary: %u replaced, %u shrunk, %u evicted; "
                 "%u Slice(s) and %u bank(s) lost; %llu "
                 "reconfiguration cycles\n",
-                moved, shrunk, evicted, slices_lost, banks_lost,
-                static_cast<unsigned long long>(reconfig_cycles));
+                result.replaced, result.shrunk, result.evicted,
+                result.slicesLost, result.banksLost,
+                static_cast<unsigned long long>(
+                    result.reconfigCycles));
     std::printf("fabric: %u/%u Slices faulty, %u banks faulty, "
                 "%zu live VCore(s), utilization %.3f, "
                 "fragmentation %.3f\n",
-                fm.faultySlices(), fm.totalSlices(), fm.faultyBanks(),
-                fm.allocations().size(), fm.sliceUtilization(),
-                fm.fragmentation());
+                result.faultySlices, result.totalSlices,
+                result.faultyBanks, result.liveVCores,
+                result.sliceUtilization, result.fragmentation);
     return 0;
 }
 
@@ -335,8 +345,10 @@ main(int argc, char **argv)
             std::printf("%s\n", n.c_str());
         return 0;
     }
+    setupObs(opts);
+
     if (!opts.faultSpec.empty())
-        return runFaultReplay(opts, argv[0]);
+        return finishObs(opts, runFaultReplay(opts, argv[0]));
 
     if (!hasProfile(opts.benchmark)) {
         std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
@@ -360,12 +372,13 @@ main(int argc, char **argv)
         const std::vector<unsigned> slices =
             opts.slices.empty() ? std::vector<unsigned>{cfg.numSlices}
                                 : opts.slices;
-        return runSweep(opts, cfg, profile, banks, slices);
+        return finishObs(opts,
+                         runSweep(opts, cfg, profile, banks, slices));
     }
 
     if (!opts.slices.empty())
         cfg.numSlices = opts.slices.front();
     if (!opts.banks.empty())
         cfg.numL2Banks = opts.banks.front();
-    return runSingle(opts, cfg, profile);
+    return finishObs(opts, runSingle(opts, cfg, profile));
 }
