@@ -114,7 +114,8 @@ marketReauction(study::Report &report, UtilityOptimizer &opt)
         .col("amount", study::Value::Kind::Real, 3);
     r.addRow({"(total)", re.refundTotal});
     for (const SpotRefund &refund : re.refunds)
-        r.addRow({refund.customer->name, refund.amount});
+        r.addRow({market.customer(refund.customer).name,
+                  refund.amount});
 }
 
 /** Whole-core losses in the fixed heterogeneous datacenter. */

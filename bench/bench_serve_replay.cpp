@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Checkpoint-determinism study for the allocation engine: a
+ * tab6-style market session (arrivals with budgets, auction epochs,
+ * a fault, departures) is driven twice through AllocationEngine --
+ * once straight through, and once killed at a mid-stream Checkpoint
+ * event and resumed in a *fresh* engine from the sharch-state-v1
+ * document.  The fact to reproduce is the engine's core contract:
+ * both runs emit byte-identical sharch-report-v1 output, so a serve
+ * daemon (or a multi-day churn experiment) can be stopped and
+ * restarted at any checkpoint without perturbing a single byte of
+ * its results.
+ */
+
+#include "area/area_model.hh"
+#include "econ/market.hh"
+#include "engine/allocation_engine.hh"
+#include "engine/event.hh"
+#include "study/registry.hh"
+#include "study/study.hh"
+#include "study/surface.hh"
+#include "trace/profile.hh"
+
+using namespace sharch;
+
+namespace {
+
+/** The two workloads the session's tenants run. */
+std::vector<std::string>
+replayBenchmarks()
+{
+    const std::vector<std::string> names = benchmarkNames();
+    return {names.front(), names.back()};
+}
+
+/**
+ * The scripted session: two arrivals, an auction, growth, a Slice
+ * fault under live VCores, the mid-stream checkpoint, churn, a
+ * heal, and a final re-clearing.
+ */
+std::vector<engine::Event>
+replayScript()
+{
+    const std::vector<std::string> bench = replayBenchmarks();
+    const double budget = defaultBudget();
+    std::vector<engine::Event> script;
+    script.push_back(engine::tenantArrive(
+        0, "t-alpha", bench[0], UtilityKind::Throughput, budget, 4,
+        8));
+    script.push_back(engine::tenantArrive(
+        0, "t-beta", bench[1], UtilityKind::Balanced, budget, 6, 4));
+    script.push_back(engine::auctionEpoch(100));
+    script.push_back(engine::tenantArrive(
+        200, "t-gamma", bench[0], UtilityKind::SingleStream, budget,
+        8, 16));
+    script.push_back(engine::faultStrike(
+        300, fault::FaultKind::Slice, Coord{2, 0}));
+    script.push_back(engine::checkpoint(400, "mid-session"));
+    script.push_back(engine::tenantDepart(500, "t-beta"));
+    script.push_back(engine::auctionEpoch(600));
+    script.push_back(engine::tenantArrive(
+        700, "t-delta", bench[1], UtilityKind::Throughput, budget, 2,
+        2));
+    script.push_back(engine::healFault(
+        800, fault::FaultKind::Slice, Coord{2, 0}));
+    script.push_back(engine::auctionEpoch(900));
+    return script;
+}
+
+class ServeReplayStudy final : public study::Study
+{
+  public:
+    std::string
+    name() const override
+    {
+        return "serve_replay";
+    }
+
+    std::string
+    description() const override
+    {
+        return "Engine checkpoint/resume is byte-deterministic";
+    }
+
+    std::vector<exec::SweepPoint>
+    grid() const override
+    {
+        // The market's bids sweep the whole (banks, slices) grid of
+        // each tenant's benchmark at every tatonnement round.
+        std::vector<BenchmarkProfile> profiles;
+        for (const std::string &b : replayBenchmarks())
+            profiles.push_back(profileFor(b));
+        std::vector<unsigned> slices;
+        for (unsigned s = 1; s <= 8; ++s)
+            slices.push_back(s);
+        return exec::sweepGrid(profiles, l2BankGrid(), slices);
+    }
+
+    void
+    run(study::ReportContext &ctx) override
+    {
+        AreaModel am;
+        UtilityOptimizer opt(ctx.pm, am);
+        const engine::EngineConfig cfg; // the 8x8 default chip
+
+        // Run 1: straight through, harvesting the checkpoint the
+        // Checkpoint event captures on the way.
+        engine::AllocationEngine full(opt, cfg);
+        for (const engine::Event &e : replayScript())
+            full.post(e);
+        full.run();
+        const std::string checkpoint = full.lastCheckpoint();
+        const std::string fullJson =
+            study::renderJson(full.finalReport());
+
+        // Run 2: a fresh engine resumed from the checkpoint bytes,
+        // as a restarted serve daemon would be.
+        engine::AllocationEngine resumed(opt, cfg);
+        std::string restoreError;
+        const bool restored =
+            resumed.restoreState(checkpoint, &restoreError);
+        if (restored)
+            resumed.run();
+        const std::string resumedJson =
+            study::renderJson(resumed.finalReport());
+
+        const bool match = restored && fullJson == resumedJson;
+
+        study::Table &t = ctx.report.addTable(
+            "serve_replay", "Interrupted vs. uninterrupted run");
+        t.col("metric", study::Value::Kind::Text)
+            .col("value", study::Value::Kind::Integer);
+        t.addRow({"checkpoint_match", match ? 1 : 0});
+        t.addRow({"restore_ok", restored ? 1 : 0});
+        t.addRow({"checkpoint_bytes",
+                  static_cast<unsigned long long>(
+                      checkpoint.size())});
+        t.addRow({"report_bytes",
+                  static_cast<unsigned long long>(fullJson.size())});
+        t.addRow({"events_processed",
+                  static_cast<unsigned long long>(
+                      full.stats().processed)});
+        t.addRow({"admitted", static_cast<unsigned long long>(
+                                  full.stats().admitted)});
+        t.addRow({"departures", static_cast<unsigned long long>(
+                                    full.stats().departures)});
+        t.addRow({"faults", static_cast<unsigned long long>(
+                                full.stats().faults)});
+        if (!restored)
+            ctx.report.addNote("restore failed: " + restoreError);
+        ctx.report.addNote(
+            "contract: a run killed at the mid-session checkpoint "
+            "and resumed from its sharch-state-v1 document emits "
+            "byte-identical sharch-report-v1 output "
+            "(checkpoint_match = 1).");
+    }
+};
+
+} // namespace
+
+SHARCH_REGISTER_STUDY(ServeReplayStudy)

@@ -70,7 +70,7 @@ main(int argc, char **argv)
         }
         std::printf("  %-12s wanted %2u x (%4u KB, %u Slices), "
                     "placed %2u\n",
-                    bid.customer->name.c_str(), vms,
+                    market.customer(bid.customer).name.c_str(), vms,
                     bid.choice.cacheKb(), bid.choice.slices, placed);
     }
     std::printf("fabric: %.0f%% of Slices, %.0f%% of banks leased; "

@@ -1,0 +1,534 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace sharch::json {
+
+const Value *
+Value::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind != Kind::Number)
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+bool
+Value::asU64(std::uint64_t *out) const
+{
+    if (kind != Kind::Number || text.empty() || text[0] == '-')
+        return false;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false; // fractions/exponents are not exact u64s
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+Value::asI64(std::int64_t *out) const
+{
+    if (kind != Kind::Number || text.empty())
+        return false;
+    const std::size_t start = text[0] == '-' ? 1 : 0;
+    if (start == text.size())
+        return false;
+    for (std::size_t i = start; i < text.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i])))
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+void
+Value::write(std::string *out) const
+{
+    switch (kind) {
+      case Kind::Null:
+        *out += "null";
+        break;
+      case Kind::Boolean:
+        *out += boolean ? "true" : "false";
+        break;
+      case Kind::Number:
+        *out += text;
+        break;
+      case Kind::String:
+        *out += '"';
+        *out += escape(text);
+        *out += '"';
+        break;
+      case Kind::Array: {
+        *out += '[';
+        bool first = true;
+        for (const Value &v : items) {
+            if (!first)
+                *out += ',';
+            first = false;
+            v.write(out);
+        }
+        *out += ']';
+        break;
+      }
+      case Kind::Object: {
+        *out += '{';
+        bool first = true;
+        for (const auto &[k, v] : members) {
+            if (!first)
+                *out += ',';
+            first = false;
+            *out += '"';
+            *out += escape(k);
+            *out += "\":";
+            v.write(out);
+        }
+        *out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump() const
+{
+    std::string out;
+    write(&out);
+    return out;
+}
+
+Value
+Value::null()
+{
+    return Value{};
+}
+
+Value
+Value::boolean_(bool b)
+{
+    Value v;
+    v.kind = Kind::Boolean;
+    v.boolean = b;
+    return v;
+}
+
+Value
+Value::number(std::uint64_t n)
+{
+    Value v;
+    v.kind = Kind::Number;
+    v.text = std::to_string(n);
+    return v;
+}
+
+Value
+Value::number(std::int64_t n)
+{
+    Value v;
+    v.kind = Kind::Number;
+    v.text = std::to_string(n);
+    return v;
+}
+
+Value
+Value::number(double d)
+{
+    Value v;
+    v.kind = Kind::Number;
+    v.text = canonicalReal(d);
+    return v;
+}
+
+Value
+Value::string(std::string s)
+{
+    Value v;
+    v.kind = Kind::String;
+    v.text = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind = Kind::Object;
+    return v;
+}
+
+Value &
+Value::add(std::string key, Value v)
+{
+    members.emplace_back(std::move(key), std::move(v));
+    return members.back().second;
+}
+
+Value &
+Value::push(Value v)
+{
+    items.push_back(std::move(v));
+    return items.back();
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+canonicalReal(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+namespace {
+
+/** Cursor over the input with offset-carrying errors. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    run(Value *out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after the document");
+        return true;
+    }
+
+  private:
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error_->empty()) {
+            *error_ = "offset " + std::to_string(pos_) + ": " + what;
+        }
+        return false;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    expect(char c)
+    {
+        if (atEnd() || peek() != c) {
+            return fail(std::string("expected '") + c + "'" +
+                        (atEnd() ? " but the document ends here "
+                                   "(truncated?)"
+                                 : ""));
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail("unrecognized token");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(Value *out)
+    {
+        if (atEnd())
+            return fail("document ends where a value was expected "
+                        "(truncated?)");
+        if (++depth_ > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        bool ok = false;
+        switch (peek()) {
+          case '{': ok = parseObject(out); break;
+          case '[': ok = parseArray(out); break;
+          case '"':
+            out->kind = Value::Kind::String;
+            ok = parseString(&out->text);
+            break;
+          case 't':
+            out->kind = Value::Kind::Boolean;
+            out->boolean = true;
+            ok = literal("true", 4);
+            break;
+          case 'f':
+            out->kind = Value::Kind::Boolean;
+            out->boolean = false;
+            ok = literal("false", 5);
+            break;
+          case 'n':
+            out->kind = Value::Kind::Null;
+            ok = literal("null", 4);
+            break;
+          default:
+            ok = parseNumber(out);
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseObject(Value *out)
+    {
+        out->kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            if (atEnd() || peek() != '"')
+                return fail("expected a quoted member key");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipSpace();
+            if (!expect(':'))
+                return false;
+            skipSpace();
+            Value v;
+            if (!parseValue(&v))
+                return false;
+            out->members.emplace_back(std::move(key), std::move(v));
+            skipSpace();
+            if (atEnd())
+                return fail("object is missing its closing '}' "
+                            "(truncated?)");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    parseArray(Value *out)
+    {
+        out->kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            Value v;
+            if (!parseValue(&v))
+                return false;
+            out->items.push_back(std::move(v));
+            skipSpace();
+            if (atEnd())
+                return fail("array is missing its closing ']' "
+                            "(truncated?)");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos_; // opening quote
+        out->clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string (truncated?)");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape (truncated?)");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("short \\u escape (truncated?)");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // The writer only emits \u00xx control escapes;
+                // decode the basic-plane code point as UTF-8.
+                if (code < 0x80) {
+                    *out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    *out += static_cast<char>(0xc0 | (code >> 6));
+                    *out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    *out += static_cast<char>(0xe0 | (code >> 12));
+                    *out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f));
+                    *out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value *out)
+    {
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        if (atEnd() ||
+            !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("expected a value");
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit must follow the decimal point");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit must follow the exponent");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        out->kind = Value::Kind::Number;
+        out->text = text_.substr(start, pos_ - start);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value *out, std::string *error)
+{
+    std::string local;
+    std::string &err = error ? *error : local;
+    err.clear();
+    *out = Value{};
+    return Parser(text, &err).run(out);
+}
+
+} // namespace sharch::json

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A small JSON reader/writer for the hypervisor state and protocol
+ * layers.
+ *
+ * The report layer (study/report.hh) only *emits* JSON; the
+ * checkpoint/restore engine and the sharch-serve request protocol
+ * must also *read* it back, so this module provides the missing
+ * half: a strict recursive-descent parser into a simple DOM, plus a
+ * deterministic writer whose number formatting matches the report
+ * layer's canonical form ("%.17g" reals, full-width integers).
+ *
+ * Determinism contract: numbers keep their raw source token, so a
+ * document parsed and re-emitted through Value::write() reproduces
+ * the original bytes for any document this codebase wrote (object
+ * member order is preserved).  That is what makes snapshot ->
+ * restore -> snapshot byte-identical.
+ */
+
+#ifndef SHARCH_COMMON_JSON_HH
+#define SHARCH_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sharch::json {
+
+/** One JSON value (a tree; objects keep insertion order). */
+struct Value
+{
+    enum class Kind { Null, Boolean, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** String contents (String) or the raw number token (Number). */
+    std::string text;
+    std::vector<Value> items; //!< Array elements
+    std::vector<std::pair<std::string, Value>> members; //!< Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Boolean; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key, or nullptr (first match wins). */
+    const Value *get(const std::string &key) const;
+
+    /** Number as double (0.0 when not a Number). */
+    double asDouble() const;
+
+    /**
+     * Strict unsigned 64-bit read: false unless this is a Number
+     * whose token is a plain non-negative integer in range.  Keeps
+     * cycle counts and seeds exact where a double would round.
+     */
+    bool asU64(std::uint64_t *out) const;
+
+    /** Strict signed 64-bit read (plain integer tokens only). */
+    bool asI64(std::int64_t *out) const;
+
+    /** Append this value's JSON text to @p out (no whitespace). */
+    void write(std::string *out) const;
+
+    /** Convenience: write() into a fresh string. */
+    std::string dump() const;
+
+    // --- Builders (value semantics; movable) ---------------------
+    static Value null();
+    static Value boolean_(bool b);
+    static Value number(std::uint64_t v);
+    static Value number(std::int64_t v);
+    static Value number(int v) { return number(std::int64_t{v}); }
+    static Value number(unsigned v)
+    { return number(std::uint64_t{v}); }
+    /** Canonical "%.17g" token (round-trips exactly). */
+    static Value number(double v);
+    static Value string(std::string s);
+    static Value array();
+    static Value object();
+
+    /** Append a member (Object) and return it for filling. */
+    Value &add(std::string key, Value v);
+    /** Append an element (Array) and return it for filling. */
+    Value &push(Value v);
+};
+
+/**
+ * Parse @p text into @p out.  Strict JSON (RFC 8259): no trailing
+ * garbage, no comments, no trailing commas.  On failure returns
+ * false and sets @p error to "offset N: <what went wrong>" so a
+ * truncated or hand-tampered document names its first bad byte.
+ */
+bool parse(const std::string &text, Value *out, std::string *error);
+
+/** Escape for a JSON string literal (same bytes as study's). */
+std::string escape(const std::string &s);
+
+/** The canonical "%.17g" number token the report layer emits. */
+std::string canonicalReal(double v);
+
+} // namespace sharch::json
+
+#endif // SHARCH_COMMON_JSON_HH

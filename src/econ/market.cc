@@ -50,4 +50,42 @@ defaultBudget()
     return 8.0 * configCost(market2(), 128, 8);
 }
 
+json::Value
+marketToJson(const Market &m)
+{
+    json::Value v = json::Value::object();
+    v.add("name", json::Value::string(m.name));
+    v.add("slice_price", json::Value::number(m.slicePrice));
+    v.add("bank_price", json::Value::number(m.bankPrice));
+    return v;
+}
+
+bool
+marketFromJson(const json::Value &v, Market *out, std::string *error)
+{
+    if (!v.isObject()) {
+        *error = "market must be a JSON object";
+        return false;
+    }
+    const json::Value *name = v.get("name");
+    const json::Value *slice = v.get("slice_price");
+    const json::Value *bank = v.get("bank_price");
+    if (!name || !name->isString()) {
+        *error = "market.name missing or not a string";
+        return false;
+    }
+    if (!slice || !slice->isNumber()) {
+        *error = "market.slice_price missing or not a number";
+        return false;
+    }
+    if (!bank || !bank->isNumber()) {
+        *error = "market.bank_price missing or not a number";
+        return false;
+    }
+    out->name = name->text;
+    out->slicePrice = slice->asDouble();
+    out->bankPrice = bank->asDouble();
+    return true;
+}
+
 } // namespace sharch

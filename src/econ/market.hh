@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace sharch {
 
 /** A price vector for the two sub-core resources. */
@@ -56,6 +58,20 @@ double coresAffordable(const Market &m, double budget, unsigned banks,
  * affordable with v >= ~0.2.
  */
 double defaultBudget();
+
+/**
+ * A price vector as a JSON object for sharch-state-v1 documents:
+ * {"name":...,"slice_price":...,"bank_price":...} with canonical
+ * "%.17g" reals, so equal markets serialize to equal bytes.
+ */
+json::Value marketToJson(const Market &m);
+
+/**
+ * Rebuild a Market from marketToJson() output.  @return false (and
+ * set @p error to the missing/ill-typed field) on anything else.
+ */
+bool marketFromJson(const json::Value &v, Market *out,
+                    std::string *error);
 
 } // namespace sharch
 

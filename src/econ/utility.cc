@@ -17,6 +17,20 @@ utilityName(UtilityKind k)
     }
 }
 
+bool
+parseUtilityName(const std::string &name, UtilityKind *out)
+{
+    if (name == "Utility1" || name == "throughput")
+        *out = UtilityKind::Throughput;
+    else if (name == "Utility2" || name == "balanced")
+        *out = UtilityKind::Balanced;
+    else if (name == "Utility3" || name == "single-stream")
+        *out = UtilityKind::SingleStream;
+    else
+        return false;
+    return true;
+}
+
 int
 utilityExponent(UtilityKind k)
 {

@@ -35,6 +35,15 @@ inline constexpr UtilityKind kAllUtilities[] = {
 /** "Utility1" / "Utility2" / "Utility3". */
 const char *utilityName(UtilityKind k);
 
+/**
+ * Inverse of utilityName(), for deserializing state documents and
+ * serve-protocol requests.  Also accepts the descriptive aliases
+ * "throughput" / "balanced" / "single-stream" so hand-written
+ * requests need not remember the paper's numbering.
+ * @return false when @p name matches neither spelling.
+ */
+bool parseUtilityName(const std::string &name, UtilityKind *out);
+
 /** The performance exponent of the utility (1, 2, or 3). */
 int utilityExponent(UtilityKind k);
 

@@ -1,0 +1,832 @@
+#include "engine/allocation_engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "trace/profile.hh"
+
+namespace sharch::engine {
+
+AllocationEngine::AllocationEngine(UtilityOptimizer &opt,
+                                   const EngineConfig &cfg)
+    : opt_(&opt), cfg_(cfg),
+      fabric_(cfg.fabricWidth, cfg.fabricHeight),
+      market_(opt, fabric_.totalSlices(), fabric_.totalBanks())
+{
+}
+
+bool
+AllocationEngine::laterThan(const Queued &a, const Queued &b)
+{
+    if (a.event.at != b.event.at)
+        return a.event.at > b.event.at;
+    return a.seq > b.seq;
+}
+
+std::uint64_t
+AllocationEngine::post(Event e)
+{
+    Queued q;
+    q.event = std::move(e);
+    q.seq = nextSeq_++;
+    queue_.push_back(std::move(q));
+    std::push_heap(queue_.begin(), queue_.end(), laterThan);
+    return queue_.back().seq;
+}
+
+void
+AllocationEngine::postFaultSchedule(
+    const std::vector<fault::FaultEvent> &fs)
+{
+    for (const fault::FaultEvent &f : fs) {
+        post(f.heal ? healFault(f.at, f.kind, f.tile)
+                    : faultStrike(f.at, f.kind, f.tile));
+    }
+}
+
+void
+AllocationEngine::runUntil(Cycles cycle)
+{
+    while (!queue_.empty() && queue_.front().event.at <= cycle) {
+        std::pop_heap(queue_.begin(), queue_.end(), laterThan);
+        Event e = std::move(queue_.back().event);
+        queue_.pop_back();
+        dispatch(e);
+    }
+}
+
+void
+AllocationEngine::run()
+{
+    while (!queue_.empty()) {
+        std::pop_heap(queue_.begin(), queue_.end(), laterThan);
+        Event e = std::move(queue_.back().event);
+        queue_.pop_back();
+        dispatch(e);
+    }
+}
+
+EventOutcome
+AllocationEngine::execute(Event e)
+{
+    // A request cannot rewrite history: it fires now at the earliest.
+    if (e.at < clock_)
+        e.at = clock_;
+    Cycles upTo = e.at;
+    post(std::move(e));
+    runUntil(upTo);
+    return lastOutcome_;
+}
+
+void
+AllocationEngine::dispatch(const Event &e)
+{
+    if (e.at > clock_)
+        clock_ = e.at;
+    stats_.processed++;
+    lastOutcome_ = EventOutcome{};
+    lastOutcome_.kind = e.kind;
+    switch (e.kind) {
+      case EventKind::TenantArrive: handleArrive(e); break;
+      case EventKind::TenantDepart: handleDepart(e); break;
+      case EventKind::FaultStrike: handleFault(e); break;
+      case EventKind::Heal: handleHeal(e); break;
+      case EventKind::AuctionEpoch: handleEpoch(); break;
+      case EventKind::Checkpoint: handleCheckpoint(e); break;
+    }
+}
+
+void
+AllocationEngine::handleArrive(const Event &e)
+{
+    stats_.arrivals++;
+    if (e.budget <= 0.0 && e.slices == 0) {
+        lastOutcome_.detail = "tenant '" + e.tenant +
+                              "' has neither budget nor slices";
+        return;
+    }
+
+    CustomerId cid = 0;
+    bool hasCustomer = false;
+    if (e.budget > 0.0) {
+        // The optimizer resolves utility from the builtin profile
+        // table; an unknown name would abort mid-auction, so reject
+        // the bidder at the door instead.
+        if (!hasProfile(e.benchmark)) {
+            stats_.rejected++;
+            lastOutcome_.detail =
+                "unknown benchmark '" + e.benchmark +
+                "' (see ssim --list for valid profiles)";
+            return;
+        }
+        SpotCustomer c;
+        c.name = e.tenant;
+        c.benchmark = e.benchmark;
+        c.utility = e.utility;
+        c.budget = e.budget;
+        cid = market_.addCustomer(std::move(c));
+        hasCustomer = true;
+    }
+
+    if (e.slices == 0) {
+        // Market-only tenant: bids in auctions, claims no fabric.
+        lastOutcome_.applied = true;
+        lastOutcome_.detail = "market-only";
+        return;
+    }
+
+    std::optional<AllocationId> id =
+        fabric_.allocate(e.slices, e.banks);
+    if (!id) {
+        stats_.rejected++;
+        // An unplaceable tenant does not linger in the auction.
+        if (hasCustomer)
+            market_.deactivateCustomer(cid);
+        lastOutcome_.detail =
+            "no room for " + std::to_string(e.slices) +
+            " Slices + " + std::to_string(e.banks) + " banks";
+        return;
+    }
+
+    const FabricAllocation *fa = fabric_.find(*id);
+    Lease lease;
+    lease.id = *id;
+    lease.tenant = e.tenant;
+    lease.customer = cid;
+    lease.hasCustomer = hasCustomer;
+    lease.slices = fa->slices.count;
+    lease.banks = static_cast<unsigned>(fa->banks.size());
+    lease.arrivedAt = clock_;
+    leases_.emplace(*id, std::move(lease));
+    stats_.admitted++;
+    lastOutcome_.applied = true;
+    lastOutcome_.lease = *id;
+}
+
+void
+AllocationEngine::handleDepart(const Event &e)
+{
+    // Lowest-id lease first: deterministic when a tenant name is
+    // (unusually) reused.
+    for (auto it = leases_.begin(); it != leases_.end(); ++it) {
+        if (it->second.tenant != e.tenant)
+            continue;
+        fabric_.release(it->first);
+        if (it->second.hasCustomer)
+            market_.deactivateCustomer(it->second.customer);
+        lastOutcome_.applied = true;
+        lastOutcome_.lease = it->first;
+        leases_.erase(it);
+        stats_.departures++;
+        return;
+    }
+    // Market-only tenants have no lease; retire the bidder directly.
+    const std::vector<SpotCustomer> &book = market_.customers();
+    for (std::size_t i = 0; i < book.size(); ++i) {
+        if (!book[i].active || book[i].name != e.tenant)
+            continue;
+        market_.deactivateCustomer(static_cast<CustomerId>(i));
+        lastOutcome_.applied = true;
+        stats_.departures++;
+        return;
+    }
+    stats_.unmatchedDeparts++;
+    lastOutcome_.detail =
+        "no live lease or active customer named '" + e.tenant + "'";
+}
+
+void
+AllocationEngine::handleFault(const Event &e)
+{
+    if (fabric_.isFaulty(e.fault, e.tile)) {
+        lastOutcome_.detail = "tile already faulty";
+        return;
+    }
+    std::vector<DegradeAction> acts =
+        fabric_.markFaulty(e.fault, e.tile);
+    stats_.faults++;
+    lastOutcome_.applied = true;
+    degradeBookkeeping(acts);
+
+    double slicesLost = e.fault == fault::FaultKind::Slice ? 1.0 : 0.0;
+    double banksLost = e.fault == fault::FaultKind::Bank ? 1.0 : 0.0;
+    if (slicesLost == 0.0 && banksLost == 0.0)
+        return; // link faults break contiguity, not capacity
+    if (market_.sliceCapacity() - slicesLost <= 0.0 ||
+        market_.bankCapacity() - banksLost <= 0.0) {
+        // A market needs something to sell; leave prices be.
+        return;
+    }
+    if (cfg_.reauctionOnFault) {
+        ReauctionResult r = market_.reauctionAfterFailure(
+            slicesLost, banksLost, cfg_.tolerance, cfg_.maxRounds,
+            cfg_.adjustRate);
+        stats_.refundsPaid += r.refundTotal;
+        stats_.auctionRounds += r.rounds.size();
+    } else {
+        market_.reduceCapacity(slicesLost, banksLost);
+    }
+}
+
+void
+AllocationEngine::handleHeal(const Event &e)
+{
+    if (!fabric_.heal(e.fault, e.tile)) {
+        lastOutcome_.detail = "tile was not faulty";
+        return;
+    }
+    stats_.heals++;
+    lastOutcome_.applied = true;
+    if (e.fault == fault::FaultKind::Slice)
+        market_.restoreCapacity(1.0, 0.0);
+    else if (e.fault == fault::FaultKind::Bank)
+        market_.restoreCapacity(0.0, 1.0);
+}
+
+void
+AllocationEngine::handleEpoch()
+{
+    std::vector<SpotRound> rounds = market_.runToClearing(
+        cfg_.tolerance, cfg_.maxRounds, cfg_.adjustRate);
+    stats_.epochs++;
+    stats_.auctionRounds += rounds.size();
+    lastOutcome_.applied = true;
+}
+
+void
+AllocationEngine::handleCheckpoint(const Event &e)
+{
+    stats_.checkpoints++;
+    lastOutcome_.applied = true;
+    // Capture *after* consuming the event, so restoring this state
+    // resumes with exactly the remaining stream.
+    lastCheckpointLabel_ = e.label;
+    lastCheckpoint_ = saveState();
+    if (checkpointHook_)
+        checkpointHook_(lastCheckpointLabel_, lastCheckpoint_);
+}
+
+void
+AllocationEngine::degradeBookkeeping(
+    const std::vector<DegradeAction> &acts)
+{
+    for (const DegradeAction &act : acts) {
+        stats_.reconfigCycles += act.cost;
+        auto it = leases_.find(act.id);
+        if (it == leases_.end())
+            continue; // engine-external allocation (none in practice)
+        if (act.kind == DegradeKind::Evicted) {
+            if (it->second.hasCustomer)
+                market_.deactivateCustomer(it->second.customer);
+            leases_.erase(it);
+            stats_.evictions++;
+            continue;
+        }
+        const FabricAllocation *fa = fabric_.find(act.id);
+        if (fa) {
+            it->second.slices = fa->slices.count;
+            it->second.banks =
+                static_cast<unsigned>(fa->banks.size());
+        }
+    }
+}
+
+std::optional<Cycles>
+AllocationEngine::reshapeLease(std::uint64_t lease, unsigned slices,
+                               unsigned banks)
+{
+    auto it = leases_.find(lease);
+    if (it == leases_.end())
+        return std::nullopt;
+    std::optional<Cycles> cost =
+        fabric_.reshape(lease, slices, banks);
+    if (!cost)
+        return std::nullopt;
+    const FabricAllocation *fa = fabric_.find(lease);
+    it->second.slices = fa->slices.count;
+    it->second.banks = static_cast<unsigned>(fa->banks.size());
+    stats_.reconfigCycles += *cost;
+    return cost;
+}
+
+namespace {
+
+json::Value
+coordList(const std::vector<Coord> &coords)
+{
+    json::Value a = json::Value::array();
+    for (const Coord &c : coords) {
+        json::Value &pair = a.push(json::Value::array());
+        pair.push(json::Value::number(std::int64_t{c.x}));
+        pair.push(json::Value::number(std::int64_t{c.y}));
+    }
+    return a;
+}
+
+} // namespace
+
+std::string
+AllocationEngine::saveState() const
+{
+    json::Value root = json::Value::object();
+    root.add("schema", json::Value::string(kStateSchema));
+    root.add("clock", json::Value::number(std::uint64_t{clock_}));
+    root.add("next_seq", json::Value::number(nextSeq_));
+
+    json::Value &stats = root.add("stats", json::Value::object());
+    stats.add("processed", json::Value::number(stats_.processed));
+    stats.add("arrivals", json::Value::number(stats_.arrivals));
+    stats.add("admitted", json::Value::number(stats_.admitted));
+    stats.add("rejected", json::Value::number(stats_.rejected));
+    stats.add("departures", json::Value::number(stats_.departures));
+    stats.add("unmatched_departs",
+              json::Value::number(stats_.unmatchedDeparts));
+    stats.add("faults", json::Value::number(stats_.faults));
+    stats.add("heals", json::Value::number(stats_.heals));
+    stats.add("evictions", json::Value::number(stats_.evictions));
+    stats.add("epochs", json::Value::number(stats_.epochs));
+    stats.add("auction_rounds",
+              json::Value::number(stats_.auctionRounds));
+    stats.add("checkpoints", json::Value::number(stats_.checkpoints));
+    stats.add("reconfig_cycles",
+              json::Value::number(
+                  std::uint64_t{stats_.reconfigCycles}));
+    stats.add("refunds_paid",
+              json::Value::number(stats_.refundsPaid));
+
+    FabricSnapshot fs = fabric_.snapshot();
+    json::Value &fab = root.add("fabric", json::Value::object());
+    fab.add("width", json::Value::number(std::int64_t{fs.width}));
+    fab.add("height", json::Value::number(std::int64_t{fs.height}));
+    fab.add("next_id", json::Value::number(fs.next));
+    json::Value &allocs =
+        fab.add("allocations", json::Value::array());
+    for (const FabricAllocation &fa : fs.allocations) {
+        json::Value &a = allocs.push(json::Value::object());
+        a.add("id", json::Value::number(fa.id));
+        a.add("row", json::Value::number(std::int64_t{fa.slices.row}));
+        a.add("col", json::Value::number(std::int64_t{fa.slices.col}));
+        a.add("count", json::Value::number(fa.slices.count));
+        a.add("banks", coordList(fa.banks));
+    }
+    fab.add("faulty_slices", coordList(fs.faultySliceTiles));
+    fab.add("faulty_banks", coordList(fs.faultyBankTiles));
+    fab.add("faulty_links", coordList(fs.faultyLinkTiles));
+
+    SpotMarketSnapshot ms = market_.snapshot();
+    json::Value &mkt = root.add("market", json::Value::object());
+    mkt.add("slice_capacity",
+            json::Value::number(ms.sliceCapacity));
+    mkt.add("bank_capacity", json::Value::number(ms.bankCapacity));
+    mkt.add("round", json::Value::number(ms.round));
+    mkt.add("prices", marketToJson(ms.prices));
+    json::Value &book = mkt.add("customers", json::Value::array());
+    for (const SpotCustomer &c : ms.customers) {
+        json::Value &v = book.push(json::Value::object());
+        v.add("name", json::Value::string(c.name));
+        v.add("benchmark", json::Value::string(c.benchmark));
+        v.add("utility",
+              json::Value::string(utilityName(c.utility)));
+        v.add("budget", json::Value::number(c.budget));
+        v.add("active", json::Value::boolean_(c.active));
+    }
+
+    json::Value &leases = root.add("leases", json::Value::array());
+    for (const auto &[id, lease] : leases_) {
+        json::Value &v = leases.push(json::Value::object());
+        v.add("id", json::Value::number(id));
+        v.add("tenant", json::Value::string(lease.tenant));
+        v.add("customer",
+              lease.hasCustomer
+                  ? json::Value::number(
+                        std::uint64_t{lease.customer})
+                  : json::Value::null());
+        v.add("slices", json::Value::number(lease.slices));
+        v.add("banks", json::Value::number(lease.banks));
+        v.add("arrived_at",
+              json::Value::number(std::uint64_t{lease.arrivedAt}));
+    }
+
+    std::vector<Queued> pending = queue_;
+    std::sort(pending.begin(), pending.end(),
+              [](const Queued &a, const Queued &b) {
+                  return laterThan(b, a);
+              });
+    json::Value &queue = root.add("queue", json::Value::array());
+    for (const Queued &q : pending)
+        queue.push(eventToJson(q.event, q.seq));
+
+    return root.dump();
+}
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what;
+    return false;
+}
+
+bool
+stateU64(const json::Value &v, const char *key, std::uint64_t *out,
+         std::string *error)
+{
+    const json::Value *f = v.get(key);
+    if (!f || !f->asU64(out))
+        return fail(error, std::string(key) +
+                               " missing or not an unsigned integer");
+    return true;
+}
+
+bool
+stateI64(const json::Value &v, const char *key, std::int64_t *out,
+         std::string *error)
+{
+    const json::Value *f = v.get(key);
+    if (!f || !f->asI64(out))
+        return fail(error,
+                    std::string(key) + " missing or not an integer");
+    return true;
+}
+
+bool
+stateDouble(const json::Value &v, const char *key, double *out,
+            std::string *error)
+{
+    const json::Value *f = v.get(key);
+    if (!f || !f->isNumber())
+        return fail(error,
+                    std::string(key) + " missing or not a number");
+    *out = f->asDouble();
+    return true;
+}
+
+bool
+stateCoords(const json::Value &v, const char *key,
+            std::vector<Coord> *out, std::string *error)
+{
+    const json::Value *f = v.get(key);
+    if (!f || !f->isArray())
+        return fail(error,
+                    std::string(key) + " missing or not an array");
+    out->clear();
+    for (std::size_t i = 0; i < f->items.size(); ++i) {
+        const json::Value &pair = f->items[i];
+        std::int64_t x = 0, y = 0;
+        if (!pair.isArray() || pair.items.size() != 2 ||
+            !pair.items[0].asI64(&x) || !pair.items[1].asI64(&y)) {
+            return fail(error, std::string(key) + "[" +
+                                   std::to_string(i) +
+                                   "] is not an [x,y] pair");
+        }
+        out->push_back(
+            Coord{static_cast<int>(x), static_cast<int>(y)});
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+AllocationEngine::restoreState(const std::string &text,
+                               std::string *error)
+{
+    json::Value root;
+    std::string perr;
+    if (!json::parse(text, &root, &perr))
+        return fail(error, "state document is not valid JSON (" +
+                               perr + ")");
+    if (!root.isObject())
+        return fail(error, "state document must be a JSON object");
+    const json::Value *schema = root.get("schema");
+    if (!schema || !schema->isString())
+        return fail(error, "schema tag missing: expected \"" +
+                               std::string(kStateSchema) + "\"");
+    if (schema->text != kStateSchema)
+        return fail(error, "unsupported schema '" + schema->text +
+                               "' (this build reads " +
+                               std::string(kStateSchema) + ")");
+
+    std::uint64_t clock = 0, nextSeq = 0;
+    if (!stateU64(root, "clock", &clock, error) ||
+        !stateU64(root, "next_seq", &nextSeq, error)) {
+        return false;
+    }
+
+    const json::Value *stats = root.get("stats");
+    if (!stats || !stats->isObject())
+        return fail(error, "stats missing or not an object");
+    EngineStats st;
+    std::uint64_t reconfig = 0;
+    if (!stateU64(*stats, "processed", &st.processed, error) ||
+        !stateU64(*stats, "arrivals", &st.arrivals, error) ||
+        !stateU64(*stats, "admitted", &st.admitted, error) ||
+        !stateU64(*stats, "rejected", &st.rejected, error) ||
+        !stateU64(*stats, "departures", &st.departures, error) ||
+        !stateU64(*stats, "unmatched_departs", &st.unmatchedDeparts,
+                  error) ||
+        !stateU64(*stats, "faults", &st.faults, error) ||
+        !stateU64(*stats, "heals", &st.heals, error) ||
+        !stateU64(*stats, "evictions", &st.evictions, error) ||
+        !stateU64(*stats, "epochs", &st.epochs, error) ||
+        !stateU64(*stats, "auction_rounds", &st.auctionRounds,
+                  error) ||
+        !stateU64(*stats, "checkpoints", &st.checkpoints, error) ||
+        !stateU64(*stats, "reconfig_cycles", &reconfig, error) ||
+        !stateDouble(*stats, "refunds_paid", &st.refundsPaid,
+                     error)) {
+        if (error)
+            *error = "stats." + *error;
+        return false;
+    }
+    st.reconfigCycles = reconfig;
+
+    // --- Fabric --------------------------------------------------
+    const json::Value *fab = root.get("fabric");
+    if (!fab || !fab->isObject())
+        return fail(error, "fabric missing or not an object");
+    FabricSnapshot fs;
+    std::int64_t width = 0, height = 0;
+    if (!stateI64(*fab, "width", &width, error) ||
+        !stateI64(*fab, "height", &height, error) ||
+        !stateU64(*fab, "next_id", &fs.next, error) ||
+        !stateCoords(*fab, "faulty_slices", &fs.faultySliceTiles,
+                     error) ||
+        !stateCoords(*fab, "faulty_banks", &fs.faultyBankTiles,
+                     error) ||
+        !stateCoords(*fab, "faulty_links", &fs.faultyLinkTiles,
+                     error)) {
+        if (error)
+            *error = "fabric." + *error;
+        return false;
+    }
+    fs.width = static_cast<int>(width);
+    fs.height = static_cast<int>(height);
+    const json::Value *allocs = fab->get("allocations");
+    if (!allocs || !allocs->isArray())
+        return fail(error,
+                    "fabric.allocations missing or not an array");
+    for (std::size_t i = 0; i < allocs->items.size(); ++i) {
+        const json::Value &a = allocs->items[i];
+        const std::string where =
+            "fabric.allocations[" + std::to_string(i) + "]: ";
+        if (!a.isObject())
+            return fail(error, where + "not an object");
+        FabricAllocation fa;
+        std::int64_t row = 0, col = 0;
+        std::uint64_t count = 0;
+        std::string sub;
+        if (!stateU64(a, "id", &fa.id, &sub) ||
+            !stateI64(a, "row", &row, &sub) ||
+            !stateI64(a, "col", &col, &sub) ||
+            !stateU64(a, "count", &count, &sub) ||
+            !stateCoords(a, "banks", &fa.banks, &sub)) {
+            return fail(error, where + sub);
+        }
+        fa.slices.row = static_cast<int>(row);
+        fa.slices.col = static_cast<int>(col);
+        fa.slices.count = static_cast<unsigned>(count);
+        fs.allocations.push_back(std::move(fa));
+    }
+
+    // Side-build: validate every claim without touching fabric_.
+    FabricManager fabric = fabric_;
+    std::string ferr;
+    if (!fabric.restore(fs, &ferr))
+        return fail(error, "fabric: " + ferr);
+
+    // --- Market --------------------------------------------------
+    const json::Value *mkt = root.get("market");
+    if (!mkt || !mkt->isObject())
+        return fail(error, "market missing or not an object");
+    SpotMarketSnapshot ms;
+    std::uint64_t round = 0;
+    if (!stateDouble(*mkt, "slice_capacity", &ms.sliceCapacity,
+                     error) ||
+        !stateDouble(*mkt, "bank_capacity", &ms.bankCapacity,
+                     error) ||
+        !stateU64(*mkt, "round", &round, error)) {
+        if (error)
+            *error = "market." + *error;
+        return false;
+    }
+    ms.round = static_cast<unsigned>(round);
+    if (ms.sliceCapacity <= 0.0 || ms.bankCapacity <= 0.0)
+        return fail(error,
+                    "market: capacities must be positive (a "
+                    "provider with nothing to sell has no market)");
+    const json::Value *prices = mkt->get("prices");
+    std::string merr;
+    if (!prices || !marketFromJson(*prices, &ms.prices, &merr))
+        return fail(error, "market.prices: " +
+                               (prices ? merr : "missing"));
+    const json::Value *book = mkt->get("customers");
+    if (!book || !book->isArray())
+        return fail(error,
+                    "market.customers missing or not an array");
+    for (std::size_t i = 0; i < book->items.size(); ++i) {
+        const json::Value &c = book->items[i];
+        const std::string where =
+            "market.customers[" + std::to_string(i) + "]: ";
+        if (!c.isObject())
+            return fail(error, where + "not an object");
+        SpotCustomer sc;
+        const json::Value *name = c.get("name");
+        const json::Value *benchmark = c.get("benchmark");
+        const json::Value *utility = c.get("utility");
+        const json::Value *budget = c.get("budget");
+        const json::Value *active = c.get("active");
+        if (!name || !name->isString())
+            return fail(error, where + "name missing");
+        if (!benchmark || !benchmark->isString())
+            return fail(error, where + "benchmark missing");
+        if (!hasProfile(benchmark->text))
+            return fail(error, where + "unknown benchmark '" +
+                                   benchmark->text + "'");
+        if (!utility || !utility->isString() ||
+            !parseUtilityName(utility->text, &sc.utility)) {
+            return fail(error, where + "unknown utility");
+        }
+        if (!budget || !budget->isNumber())
+            return fail(error, where + "budget missing");
+        if (!active || !active->isBool())
+            return fail(error, where + "active missing");
+        sc.name = name->text;
+        sc.benchmark = benchmark->text;
+        sc.budget = budget->asDouble();
+        sc.active = active->boolean;
+        ms.customers.push_back(std::move(sc));
+    }
+
+    // --- Leases --------------------------------------------------
+    const json::Value *leases = root.get("leases");
+    if (!leases || !leases->isArray())
+        return fail(error, "leases missing or not an array");
+    std::map<std::uint64_t, Lease> book2;
+    for (std::size_t i = 0; i < leases->items.size(); ++i) {
+        const json::Value &l = leases->items[i];
+        const std::string where =
+            "leases[" + std::to_string(i) + "]: ";
+        if (!l.isObject())
+            return fail(error, where + "not an object");
+        Lease lease;
+        std::uint64_t slices = 0, banks = 0;
+        std::string sub;
+        if (!stateU64(l, "id", &lease.id, &sub) ||
+            !stateU64(l, "slices", &slices, &sub) ||
+            !stateU64(l, "banks", &banks, &sub) ||
+            !stateU64(l, "arrived_at", &lease.arrivedAt, &sub)) {
+            return fail(error, where + sub);
+        }
+        const json::Value *tenant = l.get("tenant");
+        if (!tenant || !tenant->isString())
+            return fail(error, where + "tenant missing");
+        lease.tenant = tenant->text;
+        lease.slices = static_cast<unsigned>(slices);
+        lease.banks = static_cast<unsigned>(banks);
+        const json::Value *customer = l.get("customer");
+        if (!customer)
+            return fail(error, where + "customer missing (use "
+                                       "null for fabric-only)");
+        if (!customer->isNull()) {
+            std::uint64_t cid = 0;
+            if (!customer->asU64(&cid))
+                return fail(error,
+                            where + "customer is not an id");
+            if (cid >= ms.customers.size())
+                return fail(error,
+                            where + "customer " +
+                                std::to_string(cid) +
+                                " not in the market book (" +
+                                std::to_string(ms.customers.size()) +
+                                " customers)");
+            lease.customer = static_cast<CustomerId>(cid);
+            lease.hasCustomer = true;
+        }
+        if (!fabric.find(lease.id))
+            return fail(error,
+                        where + "no fabric allocation with id " +
+                            std::to_string(lease.id));
+        if (book2.count(lease.id))
+            return fail(error, where + "duplicate lease id " +
+                                   std::to_string(lease.id));
+        book2.emplace(lease.id, std::move(lease));
+    }
+
+    // --- Queue ---------------------------------------------------
+    const json::Value *queue = root.get("queue");
+    if (!queue || !queue->isArray())
+        return fail(error, "queue missing or not an array");
+    std::vector<Queued> pending;
+    for (std::size_t i = 0; i < queue->items.size(); ++i) {
+        Queued q;
+        std::string qerr;
+        if (!eventFromJson(queue->items[i], &q.event, &q.seq,
+                           &qerr)) {
+            return fail(error, "queue[" + std::to_string(i) +
+                                   "]: " + qerr);
+        }
+        if (q.seq >= nextSeq)
+            return fail(error,
+                        "queue[" + std::to_string(i) + "]: seq " +
+                            std::to_string(q.seq) + " >= next_seq " +
+                            std::to_string(nextSeq));
+        pending.push_back(std::move(q));
+    }
+
+    // Everything validated: commit atomically.
+    fabric_ = std::move(fabric);
+    SpotMarketSnapshot msCopy = std::move(ms);
+    market_.restore(msCopy);
+    leases_ = std::move(book2);
+    queue_ = std::move(pending);
+    std::make_heap(queue_.begin(), queue_.end(), laterThan);
+    clock_ = clock;
+    nextSeq_ = nextSeq;
+    stats_ = st;
+    lastOutcome_ = EventOutcome{};
+    return true;
+}
+
+study::Report
+AllocationEngine::finalReport() const
+{
+    study::Report r;
+    r.id = "engine";
+    r.title = "Allocation engine final state";
+    r.addMeta("schema", kStateSchema);
+    r.addMeta("fabric", std::to_string(fabric_.width()) + "x" +
+                            std::to_string(fabric_.height()));
+    r.addMeta("clock",
+              study::Value(static_cast<unsigned long long>(clock_)));
+
+    study::Table &counters =
+        r.addTable("engine_counters", "Event counters");
+    counters.col("counter", study::Value::Kind::Text)
+        .col("value", study::Value::Kind::Integer);
+    auto count = [&](const char *name, std::uint64_t v) {
+        counters.addRow(
+            {name, study::Value(static_cast<unsigned long long>(v))});
+    };
+    count("processed", stats_.processed);
+    count("arrivals", stats_.arrivals);
+    count("admitted", stats_.admitted);
+    count("rejected", stats_.rejected);
+    count("departures", stats_.departures);
+    count("unmatched_departs", stats_.unmatchedDeparts);
+    count("faults", stats_.faults);
+    count("heals", stats_.heals);
+    count("evictions", stats_.evictions);
+    count("epochs", stats_.epochs);
+    count("auction_rounds", stats_.auctionRounds);
+    count("checkpoints", stats_.checkpoints);
+    count("reconfig_cycles", stats_.reconfigCycles);
+
+    study::Table &mkt =
+        r.addTable("engine_market", "Spot market state");
+    mkt.col("metric", study::Value::Kind::Text)
+        .col("value", study::Value::Kind::Real, 4);
+    mkt.addRow({"slice_price", market_.prices().slicePrice});
+    mkt.addRow({"bank_price", market_.prices().bankPrice});
+    mkt.addRow({"slice_capacity", market_.sliceCapacity()});
+    mkt.addRow({"bank_capacity", market_.bankCapacity()});
+    mkt.addRow({"active_customers",
+                static_cast<double>(market_.activeCustomers())});
+    mkt.addRow({"refunds_paid", stats_.refundsPaid});
+
+    study::Table &fab =
+        r.addTable("engine_fabric", "Fabric occupancy");
+    fab.col("metric", study::Value::Kind::Text)
+        .col("value", study::Value::Kind::Real, 4);
+    fab.addRow({"slice_utilization", fabric_.sliceUtilization()});
+    fab.addRow({"bank_utilization", fabric_.bankUtilization()});
+    fab.addRow({"fragmentation", fabric_.fragmentation()});
+    fab.addRow({"free_slices",
+                static_cast<double>(fabric_.freeSlices())});
+    fab.addRow({"free_banks",
+                static_cast<double>(fabric_.freeBanks())});
+    fab.addRow({"faulty_slices",
+                static_cast<double>(fabric_.faultySlices())});
+    fab.addRow({"faulty_banks",
+                static_cast<double>(fabric_.faultyBanks())});
+
+    study::Table &leases =
+        r.addTable("engine_leases", "Live leases");
+    leases.col("id", study::Value::Kind::Integer)
+        .col("tenant", study::Value::Kind::Text)
+        .col("slices", study::Value::Kind::Integer)
+        .col("banks", study::Value::Kind::Integer)
+        .col("arrived_at", study::Value::Kind::Integer);
+    for (const auto &[id, lease] : leases_) {
+        leases.addRow(
+            {study::Value(static_cast<unsigned long long>(id)),
+             lease.tenant, lease.slices, lease.banks,
+             study::Value(static_cast<unsigned long long>(
+                 lease.arrivedAt))});
+    }
+    return r;
+}
+
+} // namespace sharch::engine

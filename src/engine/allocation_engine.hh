@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The event-driven allocation engine (ROADMAP item 5).
+ *
+ * AllocationEngine owns one FabricManager + SpotMarket pair and is
+ * the ONLY writer to either: every mutation arrives as a typed Event
+ * (event.hh) on a deterministic queue ordered by (cycle, posting
+ * order), so identical event streams produce identical hypervisor
+ * trajectories regardless of who generated them -- a study script,
+ * a replayed fault schedule, or a sharch-serve request stream.
+ *
+ * Because all state flows through one place, the engine can
+ * serialize everything that matters -- occupancy grid, live leases,
+ * market book and prices, the event clock, and the still-pending
+ * queue -- into a versioned `sharch-state-v1` JSON document and
+ * restore it byte-exactly: a run checkpointed mid-stream and resumed
+ * in a fresh process emits a final report byte-identical to the
+ * uninterrupted run.  That is what makes multi-day churn experiments
+ * resumable and the serve daemon restartable.
+ */
+
+#ifndef SHARCH_ENGINE_ALLOCATION_ENGINE_HH
+#define SHARCH_ENGINE_ALLOCATION_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/event.hh"
+#include "hyper/fabric_manager.hh"
+#include "hyper/spot_market.hh"
+#include "study/report.hh"
+
+namespace sharch::engine {
+
+/** The document version saveState() writes and restoreState() reads. */
+inline constexpr const char *kStateSchema = "sharch-state-v1";
+
+/** Fixed parameters of one engine (not part of mutable state). */
+struct EngineConfig
+{
+    int fabricWidth = 8;
+    int fabricHeight = 8;
+    double tolerance = 0.10;   //!< auction clearing tolerance
+    unsigned maxRounds = 50;   //!< tatonnement bound per epoch
+    double adjustRate = 0.25;  //!< price step per round
+    /**
+     * When a fault removes leasable capacity, also refund the lost
+     * value pro-rata and re-run the auction (SpotMarket::
+     * reauctionAfterFailure).  Off: capacity just shrinks and the
+     * next AuctionEpoch reprices.
+     */
+    bool reauctionOnFault = false;
+};
+
+/** One admitted tenant: fabric claim + market identity. */
+struct Lease
+{
+    std::uint64_t id = 0; //!< == the fabric AllocationId
+    std::string tenant;
+    CustomerId customer = 0;
+    bool hasCustomer = false; //!< false for fabric-only tenants
+    unsigned slices = 0;      //!< current shape (faults may shrink)
+    unsigned banks = 0;
+    Cycles arrivedAt = 0;
+};
+
+/** Monotonic counters over the whole run (serialized state). */
+struct EngineStats
+{
+    std::uint64_t processed = 0;   //!< events consumed
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;    //!< no contiguous run fit
+    std::uint64_t departures = 0;
+    std::uint64_t unmatchedDeparts = 0;
+    std::uint64_t faults = 0;      //!< newly-faulty strikes
+    std::uint64_t heals = 0;
+    std::uint64_t evictions = 0;   //!< leases lost to degradation
+    std::uint64_t epochs = 0;
+    std::uint64_t auctionRounds = 0;
+    std::uint64_t checkpoints = 0;
+    Cycles reconfigCycles = 0;     //!< degradation + reshape costs
+    double refundsPaid = 0.0;
+};
+
+/** What processing one event did (the serve layer's result). */
+struct EventOutcome
+{
+    EventKind kind = EventKind::AuctionEpoch;
+    bool applied = false;      //!< admitted / released / newly-faulty
+    std::uint64_t lease = 0;   //!< lease touched (0: none)
+    std::string detail;        //!< human-readable "why not" etc.
+};
+
+class AllocationEngine
+{
+  public:
+    /**
+     * @param opt shared performance surface (bids need P(c, s))
+     * @param cfg geometry + auction policy; market capacity starts
+     *            at the fabric's totals
+     */
+    AllocationEngine(UtilityOptimizer &opt, const EngineConfig &cfg);
+
+    // --- The event API (the only mutation path) ------------------
+
+    /**
+     * Enqueue @p e.  Events may be posted at any cycle (including
+     * the past: they fire on the next run, still after everything
+     * already processed).  @return the posting order, which breaks
+     * cycle ties deterministically.
+     */
+    std::uint64_t post(Event e);
+
+    /** Expand a fault schedule into FaultStrike/Heal events. */
+    void postFaultSchedule(const std::vector<fault::FaultEvent> &fs);
+
+    /** Process every queued event with at <= @p cycle, in order. */
+    void runUntil(Cycles cycle);
+
+    /** Drain the queue completely. */
+    void run();
+
+    /**
+     * Post @p e and process the queue up to its cycle immediately
+     * (the serve path: request in, outcome out).
+     */
+    EventOutcome execute(Event e);
+
+    // --- Non-event mutation (still engine-routed) ----------------
+
+    /**
+     * Reshape a live lease in place (grow/shrink Slices and banks).
+     * @return the reconfiguration cost, or nullopt when the lease is
+     *         unknown or the fabric cannot satisfy the new shape.
+     */
+    std::optional<Cycles> reshapeLease(std::uint64_t lease,
+                                       unsigned slices,
+                                       unsigned banks);
+
+    // --- Queries -------------------------------------------------
+
+    Cycles now() const { return clock_; }
+    std::size_t pendingEvents() const { return queue_.size(); }
+    const EngineConfig &config() const { return cfg_; }
+    const FabricManager &fabric() const { return fabric_; }
+    const SpotMarket &market() const { return market_; }
+    const EngineStats &stats() const { return stats_; }
+    const std::map<std::uint64_t, Lease> &leases() const
+    {
+        return leases_;
+    }
+    const EventOutcome &lastOutcome() const { return lastOutcome_; }
+
+    // --- Checkpoint / restore ------------------------------------
+
+    /**
+     * The full engine state as one sharch-state-v1 JSON line.  A
+     * pure function of the processed event history: byte-identical
+     * across runs, thread counts, and checkpoint/resume cuts.
+     */
+    std::string saveState() const;
+
+    /**
+     * Replace the engine's state with a parsed sharch-state-v1
+     * document.  Validation is strict -- schema tag, field types,
+     * fabric claim consistency, lease/customer cross-references --
+     * and on failure the engine is untouched and @p error names the
+     * first offending record (actionable, not just "bad JSON").
+     */
+    bool restoreState(const std::string &text, std::string *error);
+
+    /**
+     * State captured by the most recent Checkpoint event (empty
+     * until one fires).  Taken *after* the event is consumed, so
+     * restoring it resumes with exactly the remaining stream.
+     */
+    const std::string &lastCheckpoint() const
+    {
+        return lastCheckpoint_;
+    }
+    const std::string &lastCheckpointLabel() const
+    {
+        return lastCheckpointLabel_;
+    }
+
+    /** Hook invoked on every Checkpoint event (label, state). */
+    using CheckpointHook =
+        std::function<void(const std::string &, const std::string &)>;
+    void onCheckpoint(CheckpointHook hook)
+    {
+        checkpointHook_ = std::move(hook);
+    }
+
+    /**
+     * The deterministic end-of-run report (sharch-report-v1):
+     * counters, prices, live leases, fabric health.  Two engines
+     * that processed the same events render identical bytes -- the
+     * property the checkpoint tests pin down.
+     */
+    study::Report finalReport() const;
+
+  private:
+    struct Queued
+    {
+        Event event;
+        std::uint64_t seq = 0;
+    };
+
+    UtilityOptimizer *opt_;
+    EngineConfig cfg_;
+    FabricManager fabric_;
+    SpotMarket market_;
+    std::map<std::uint64_t, Lease> leases_;
+    std::vector<Queued> queue_; //!< min-heap on (at, seq)
+    Cycles clock_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    EngineStats stats_;
+    EventOutcome lastOutcome_;
+    std::string lastCheckpoint_;
+    std::string lastCheckpointLabel_;
+    CheckpointHook checkpointHook_;
+
+    static bool laterThan(const Queued &a, const Queued &b);
+    void dispatch(const Event &e);
+    void handleArrive(const Event &e);
+    void handleDepart(const Event &e);
+    void handleFault(const Event &e);
+    void handleHeal(const Event &e);
+    void handleEpoch();
+    void handleCheckpoint(const Event &e);
+    void degradeBookkeeping(const std::vector<DegradeAction> &acts);
+};
+
+} // namespace sharch::engine
+
+#endif // SHARCH_ENGINE_ALLOCATION_ENGINE_HH

@@ -1,0 +1,255 @@
+#include "engine/event.hh"
+
+namespace sharch::engine {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::TenantArrive: return "tenant_arrive";
+      case EventKind::TenantDepart: return "tenant_depart";
+      case EventKind::FaultStrike: return "fault_strike";
+      case EventKind::Heal: return "heal";
+      case EventKind::AuctionEpoch: return "auction_epoch";
+      case EventKind::Checkpoint: return "checkpoint";
+    }
+    return "?";
+}
+
+bool
+parseEventKind(const std::string &name, EventKind *out)
+{
+    if (name == "tenant_arrive")
+        *out = EventKind::TenantArrive;
+    else if (name == "tenant_depart")
+        *out = EventKind::TenantDepart;
+    else if (name == "fault_strike")
+        *out = EventKind::FaultStrike;
+    else if (name == "heal")
+        *out = EventKind::Heal;
+    else if (name == "auction_epoch")
+        *out = EventKind::AuctionEpoch;
+    else if (name == "checkpoint")
+        *out = EventKind::Checkpoint;
+    else
+        return false;
+    return true;
+}
+
+Event
+tenantArrive(Cycles at, std::string tenant, std::string benchmark,
+             UtilityKind utility, double budget, unsigned slices,
+             unsigned banks)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::TenantArrive;
+    e.tenant = std::move(tenant);
+    e.benchmark = std::move(benchmark);
+    e.utility = utility;
+    e.budget = budget;
+    e.slices = slices;
+    e.banks = banks;
+    return e;
+}
+
+Event
+tenantDepart(Cycles at, std::string tenant)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::TenantDepart;
+    e.tenant = std::move(tenant);
+    return e;
+}
+
+Event
+faultStrike(Cycles at, fault::FaultKind kind, Coord tile)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::FaultStrike;
+    e.fault = kind;
+    e.tile = tile;
+    return e;
+}
+
+Event
+healFault(Cycles at, fault::FaultKind kind, Coord tile)
+{
+    Event e = faultStrike(at, kind, tile);
+    e.kind = EventKind::Heal;
+    return e;
+}
+
+Event
+auctionEpoch(Cycles at)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::AuctionEpoch;
+    return e;
+}
+
+Event
+checkpoint(Cycles at, std::string label)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::Checkpoint;
+    e.label = std::move(label);
+    return e;
+}
+
+json::Value
+eventToJson(const Event &e, std::uint64_t seq)
+{
+    json::Value v = json::Value::object();
+    v.add("kind", json::Value::string(eventKindName(e.kind)));
+    v.add("at", json::Value::number(std::uint64_t{e.at}));
+    v.add("seq", json::Value::number(seq));
+    switch (e.kind) {
+      case EventKind::TenantArrive:
+        v.add("tenant", json::Value::string(e.tenant));
+        v.add("benchmark", json::Value::string(e.benchmark));
+        v.add("utility",
+              json::Value::string(utilityName(e.utility)));
+        v.add("budget", json::Value::number(e.budget));
+        v.add("slices", json::Value::number(e.slices));
+        v.add("banks", json::Value::number(e.banks));
+        break;
+      case EventKind::TenantDepart:
+        v.add("tenant", json::Value::string(e.tenant));
+        break;
+      case EventKind::FaultStrike:
+      case EventKind::Heal: {
+        v.add("fault",
+              json::Value::string(fault::faultKindName(e.fault)));
+        json::Value &tile = v.add("tile", json::Value::array());
+        tile.push(json::Value::number(std::int64_t{e.tile.x}));
+        tile.push(json::Value::number(std::int64_t{e.tile.y}));
+        break;
+      }
+      case EventKind::AuctionEpoch:
+        break;
+      case EventKind::Checkpoint:
+        v.add("label", json::Value::string(e.label));
+        break;
+    }
+    return v;
+}
+
+namespace {
+
+bool
+wrong(std::string *error, const std::string &what)
+{
+    *error = what;
+    return false;
+}
+
+bool
+readString(const json::Value &v, const char *key, std::string *out,
+           std::string *error)
+{
+    const json::Value *f = v.get(key);
+    if (!f || !f->isString())
+        return wrong(error, std::string("event.") + key +
+                                " missing or not a string");
+    *out = f->text;
+    return true;
+}
+
+bool
+readU64(const json::Value &v, const char *key, std::uint64_t *out,
+        std::string *error)
+{
+    const json::Value *f = v.get(key);
+    if (!f || !f->asU64(out))
+        return wrong(error, std::string("event.") + key +
+                                " missing or not an unsigned "
+                                "integer");
+    return true;
+}
+
+} // namespace
+
+bool
+eventFromJson(const json::Value &v, Event *out, std::uint64_t *seq,
+              std::string *error)
+{
+    if (!v.isObject())
+        return wrong(error, "queue entries must be JSON objects");
+    std::string kind;
+    if (!readString(v, "kind", &kind, error))
+        return false;
+    Event e;
+    if (!parseEventKind(kind, &e.kind))
+        return wrong(error, "unknown event kind '" + kind + "'");
+    std::uint64_t at = 0;
+    if (!readU64(v, "at", &at, error) ||
+        !readU64(v, "seq", seq, error)) {
+        return false;
+    }
+    e.at = at;
+
+    switch (e.kind) {
+      case EventKind::TenantArrive: {
+        if (!readString(v, "tenant", &e.tenant, error) ||
+            !readString(v, "benchmark", &e.benchmark, error)) {
+            return false;
+        }
+        std::string utility;
+        if (!readString(v, "utility", &utility, error))
+            return false;
+        if (!parseUtilityName(utility, &e.utility))
+            return wrong(error,
+                         "unknown utility '" + utility + "'");
+        const json::Value *budget = v.get("budget");
+        if (!budget || !budget->isNumber())
+            return wrong(error,
+                         "event.budget missing or not a number");
+        e.budget = budget->asDouble();
+        std::uint64_t n = 0;
+        if (!readU64(v, "slices", &n, error))
+            return false;
+        e.slices = static_cast<unsigned>(n);
+        if (!readU64(v, "banks", &n, error))
+            return false;
+        e.banks = static_cast<unsigned>(n);
+        break;
+      }
+      case EventKind::TenantDepart:
+        if (!readString(v, "tenant", &e.tenant, error))
+            return false;
+        break;
+      case EventKind::FaultStrike:
+      case EventKind::Heal: {
+        std::string fault;
+        if (!readString(v, "fault", &fault, error))
+            return false;
+        if (!fault::parseFaultKind(fault, &e.fault))
+            return wrong(error,
+                         "unknown fault kind '" + fault + "'");
+        const json::Value *tile = v.get("tile");
+        std::int64_t x = 0, y = 0;
+        if (!tile || !tile->isArray() || tile->items.size() != 2 ||
+            !tile->items[0].asI64(&x) || !tile->items[1].asI64(&y)) {
+            return wrong(error,
+                         "event.tile must be an [x,y] pair");
+        }
+        e.tile = Coord{static_cast<int>(x), static_cast<int>(y)};
+        break;
+      }
+      case EventKind::AuctionEpoch:
+        break;
+      case EventKind::Checkpoint:
+        if (!readString(v, "label", &e.label, error))
+            return false;
+        break;
+    }
+    *out = std::move(e);
+    return true;
+}
+
+} // namespace sharch::engine

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The typed event vocabulary of the allocation engine.
+ *
+ * The hypervisor layer used to be call-driven: whoever held a
+ * FabricManager or SpotMarket poked it directly, so a long churn run
+ * existed only as a C++ call sequence -- unserializable, unresumable,
+ * unservable.  The engine inverts that: every hypervisor mutation is
+ * one of six event kinds processed from a deterministic queue
+ * (ordered by cycle, ties by posting order), so the same stream can
+ * come from a study script, a replayed fault schedule, or a
+ * sharch-serve request socket, and the full run is a value that can
+ * be checkpointed mid-stream.
+ */
+
+#ifndef SHARCH_ENGINE_EVENT_HH
+#define SHARCH_ENGINE_EVENT_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "common/types.hh"
+#include "econ/utility.hh"
+#include "fault/fault_model.hh"
+#include "noc/mesh.hh"
+
+namespace sharch::engine {
+
+/** The six mutations the engine understands. */
+enum class EventKind
+{
+    TenantArrive, //!< admit a tenant: market book entry + VCore
+    TenantDepart, //!< tenant leaves: release VCore, retire bidder
+    FaultStrike,  //!< a tile or link fails under live VCores
+    Heal,         //!< a faulty tile or link returns to service
+    AuctionEpoch, //!< run the tatonnement to a new clearing
+    Checkpoint,   //!< serialize engine state (sharch-state-v1)
+};
+
+/** "tenant_arrive" / "tenant_depart" / "fault_strike" / ... */
+const char *eventKindName(EventKind kind);
+
+/** Inverse of eventKindName(); false on an unknown name. */
+bool parseEventKind(const std::string &name, EventKind *out);
+
+/**
+ * One event.  Only the fields its kind reads are meaningful; the
+ * rest stay at their defaults (and are omitted from serialization).
+ */
+struct Event
+{
+    Cycles at = 0;
+    EventKind kind = EventKind::AuctionEpoch;
+
+    // TenantArrive (all) / TenantDepart (tenant only).  A tenant
+    // with slices == 0 is market-only: it bids in auctions but
+    // claims no fabric; budget == 0 is fabric-only (no bidding).
+    std::string tenant;
+    std::string benchmark;
+    UtilityKind utility = UtilityKind::Throughput;
+    double budget = 0.0;
+    unsigned slices = 0;
+    unsigned banks = 0;
+
+    // FaultStrike / Heal.
+    fault::FaultKind fault = fault::FaultKind::Slice;
+    Coord tile;
+
+    // Checkpoint.
+    std::string label;
+};
+
+// --- Factories (keep study/test scripts terse) -------------------
+
+Event tenantArrive(Cycles at, std::string tenant,
+                   std::string benchmark, UtilityKind utility,
+                   double budget, unsigned slices, unsigned banks);
+Event tenantDepart(Cycles at, std::string tenant);
+Event faultStrike(Cycles at, fault::FaultKind kind, Coord tile);
+Event healFault(Cycles at, fault::FaultKind kind, Coord tile);
+Event auctionEpoch(Cycles at);
+Event checkpoint(Cycles at, std::string label);
+
+/**
+ * Serialize for the sharch-state-v1 "queue" section: kind first,
+ * then cycle and posting order, then only the kind's own fields, in
+ * a fixed order (byte-determinism).
+ */
+json::Value eventToJson(const Event &e, std::uint64_t seq);
+
+/**
+ * Rebuild an Event (+ its posting order) from eventToJson() output.
+ * @return false with @p error naming the bad field otherwise.
+ */
+bool eventFromJson(const json::Value &v, Event *out,
+                   std::uint64_t *seq, std::string *error);
+
+} // namespace sharch::engine
+
+#endif // SHARCH_ENGINE_EVENT_HH

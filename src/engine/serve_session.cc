@@ -1,0 +1,325 @@
+#include "engine/serve_session.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace sharch::engine {
+
+namespace {
+
+std::string
+errorReply(const std::string &what)
+{
+    json::Value v = json::Value::object();
+    v.add("ok", json::Value::boolean_(false));
+    v.add("error", json::Value::string(what));
+    return v.dump();
+}
+
+/** Start an ok reply tagged with its operation. */
+json::Value
+okReply(const char *op)
+{
+    json::Value v = json::Value::object();
+    v.add("ok", json::Value::boolean_(true));
+    v.add("op", json::Value::string(op));
+    return v;
+}
+
+void
+addOutcome(json::Value *v, const EventOutcome &out)
+{
+    v->add("applied", json::Value::boolean_(out.applied));
+    if (out.lease != 0)
+        v->add("lease", json::Value::number(out.lease));
+    if (!out.detail.empty())
+        v->add("detail", json::Value::string(out.detail));
+}
+
+/** Optional "at" member; defaults to the engine's clock. */
+bool
+requestCycle(const json::Value &req, Cycles now, Cycles *out,
+             std::string *error)
+{
+    const json::Value *at = req.get("at");
+    if (!at) {
+        *out = now;
+        return true;
+    }
+    std::uint64_t v = 0;
+    if (!at->asU64(&v)) {
+        *error = "'at' must be an unsigned integer cycle";
+        return false;
+    }
+    *out = v;
+    return true;
+}
+
+bool
+optionalU64(const json::Value &req, const char *key,
+            std::uint64_t *out, std::string *error)
+{
+    const json::Value *v = req.get(key);
+    if (!v)
+        return true;
+    if (!v->asU64(out)) {
+        *error = std::string("'") + key +
+                 "' must be an unsigned integer";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+ServeSession::handle(const std::string &line)
+{
+    requests_++;
+    json::Value req;
+    std::string perr;
+    if (!json::parse(line, &req, &perr))
+        return errorReply("request is not valid JSON (" + perr +
+                          ")");
+    if (!req.isObject())
+        return errorReply("request must be a JSON object");
+    const json::Value *op = req.get("op");
+    if (!op || !op->isString())
+        return errorReply("request needs a string 'op' member");
+
+    if (op->text == "allocate")
+        return handleAllocate(req);
+    if (op->text == "release")
+        return handleRelease(req);
+    if (op->text == "reshape")
+        return handleReshape(req);
+    if (op->text == "price")
+        return handlePrice(req);
+    if (op->text == "snapshot")
+        return handleSnapshot(req);
+    if (op->text == "restore")
+        return handleRestore(req);
+    if (op->text == "stats")
+        return handleStats();
+    return errorReply("unknown op '" + op->text +
+                      "' (want allocate, release, reshape, price, "
+                      "snapshot, restore, or stats)");
+}
+
+std::string
+ServeSession::handleAllocate(const json::Value &req)
+{
+    const json::Value *tenant = req.get("tenant");
+    if (!tenant || !tenant->isString())
+        return errorReply("allocate needs a string 'tenant'");
+    std::string err;
+    Cycles at = 0;
+    if (!requestCycle(req, engine_->now(), &at, &err))
+        return errorReply(err);
+    std::uint64_t slices = 0, banks = 0;
+    if (!optionalU64(req, "slices", &slices, &err) ||
+        !optionalU64(req, "banks", &banks, &err)) {
+        return errorReply(err);
+    }
+    double budget = 0.0;
+    if (const json::Value *b = req.get("budget")) {
+        if (!b->isNumber())
+            return errorReply("'budget' must be a number");
+        budget = b->asDouble();
+    }
+    std::string benchmark;
+    if (const json::Value *b = req.get("benchmark")) {
+        if (!b->isString())
+            return errorReply("'benchmark' must be a string");
+        benchmark = b->text;
+    }
+    UtilityKind utility = UtilityKind::Throughput;
+    if (const json::Value *u = req.get("utility")) {
+        if (!u->isString() ||
+            !parseUtilityName(u->text, &utility)) {
+            return errorReply("unknown utility '" +
+                              (u->isString() ? u->text : "") + "'");
+        }
+    }
+
+    const EventOutcome out = engine_->execute(tenantArrive(
+        at, tenant->text, benchmark, utility, budget,
+        static_cast<unsigned>(slices),
+        static_cast<unsigned>(banks)));
+    json::Value v = okReply("allocate");
+    addOutcome(&v, out);
+    return v.dump();
+}
+
+std::string
+ServeSession::handleRelease(const json::Value &req)
+{
+    const json::Value *tenant = req.get("tenant");
+    if (!tenant || !tenant->isString())
+        return errorReply("release needs a string 'tenant'");
+    std::string err;
+    Cycles at = 0;
+    if (!requestCycle(req, engine_->now(), &at, &err))
+        return errorReply(err);
+    const EventOutcome out =
+        engine_->execute(tenantDepart(at, tenant->text));
+    json::Value v = okReply("release");
+    addOutcome(&v, out);
+    return v.dump();
+}
+
+std::string
+ServeSession::handleReshape(const json::Value &req)
+{
+    std::uint64_t lease = 0, slices = 0, banks = 0;
+    const json::Value *l = req.get("lease");
+    if (!l || !l->asU64(&lease))
+        return errorReply("reshape needs an unsigned 'lease' id");
+    std::string err;
+    if (!optionalU64(req, "slices", &slices, &err) ||
+        !optionalU64(req, "banks", &banks, &err)) {
+        return errorReply(err);
+    }
+    const std::optional<Cycles> cost = engine_->reshapeLease(
+        lease, static_cast<unsigned>(slices),
+        static_cast<unsigned>(banks));
+    json::Value v = okReply("reshape");
+    v.add("applied", json::Value::boolean_(cost.has_value()));
+    if (cost) {
+        v.add("cost", json::Value::number(std::uint64_t{*cost}));
+    } else {
+        v.add("detail",
+              json::Value::string(
+                  engine_->leases().count(lease)
+                      ? "fabric cannot satisfy the new shape"
+                      : "no lease with id " +
+                            std::to_string(lease)));
+    }
+    return v.dump();
+}
+
+std::string
+ServeSession::handlePrice(const json::Value &req)
+{
+    std::string err;
+    Cycles at = 0;
+    if (!requestCycle(req, engine_->now(), &at, &err))
+        return errorReply(err);
+    engine_->execute(auctionEpoch(at));
+    json::Value v = okReply("price");
+    const Market &m = engine_->market().prices();
+    v.add("slice_price", json::Value::number(m.slicePrice));
+    v.add("bank_price", json::Value::number(m.bankPrice));
+    v.add("round",
+          json::Value::number(unsigned{engine_->market().round()}));
+    return v.dump();
+}
+
+std::string
+ServeSession::handleSnapshot(const json::Value &req)
+{
+    const std::string state = engine_->saveState();
+    if (const json::Value *path = req.get("path")) {
+        if (!path->isString())
+            return errorReply("'path' must be a string");
+        std::ofstream out(path->text,
+                          std::ios::binary | std::ios::trunc);
+        if (!out)
+            return errorReply("cannot write '" + path->text + "'");
+        out << state << "\n";
+        out.close();
+        if (!out)
+            return errorReply("short write to '" + path->text +
+                              "'");
+        json::Value v = okReply("snapshot");
+        v.add("path", json::Value::string(path->text));
+        v.add("bytes", json::Value::number(
+                           std::uint64_t{state.size()}));
+        return v.dump();
+    }
+    // Inline: the state document is already canonical JSON, so it is
+    // spliced verbatim -- parsing it into the reply would be pure
+    // overhead and this path is the byte-identity contract's anchor.
+    std::string reply = "{\"ok\":true,\"op\":\"snapshot\",\"state\":";
+    reply += state;
+    reply += "}";
+    return reply;
+}
+
+std::string
+ServeSession::handleRestore(const json::Value &req)
+{
+    std::string text;
+    const json::Value *state = req.get("state");
+    const json::Value *path = req.get("path");
+    if (state && path)
+        return errorReply("restore takes 'state' or 'path', not "
+                          "both");
+    if (state) {
+        text = state->dump();
+    } else if (path) {
+        if (!path->isString())
+            return errorReply("'path' must be a string");
+        std::ifstream in(path->text, std::ios::binary);
+        if (!in)
+            return errorReply("cannot read '" + path->text + "'");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+        // snapshot appends one newline for the benefit of text
+        // tools; strip it so the document parses strictly.
+        while (!text.empty() && (text.back() == '\n' ||
+                                 text.back() == '\r')) {
+            text.pop_back();
+        }
+    } else {
+        return errorReply("restore needs a 'state' object or a "
+                          "'path' string");
+    }
+
+    std::string err;
+    if (!engine_->restoreState(text, &err))
+        return errorReply("restore rejected: " + err);
+    json::Value v = okReply("restore");
+    v.add("clock",
+          json::Value::number(std::uint64_t{engine_->now()}));
+    v.add("leases", json::Value::number(
+                        std::uint64_t{engine_->leases().size()}));
+    return v.dump();
+}
+
+std::string
+ServeSession::handleStats() const
+{
+    const EngineStats &s = engine_->stats();
+    json::Value v = okReply("stats");
+    v.add("clock",
+          json::Value::number(std::uint64_t{engine_->now()}));
+    v.add("pending_events",
+          json::Value::number(
+              std::uint64_t{engine_->pendingEvents()}));
+    v.add("leases", json::Value::number(
+                        std::uint64_t{engine_->leases().size()}));
+    v.add("active_customers",
+          json::Value::number(
+              unsigned{engine_->market().activeCustomers()}));
+    v.add("processed", json::Value::number(s.processed));
+    v.add("arrivals", json::Value::number(s.arrivals));
+    v.add("admitted", json::Value::number(s.admitted));
+    v.add("rejected", json::Value::number(s.rejected));
+    v.add("departures", json::Value::number(s.departures));
+    v.add("faults", json::Value::number(s.faults));
+    v.add("heals", json::Value::number(s.heals));
+    v.add("evictions", json::Value::number(s.evictions));
+    v.add("epochs", json::Value::number(s.epochs));
+    v.add("checkpoints", json::Value::number(s.checkpoints));
+    v.add("free_slices",
+          json::Value::number(
+              unsigned{engine_->fabric().freeSlices()}));
+    v.add("free_banks",
+          json::Value::number(
+              unsigned{engine_->fabric().freeBanks()}));
+    return v.dump();
+}
+
+} // namespace sharch::engine

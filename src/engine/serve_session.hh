@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The sharch-serve request protocol: newline-delimited JSON over
+ * stdin/stdout, one request per line, one response per line.
+ *
+ * The engine made hypervisor mutations data (events); this layer
+ * makes them *remote*: an external orchestrator -- a test script, a
+ * CI step, a would-be cloud control plane -- drives an
+ * AllocationEngine without linking against it.  Seven operations:
+ *
+ *   {"op":"allocate","tenant":T,...}   admit a tenant (TenantArrive)
+ *   {"op":"release","tenant":T}        tenant departs (TenantDepart)
+ *   {"op":"reshape","lease":N,...}     grow/shrink a live lease
+ *   {"op":"price"}                     run an auction epoch, report
+ *                                      the clearing prices
+ *   {"op":"snapshot"}                  sharch-state-v1 inline (or to
+ *                                      "path":FILE)
+ *   {"op":"restore","state":{...}}     replace engine state (or from
+ *                                      "path":FILE)
+ *   {"op":"stats"}                     counters, clock, occupancy
+ *
+ * Every response is one JSON object starting {"ok":true,...} or
+ * {"ok":false,"error":"..."}.  A malformed request never kills the
+ * session: it answers ok:false and the next line is processed
+ * normally.  Because snapshot/restore round-trip byte-exactly, a
+ * session can be killed after any response and resumed from its last
+ * snapshot with identical subsequent behavior.
+ */
+
+#ifndef SHARCH_ENGINE_SERVE_SESSION_HH
+#define SHARCH_ENGINE_SERVE_SESSION_HH
+
+#include <string>
+
+#include "engine/allocation_engine.hh"
+
+namespace sharch::engine {
+
+/** One sharch-serve conversation over an AllocationEngine. */
+class ServeSession
+{
+  public:
+    explicit ServeSession(AllocationEngine &engine)
+        : engine_(&engine)
+    {
+    }
+
+    /**
+     * Process one request line; @return the one-line JSON response
+     * (no trailing newline).  Never throws: protocol and engine
+     * errors come back as {"ok":false,"error":...}.
+     */
+    std::string handle(const std::string &line);
+
+    /** Requests answered so far (ok and failed alike). */
+    std::uint64_t requestsHandled() const { return requests_; }
+
+  private:
+    AllocationEngine *engine_;
+    std::uint64_t requests_ = 0;
+
+    std::string handleAllocate(const json::Value &req);
+    std::string handleRelease(const json::Value &req);
+    std::string handleReshape(const json::Value &req);
+    std::string handlePrice(const json::Value &req);
+    std::string handleSnapshot(const json::Value &req);
+    std::string handleRestore(const json::Value &req);
+    std::string handleStats() const;
+};
+
+} // namespace sharch::engine
+
+#endif // SHARCH_ENGINE_SERVE_SESSION_HH

@@ -65,12 +65,85 @@ parseCountList(const std::string &text, std::vector<unsigned> *out)
     return true;
 }
 
+namespace {
+
+/**
+ * The option-spec table behind handleSharedFlag().  One row per flag
+ * every sharch binary accepts: the spelling, the validator, and the
+ * suffix of the canonical "bad --flag 'value'" message.  Adding a
+ * row here adds the flag to ssim, sharch-bench, and sharch-serve at
+ * once -- the point of the table is that they cannot drift apart.
+ */
+struct SharedSpec
+{
+    const char *name;
+    const char *errorSuffix;
+    bool (*apply)(const char *val, SharedFlagValues *out);
+};
+
+const SharedSpec kSharedSpecs[] = {
+    {"--instructions", "",
+     [](const char *val, SharedFlagValues *out) {
+         std::uint64_t v = 0;
+         if (!parseU64(val, &v) || v == 0)
+             return false;
+         out->instructions = static_cast<std::size_t>(v);
+         out->instructionsSet = true;
+         return true;
+     }},
+    {"--seed", "",
+     [](const char *val, SharedFlagValues *out) {
+         if (!parseU64(val, &out->seed))
+             return false;
+         out->seedSet = true;
+         return true;
+     }},
+    {"--threads", " (want 1..4096)",
+     [](const char *val, SharedFlagValues *out) {
+         std::uint64_t v = 0;
+         if (!parseU64(val, &v) || v == 0 || v > 4096)
+             return false;
+         out->threads = static_cast<unsigned>(v);
+         return true;
+     }},
+};
+
+} // namespace
+
+bool
+handleSharedFlag(int argc, const char *const *argv, int *i,
+                 SharedFlagValues *out, std::string *error)
+{
+    const std::string arg = argv[*i];
+    for (const SharedSpec &spec : kSharedSpecs) {
+        if (arg != spec.name)
+            continue;
+        if (*i + 1 >= argc) {
+            *error = arg + " requires a value";
+            return true;
+        }
+        const char *val = argv[++*i];
+        if (!spec.apply(val, out))
+            *error = "bad " + arg + " '" + val + "'" +
+                     spec.errorSuffix;
+        return true;
+    }
+    return false;
+}
+
+std::string
+sharedFlagUsage()
+{
+    return "  --instructions N (trace length), --seed N, and "
+           "--threads N are shared\n"
+           "  by every sharch binary: same spellings, same "
+           "validation, same errors.\n";
+}
+
 std::string
 runUsage(const std::string &prog)
 {
     return "usage: " + prog +
-           " <benchmark> [config.xml] [instructions]\n"
-           "       " + prog +
            " <benchmark> [--config FILE] [--instructions N]\n"
            "            [--slices LIST] [--banks LIST] [--seed N]\n"
            "            [--threads N] [--json] [--trace-out FILE]\n"
@@ -117,10 +190,15 @@ RunOptions
 parseRunOptions(int argc, const char *const *argv)
 {
     RunOptions opts;
+    SharedFlagValues shared;
     int positional = 0;
     for (int i = 1; i < argc && opts.ok(); ++i) {
         const std::string arg = argv[i];
         std::uint64_t v = 0;
+        if (handleSharedFlag(argc, argv, &i, &shared,
+                             &opts.error)) {
+            continue;
+        }
         if (arg == "--dump-config") {
             opts.dumpConfig = true;
         } else if (arg == "--list") {
@@ -130,32 +208,6 @@ parseRunOptions(int argc, const char *const *argv)
         } else if (arg == "--config") {
             if (const char *val = flagValue(argc, argv, &i, &opts))
                 opts.configPath = val;
-        } else if (arg == "--instructions") {
-            const char *val = flagValue(argc, argv, &i, &opts);
-            if (!val)
-                continue;
-            if (!parseU64(val, &v) || v == 0)
-                opts.error = "bad --instructions '" +
-                             std::string(val) + "'";
-            else
-                opts.instructions = static_cast<std::size_t>(v);
-        } else if (arg == "--seed") {
-            const char *val = flagValue(argc, argv, &i, &opts);
-            if (!val)
-                continue;
-            if (!parseU64(val, &opts.seed))
-                opts.error = "bad --seed '" + std::string(val) + "'";
-            else
-                opts.seedSet = true;
-        } else if (arg == "--threads") {
-            const char *val = flagValue(argc, argv, &i, &opts);
-            if (!val)
-                continue;
-            if (!parseU64(val, &v) || v == 0 || v > 4096)
-                opts.error = "bad --threads '" + std::string(val) +
-                             "' (want 1..4096)";
-            else
-                opts.threads = static_cast<unsigned>(v);
         } else if (arg == "--slices") {
             const char *val = flagValue(argc, argv, &i, &opts);
             if (!val)
@@ -219,12 +271,18 @@ parseRunOptions(int argc, const char *const *argv)
             opts.error = "unknown flag '" + arg + "'";
         } else {
             // Legacy positional form: benchmark, config, instructions.
+            // Positions past the benchmark still parse but are
+            // deprecated in favor of the named flags.
             switch (positional++) {
               case 0:
                 opts.benchmark = arg;
                 break;
               case 1:
                 opts.configPath = arg;
+                opts.deprecationWarning =
+                    "warning: positional config/instruction "
+                    "arguments are deprecated; use --config FILE "
+                    "and --instructions N";
                 break;
               case 2:
                 if (!parseU64(arg, &v) || v == 0)
@@ -238,6 +296,14 @@ parseRunOptions(int argc, const char *const *argv)
             }
         }
     }
+    if (shared.instructionsSet)
+        opts.instructions = shared.instructions;
+    if (shared.seedSet) {
+        opts.seed = shared.seed;
+        opts.seedSet = true;
+    }
+    if (shared.threads != 0)
+        opts.threads = shared.threads;
     // Fault replay (--inject-faults) is a degradation study of the
     // fabric allocator itself; a benchmark is optional there.
     if (opts.ok() && !opts.dumpConfig && !opts.listBenchmarks &&
@@ -277,9 +343,13 @@ BenchOptions
 parseBenchOptions(int argc, const char *const *argv)
 {
     BenchOptions opts;
+    SharedFlagValues shared;
     for (int i = 1; i < argc && opts.ok(); ++i) {
         const std::string arg = argv[i];
-        std::uint64_t v = 0;
+        if (handleSharedFlag(argc, argv, &i, &shared,
+                             &opts.error)) {
+            continue;
+        }
         if (arg == "--list") {
             opts.list = true;
         } else if (arg == "--run") {
@@ -324,32 +394,6 @@ parseBenchOptions(int argc, const char *const *argv)
         } else if (arg == "--trace-out") {
             if (const char *val = flagValue(argc, argv, &i, &opts))
                 opts.traceOut = val;
-        } else if (arg == "--instructions") {
-            const char *val = flagValue(argc, argv, &i, &opts);
-            if (!val)
-                continue;
-            if (!parseU64(val, &v) || v == 0)
-                opts.error = "bad --instructions '" +
-                             std::string(val) + "'";
-            else
-                opts.instructions = static_cast<std::size_t>(v);
-        } else if (arg == "--seed") {
-            const char *val = flagValue(argc, argv, &i, &opts);
-            if (!val)
-                continue;
-            if (!parseU64(val, &opts.seed))
-                opts.error = "bad --seed '" + std::string(val) + "'";
-            else
-                opts.seedSet = true;
-        } else if (arg == "--threads") {
-            const char *val = flagValue(argc, argv, &i, &opts);
-            if (!val)
-                continue;
-            if (!parseU64(val, &v) || v == 0 || v > 4096)
-                opts.error = "bad --threads '" + std::string(val) +
-                             "' (want 1..4096)";
-            else
-                opts.threads = static_cast<unsigned>(v);
         } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
             opts.error = "unknown flag '" + arg + "'";
         } else {
@@ -357,8 +401,79 @@ parseBenchOptions(int argc, const char *const *argv)
             opts.patterns.push_back(arg);
         }
     }
+    if (shared.instructionsSet)
+        opts.instructions = shared.instructions;
+    if (shared.seedSet) {
+        opts.seed = shared.seed;
+        opts.seedSet = true;
+    }
+    if (shared.threads != 0)
+        opts.threads = shared.threads;
     if (opts.ok() && !opts.list && opts.patterns.empty())
         opts.error = "nothing to do: give --list or --run GLOB";
+    return opts;
+}
+
+std::string
+serveUsage(const std::string &prog)
+{
+    return "usage: " + prog +
+           " [--instructions N] [--seed N] [--threads N]\n"
+           "            [--fabric WxH] [--restore FILE]\n"
+           "\n"
+           "  Runs the allocation engine as a daemon: one JSON "
+           "request per stdin\n"
+           "  line, one JSON response per stdout line (ops: "
+           "allocate, release,\n"
+           "  reshape, price, snapshot, restore, stats; see "
+           "DESIGN.md section 8).\n"
+           "  --restore starts from a sharch-state-v1 checkpoint "
+           "file; --fabric\n"
+           "  sets the chip geometry of a fresh engine.\n" +
+           sharedFlagUsage();
+}
+
+ServeOptions
+parseServeOptions(int argc, const char *const *argv)
+{
+    ServeOptions opts;
+    SharedFlagValues shared;
+    for (int i = 1; i < argc && opts.ok(); ++i) {
+        const std::string arg = argv[i];
+        if (handleSharedFlag(argc, argv, &i, &shared,
+                             &opts.error)) {
+            continue;
+        }
+        if (arg == "--restore") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.restorePath = val;
+        } else if (arg == "--fabric") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            const std::string spec = val;
+            const std::size_t x = spec.find('x');
+            std::uint64_t w = 0, h = 0;
+            if (x == std::string::npos ||
+                !parseU64(spec.substr(0, x), &w) ||
+                !parseU64(spec.substr(x + 1), &h) || w < 1 ||
+                h < 2 || w > 1024 || h > 1024) {
+                opts.error = "bad --fabric '" + spec +
+                             "' (want WxH, e.g. 8x8)";
+            } else {
+                opts.fabricWidth = static_cast<int>(w);
+                opts.fabricHeight = static_cast<int>(h);
+            }
+        } else {
+            opts.error = "unknown argument '" + arg + "'";
+        }
+    }
+    if (shared.instructionsSet)
+        opts.instructions = shared.instructions;
+    if (shared.seedSet)
+        opts.seed = shared.seed;
+    if (shared.threads != 0)
+        opts.threads = shared.threads;
     return opts;
 }
 

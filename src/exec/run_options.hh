@@ -41,6 +41,35 @@
 
 namespace sharch::exec {
 
+/**
+ * The values of the flags every sharch binary shares.  ssim,
+ * sharch-bench, and sharch-serve all parse --instructions, --seed,
+ * and --threads through one option-spec table (handleSharedFlag), so
+ * the three CLIs accept identical spellings with identical
+ * validation and identical error messages -- they cannot drift
+ * apart flag by flag.
+ */
+struct SharedFlagValues
+{
+    std::size_t instructions = 0;      //!< 0: caller's default
+    bool instructionsSet = false;
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    unsigned threads = 0;              //!< 0: resolveThreadCount()
+};
+
+/**
+ * If argv[*i] names a shared flag, consume it (and its value) into
+ * @p out and return true; *i is advanced past the value.  A missing
+ * or malformed value also returns true, with the canonical message
+ * in @p error.  Unrelated arguments return false untouched.
+ */
+bool handleSharedFlag(int argc, const char *const *argv, int *i,
+                      SharedFlagValues *out, std::string *error);
+
+/** One usage line documenting the shared flags (kept in lockstep). */
+std::string sharedFlagUsage();
+
 /** Parsed ssim invocation. */
 struct RunOptions
 {
@@ -60,6 +89,14 @@ struct RunOptions
     bool json = false;
     bool dumpConfig = false;
     bool listBenchmarks = false;
+
+    /**
+     * Nonempty when the legacy positional `[config.xml]
+     * [instructions]` form was used: a one-line warning naming the
+     * named-flag equivalents.  The caller prints it to stderr; the
+     * run still proceeds.
+     */
+    std::string deprecationWarning;
 
     std::string error; //!< nonempty: parse failed, show usage
 
@@ -127,6 +164,41 @@ BenchOptions parseBenchOptions(int argc, const char *const *argv);
 
 /** Usage text for sharch-bench. */
 std::string benchUsage(const std::string &prog);
+
+/**
+ * Parsed sharch-serve invocation (the allocation-engine daemon that
+ * answers newline-delimited JSON requests on stdin):
+ *
+ *   --instructions N    trace length behind the P(c, s) surface the
+ *                       market bids against (default 2000: cheap,
+ *                       deterministic)
+ *   --seed N            base generation seed (default 1)
+ *   --threads N         sweep worker threads for surface fills
+ *   --fabric WxH        chip geometry (default 8x8)
+ *   --restore FILE      start from a sharch-state-v1 checkpoint
+ *
+ * Shares the --instructions/--seed/--threads spec table with ssim
+ * and sharch-bench: same spellings, same errors.
+ */
+struct ServeOptions
+{
+    std::size_t instructions = 2000;
+    std::uint64_t seed = 1;
+    unsigned threads = 0;              //!< 0: resolveThreadCount()
+    int fabricWidth = 8;
+    int fabricHeight = 8;
+    std::string restorePath;           //!< empty: fresh engine
+
+    std::string error; //!< nonempty: parse failed, show usage
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Parse a sharch-serve command line (never throws). */
+ServeOptions parseServeOptions(int argc, const char *const *argv);
+
+/** Usage text for sharch-serve. */
+std::string serveUsage(const std::string &prog);
 
 /** Strict base-10 parse of a full string; false on any garbage. */
 bool parseU64(const std::string &text, std::uint64_t *out);

@@ -23,6 +23,20 @@ faultKindName(FaultKind kind)
     return "?";
 }
 
+bool
+parseFaultKind(const std::string &name, FaultKind *out)
+{
+    if (name == "slice")
+        *out = FaultKind::Slice;
+    else if (name == "bank")
+        *out = FaultKind::Bank;
+    else if (name == "link")
+        *out = FaultKind::Link;
+    else
+        return false;
+    return true;
+}
+
 namespace {
 
 /** splitmix64 finalizer: decorrelates seed and geometry. */

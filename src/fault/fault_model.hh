@@ -40,6 +40,13 @@ enum class FaultKind
 
 const char *faultKindName(FaultKind kind);
 
+/**
+ * Inverse of faultKindName() ("slice" / "bank" / "link"), for
+ * rebuilding fault events from sharch-state-v1 checkpoint documents.
+ * @return false when @p name is none of the three.
+ */
+bool parseFaultKind(const std::string &name, FaultKind *out);
+
 /** One scheduled failure or repair. */
 struct FaultEvent
 {

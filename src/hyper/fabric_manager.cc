@@ -679,6 +679,125 @@ FabricManager::heal(fault::FaultKind kind, Coord tile)
     return false;
 }
 
+FabricSnapshot
+FabricManager::snapshot() const
+{
+    FabricSnapshot snap;
+    snap.width = width_;
+    snap.height = height_;
+    snap.next = next_;
+    for (const auto &[id, alloc] : live_)
+        snap.allocations.push_back(alloc);
+    for (std::size_t r = 0; r < sliceBad_.size(); ++r)
+        for (int c = 0; c < width_; ++c)
+            if (sliceBad_[r][c])
+                snap.faultySliceTiles.push_back(
+                    Coord{c, static_cast<int>(r) * 2});
+    for (std::size_t r = 0; r < bankBad_.size(); ++r)
+        for (int c = 0; c < width_; ++c)
+            if (bankBad_[r][c])
+                snap.faultyBankTiles.push_back(
+                    Coord{c, static_cast<int>(r) * 2 + 1});
+    for (std::size_t r = 0; r < linkBad_.size(); ++r)
+        for (int c = 0; c + 1 < width_; ++c)
+            if (linkBad_[r][c])
+                snap.faultyLinkTiles.push_back(
+                    Coord{c, static_cast<int>(r) * 2});
+    return snap;
+}
+
+bool
+FabricManager::restore(const FabricSnapshot &snap, std::string *error)
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+    if (snap.width < 1 || snap.height < 2) {
+        return fail("fabric geometry " + std::to_string(snap.width) +
+                    "x" + std::to_string(snap.height) +
+                    " is invalid (want width >= 1, height >= 2)");
+    }
+
+    // Build the replacement state on the side; *this is only
+    // overwritten once every record has validated.
+    FabricManager next(snap.width, snap.height);
+    next.next_ = snap.next;
+
+    for (const Coord &t : snap.faultySliceTiles) {
+        if (!next.isSliceRow(t.y) || t.y >= snap.height || t.x < 0 ||
+            t.x >= snap.width) {
+            return fail("faulty Slice tile (" + std::to_string(t.x) +
+                        "," + std::to_string(t.y) + ") is off-chip");
+        }
+        next.sliceBad_[next.sliceRowIndex(t.y)][t.x] = true;
+    }
+    for (const Coord &t : snap.faultyBankTiles) {
+        if (next.isSliceRow(t.y) || t.y >= snap.height || t.x < 0 ||
+            t.x >= snap.width) {
+            return fail("faulty bank tile (" + std::to_string(t.x) +
+                        "," + std::to_string(t.y) + ") is off-chip");
+        }
+        next.bankBad_[next.bankRowIndex(t.y)][t.x] = true;
+    }
+    for (const Coord &t : snap.faultyLinkTiles) {
+        if (!next.isSliceRow(t.y) || t.y >= snap.height || t.x < 0 ||
+            t.x >= snap.width - 1) {
+            return fail("faulty link (" + std::to_string(t.x) + "," +
+                        std::to_string(t.y) + ") is off-chip");
+        }
+        next.linkBad_[next.sliceRowIndex(t.y)][t.x] = true;
+    }
+
+    for (const FabricAllocation &alloc : snap.allocations) {
+        const std::string where =
+            "allocation " + std::to_string(alloc.id);
+        if (alloc.id == kFree || alloc.id >= snap.next)
+            return fail(where + ": id must be in 1.." +
+                        std::to_string(snap.next - 1) +
+                        " (below the id counter)");
+        if (next.live_.count(alloc.id))
+            return fail(where + ": duplicate id");
+        const SliceRun &run = alloc.slices;
+        if (!next.isSliceRow(run.row) || run.row >= snap.height ||
+            run.col < 0 || run.count == 0 ||
+            run.col + static_cast<int>(run.count) > snap.width) {
+            return fail(where + ": Slice run is off-chip");
+        }
+        const int r = next.sliceRowIndex(run.row);
+        for (unsigned i = 0; i < run.count; ++i) {
+            if (next.sliceOwner_[r][run.col + i] != kFree)
+                return fail(where + ": Slice (" +
+                            std::to_string(run.col +
+                                           static_cast<int>(i)) +
+                            "," + std::to_string(run.row) +
+                            ") is claimed twice");
+            next.sliceOwner_[r][run.col + i] = alloc.id;
+        }
+        for (const Coord &b : alloc.banks) {
+            if (next.isSliceRow(b.y) || b.y >= snap.height ||
+                b.x < 0 || b.x >= snap.width) {
+                return fail(where + ": bank (" +
+                            std::to_string(b.x) + "," +
+                            std::to_string(b.y) + ") is off-chip");
+            }
+            AllocationId &owner =
+                next.bankOwner_[next.bankRowIndex(b.y)][b.x];
+            if (owner != kFree)
+                return fail(where + ": bank (" +
+                            std::to_string(b.x) + "," +
+                            std::to_string(b.y) +
+                            ") is claimed twice");
+            owner = alloc.id;
+        }
+        next.live_.emplace(alloc.id, alloc);
+    }
+
+    *this = std::move(next);
+    return true;
+}
+
 std::vector<DegradeAction>
 FabricManager::apply(const fault::FaultEvent &event)
 {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -82,6 +83,24 @@ enum class DegradeKind
 };
 
 const char *degradeKindName(DegradeKind kind);
+
+/**
+ * Everything needed to rebuild a FabricManager exactly: geometry,
+ * the id counter, every live allocation, and the fault sets.  The
+ * owner grids are derived state (reconstructed by re-claiming each
+ * allocation), so they are not stored.  AllocationEngine embeds
+ * this in its sharch-state-v1 checkpoint document.
+ */
+struct FabricSnapshot
+{
+    int width = 0;
+    int height = 0;
+    AllocationId next = 1;
+    std::vector<FabricAllocation> allocations; //!< ascending id
+    std::vector<Coord> faultySliceTiles;       //!< chip coordinates
+    std::vector<Coord> faultyBankTiles;
+    std::vector<Coord> faultyLinkTiles;        //!< left endpoint
+};
 
 /** One VCore's graceful-degradation outcome. */
 struct DegradeAction
@@ -203,6 +222,22 @@ class FabricManager
     bool isFaulty(fault::FaultKind kind, Coord tile) const;
     unsigned faultySlices() const;
     unsigned faultyBanks() const;
+
+    // --- Checkpoint/restore --------------------------------------
+
+    /** Capture the full allocator state (allocations in id order). */
+    FabricSnapshot snapshot() const;
+
+    /**
+     * Replace this manager's state wholesale with @p snap (geometry
+     * included).  Every claim is validated -- runs on Slice rows and
+     * in range, banks on bank rows, no overlaps, ids unique and
+     * below the id counter -- so a tampered checkpoint is rejected
+     * instead of corrupting the occupancy grid.
+     * @return false (state unchanged) with @p error naming the first
+     *         bad record.
+     */
+    bool restore(const FabricSnapshot &snap, std::string *error);
 
   private:
     int width_;

@@ -41,11 +41,38 @@ SpotMarket::SpotMarket(UtilityOptimizer &opt, double slice_capacity,
     prices_.name = "Spot";
 }
 
-void
+CustomerId
 SpotMarket::addCustomer(SpotCustomer customer)
 {
     SHARCH_ASSERT(customer.budget > 0.0, "customers need budgets");
     customers_.push_back(std::move(customer));
+    return static_cast<CustomerId>(customers_.size() - 1);
+}
+
+const SpotCustomer &
+SpotMarket::customer(CustomerId id) const
+{
+    SHARCH_ASSERT(id < customers_.size(), "unknown customer id ",
+                  id);
+    return customers_[id];
+}
+
+bool
+SpotMarket::deactivateCustomer(CustomerId id)
+{
+    if (id >= customers_.size() || !customers_[id].active)
+        return false;
+    customers_[id].active = false;
+    return true;
+}
+
+unsigned
+SpotMarket::activeCustomers() const
+{
+    unsigned n = 0;
+    for (const SpotCustomer &c : customers_)
+        n += c.active;
+    return n;
 }
 
 SpotRound
@@ -55,9 +82,12 @@ SpotMarket::step(double adjust_rate)
     round.round = ++round_;
     round.prices = prices_;
 
-    for (const SpotCustomer &c : customers_) {
+    for (std::size_t i = 0; i < customers_.size(); ++i) {
+        const SpotCustomer &c = customers_[i];
+        if (!c.active)
+            continue;
         SpotBid bid;
-        bid.customer = &c;
+        bid.customer = static_cast<CustomerId>(i);
         bid.choice = opt_->peakUtility(c.benchmark, c.utility, prices_,
                                        c.budget);
         bid.slicesWanted = bid.choice.cores * bid.choice.slices;
@@ -133,9 +163,12 @@ SpotMarket::reauctionAfterFailure(double slices_lost,
     // resource, so the refund pool splits evenly.)
     double slice_demand = 0.0, bank_demand = 0.0;
     std::vector<SpotBid> bids;
-    for (const SpotCustomer &c : customers_) {
+    for (std::size_t i = 0; i < customers_.size(); ++i) {
+        const SpotCustomer &c = customers_[i];
+        if (!c.active)
+            continue;
         SpotBid bid;
-        bid.customer = &c;
+        bid.customer = static_cast<CustomerId>(i);
         bid.choice = opt_->peakUtility(c.benchmark, c.utility, prices_,
                                        c.budget);
         bid.slicesWanted = bid.choice.cores * bid.choice.slices;
@@ -144,7 +177,7 @@ SpotMarket::reauctionAfterFailure(double slices_lost,
         bank_demand += bid.banksWanted;
         bids.push_back(bid);
     }
-    const double n = static_cast<double>(customers_.size());
+    const double n = static_cast<double>(bids.size());
     for (const SpotBid &bid : bids) {
         const double slice_share = slice_demand > 0.0
                                        ? bid.slicesWanted / slice_demand
@@ -169,6 +202,31 @@ SpotMarket::reauctionAfterFailure(double slices_lost,
 #endif
     result.rounds = runToClearing(tolerance, max_rounds, adjust_rate);
     return result;
+}
+
+SpotMarketSnapshot
+SpotMarket::snapshot() const
+{
+    SpotMarketSnapshot snap;
+    snap.sliceCapacity = sliceCapacity_;
+    snap.bankCapacity = bankCapacity_;
+    snap.prices = prices_;
+    snap.round = round_;
+    snap.customers = customers_;
+    return snap;
+}
+
+void
+SpotMarket::restore(const SpotMarketSnapshot &snap)
+{
+    SHARCH_ASSERT(snap.sliceCapacity > 0.0 &&
+                      snap.bankCapacity > 0.0,
+                  "a provider with nothing to sell has no market");
+    sliceCapacity_ = snap.sliceCapacity;
+    bankCapacity_ = snap.bankCapacity;
+    prices_ = snap.prices;
+    round_ = snap.round;
+    customers_ = snap.customers;
 }
 
 std::vector<SpotRound>

@@ -14,6 +14,7 @@
 #ifndef SHARCH_HYPER_SPOT_MARKET_HH
 #define SHARCH_HYPER_SPOT_MARKET_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,15 @@
 
 namespace sharch {
 
+/**
+ * Stable handle of one customer in a SpotMarket.  Ids are assigned
+ * in addCustomer() order and never reused: a departed customer goes
+ * inactive but keeps its slot, so a CustomerId stays valid across
+ * later arrivals (a raw pointer into the customer vector would not)
+ * and serializes cleanly into sharch-state-v1 documents.
+ */
+using CustomerId = std::uint32_t;
+
 /** One bidder in the spot market. */
 struct SpotCustomer
 {
@@ -29,12 +39,13 @@ struct SpotCustomer
     std::string benchmark;
     UtilityKind utility = UtilityKind::Throughput;
     double budget = 0.0;
+    bool active = true; //!< departed customers stop bidding
 };
 
 /** A customer's demand at the current prices. */
 struct SpotBid
 {
-    const SpotCustomer *customer = nullptr;
+    CustomerId customer = 0;
     OptResult choice;          //!< shape + v at current prices
     double slicesWanted = 0.0; //!< v * slices
     double banksWanted = 0.0;  //!< v * banks
@@ -55,7 +66,7 @@ struct SpotRound
 /** Money returned to one customer after a capacity failure. */
 struct SpotRefund
 {
-    const SpotCustomer *customer = nullptr;
+    CustomerId customer = 0;
     double amount = 0.0;
 };
 
@@ -67,6 +78,21 @@ struct ReauctionResult
     double refundTotal = 0.0;        //!< lost capacity at old prices
     std::vector<SpotRefund> refunds; //!< pro-rated by demand share
     std::vector<SpotRound> rounds;   //!< re-clearing history
+};
+
+/**
+ * Everything a SpotMarket needs to be rebuilt exactly: capacities,
+ * posted prices, the tatonnement round counter, and the customer
+ * book in id order.  The AllocationEngine embeds this in its
+ * sharch-state-v1 checkpoint document.
+ */
+struct SpotMarketSnapshot
+{
+    double sliceCapacity = 0.0;
+    double bankCapacity = 0.0;
+    Market prices;
+    unsigned round = 0;
+    std::vector<SpotCustomer> customers; //!< index == CustomerId
 };
 
 /** Dynamic sub-core pricing over a fixed-capacity fabric. */
@@ -81,10 +107,33 @@ class SpotMarket
     SpotMarket(UtilityOptimizer &opt, double slice_capacity,
                double bank_capacity);
 
-    void addCustomer(SpotCustomer customer);
+    /** Register a bidder; the returned id is stable forever. */
+    CustomerId addCustomer(SpotCustomer customer);
+
+    /** The customer behind a SpotBid/SpotRefund handle. */
+    const SpotCustomer &customer(CustomerId id) const;
+
+    /** The whole book, active and departed, in id order. */
+    const std::vector<SpotCustomer> &customers() const
+    {
+        return customers_;
+    }
+
+    /**
+     * Take a customer out of the market (a tenant departed).  The
+     * id stays valid for lookups; the customer just stops bidding.
+     * @return false when the id was unknown or already inactive.
+     */
+    bool deactivateCustomer(CustomerId id);
+
+    /** Bidders that still participate in auctions. */
+    unsigned activeCustomers() const;
 
     /** Current posted prices (starts at Market2's area parity). */
     const Market &prices() const { return prices_; }
+
+    /** Rounds stepped so far (the tatonnement clock). */
+    unsigned round() const { return round_; }
 
     double sliceCapacity() const { return sliceCapacity_; }
     double bankCapacity() const { return bankCapacity_; }
@@ -127,6 +176,16 @@ class SpotMarket
                                           double tolerance = 0.10,
                                           unsigned max_rounds = 50,
                                           double adjust_rate = 0.25);
+
+    /** Capture the full market state for a checkpoint. */
+    SpotMarketSnapshot snapshot() const;
+
+    /**
+     * Replace the market state wholesale (checkpoint restore).  The
+     * optimizer binding is unchanged: prices and books serialize,
+     * the performance surface is reconstructed by the host.
+     */
+    void restore(const SpotMarketSnapshot &snap);
 
   private:
     UtilityOptimizer *opt_;

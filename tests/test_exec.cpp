@@ -159,6 +159,90 @@ TEST(CliParse, LegacyPositionalFormStillWorks)
     EXPECT_FALSE(o.isSweep());
 }
 
+TEST(CliParse, LegacyPositionalFormWarnsDeprecation)
+{
+    // Positional config/instructions still parse but carry a
+    // one-line warning naming the named-flag equivalents.
+    const RunOptions legacy = parse({"gcc", "cfg.xml", "5000"});
+    ASSERT_TRUE(legacy.ok()) << legacy.error;
+    EXPECT_NE(legacy.deprecationWarning.find("deprecated"),
+              std::string::npos);
+    EXPECT_NE(legacy.deprecationWarning.find("--config"),
+              std::string::npos);
+    EXPECT_NE(legacy.deprecationWarning.find("--instructions"),
+              std::string::npos);
+
+    // The benchmark positional itself is fine, flags are fine.
+    EXPECT_TRUE(parse({"gcc"}).deprecationWarning.empty());
+    EXPECT_TRUE(parse({"gcc", "--config", "cfg.xml",
+                       "--instructions", "5000"})
+                    .deprecationWarning.empty());
+}
+
+TEST(CliParse, SharedFlagsErrorIdenticallyAcrossBinaries)
+{
+    // ssim, sharch-bench, and sharch-serve parse
+    // --instructions/--seed/--threads through one spec table;
+    // malformed values must produce byte-identical messages.
+    const char *runArgv[] = {"ssim", "gcc", "--threads", "0"};
+    const char *benchArgv[] = {"sharch-bench", "fig13", "--threads",
+                               "0"};
+    const char *serveArgv[] = {"sharch-serve", "--threads", "0"};
+    const RunOptions r = parseRunOptions(4, runArgv);
+    const BenchOptions b = parseBenchOptions(4, benchArgv);
+    const ServeOptions s = parseServeOptions(3, serveArgv);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error, b.error);
+    EXPECT_EQ(r.error, s.error);
+    EXPECT_EQ(r.error, "bad --threads '0' (want 1..4096)");
+
+    const char *runSeed[] = {"ssim", "gcc", "--seed", "x"};
+    const char *benchSeed[] = {"sharch-bench", "fig13", "--seed",
+                               "x"};
+    const char *serveSeed[] = {"sharch-serve", "--seed", "x"};
+    EXPECT_EQ(parseRunOptions(4, runSeed).error,
+              parseBenchOptions(4, benchSeed).error);
+    EXPECT_EQ(parseRunOptions(4, runSeed).error,
+              parseServeOptions(3, serveSeed).error);
+    EXPECT_EQ(parseRunOptions(4, runSeed).error, "bad --seed 'x'");
+
+    const char *runInstr[] = {"ssim", "gcc", "--instructions", "0"};
+    const char *serveInstr[] = {"sharch-serve", "--instructions",
+                                "0"};
+    EXPECT_EQ(parseRunOptions(4, runInstr).error,
+              parseServeOptions(3, serveInstr).error);
+    EXPECT_EQ(parseRunOptions(4, runInstr).error,
+              "bad --instructions '0'");
+}
+
+TEST(ServeParse, FlagsAndDefaults)
+{
+    const char *defaults[] = {"sharch-serve"};
+    ServeOptions o = parseServeOptions(1, defaults);
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.instructions, 2000u);
+    EXPECT_EQ(o.seed, 1u);
+    EXPECT_EQ(o.fabricWidth, 8);
+    EXPECT_EQ(o.fabricHeight, 8);
+    EXPECT_TRUE(o.restorePath.empty());
+
+    const char *argv[] = {"sharch-serve", "--instructions", "4000",
+                          "--seed",       "9",              "--fabric",
+                          "16x4",         "--restore",      "s.json"};
+    o = parseServeOptions(9, argv);
+    ASSERT_TRUE(o.ok()) << o.error;
+    EXPECT_EQ(o.instructions, 4000u);
+    EXPECT_EQ(o.seed, 9u);
+    EXPECT_EQ(o.fabricWidth, 16);
+    EXPECT_EQ(o.fabricHeight, 4);
+    EXPECT_EQ(o.restorePath, "s.json");
+
+    const char *badFabric[] = {"sharch-serve", "--fabric", "16"};
+    EXPECT_FALSE(parseServeOptions(3, badFabric).ok());
+    const char *unknown[] = {"sharch-serve", "positional"};
+    EXPECT_FALSE(parseServeOptions(2, unknown).ok());
+}
+
 TEST(CliParse, NamedFlags)
 {
     const RunOptions o = parse({"mcf", "--instructions", "2000",

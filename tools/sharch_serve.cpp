@@ -1,0 +1,88 @@
+/**
+ * @file
+ * sharch-serve -- the allocation engine as a daemon.
+ *
+ * Reads one JSON request per stdin line, answers one JSON response
+ * per stdout line (see engine/serve_session.hh for the protocol and
+ * DESIGN.md section 8 for a worked transcript).  All diagnostics go
+ * to stderr so stdout stays a pure response stream a driver can
+ * parse line by line:
+ *
+ *   printf '%s\n' '{"op":"allocate","tenant":"a","slices":4}' \
+ *     '{"op":"snapshot","path":"s.json"}' | sharch-serve
+ *
+ * Because the engine's snapshot/restore round-trips byte-exactly, a
+ * serve process can be killed after any response and a new one
+ * started with --restore FILE continues the session as if nothing
+ * happened -- the property the serve-smoke CI step pins down.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "econ/optimizer.hh"
+#include "engine/allocation_engine.hh"
+#include "engine/serve_session.hh"
+#include "exec/run_options.hh"
+
+using namespace sharch;
+
+int
+main(int argc, char **argv)
+{
+    const exec::ServeOptions opts =
+        exec::parseServeOptions(argc, argv);
+    if (!opts.ok()) {
+        std::fprintf(stderr, "%s: %s\n%s", argv[0],
+                     opts.error.c_str(),
+                     exec::serveUsage(argv[0]).c_str());
+        return 1;
+    }
+
+    PerfModel pm(opts.instructions, opts.seed);
+    AreaModel am;
+    UtilityOptimizer opt(pm, am);
+
+    engine::EngineConfig cfg;
+    cfg.fabricWidth = opts.fabricWidth;
+    cfg.fabricHeight = opts.fabricHeight;
+    engine::AllocationEngine engine(opt, cfg);
+
+    if (!opts.restorePath.empty()) {
+        std::ifstream in(opts.restorePath, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot read '%s'\n", argv[0],
+                         opts.restorePath.c_str());
+            return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string text = buf.str();
+        while (!text.empty() &&
+               (text.back() == '\n' || text.back() == '\r')) {
+            text.pop_back();
+        }
+        std::string err;
+        if (!engine.restoreState(text, &err)) {
+            std::fprintf(stderr, "%s: --restore rejected: %s\n",
+                         argv[0], err.c_str());
+            return 1;
+        }
+    }
+
+    engine::ServeSession session(engine);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.empty())
+            continue;
+        std::fputs(session.handle(line).c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    }
+    return 0;
+}

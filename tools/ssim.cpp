@@ -8,7 +8,6 @@
  * and stage-based micro-architecture stalls and statistics."
  *
  * Usage (see exec/run_options.hh for the full flag reference):
- *   ssim <benchmark> [config.xml] [instructions]     # legacy form
  *   ssim <benchmark> [--config FILE] [--instructions N]
  *        [--slices LIST] [--banks LIST] [--seed N] [--threads N]
  *        [--json]
@@ -335,6 +334,9 @@ main(int argc, char **argv)
     const exec::RunOptions opts = exec::parseRunOptions(argc, argv);
     if (!opts.ok())
         return usageError(argv[0], opts.error);
+    if (!opts.deprecationWarning.empty())
+        std::fprintf(stderr, "%s\n",
+                     opts.deprecationWarning.c_str());
 
     if (opts.dumpConfig) {
         std::fputs(simConfigToXml(SimConfig{}).c_str(), stdout);
