@@ -266,8 +266,6 @@ class Parser
     std::size_t pos_ = 0;
     int depth_ = 0;
 
-    static constexpr int kMaxDepth = 64;
-
     bool
     fail(const std::string &what)
     {
@@ -320,7 +318,8 @@ class Parser
             return fail("document ends where a value was expected "
                         "(truncated?)");
         if (++depth_ > kMaxDepth)
-            return fail("nesting deeper than 64 levels");
+            return fail("nesting deeper than " +
+                        std::to_string(kMaxDepth) + " levels");
         bool ok = false;
         switch (peek()) {
           case '{': ok = parseObject(out); break;
@@ -528,6 +527,12 @@ parse(const std::string &text, Value *out, std::string *error)
     std::string &err = error ? *error : local;
     err.clear();
     *out = Value{};
+    if (text.size() > kMaxDocumentBytes) {
+        err = "offset 0: document is " + std::to_string(text.size()) +
+              " bytes, larger than the " +
+              std::to_string(kMaxDocumentBytes) + "-byte limit";
+        return false;
+    }
     return Parser(text, &err).run(out);
 }
 

@@ -89,10 +89,22 @@ struct Value
 };
 
 /**
+ * Adversarial-input bounds the parser enforces (both produce a
+ * positioned error, never a crash): documents nested deeper than
+ * kMaxDepth levels are rejected before the recursion can overflow
+ * the stack, and documents larger than kMaxDocumentBytes are
+ * rejected before any allocation happens.  Both are far above
+ * anything this codebase writes (sharch-state-v1 nests 5 deep).
+ */
+inline constexpr int kMaxDepth = 64;
+inline constexpr std::size_t kMaxDocumentBytes = 64u << 20;
+
+/**
  * Parse @p text into @p out.  Strict JSON (RFC 8259): no trailing
  * garbage, no comments, no trailing commas.  On failure returns
  * false and sets @p error to "offset N: <what went wrong>" so a
  * truncated or hand-tampered document names its first bad byte.
+ * Inputs beyond kMaxDepth / kMaxDocumentBytes fail the same way.
  */
 bool parse(const std::string &text, Value *out, std::string *error);
 

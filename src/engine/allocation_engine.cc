@@ -49,9 +49,9 @@ AllocationEngine::runUntil(Cycles cycle)
 {
     while (!queue_.empty() && queue_.front().event.at <= cycle) {
         std::pop_heap(queue_.begin(), queue_.end(), laterThan);
-        Event e = std::move(queue_.back().event);
+        Queued q = std::move(queue_.back());
         queue_.pop_back();
-        dispatch(e);
+        dispatch(q.event, q.seq);
     }
 }
 
@@ -60,9 +60,9 @@ AllocationEngine::run()
 {
     while (!queue_.empty()) {
         std::pop_heap(queue_.begin(), queue_.end(), laterThan);
-        Event e = std::move(queue_.back().event);
+        Queued q = std::move(queue_.back());
         queue_.pop_back();
-        dispatch(e);
+        dispatch(q.event, q.seq);
     }
 }
 
@@ -79,8 +79,12 @@ AllocationEngine::execute(Event e)
 }
 
 void
-AllocationEngine::dispatch(const Event &e)
+AllocationEngine::dispatch(const Event &e, std::uint64_t seq)
 {
+    // Write-ahead: the journal hook makes the record durable before
+    // any state changes, so a crash mid-apply replays the event.
+    if (dispatchHook_ && !replaying_)
+        dispatchHook_(e, seq);
     if (e.at > clock_)
         clock_ = e.at;
     stats_.processed++;
@@ -89,11 +93,31 @@ AllocationEngine::dispatch(const Event &e)
     switch (e.kind) {
       case EventKind::TenantArrive: handleArrive(e); break;
       case EventKind::TenantDepart: handleDepart(e); break;
+      case EventKind::Reshape: handleReshape(e); break;
       case EventKind::FaultStrike: handleFault(e); break;
       case EventKind::Heal: handleHeal(e); break;
       case EventKind::AuctionEpoch: handleEpoch(); break;
       case EventKind::Checkpoint: handleCheckpoint(e); break;
     }
+}
+
+void
+AllocationEngine::replayDispatch(const Event &e, std::uint64_t seq)
+{
+    // The snapshot's queue may hold the same posting: drop it so the
+    // event fires exactly once.
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->seq == seq) {
+            queue_.erase(it);
+            std::make_heap(queue_.begin(), queue_.end(), laterThan);
+            break;
+        }
+    }
+    if (seq >= nextSeq_)
+        nextSeq_ = seq + 1;
+    replaying_ = true;
+    dispatch(e, seq);
+    replaying_ = false;
 }
 
 void
@@ -291,22 +315,39 @@ AllocationEngine::degradeBookkeeping(
     }
 }
 
+void
+AllocationEngine::handleReshape(const Event &e)
+{
+    auto it = leases_.find(e.lease);
+    if (it == leases_.end()) {
+        lastOutcome_.detail =
+            "no lease with id " + std::to_string(e.lease);
+        return;
+    }
+    lastOutcome_.lease = e.lease;
+    std::optional<Cycles> cost =
+        fabric_.reshape(e.lease, e.slices, e.banks);
+    if (!cost) {
+        lastOutcome_.detail = "fabric cannot satisfy the new shape";
+        return;
+    }
+    const FabricAllocation *fa = fabric_.find(e.lease);
+    it->second.slices = fa->slices.count;
+    it->second.banks = static_cast<unsigned>(fa->banks.size());
+    stats_.reconfigCycles += *cost;
+    lastOutcome_.applied = true;
+    lastOutcome_.cost = *cost;
+}
+
 std::optional<Cycles>
 AllocationEngine::reshapeLease(std::uint64_t lease, unsigned slices,
                                unsigned banks)
 {
-    auto it = leases_.find(lease);
-    if (it == leases_.end())
+    const EventOutcome out =
+        execute(reshapeEvent(clock_, lease, slices, banks));
+    if (!out.applied)
         return std::nullopt;
-    std::optional<Cycles> cost =
-        fabric_.reshape(lease, slices, banks);
-    if (!cost)
-        return std::nullopt;
-    const FabricAllocation *fa = fabric_.find(lease);
-    it->second.slices = fa->slices.count;
-    it->second.banks = static_cast<unsigned>(fa->banks.size());
-    stats_.reconfigCycles += *cost;
-    return cost;
+    return out.cost;
 }
 
 namespace {
@@ -747,6 +788,112 @@ AllocationEngine::restoreState(const std::string &text,
     nextSeq_ = nextSeq;
     stats_ = st;
     lastOutcome_ = EventOutcome{};
+    return true;
+}
+
+bool
+AllocationEngine::checkInvariants(std::string *error) const
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what;
+        return false;
+    };
+
+    // The layers audit themselves first.
+    if (!fabric_.checkConsistency(error))
+        return false;
+    if (!market_.checkConsistency(error))
+        return false;
+
+    // Leases <-> fabric allocations must be a bijection with
+    // matching shapes, and every customer handle must resolve.
+    const std::vector<FabricAllocation> allocs =
+        fabric_.allocations();
+    if (allocs.size() != leases_.size())
+        return fail("lease book has " +
+                    std::to_string(leases_.size()) +
+                    " entries but the fabric has " +
+                    std::to_string(allocs.size()) + " allocations");
+    std::uint64_t leasedSlices = 0, leasedBanks = 0;
+    for (const FabricAllocation &fa : allocs) {
+        auto it = leases_.find(fa.id);
+        if (it == leases_.end())
+            return fail("fabric allocation " +
+                        std::to_string(fa.id) + " has no lease");
+        const Lease &lease = it->second;
+        if (lease.slices != fa.slices.count ||
+            lease.banks != static_cast<unsigned>(fa.banks.size())) {
+            return fail(
+                "lease " + std::to_string(fa.id) + " ('" +
+                lease.tenant + "') claims " +
+                std::to_string(lease.slices) + " Slices + " +
+                std::to_string(lease.banks) +
+                " banks but the fabric allocation holds " +
+                std::to_string(fa.slices.count) + " + " +
+                std::to_string(fa.banks.size()));
+        }
+        leasedSlices += fa.slices.count;
+        leasedBanks += fa.banks.size();
+        if (lease.hasCustomer) {
+            if (lease.customer >= market_.customers().size())
+                return fail("lease " + std::to_string(fa.id) +
+                            " points at customer " +
+                            std::to_string(lease.customer) +
+                            " but the book has only " +
+                            std::to_string(
+                                market_.customers().size()) +
+                            " entries");
+            if (!market_.customer(lease.customer).active)
+                return fail("lease " + std::to_string(fa.id) +
+                            " ('" + lease.tenant +
+                            "') references departed customer " +
+                            std::to_string(lease.customer));
+        }
+        if (lease.arrivedAt > clock_)
+            return fail("lease " + std::to_string(fa.id) +
+                        " arrived at cycle " +
+                        std::to_string(lease.arrivedAt) +
+                        ", after the clock (" +
+                        std::to_string(clock_) + ")");
+    }
+
+    // The occupancy arithmetic must close exactly.
+    if (leasedSlices + fabric_.freeSlices() +
+            fabric_.faultySlices() != fabric_.totalSlices()) {
+        return fail("Slice occupancy does not close: " +
+                    std::to_string(leasedSlices) + " leased + " +
+                    std::to_string(fabric_.freeSlices()) +
+                    " free + " +
+                    std::to_string(fabric_.faultySlices()) +
+                    " faulty != " +
+                    std::to_string(fabric_.totalSlices()));
+    }
+    if (leasedBanks + fabric_.freeBanks() + fabric_.faultyBanks() !=
+        fabric_.totalBanks()) {
+        return fail("bank occupancy does not close: " +
+                    std::to_string(leasedBanks) + " leased + " +
+                    std::to_string(fabric_.freeBanks()) +
+                    " free + " +
+                    std::to_string(fabric_.faultyBanks()) +
+                    " faulty != " +
+                    std::to_string(fabric_.totalBanks()));
+    }
+
+    // The market cannot sell more than the chip has.
+    if (market_.sliceCapacity() >
+            static_cast<double>(fabric_.totalSlices()) ||
+        market_.bankCapacity() >
+            static_cast<double>(fabric_.totalBanks())) {
+        return fail("market capacity exceeds the fabric's totals");
+    }
+
+    // Counter sanity: live leases all came through admission.
+    if (leases_.size() > stats_.admitted)
+        return fail(std::to_string(leases_.size()) +
+                    " live leases but only " +
+                    std::to_string(stats_.admitted) +
+                    " admissions recorded");
     return true;
 }
 

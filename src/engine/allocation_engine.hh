@@ -92,6 +92,7 @@ struct EventOutcome
     EventKind kind = EventKind::AuctionEpoch;
     bool applied = false;      //!< admitted / released / newly-faulty
     std::uint64_t lease = 0;   //!< lease touched (0: none)
+    Cycles cost = 0;           //!< reconfiguration cycles (Reshape)
     std::string detail;        //!< human-readable "why not" etc.
 };
 
@@ -130,16 +131,26 @@ class AllocationEngine
      */
     EventOutcome execute(Event e);
 
-    // --- Non-event mutation (still engine-routed) ----------------
-
     /**
      * Reshape a live lease in place (grow/shrink Slices and banks).
+     * Routed through the event queue as an EventKind::Reshape at the
+     * current clock, so journals and checkpoints capture it like any
+     * other mutation.
      * @return the reconfiguration cost, or nullopt when the lease is
      *         unknown or the fabric cannot satisfy the new shape.
      */
     std::optional<Cycles> reshapeLease(std::uint64_t lease,
                                        unsigned slices,
                                        unsigned banks);
+
+    /**
+     * Re-apply one event exactly as a previous process dispatched it
+     * (journal recovery).  The pending copy with the same posting
+     * order -- restored from the snapshot's queue section -- is
+     * removed first so the event is not applied twice, and the
+     * dispatch hook is NOT invoked (the record is already durable).
+     */
+    void replayDispatch(const Event &e, std::uint64_t seq);
 
     // --- Queries -------------------------------------------------
 
@@ -196,6 +207,34 @@ class AllocationEngine
     }
 
     /**
+     * Hook invoked immediately *before* each event is applied, with
+     * the event and its posting order -- the write-ahead point.  A
+     * journal appends (and fsyncs) the record here, so a crash at
+     * any later instant can only lose events that were never applied
+     * or leave a torn final record; either way replay reconverges.
+     * Not invoked during replayDispatch().
+     */
+    using DispatchHook =
+        std::function<void(const Event &, std::uint64_t)>;
+    void onDispatch(DispatchHook hook)
+    {
+        dispatchHook_ = std::move(hook);
+    }
+
+    /**
+     * Cross-layer consistency audit: the fabric occupancy grids
+     * match the allocation book (FabricManager::checkConsistency),
+     * the market book and prices are sane (SpotMarket::
+     * checkConsistency), leases and fabric allocations are a
+     * bijection with matching shapes, every lease's customer handle
+     * resolves to an active bidder, and the occupancy arithmetic
+     * closes (leased + free + faulty == total, for Slices and
+     * banks).  Recovery refuses to serve a state that fails this.
+     * @return false with @p error naming the first violation.
+     */
+    bool checkInvariants(std::string *error) const;
+
+    /**
      * The deterministic end-of-run report (sharch-report-v1):
      * counters, prices, live leases, fabric health.  Two engines
      * that processed the same events render identical bytes -- the
@@ -223,11 +262,14 @@ class AllocationEngine
     std::string lastCheckpoint_;
     std::string lastCheckpointLabel_;
     CheckpointHook checkpointHook_;
+    DispatchHook dispatchHook_;
+    bool replaying_ = false; //!< suppress the hook during recovery
 
     static bool laterThan(const Queued &a, const Queued &b);
-    void dispatch(const Event &e);
+    void dispatch(const Event &e, std::uint64_t seq);
     void handleArrive(const Event &e);
     void handleDepart(const Event &e);
+    void handleReshape(const Event &e);
     void handleFault(const Event &e);
     void handleHeal(const Event &e);
     void handleEpoch();

@@ -8,6 +8,7 @@ eventKindName(EventKind kind)
     switch (kind) {
       case EventKind::TenantArrive: return "tenant_arrive";
       case EventKind::TenantDepart: return "tenant_depart";
+      case EventKind::Reshape: return "reshape";
       case EventKind::FaultStrike: return "fault_strike";
       case EventKind::Heal: return "heal";
       case EventKind::AuctionEpoch: return "auction_epoch";
@@ -23,6 +24,8 @@ parseEventKind(const std::string &name, EventKind *out)
         *out = EventKind::TenantArrive;
     else if (name == "tenant_depart")
         *out = EventKind::TenantDepart;
+    else if (name == "reshape")
+        *out = EventKind::Reshape;
     else if (name == "fault_strike")
         *out = EventKind::FaultStrike;
     else if (name == "heal")
@@ -60,6 +63,19 @@ tenantDepart(Cycles at, std::string tenant)
     e.at = at;
     e.kind = EventKind::TenantDepart;
     e.tenant = std::move(tenant);
+    return e;
+}
+
+Event
+reshapeEvent(Cycles at, std::uint64_t lease, unsigned slices,
+             unsigned banks)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::Reshape;
+    e.lease = lease;
+    e.slices = slices;
+    e.banks = banks;
     return e;
 }
 
@@ -120,6 +136,11 @@ eventToJson(const Event &e, std::uint64_t seq)
         break;
       case EventKind::TenantDepart:
         v.add("tenant", json::Value::string(e.tenant));
+        break;
+      case EventKind::Reshape:
+        v.add("lease", json::Value::number(e.lease));
+        v.add("slices", json::Value::number(e.slices));
+        v.add("banks", json::Value::number(e.banks));
         break;
       case EventKind::FaultStrike:
       case EventKind::Heal: {
@@ -223,6 +244,18 @@ eventFromJson(const json::Value &v, Event *out, std::uint64_t *seq,
         if (!readString(v, "tenant", &e.tenant, error))
             return false;
         break;
+      case EventKind::Reshape: {
+        std::uint64_t n = 0;
+        if (!readU64(v, "lease", &e.lease, error))
+            return false;
+        if (!readU64(v, "slices", &n, error))
+            return false;
+        e.slices = static_cast<unsigned>(n);
+        if (!readU64(v, "banks", &n, error))
+            return false;
+        e.banks = static_cast<unsigned>(n);
+        break;
+      }
       case EventKind::FaultStrike:
       case EventKind::Heal: {
         std::string fault;

@@ -26,11 +26,12 @@
 
 namespace sharch::engine {
 
-/** The six mutations the engine understands. */
+/** The seven mutations the engine understands. */
 enum class EventKind
 {
     TenantArrive, //!< admit a tenant: market book entry + VCore
     TenantDepart, //!< tenant leaves: release VCore, retire bidder
+    Reshape,      //!< grow/shrink a live lease in place
     FaultStrike,  //!< a tile or link fails under live VCores
     Heal,         //!< a faulty tile or link returns to service
     AuctionEpoch, //!< run the tatonnement to a new clearing
@@ -59,8 +60,11 @@ struct Event
     std::string benchmark;
     UtilityKind utility = UtilityKind::Throughput;
     double budget = 0.0;
-    unsigned slices = 0;
+    unsigned slices = 0; //!< also the Reshape target shape
     unsigned banks = 0;
+
+    // Reshape.
+    std::uint64_t lease = 0;
 
     // FaultStrike / Heal.
     fault::FaultKind fault = fault::FaultKind::Slice;
@@ -76,6 +80,8 @@ Event tenantArrive(Cycles at, std::string tenant,
                    std::string benchmark, UtilityKind utility,
                    double budget, unsigned slices, unsigned banks);
 Event tenantDepart(Cycles at, std::string tenant);
+Event reshapeEvent(Cycles at, std::uint64_t lease, unsigned slices,
+                   unsigned banks);
 Event faultStrike(Cycles at, fault::FaultKind kind, Coord tile);
 Event healFault(Cycles at, fault::FaultKind kind, Coord tile);
 Event auctionEpoch(Cycles at);

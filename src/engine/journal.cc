@@ -1,0 +1,544 @@
+#include "engine/journal.hh"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace sharch::engine {
+
+namespace {
+
+/** Record frame: payload length, then crc32(payload), then bytes. */
+constexpr std::size_t kFrameHeader = 8;
+/** A single event line should never get near this. */
+constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+void
+putU32(char *dst, std::uint32_t v)
+{
+    dst[0] = static_cast<char>(v & 0xFF);
+    dst[1] = static_cast<char>((v >> 8) & 0xFF);
+    dst[2] = static_cast<char>((v >> 16) & 0xFF);
+    dst[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t
+getU32(const char *src)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(src);
+    return static_cast<std::uint32_t>(u[0]) |
+           static_cast<std::uint32_t>(u[1]) << 8 |
+           static_cast<std::uint32_t>(u[2]) << 16 |
+           static_cast<std::uint32_t>(u[3]) << 24;
+}
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+hex32(std::uint32_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string s(8, '0');
+    for (int i = 7; i >= 0; --i, v >>= 4)
+        s[i] = digits[v & 0xF];
+    return s;
+}
+
+/** fsync the directory so a rename/creat is itself durable. */
+void
+syncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
+/**
+ * List the generation numbers present as "<prefix><gen><suffix>",
+ * sorted ascending.  Anything else in the directory is ignored.
+ */
+std::vector<std::uint64_t>
+listGenerations(const std::string &dir, const std::string &prefix,
+                const std::string &suffix)
+{
+    std::vector<std::uint64_t> gens;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return gens;
+    while (const dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name.size() <= prefix.size() + suffix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            continue;
+        }
+        const std::string digits = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") !=
+                std::string::npos) {
+            continue;
+        }
+        gens.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+    }
+    ::closedir(d);
+    std::sort(gens.begin(), gens.end());
+    return gens;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+Journal::Journal(JournalConfig cfg) : cfg_(std::move(cfg))
+{
+    if (const char *n = std::getenv("SHARCH_CRASH_AFTER"))
+        crashAfter_ = std::strtoull(n, nullptr, 10);
+    if (const char *t = std::getenv("SHARCH_CRASH_TORN"))
+        crashTorn_ = *t != '\0' && *t != '0';
+}
+
+Journal::~Journal()
+{
+    close();
+}
+
+std::string
+Journal::snapPath(std::uint64_t gen) const
+{
+    return cfg_.dir + "/snap-" + std::to_string(gen) + ".state";
+}
+
+std::string
+Journal::walPath(std::uint64_t gen) const
+{
+    return cfg_.dir + "/wal-" + std::to_string(gen) + ".log";
+}
+
+bool
+Journal::open(AllocationEngine &engine, JournalRecovery *out,
+              std::string *error)
+{
+    engine_ = &engine;
+    JournalRecovery rec;
+
+    struct stat st{};
+    if (::stat(cfg_.dir.c_str(), &st) != 0) {
+        if (::mkdir(cfg_.dir.c_str(), 0777) != 0) {
+            *error = cfg_.dir + ": cannot create journal "
+                     "directory: " + std::strerror(errno);
+            return false;
+        }
+    } else if (!S_ISDIR(st.st_mode)) {
+        *error = cfg_.dir + ": not a directory";
+        return false;
+    }
+
+    const std::vector<std::uint64_t> snaps =
+        listGenerations(cfg_.dir, "snap-", ".state");
+    const std::vector<std::uint64_t> wals =
+        listGenerations(cfg_.dir, "wal-", ".log");
+
+    if (snaps.empty() && wals.empty()) {
+        // Fresh directory: the engine's pristine state is gen 0.
+        rec.fresh = true;
+        if (!writeSnapshot(0, engine.saveState(), error) ||
+            !openSegment(0, /*fresh=*/true, error)) {
+            return false;
+        }
+        generation_ = 0;
+        recordsInSegment_ = 0;
+        engine.onDispatch([this](const Event &e, std::uint64_t seq) {
+            onEvent(e, seq);
+        });
+        if (out)
+            *out = rec;
+        return true;
+    }
+    if (snaps.empty()) {
+        *error = cfg_.dir + ": wal segments but no snapshot -- the "
+                 "journal is unrecoverable";
+        return false;
+    }
+
+    // Newest snapshot that parses and restores cleanly wins; broken
+    // ones are warned about and skipped (an older anchor plus its
+    // wal suffix reaches the same state).
+    std::uint64_t base = 0;
+    bool restored = false;
+    for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+        std::ifstream in(snapPath(*it), std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string err;
+        if (!in || !engine.restoreState(text.str(), &err)) {
+            rec.warnings.push_back(
+                "snap-" + std::to_string(*it) + ".state: " +
+                (in ? err : "unreadable") + " -- falling back to an "
+                "older snapshot");
+            continue;
+        }
+        base = *it;
+        restored = true;
+        break;
+    }
+    if (!restored) {
+        *error = cfg_.dir + ": no snapshot could be restored";
+        return false;
+    }
+
+    // Replay the wal suffix in generation order.  Only the newest
+    // segment may end in a torn record.
+    std::vector<std::uint64_t> replayGens;
+    for (std::uint64_t g : wals)
+        if (g >= base)
+            replayGens.push_back(g);
+    std::uint64_t lastSegment = 0;
+    for (std::size_t i = 0; i < replayGens.size(); ++i) {
+        const std::uint64_t before = rec.replayed;
+        if (!replaySegment(engine, replayGens[i],
+                           i + 1 == replayGens.size(), &rec, error)) {
+            return false;
+        }
+        lastSegment = rec.replayed - before;
+    }
+
+    // Continue appending to the newest segment (creating it if the
+    // crash happened between snapshot and first record).
+    generation_ = replayGens.empty() ? base : replayGens.back();
+    if (!openSegment(generation_, replayGens.empty(), error))
+        return false;
+    recordsInSegment_ = lastSegment;
+    rec.generation = generation_;
+    engine.onDispatch([this](const Event &e, std::uint64_t seq) {
+        onEvent(e, seq);
+    });
+    if (out)
+        *out = rec;
+    return true;
+}
+
+bool
+Journal::replaySegment(AllocationEngine &engine, std::uint64_t gen,
+                       bool newest, JournalRecovery *out,
+                       std::string *error)
+{
+    const std::string path = walPath(gen);
+    const std::string name = "wal-" + std::to_string(gen) + ".log";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *error = name + ": unreadable";
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+
+    const std::size_t magicLen = std::strlen(kJournalMagic);
+    if (data.size() < magicLen ||
+        data.compare(0, magicLen, kJournalMagic) != 0) {
+        *error = name + ": offset 0: bad segment magic (expected "
+                 "\"sharch-journal-v1\")";
+        return false;
+    }
+
+    // A positioned complaint: fatal mid-history, a truncation point
+    // in the newest segment (where a crash legitimately tears the
+    // final record).
+    std::size_t off = magicLen;
+    auto torn = [&](const std::string &what) {
+        if (!newest) {
+            *error = name + ": offset " + std::to_string(off) +
+                     ": " + what + " in a non-final segment";
+            return false;
+        }
+        out->warnings.push_back(
+            name + ": offset " + std::to_string(off) + ": " + what +
+            " -- truncating torn tail");
+        out->truncatedTail = true;
+        if (::truncate(path.c_str(),
+                       static_cast<off_t>(off)) != 0) {
+            *error = name + ": cannot truncate torn tail: " +
+                     std::strerror(errno);
+            return false;
+        }
+        return true;
+    };
+
+    while (off < data.size()) {
+        if (data.size() - off < kFrameHeader) {
+            return torn("incomplete record header (" +
+                        std::to_string(data.size() - off) +
+                        " of 8 bytes)");
+        }
+        const std::uint32_t len = getU32(data.data() + off);
+        const std::uint32_t want = getU32(data.data() + off + 4);
+        if (len == 0 || len > kMaxPayload) {
+            return torn("implausible record length " +
+                        std::to_string(len));
+        }
+        if (data.size() - off - kFrameHeader < len) {
+            return torn("record runs past end of file (" +
+                        std::to_string(len) + " byte payload, " +
+                        std::to_string(data.size() - off -
+                                       kFrameHeader) +
+                        " available)");
+        }
+        const char *payload = data.data() + off + kFrameHeader;
+        const std::uint32_t got = crc32(payload, len);
+        if (got != want) {
+            return torn("CRC mismatch (stored " + hex32(want) +
+                        ", computed " + hex32(got) + ")");
+        }
+
+        json::Value v;
+        std::string err;
+        const std::string line(payload, len);
+        Event e;
+        std::uint64_t seq = 0;
+        if (!json::parse(line, &v, &err) ||
+            !eventFromJson(v, &e, &seq, &err)) {
+            // The frame checksummed clean, so this is not tearing:
+            // the journal holds a record this build cannot replay.
+            *error = name + ": offset " + std::to_string(off) +
+                     ": " + err;
+            return false;
+        }
+        engine.replayDispatch(e, seq);
+        out->replayed++;
+        off += kFrameHeader + len;
+    }
+    return true;
+}
+
+bool
+Journal::openSegment(std::uint64_t gen, bool fresh,
+                     std::string *error)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    const std::string path = walPath(gen);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+    if (fd_ < 0) {
+        *error = path + ": cannot open for append: " +
+                 std::strerror(errno);
+        return false;
+    }
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0 && st.st_size == 0) {
+        if (!writeAll(fd_, kJournalMagic,
+                      std::strlen(kJournalMagic))) {
+            *error = path + ": cannot write segment header: " +
+                     std::strerror(errno);
+            return false;
+        }
+        if (cfg_.fsyncEvery > 0)
+            ::fsync(fd_);
+        if (fresh)
+            syncDir(cfg_.dir);
+    }
+    // open() re-anchors this to the replayed record count so a
+    // recovered process rotates at the same cadence.
+    recordsInSegment_ = 0;
+    return true;
+}
+
+bool
+Journal::writeSnapshot(std::uint64_t gen, const std::string &state,
+                       std::string *error)
+{
+    const std::string path = snapPath(gen);
+    const std::string tmp = path + ".tmp";
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+    if (fd < 0) {
+        *error = tmp + ": cannot create snapshot: " +
+                 std::strerror(errno);
+        return false;
+    }
+    const bool ok =
+        writeAll(fd, state.data(), state.size()) && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+        *error = tmp + ": snapshot write failed: " +
+                 std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        *error = path + ": cannot publish snapshot: " +
+                 std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    syncDir(cfg_.dir);
+    return true;
+}
+
+bool
+Journal::rotate(std::string *error)
+{
+    SHARCH_ASSERT(engine_ && fd_ >= 0,
+                  "rotate() needs an open journal");
+    const std::uint64_t next = generation_ + 1;
+    // Snapshot FIRST: if we crash between the two steps, recovery
+    // restores snap-(g+1) and finds wal-(g+1) simply absent.
+    if (!writeSnapshot(next, engine_->saveState(), error))
+        return false;
+    flush();
+    if (!openSegment(next, /*fresh=*/true, error))
+        return false;
+    generation_ = next;
+    recordsInSegment_ = 0;
+    compact();
+    return true;
+}
+
+void
+Journal::compact()
+{
+    // Keep the latest two generations: the live one and its
+    // predecessor (still useful when the newest snapshot turns out
+    // to be damaged).
+    for (std::uint64_t g :
+         listGenerations(cfg_.dir, "snap-", ".state")) {
+        if (g + 1 < generation_)
+            ::unlink(snapPath(g).c_str());
+    }
+    for (std::uint64_t g :
+         listGenerations(cfg_.dir, "wal-", ".log")) {
+        if (g + 1 < generation_)
+            ::unlink(walPath(g).c_str());
+    }
+    syncDir(cfg_.dir);
+}
+
+void
+Journal::onEvent(const Event &e, std::uint64_t seq)
+{
+    if (recordsInSegment_ >= cfg_.rotateEvery) {
+        // The hook fires before the event is applied (and after it
+        // left the pending queue), so saveState() here is exactly
+        // "everything in wal-g, nothing more" -- the event about to
+        // be journaled becomes the first record of the new segment.
+        std::string err;
+        const bool ok = rotate(&err);
+        SHARCH_ASSERT(ok, "journal rotation failed: ", err);
+    }
+    std::string err;
+    const bool ok = appendPayload(eventToJson(e, seq).dump(), &err);
+    SHARCH_ASSERT(ok, "journal append failed: ", err);
+}
+
+bool
+Journal::appendPayload(const std::string &payload,
+                       std::string *error)
+{
+    SHARCH_ASSERT(payload.size() <= kMaxPayload,
+                  "journal payload implausibly large");
+    std::string frame(kFrameHeader, '\0');
+    putU32(frame.data(),
+           static_cast<std::uint32_t>(payload.size()));
+    putU32(frame.data() + 4,
+           crc32(payload.data(), payload.size()));
+    frame += payload;
+
+    const bool crashNow =
+        crashAfter_ > 0 && writes_ + 1 == crashAfter_;
+    if (crashNow && crashTorn_) {
+        // Chaos harness: tear this record mid-frame, as a real
+        // crash between write() and completion would.
+        writeAll(fd_, frame.data(), frame.size() / 2);
+        ::fsync(fd_);
+        ::_exit(137);
+    }
+    if (!writeAll(fd_, frame.data(), frame.size())) {
+        *error = walPath(generation_) + ": " + std::strerror(errno);
+        return false;
+    }
+    recordsInSegment_++;
+    appended_++;
+    writes_++;
+    unsynced_++;
+    if (cfg_.fsyncEvery > 0 && unsynced_ >= cfg_.fsyncEvery) {
+        ::fsync(fd_);
+        unsynced_ = 0;
+    }
+    if (crashNow)
+        ::_exit(137);
+    return true;
+}
+
+void
+Journal::flush()
+{
+    if (fd_ >= 0 && unsynced_ > 0) {
+        ::fsync(fd_);
+        unsynced_ = 0;
+    }
+}
+
+void
+Journal::close()
+{
+    if (fd_ >= 0) {
+        flush();
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace sharch::engine

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Write-ahead event journal for the allocation engine (the
+ * `sharch-journal-v1` on-disk format).
+ *
+ * The engine's checkpoint/restore machinery makes a run resumable
+ * from explicit Checkpoint events, but a crash between checkpoints
+ * still loses everything since the last one.  The journal closes
+ * that gap: hooked into AllocationEngine::onDispatch(), it makes
+ * every event durable *before* the event mutates engine state, so a
+ * process killed at any instruction boundary can be restarted and
+ * replayed to exactly the state it died in -- the final report of
+ * the recovered run is byte-identical to the uninterrupted one.
+ *
+ * On-disk layout (one directory per engine):
+ *
+ *     snap-<gen>.state   sharch-state-v1 snapshot taken before any
+ *                        event in wal-<gen> was applied
+ *     wal-<gen>.log      segment header + CRC32-framed records
+ *
+ * Each segment starts with the magic line `sharch-journal-v1\n`.
+ * Every record after it is framed as
+ *
+ *     u32 payloadLen (LE) | u32 crc32(payload) (LE) | payload
+ *
+ * where the payload is the eventToJson() line for one dispatched
+ * event (kind, cycle, posting order, kind-specific fields).  CRC32
+ * is the usual reflected 0xEDB88320 polynomial.
+ *
+ * Rotation is anchored to snapshots and ordered so no event can
+ * fall between the files: when a segment reaches the configured
+ * record count, the *next* event first triggers snap-(g+1) -- the
+ * state after everything in wal-g -- and only then lands as the
+ * first record of wal-(g+1).  Compaction keeps the latest two
+ * generations.
+ *
+ * Recovery (open() on a non-empty directory): load the newest
+ * snapshot that parses and restores cleanly, replay every wal
+ * segment of that generation and later through the engine's normal
+ * event path, and tolerate a torn final record -- but only in the
+ * newest segment, where a crash mid-write can legitimately leave
+ * one.  The torn tail is truncated with a positioned warning;
+ * corruption anywhere else is a hard error.
+ *
+ * Fault injection for the chaos harness: SHARCH_CRASH_AFTER=<n>
+ * calls _exit(137) immediately after the n-th complete journal
+ * append, and SHARCH_CRASH_TORN=1 makes that n-th append a torn
+ * half-record instead (exercising tail truncation on recovery).
+ */
+
+#ifndef SHARCH_ENGINE_JOURNAL_HH
+#define SHARCH_ENGINE_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/allocation_engine.hh"
+
+namespace sharch::engine {
+
+/** First line of every wal segment. */
+inline constexpr const char *kJournalMagic = "sharch-journal-v1\n";
+
+/** Reflected CRC-32 (polynomial 0xEDB88320), as used by zip/png. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+struct JournalConfig
+{
+    std::string dir;
+    /**
+     * fsync cadence: 0 never syncs (fast, loses the OS buffer on
+     * power failure -- process crashes are still safe), 1 syncs
+     * every record (the default: full durability), N syncs every
+     * N records.
+     */
+    unsigned fsyncEvery = 1;
+    /** Records per segment before rotation cuts a new snapshot. */
+    std::uint64_t rotateEvery = 1024;
+};
+
+/** What open() found and did (recovery is part of opening). */
+struct JournalRecovery
+{
+    bool fresh = false;          //!< directory had no journal yet
+    std::uint64_t generation = 0; //!< segment now appended to
+    std::uint64_t replayed = 0;  //!< events re-applied from wal
+    bool truncatedTail = false;  //!< newest segment had a torn record
+    /** Positioned, non-fatal findings ("wal-3.log: offset 87: ..."). */
+    std::vector<std::string> warnings;
+};
+
+/**
+ * One journal directory bound to one engine.  open() recovers (or
+ * initializes) and installs the dispatch hook; from then on every
+ * event the engine applies is appended -- and made as durable as the
+ * fsync policy promises -- before the mutation happens.
+ */
+class Journal
+{
+  public:
+    explicit Journal(JournalConfig cfg);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Create-or-recover the directory, restore @p engine to the
+     * journaled state, and start appending.  On success @p out
+     * describes what recovery did (including torn-tail warnings the
+     * caller should surface).  On failure the engine may hold a
+     * partially-restored state and must not be served from.
+     */
+    bool open(AllocationEngine &engine, JournalRecovery *out,
+              std::string *error);
+
+    /**
+     * Cut a new generation now: snapshot the engine's current state
+     * and switch appends to a fresh segment.  The serve layer calls
+     * this after a successful `restore` request, since the restored
+     * state did not flow through the journal as events.
+     */
+    bool rotate(std::string *error);
+
+    /** fsync anything the cadence policy left buffered. */
+    void flush();
+
+    /** Flush and close the segment (the destructor also does this). */
+    void close();
+
+    std::uint64_t generation() const { return generation_; }
+    /** Records appended by *this process* (excludes replayed). */
+    std::uint64_t appended() const { return appended_; }
+    const JournalConfig &config() const { return cfg_; }
+
+  private:
+    void onEvent(const Event &e, std::uint64_t seq);
+    bool appendPayload(const std::string &payload,
+                       std::string *error);
+    bool writeSnapshot(std::uint64_t gen, const std::string &state,
+                       std::string *error);
+    bool openSegment(std::uint64_t gen, bool fresh,
+                     std::string *error);
+    bool replaySegment(AllocationEngine &engine, std::uint64_t gen,
+                       bool newest, JournalRecovery *out,
+                       std::string *error);
+    void compact();
+    std::string snapPath(std::uint64_t gen) const;
+    std::string walPath(std::uint64_t gen) const;
+
+    JournalConfig cfg_;
+    AllocationEngine *engine_ = nullptr;
+    int fd_ = -1;
+    std::uint64_t generation_ = 0;
+    std::uint64_t recordsInSegment_ = 0;
+    std::uint64_t appended_ = 0;
+    unsigned unsynced_ = 0;
+    // SHARCH_CRASH_AFTER / SHARCH_CRASH_TORN (chaos harness).
+    std::uint64_t crashAfter_ = 0; //!< 0: disabled
+    bool crashTorn_ = false;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace sharch::engine
+
+#endif // SHARCH_ENGINE_JOURNAL_HH

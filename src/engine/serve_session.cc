@@ -3,6 +3,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "engine/journal.hh"
+#include "study/report.hh"
+
 namespace sharch::engine {
 
 namespace {
@@ -73,9 +76,20 @@ optionalU64(const json::Value &req, const char *key,
 } // namespace
 
 std::string
+oversizedLineReply(std::size_t size)
+{
+    return errorReply(
+        "request is " + std::to_string(size) +
+        " bytes, larger than the " +
+        std::to_string(kMaxRequestBytes) + "-byte limit");
+}
+
+std::string
 ServeSession::handle(const std::string &line)
 {
     requests_++;
+    if (line.size() > kMaxRequestBytes)
+        return oversizedLineReply(line.size());
     json::Value req;
     std::string perr;
     if (!json::parse(line, &req, &perr))
@@ -101,9 +115,11 @@ ServeSession::handle(const std::string &line)
         return handleRestore(req);
     if (op->text == "stats")
         return handleStats();
+    if (op->text == "report")
+        return handleReport();
     return errorReply("unknown op '" + op->text +
                       "' (want allocate, release, reshape, price, "
-                      "snapshot, restore, or stats)");
+                      "snapshot, restore, stats, or report)");
 }
 
 std::string
@@ -280,6 +296,12 @@ ServeSession::handleRestore(const json::Value &req)
     std::string err;
     if (!engine_->restoreState(text, &err))
         return errorReply("restore rejected: " + err);
+    // The restored state did not arrive as journaled events; anchor
+    // it as a fresh snapshot generation or recovery would replay the
+    // pre-restore history over it.
+    if (journal_ && !journal_->rotate(&err))
+        return errorReply("restore applied but the journal could "
+                          "not rotate: " + err);
     json::Value v = okReply("restore");
     v.add("clock",
           json::Value::number(std::uint64_t{engine_->now()}));
@@ -320,6 +342,24 @@ ServeSession::handleStats() const
           json::Value::number(
               unsigned{engine_->fabric().freeBanks()}));
     return v.dump();
+}
+
+std::string
+ServeSession::handleReport() const
+{
+    // renderJson() is already one canonical line (the byte-identity
+    // anchor the chaos harness diffs), so splice it verbatim --
+    // minus its trailing newline, which would break the
+    // one-response-per-line protocol.
+    std::string report = study::renderJson(engine_->finalReport());
+    while (!report.empty() &&
+           (report.back() == '\n' || report.back() == '\r')) {
+        report.pop_back();
+    }
+    std::string reply = "{\"ok\":true,\"op\":\"report\",\"report\":";
+    reply += report;
+    reply += "}";
+    return reply;
 }
 
 } // namespace sharch::engine

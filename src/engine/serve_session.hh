@@ -6,7 +6,7 @@
  * The engine made hypervisor mutations data (events); this layer
  * makes them *remote*: an external orchestrator -- a test script, a
  * CI step, a would-be cloud control plane -- drives an
- * AllocationEngine without linking against it.  Seven operations:
+ * AllocationEngine without linking against it.  Eight operations:
  *
  *   {"op":"allocate","tenant":T,...}   admit a tenant (TenantArrive)
  *   {"op":"release","tenant":T}        tenant departs (TenantDepart)
@@ -18,13 +18,19 @@
  *   {"op":"restore","state":{...}}     replace engine state (or from
  *                                      "path":FILE)
  *   {"op":"stats"}                     counters, clock, occupancy
+ *   {"op":"report"}                    the deterministic
+ *                                      sharch-report-v1 document
  *
  * Every response is one JSON object starting {"ok":true,...} or
  * {"ok":false,"error":"..."}.  A malformed request never kills the
  * session: it answers ok:false and the next line is processed
- * normally.  Because snapshot/restore round-trip byte-exactly, a
+ * normally -- and a request larger than kMaxRequestBytes is refused
+ * the same way, so a hostile or broken client cannot balloon the
+ * process.  Because snapshot/restore round-trip byte-exactly, a
  * session can be killed after any response and resumed from its last
- * snapshot with identical subsequent behavior.
+ * snapshot with identical subsequent behavior; with a Journal
+ * attached (setJournal) it can be killed after any *instruction* and
+ * recovered.
  */
 
 #ifndef SHARCH_ENGINE_SERVE_SESSION_HH
@@ -36,6 +42,19 @@
 
 namespace sharch::engine {
 
+class Journal;
+
+/**
+ * Longest request line the session will look at.  Oversized lines
+ * get a positioned {"ok":false} reply instead of a parse attempt;
+ * the sharch-serve reader enforces the same bound while reading so
+ * an unterminated line cannot buffer without limit either.
+ */
+inline constexpr std::size_t kMaxRequestBytes = 1u << 20;
+
+/** The refusal reply for a line that breaches kMaxRequestBytes. */
+std::string oversizedLineReply(std::size_t size);
+
 /** One sharch-serve conversation over an AllocationEngine. */
 class ServeSession
 {
@@ -44,6 +63,15 @@ class ServeSession
         : engine_(&engine)
     {
     }
+
+    /**
+     * Attach the write-ahead journal recovering/serving this engine
+     * (may be null).  The session only needs it for `restore`:
+     * wholesale state replacement does not flow through the event
+     * queue, so the journal must cut a fresh snapshot generation or
+     * a later recovery would resurrect the pre-restore state.
+     */
+    void setJournal(Journal *journal) { journal_ = journal; }
 
     /**
      * Process one request line; @return the one-line JSON response
@@ -57,6 +85,7 @@ class ServeSession
 
   private:
     AllocationEngine *engine_;
+    Journal *journal_ = nullptr;
     std::uint64_t requests_ = 0;
 
     std::string handleAllocate(const json::Value &req);
@@ -66,6 +95,7 @@ class ServeSession
     std::string handleSnapshot(const json::Value &req);
     std::string handleRestore(const json::Value &req);
     std::string handleStats() const;
+    std::string handleReport() const;
 };
 
 } // namespace sharch::engine

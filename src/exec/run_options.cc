@@ -419,17 +419,24 @@ serveUsage(const std::string &prog)
 {
     return "usage: " + prog +
            " [--instructions N] [--seed N] [--threads N]\n"
-           "            [--fabric WxH] [--restore FILE]\n"
+           "            [--fabric WxH] [--restore FILE] "
+           "[--journal DIR]\n"
+           "            [--journal-fsync N] [--journal-rotate N]\n"
            "\n"
            "  Runs the allocation engine as a daemon: one JSON "
            "request per stdin\n"
            "  line, one JSON response per stdout line (ops: "
            "allocate, release,\n"
-           "  reshape, price, snapshot, restore, stats; see "
-           "DESIGN.md section 8).\n"
-           "  --restore starts from a sharch-state-v1 checkpoint "
-           "file; --fabric\n"
-           "  sets the chip geometry of a fresh engine.\n" +
+           "  reshape, price, snapshot, restore, stats, report; "
+           "see DESIGN.md\n"
+           "  sections 8-9).  --restore starts from a "
+           "sharch-state-v1 checkpoint\n"
+           "  file; --fabric sets the chip geometry of a fresh "
+           "engine; --journal\n"
+           "  recovers DIR (write-ahead log + snapshots) and logs "
+           "every event\n"
+           "  before applying it, so a kill at any point is "
+           "recoverable.\n" +
            sharedFlagUsage();
 }
 
@@ -447,6 +454,33 @@ parseServeOptions(int argc, const char *const *argv)
         if (arg == "--restore") {
             if (const char *val = flagValue(argc, argv, &i, &opts))
                 opts.restorePath = val;
+        } else if (arg == "--journal") {
+            if (const char *val = flagValue(argc, argv, &i, &opts))
+                opts.journalDir = val;
+        } else if (arg == "--journal-fsync") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            std::uint64_t n = 0;
+            if (!parseU64(val, &n) || n > 1u << 20) {
+                opts.error = std::string("bad --journal-fsync '") +
+                             val + "' (want a record count; 0 "
+                             "disables fsync)";
+            } else {
+                opts.journalFsync = static_cast<unsigned>(n);
+            }
+        } else if (arg == "--journal-rotate") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            std::uint64_t n = 0;
+            if (!parseU64(val, &n) || n == 0) {
+                opts.error = std::string("bad --journal-rotate '") +
+                             val + "' (want a positive record "
+                             "count)";
+            } else {
+                opts.journalRotate = n;
+            }
         } else if (arg == "--fabric") {
             const char *val = flagValue(argc, argv, &i, &opts);
             if (!val)

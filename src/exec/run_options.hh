@@ -176,6 +176,12 @@ std::string benchUsage(const std::string &prog);
  *   --threads N         sweep worker threads for surface fills
  *   --fabric WxH        chip geometry (default 8x8)
  *   --restore FILE      start from a sharch-state-v1 checkpoint
+ *   --journal DIR       write-ahead journal: recover DIR on start,
+ *                       log every event before applying it
+ *   --journal-fsync N   fsync cadence (0 never, 1 every record
+ *                       [default], N every N records)
+ *   --journal-rotate N  records per segment before a snapshot
+ *                       anchors a new generation (default 1024)
  *
  * Shares the --instructions/--seed/--threads spec table with ssim
  * and sharch-bench: same spellings, same errors.
@@ -188,6 +194,9 @@ struct ServeOptions
     int fabricWidth = 8;
     int fabricHeight = 8;
     std::string restorePath;           //!< empty: fresh engine
+    std::string journalDir;            //!< empty: no journal
+    unsigned journalFsync = 1;         //!< 0 never, N every N records
+    std::uint64_t journalRotate = 1024; //!< records per segment
 
     std::string error; //!< nonempty: parse failed, show usage
 

@@ -859,4 +859,95 @@ FabricManager::faultyBanks() const
     return n;
 }
 
+bool
+FabricManager::checkConsistency(std::string *error) const
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = "fabric: " + what;
+        return false;
+    };
+    auto cell = [](int x, int y) {
+        return "(" + std::to_string(x) + "," + std::to_string(y) +
+               ")";
+    };
+
+    // Rebuild the owner grids from the allocation book; any cell
+    // where the rebuilt grid and the live grid disagree is a stale
+    // or phantom claim.
+    std::vector<std::vector<AllocationId>> slices(
+        sliceOwner_.size(), std::vector<AllocationId>(width_, kFree));
+    std::vector<std::vector<AllocationId>> banks(
+        bankOwner_.size(), std::vector<AllocationId>(width_, kFree));
+    for (const auto &[id, alloc] : live_) {
+        const std::string where = "allocation " + std::to_string(id);
+        if (id == kFree || id >= next_)
+            return fail(where + ": id outside 1.." +
+                        std::to_string(next_ - 1));
+        if (id != alloc.id)
+            return fail(where + ": book key != allocation id " +
+                        std::to_string(alloc.id));
+        const SliceRun &run = alloc.slices;
+        if (!isSliceRow(run.row) || run.row >= height_ ||
+            run.col < 0 || run.count == 0 ||
+            run.col + static_cast<int>(run.count) > width_) {
+            return fail(where + ": Slice run is off-chip");
+        }
+        const int r = sliceRowIndex(run.row);
+        for (unsigned i = 0; i < run.count; ++i) {
+            const int c = run.col + static_cast<int>(i);
+            if (sliceBad_[r][c])
+                return fail(where + ": owns faulty Slice " +
+                            cell(c, run.row));
+            if (i > 0 && !linkIntact(r, c))
+                return fail(where + ": Slice run spans the broken "
+                            "link at " + cell(c - 1, run.row));
+            if (slices[r][c] != kFree)
+                return fail(where + ": Slice " + cell(c, run.row) +
+                            " also owned by allocation " +
+                            std::to_string(slices[r][c]));
+            slices[r][c] = id;
+        }
+        for (const Coord &b : alloc.banks) {
+            if (isSliceRow(b.y) || b.y >= height_ || b.x < 0 ||
+                b.x >= width_) {
+                return fail(where + ": bank " + cell(b.x, b.y) +
+                            " is off-chip");
+            }
+            const int br = bankRowIndex(b.y);
+            if (bankBad_[br][b.x])
+                return fail(where + ": owns faulty bank " +
+                            cell(b.x, b.y));
+            if (banks[br][b.x] != kFree)
+                return fail(where + ": bank " + cell(b.x, b.y) +
+                            " also owned by allocation " +
+                            std::to_string(banks[br][b.x]));
+            banks[br][b.x] = id;
+        }
+    }
+    for (std::size_t r = 0; r < sliceOwner_.size(); ++r) {
+        for (int c = 0; c < width_; ++c) {
+            if (sliceOwner_[r][c] != slices[r][c])
+                return fail("Slice grid " +
+                            cell(c, static_cast<int>(r) * 2) +
+                            " says owner " +
+                            std::to_string(sliceOwner_[r][c]) +
+                            " but the allocation book says " +
+                            std::to_string(slices[r][c]));
+        }
+    }
+    for (std::size_t r = 0; r < bankOwner_.size(); ++r) {
+        for (int c = 0; c < width_; ++c) {
+            if (bankOwner_[r][c] != banks[r][c])
+                return fail("bank grid " +
+                            cell(c, static_cast<int>(r) * 2 + 1) +
+                            " says owner " +
+                            std::to_string(bankOwner_[r][c]) +
+                            " but the allocation book says " +
+                            std::to_string(banks[r][c]));
+        }
+    }
+    return true;
+}
+
 } // namespace sharch

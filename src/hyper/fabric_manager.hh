@@ -239,6 +239,17 @@ class FabricManager
      */
     bool restore(const FabricSnapshot &snap, std::string *error);
 
+    /**
+     * Deep self-check of the occupancy invariants the allocator
+     * maintains: every cell the owner grids claim belongs to exactly
+     * one live allocation (and vice versa), no allocation stands on
+     * a faulty tile, no Slice run spans a broken link, and every id
+     * is below the id counter.  Used by AllocationEngine::
+     * checkInvariants() before a recovered engine accepts traffic.
+     * @return false with @p error naming the first violation.
+     */
+    bool checkConsistency(std::string *error) const;
+
   private:
     int width_;
     int height_;

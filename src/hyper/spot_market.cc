@@ -229,6 +229,36 @@ SpotMarket::restore(const SpotMarketSnapshot &snap)
     customers_ = snap.customers;
 }
 
+bool
+SpotMarket::checkConsistency(std::string *error) const
+{
+    auto fail = [&](const std::string &what) {
+        if (error)
+            *error = "market: " + what;
+        return false;
+    };
+    if (!std::isfinite(sliceCapacity_) || sliceCapacity_ <= 0.0 ||
+        !std::isfinite(bankCapacity_) || bankCapacity_ <= 0.0) {
+        return fail("capacities must be finite and positive (a "
+                    "provider with nothing to sell has no market)");
+    }
+    if (!std::isfinite(prices_.slicePrice) ||
+        prices_.slicePrice < 0.0 ||
+        !std::isfinite(prices_.bankPrice) ||
+        prices_.bankPrice < 0.0) {
+        return fail("prices must be finite and non-negative");
+    }
+    for (std::size_t i = 0; i < customers_.size(); ++i) {
+        if (!std::isfinite(customers_[i].budget) ||
+            customers_[i].budget < 0.0) {
+            return fail("customer " + std::to_string(i) + " ('" +
+                        customers_[i].name +
+                        "') has a negative or non-finite budget");
+        }
+    }
+    return true;
+}
+
 std::vector<SpotRound>
 SpotMarket::runToClearing(double tolerance, unsigned max_rounds,
                           double adjust_rate)

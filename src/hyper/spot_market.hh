@@ -187,6 +187,15 @@ class SpotMarket
      */
     void restore(const SpotMarketSnapshot &snap);
 
+    /**
+     * Deep self-check of the book and price invariants: capacities
+     * positive and finite, prices finite and non-negative, every
+     * budget finite and non-negative.  Used by AllocationEngine::
+     * checkInvariants() before a recovered engine accepts traffic.
+     * @return false with @p error naming the first violation.
+     */
+    bool checkConsistency(std::string *error) const;
+
   private:
     UtilityOptimizer *opt_;
     double sliceCapacity_;

@@ -416,4 +416,153 @@ TEST_F(EngineTest, ServeRestoreRejectsTamperWithActionableError)
     EXPECT_NE(r.find("unsupported schema"), std::string::npos) << r;
 }
 
+TEST_F(EngineTest, ServeReportOpRendersTheFinalReportInline)
+{
+    AllocationEngine e = makeEngine();
+    engine::ServeSession s(e);
+    s.handle("{\"op\":\"allocate\",\"tenant\":\"a\",\"slices\":4,"
+             "\"banks\":2}");
+    const std::string r = s.handle("{\"op\":\"report\"}");
+    EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+    EXPECT_NE(r.find("\"schema\":\"sharch-report-v1\""),
+              std::string::npos)
+        << r.substr(0, 120);
+    // One response per line: the spliced report must not smuggle a
+    // newline into the reply.
+    EXPECT_EQ(r.find('\n'), std::string::npos);
+    // The reply bytes are the determinism anchor the chaos harness
+    // diffs, so two sessions with the same history must agree.
+    AllocationEngine e2 = makeEngine();
+    engine::ServeSession s2(e2);
+    s2.handle("{\"op\":\"allocate\",\"tenant\":\"a\",\"slices\":4,"
+              "\"banks\":2}");
+    EXPECT_EQ(s2.handle("{\"op\":\"report\"}"), r);
+}
+
+TEST_F(EngineTest, ServeRefusesOversizedRequestsWithPosition)
+{
+    AllocationEngine e = makeEngine();
+    engine::ServeSession s(e);
+    std::string huge = "{\"op\":\"stats\",\"pad\":\"";
+    huge.append(engine::kMaxRequestBytes, 'x');
+    huge += "\"}";
+    const std::string r = s.handle(huge);
+    EXPECT_NE(r.find("\"ok\":false"), std::string::npos) << r;
+    EXPECT_NE(r.find(std::to_string(huge.size()) + " bytes"),
+              std::string::npos)
+        << r;
+    EXPECT_NE(r.find(std::to_string(engine::kMaxRequestBytes)),
+              std::string::npos)
+        << r;
+    // The session survives and the next request is served normally.
+    const std::string st = s.handle("{\"op\":\"stats\"}");
+    EXPECT_NE(st.find("\"ok\":true"), std::string::npos) << st;
+}
+
+TEST_F(EngineTest, MalformedRequestCorpusNeverKillsTheSession)
+{
+    AllocationEngine e = makeEngine();
+    engine::ServeSession s(e);
+
+    // 64 levels of array nesting breaches json::kMaxDepth.
+    std::string deep;
+    deep.append(100, '[');
+    deep.append(100, ']');
+
+    const std::vector<std::string> corpus = {
+        "",                      // empty after trim? (still a line)
+        "not json at all",
+        "{",
+        "[1,2,3",
+        "\"just a string\"",
+        "[1,2,3]",               // valid JSON, not an object
+        "{\"no\":\"op\"}",
+        "{\"op\":42}",
+        "{\"op\":\"evaporate\"}",
+        "{\"op\":\"allocate\"}", // missing tenant
+        "{\"op\":\"allocate\",\"tenant\":7}",
+        "{\"op\":\"allocate\",\"tenant\":\"a\",\"slices\":-4}",
+        "{\"op\":\"allocate\",\"tenant\":\"a\",\"budget\":\"x\"}",
+        "{\"op\":\"allocate\",\"tenant\":\"a\","
+        "\"utility\":\"nope\"}",
+        "{\"op\":\"reshape\"}",
+        "{\"op\":\"reshape\",\"lease\":\"one\"}",
+        "{\"op\":\"release\"}",
+        "{\"op\":\"price\",\"at\":-1}",
+        "{\"op\":\"snapshot\",\"path\":123}",
+        "{\"op\":\"restore\"}",
+        "{\"op\":\"restore\",\"state\":{},\"path\":\"x\"}",
+        "{\"op\":\"restore\",\"state\":{\"schema\":\"bogus\"}}",
+        "{\"op\":\"restore\",\"path\":\"/nonexistent/nope\"}",
+        "{\"op\":\"stats\",\"op\":\"stats\"",  // torn duplicate key
+        deep,
+        "{\"a\":1e99999}",
+        // Raw control byte inside a string literal (must be escaped
+        // in valid JSON).
+        std::string("{\"op\":\"stats\",\"x\":\"\x01\"}"),
+    };
+    for (const std::string &line : corpus) {
+        const std::string reply = s.handle(line);
+        EXPECT_EQ(reply.find("{\"ok\":false"), 0u)
+            << "request: " << line.substr(0, 60)
+            << "\nreply: " << reply.substr(0, 120);
+    }
+    // Nothing leaked into the engine: still pristine and serving.
+    EXPECT_EQ(e.stats().processed, 0u);
+    EXPECT_EQ(e.leases().size(), 0u);
+    const std::string ok = s.handle(
+        "{\"op\":\"allocate\",\"tenant\":\"a\",\"slices\":2}");
+    EXPECT_NE(ok.find("\"ok\":true"), std::string::npos) << ok;
+    std::string err;
+    EXPECT_TRUE(e.checkInvariants(&err)) << err;
+}
+
+TEST_F(EngineTest, ReshapeEventRoundTripsThroughJson)
+{
+    const engine::Event e = engine::reshapeEvent(42, 7, 6, 3);
+    const json::Value v = engine::eventToJson(e, 11);
+    engine::Event back;
+    std::uint64_t seq = 0;
+    std::string err;
+    ASSERT_TRUE(engine::eventFromJson(v, &back, &seq, &err)) << err;
+    EXPECT_EQ(seq, 11u);
+    EXPECT_EQ(back.kind, engine::EventKind::Reshape);
+    EXPECT_EQ(back.at, 42u);
+    EXPECT_EQ(back.lease, 7u);
+    EXPECT_EQ(back.slices, 6u);
+    EXPECT_EQ(back.banks, 3u);
+}
+
+TEST(Json, DepthBeyondTheLimitFailsWithPosition)
+{
+    std::string deep;
+    deep.append(json::kMaxDepth + 1, '[');
+    deep.append(json::kMaxDepth + 1, ']');
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse(deep, &v, &err));
+    EXPECT_NE(err.find("offset"), std::string::npos) << err;
+    EXPECT_NE(err.find(std::to_string(json::kMaxDepth)),
+              std::string::npos)
+        << err;
+    // Exactly at the limit still parses.
+    std::string ok;
+    ok.append(json::kMaxDepth, '[');
+    ok.append(json::kMaxDepth, ']');
+    EXPECT_TRUE(json::parse(ok, &v, &err)) << err;
+}
+
+TEST(Json, DocumentBeyondTheSizeLimitFailsWithPosition)
+{
+    std::string big = "[";
+    big.resize(json::kMaxDocumentBytes + 1, ' ');
+    json::Value v;
+    std::string err;
+    EXPECT_FALSE(json::parse(big, &v, &err));
+    EXPECT_NE(err.find("offset 0"), std::string::npos) << err;
+    EXPECT_NE(err.find(std::to_string(json::kMaxDocumentBytes)),
+              std::string::npos)
+        << err;
+}
+
 } // namespace

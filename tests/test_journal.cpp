@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Write-ahead journal suite: the sharch-journal-v1 frame format,
+ * crash recovery (kill at every byte of the log recovers to a
+ * byte-identical final report), torn-tail truncation with
+ * positioned warnings, snapshot fallback, rotation + compaction,
+ * and the cross-layer invariant audit recovery gates on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "area/area_model.hh"
+#include "core/perf_model.hh"
+#include "engine/allocation_engine.hh"
+#include "engine/journal.hh"
+#include "hyper/fabric_manager.hh"
+#include "hyper/spot_market.hh"
+#include "study/report.hh"
+
+using namespace sharch;
+using engine::AllocationEngine;
+using engine::EngineConfig;
+using engine::Journal;
+using engine::JournalConfig;
+using engine::JournalRecovery;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+class JournalTest : public ::testing::Test
+{
+  protected:
+    JournalTest() : pm_(2000, 1), opt_(pm_, am_) {}
+
+    AllocationEngine
+    makeEngine()
+    {
+        return AllocationEngine(opt_, EngineConfig{});
+    }
+
+    /** Fabric-only arrival (budget 0): no market, no simulation. */
+    static engine::Event
+    arrive(Cycles at, const std::string &tenant, unsigned slices,
+           unsigned banks)
+    {
+        return engine::tenantArrive(at, tenant, "",
+                                    UtilityKind::Throughput, 0.0,
+                                    slices, banks);
+    }
+
+    /** A fresh, empty journal directory under the test tmpdir. */
+    std::string
+    freshDir(const std::string &name)
+    {
+        const std::string dir = ::testing::TempDir() + "sharch-" +
+                                name + "-" +
+                                std::to_string(::getpid());
+        fs::remove_all(dir);
+        return dir;
+    }
+
+    /** The mixed fabric-only script the recovery tests replay. */
+    static std::vector<engine::Event>
+    script()
+    {
+        std::vector<engine::Event> ev;
+        ev.push_back(arrive(1, "a", 4, 2));
+        ev.push_back(arrive(2, "b", 2, 1));
+        ev.push_back(arrive(3, "c", 6, 3));
+        ev.push_back(engine::reshapeEvent(4, 1, 2, 1));
+        ev.push_back(engine::tenantDepart(5, "b"));
+        ev.push_back(arrive(6, "d", 8, 4));
+        ev.push_back(engine::reshapeEvent(7, 3, 4, 2));
+        ev.push_back(engine::tenantDepart(8, "c"));
+        return ev;
+    }
+
+    static std::string
+    readFile(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    }
+
+    static void
+    writeFile(const std::string &path, const std::string &bytes)
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+
+    PerfModel pm_;
+    AreaModel am_;
+    UtilityOptimizer opt_;
+};
+
+TEST(Crc32, MatchesTheReferenceVector)
+{
+    // The classic check value for reflected poly 0xEDB88320.
+    EXPECT_EQ(engine::crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(engine::crc32("", 0), 0x00000000u);
+}
+
+TEST_F(JournalTest, FreshDirectoryStartsGenerationZero)
+{
+    const std::string dir = freshDir("fresh");
+    AllocationEngine e = makeEngine();
+    Journal j{JournalConfig{dir}};
+    JournalRecovery rec;
+    std::string err;
+    ASSERT_TRUE(j.open(e, &rec, &err)) << err;
+    EXPECT_TRUE(rec.fresh);
+    EXPECT_EQ(rec.replayed, 0u);
+    EXPECT_TRUE(fs::exists(dir + "/snap-0.state"));
+    EXPECT_TRUE(fs::exists(dir + "/wal-0.log"));
+}
+
+TEST_F(JournalTest, FrameFormatIsMagicThenLengthCrcPayload)
+{
+    const std::string dir = freshDir("frame");
+    AllocationEngine e = makeEngine();
+    Journal j{JournalConfig{dir}};
+    std::string err;
+    ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+    e.execute(arrive(1, "a", 4, 2));
+    j.close();
+
+    const std::string wal = readFile(dir + "/wal-0.log");
+    const std::string magic = engine::kJournalMagic;
+    ASSERT_GT(wal.size(), magic.size() + 8);
+    EXPECT_EQ(wal.substr(0, magic.size()), magic);
+
+    const auto *u = reinterpret_cast<const unsigned char *>(
+        wal.data() + magic.size());
+    const std::uint32_t len = u[0] | u[1] << 8 | u[2] << 16 |
+                              static_cast<std::uint32_t>(u[3])
+                                  << 24;
+    const std::uint32_t crc = u[4] | u[5] << 8 | u[6] << 16 |
+                              static_cast<std::uint32_t>(u[7])
+                                  << 24;
+    ASSERT_EQ(magic.size() + 8 + len, wal.size());
+    const std::string payload = wal.substr(magic.size() + 8, len);
+    EXPECT_EQ(engine::crc32(payload.data(), payload.size()), crc);
+    // The payload is the event line itself.
+    EXPECT_NE(payload.find("\"kind\":\"tenant_arrive\""),
+              std::string::npos)
+        << payload;
+}
+
+TEST_F(JournalTest, RecoveryReplaysToByteIdenticalState)
+{
+    const std::string dir = freshDir("roundtrip");
+    std::string before;
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{JournalConfig{dir}};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        for (const engine::Event &ev : script())
+            e.execute(ev);
+        before = e.saveState();
+    }
+    AllocationEngine e = makeEngine();
+    Journal j{JournalConfig{dir}};
+    JournalRecovery rec;
+    std::string err;
+    ASSERT_TRUE(j.open(e, &rec, &err)) << err;
+    EXPECT_FALSE(rec.fresh);
+    EXPECT_EQ(rec.replayed, script().size());
+    EXPECT_TRUE(rec.warnings.empty());
+    EXPECT_EQ(e.saveState(), before);
+    EXPECT_TRUE(e.checkInvariants(&err)) << err;
+}
+
+TEST_F(JournalTest, KillAtEveryByteRecoversIdentically)
+{
+    // Baseline: the full script, journaled, and its final report.
+    const std::string dir = freshDir("killbase");
+    const std::vector<engine::Event> events = script();
+    std::string baseline;
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{JournalConfig{dir}};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        for (const engine::Event &ev : events)
+            e.execute(ev);
+        baseline = study::renderJson(e.finalReport());
+    }
+    const std::string snap = readFile(dir + "/snap-0.state");
+    const std::string wal = readFile(dir + "/wal-0.log");
+    const std::size_t magic =
+        std::string(engine::kJournalMagic).size();
+
+    // Cut the log at every byte past the magic: each prefix is a
+    // state some crash could have left behind.  Recovery must
+    // replay the intact records, truncate at most one torn tail,
+    // and -- once the missing suffix is re-executed -- produce the
+    // identical report.
+    const std::string work = freshDir("killwork");
+    for (std::size_t cut = magic; cut <= wal.size(); ++cut) {
+        fs::remove_all(work);
+        fs::create_directory(work);
+        writeFile(work + "/snap-0.state", snap);
+        writeFile(work + "/wal-0.log", wal.substr(0, cut));
+
+        AllocationEngine e = makeEngine();
+        Journal j{JournalConfig{work}};
+        JournalRecovery rec;
+        std::string err;
+        ASSERT_TRUE(j.open(e, &rec, &err))
+            << "cut at byte " << cut << ": " << err;
+        ASSERT_LE(rec.replayed, events.size()) << cut;
+        EXPECT_EQ(rec.truncatedTail, !rec.warnings.empty()) << cut;
+        for (std::size_t i = rec.replayed; i < events.size(); ++i)
+            e.execute(events[i]);
+        ASSERT_EQ(study::renderJson(e.finalReport()), baseline)
+            << "diverged after cutting the log at byte " << cut
+            << " (replayed " << rec.replayed << ")";
+        j.close();
+    }
+}
+
+TEST_F(JournalTest, CorruptPayloadTruncatesWithPositionedWarning)
+{
+    const std::string dir = freshDir("corrupt");
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{JournalConfig{dir}};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        for (const engine::Event &ev : script())
+            e.execute(ev);
+    }
+    // Flip one byte deep inside the final record's payload.
+    std::string wal = readFile(dir + "/wal-0.log");
+    wal[wal.size() - 5] ^= 0x20;
+    writeFile(dir + "/wal-0.log", wal);
+
+    AllocationEngine e = makeEngine();
+    Journal j{JournalConfig{dir}};
+    JournalRecovery rec;
+    std::string err;
+    ASSERT_TRUE(j.open(e, &rec, &err)) << err;
+    EXPECT_EQ(rec.replayed, script().size() - 1);
+    EXPECT_TRUE(rec.truncatedTail);
+    ASSERT_EQ(rec.warnings.size(), 1u);
+    EXPECT_NE(rec.warnings[0].find("wal-0.log: offset"),
+              std::string::npos)
+        << rec.warnings[0];
+    EXPECT_NE(rec.warnings[0].find("CRC mismatch"),
+              std::string::npos)
+        << rec.warnings[0];
+    // The truncation is persistent: a second recovery is silent.
+    AllocationEngine e2 = makeEngine();
+    Journal j2{JournalConfig{dir}};
+    JournalRecovery rec2;
+    j.close();
+    ASSERT_TRUE(j2.open(e2, &rec2, &err)) << err;
+    EXPECT_TRUE(rec2.warnings.empty());
+    EXPECT_EQ(rec2.replayed, script().size() - 1);
+}
+
+TEST_F(JournalTest, RotationCompactsToTheLatestTwoGenerations)
+{
+    const std::string dir = freshDir("rotate");
+    JournalConfig cfg{dir};
+    cfg.rotateEvery = 2;
+    std::string before;
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{cfg};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        for (const engine::Event &ev : script())
+            e.execute(ev);
+        // 8 events at 2 per segment: generations 0..3.
+        EXPECT_EQ(j.generation(), 3u);
+        before = e.saveState();
+    }
+    EXPECT_FALSE(fs::exists(dir + "/snap-0.state"));
+    EXPECT_FALSE(fs::exists(dir + "/wal-1.log"));
+    EXPECT_TRUE(fs::exists(dir + "/snap-2.state"));
+    EXPECT_TRUE(fs::exists(dir + "/snap-3.state"));
+    EXPECT_TRUE(fs::exists(dir + "/wal-2.log"));
+    EXPECT_TRUE(fs::exists(dir + "/wal-3.log"));
+
+    AllocationEngine e = makeEngine();
+    Journal j{cfg};
+    JournalRecovery rec;
+    std::string err;
+    ASSERT_TRUE(j.open(e, &rec, &err)) << err;
+    EXPECT_EQ(e.saveState(), before);
+    EXPECT_EQ(rec.generation, 3u);
+}
+
+TEST_F(JournalTest, BadNewestSnapshotFallsBackAGeneration)
+{
+    const std::string dir = freshDir("fallback");
+    JournalConfig cfg{dir};
+    cfg.rotateEvery = 2;
+    std::string before;
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{cfg};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        for (const engine::Event &ev : script())
+            e.execute(ev);
+        before = e.saveState();
+    }
+    // Damage the newest snapshot: recovery must anchor on snap-2
+    // and reach the same state through wal-2 + wal-3.
+    writeFile(dir + "/snap-3.state", "not a snapshot");
+
+    AllocationEngine e = makeEngine();
+    Journal j{cfg};
+    JournalRecovery rec;
+    std::string err;
+    ASSERT_TRUE(j.open(e, &rec, &err)) << err;
+    ASSERT_FALSE(rec.warnings.empty());
+    EXPECT_NE(rec.warnings[0].find("snap-3.state"),
+              std::string::npos)
+        << rec.warnings[0];
+    EXPECT_EQ(e.saveState(), before);
+}
+
+TEST_F(JournalTest, CorruptionInANonFinalSegmentIsFatal)
+{
+    const std::string dir = freshDir("midhist");
+    JournalConfig cfg{dir};
+    cfg.rotateEvery = 2;
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{cfg};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        for (const engine::Event &ev : script())
+            e.execute(ev);
+    }
+    // Force recovery to replay wal-2 (now mid-history) by removing
+    // the newest snapshot, then damage wal-2: a torn tail is only
+    // legitimate in the final segment, so this must refuse.
+    fs::remove(dir + "/snap-3.state");
+    std::string wal = readFile(dir + "/wal-2.log");
+    wal[wal.size() - 5] ^= 0x20;
+    writeFile(dir + "/wal-2.log", wal);
+
+    AllocationEngine e = makeEngine();
+    Journal j{cfg};
+    std::string err;
+    EXPECT_FALSE(j.open(e, nullptr, &err));
+    EXPECT_NE(err.find("wal-2.log"), std::string::npos) << err;
+    EXPECT_NE(err.find("non-final"), std::string::npos) << err;
+}
+
+TEST_F(JournalTest, WalWithoutAnySnapshotIsUnrecoverable)
+{
+    const std::string dir = freshDir("nosnap");
+    {
+        AllocationEngine e = makeEngine();
+        Journal j{JournalConfig{dir}};
+        std::string err;
+        ASSERT_TRUE(j.open(e, nullptr, &err)) << err;
+        e.execute(arrive(1, "a", 4, 2));
+    }
+    fs::remove(dir + "/snap-0.state");
+    AllocationEngine e = makeEngine();
+    Journal j{JournalConfig{dir}};
+    std::string err;
+    EXPECT_FALSE(j.open(e, nullptr, &err));
+    EXPECT_NE(err.find("no snapshot"), std::string::npos) << err;
+}
+
+TEST_F(JournalTest, InvariantsHoldThroughABusySession)
+{
+    AllocationEngine e = makeEngine();
+    for (const engine::Event &ev : script())
+        e.execute(ev);
+    e.execute(engine::faultStrike(9, fault::FaultKind::Slice,
+                                  Coord{3, 0}));
+    e.execute(engine::auctionEpoch(10));
+    std::string err;
+    EXPECT_TRUE(e.checkInvariants(&err)) << err;
+}
+
+TEST_F(JournalTest, FabricAuditCatchesAFaultyOwnedTile)
+{
+    FabricManager f(8, 8);
+    const auto id = f.allocate(4, 2);
+    ASSERT_TRUE(id.has_value());
+    std::string err;
+    ASSERT_TRUE(f.checkConsistency(&err)) << err;
+
+    // restore() validates claims but not fault overlap -- a
+    // snapshot marking a *leased* tile faulty slips through, and
+    // the deep audit is what catches it.
+    FabricSnapshot snap = f.snapshot();
+    const SliceRun &run = f.find(*id)->slices;
+    snap.faultySliceTiles.push_back(Coord{run.col, run.row});
+    ASSERT_TRUE(f.restore(snap, &err)) << err;
+    EXPECT_FALSE(f.checkConsistency(&err));
+    EXPECT_NE(err.find("fabric:"), std::string::npos) << err;
+}
+
+TEST_F(JournalTest, MarketAuditCatchesANonFiniteBudget)
+{
+    SpotMarket m(opt_, 32.0, 32.0);
+    std::string err;
+    ASSERT_TRUE(m.checkConsistency(&err)) << err;
+    SpotMarketSnapshot snap = m.snapshot();
+    SpotCustomer bad;
+    bad.name = "evil";
+    bad.budget = -5.0;
+    snap.customers.push_back(bad);
+    m.restore(snap);
+    EXPECT_FALSE(m.checkConsistency(&err));
+    EXPECT_NE(err.find("market:"), std::string::npos) << err;
+}
+
+} // namespace

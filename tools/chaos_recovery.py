@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Kill-anywhere chaos harness for sharch-serve's write-ahead journal.
+
+Runs a fixed scripted session once uninterrupted to get the baseline
+sharch-report-v1 reply, then for each seed:
+
+  1. replays the script into a journaled serve process that is killed
+     after a randomized number of journal writes (SHARCH_CRASH_AFTER),
+     half the time mid-write (SHARCH_CRASH_TORN=1) so the log ends in
+     a torn record;
+  2. starts a fresh process on the same journal directory, reads
+     `stats` to learn how many events survived, feeds it the
+     not-yet-applied script suffix, and asks for the final report;
+  3. asserts the crashed-and-recovered report is byte-identical to
+     the uninterrupted one.
+
+Any divergence -- wrong crash exit code, recovery refusing to serve,
+a report that differs by even one byte -- fails the run.  Stdlib
+only; exits 0 on success.
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# One request per line; every line posts exactly one engine event
+# (allocate/release/reshape/price each map to a single event), so
+# the `processed` counter after recovery indexes this list directly.
+# Strictly increasing `at` keeps dispatch order equal to script
+# order.  Fabric-only tenants (no budget) keep the report
+# independent of the perf surface.
+SCRIPT = [
+    '{"op":"allocate","tenant":"a","slices":4,"banks":2,"at":1}',
+    '{"op":"allocate","tenant":"b","slices":2,"banks":1,"at":2}',
+    '{"op":"allocate","tenant":"c","slices":6,"banks":3,"at":3}',
+    '{"op":"price","at":4}',
+    '{"op":"reshape","lease":1,"slices":2,"banks":1}',
+    '{"op":"release","tenant":"b","at":6}',
+    '{"op":"allocate","tenant":"d","slices":8,"banks":4,"at":7}',
+    '{"op":"reshape","lease":3,"slices":4,"banks":2}',
+    '{"op":"price","at":9}',
+    '{"op":"release","tenant":"c","at":10}',
+    '{"op":"allocate","tenant":"e","slices":1,"banks":1,"at":11}',
+    '{"op":"price","at":12}',
+]
+REPORT_REQ = '{"op":"report"}'
+
+
+def run_session(serve, journal, lines, env=None, rotate=4):
+    """Feed lines to one serve process; return (exit, stdout lines)."""
+    full_env = dict(os.environ)
+    if env:
+        full_env.update(env)
+    proc = subprocess.run(
+        [serve, "--journal", journal, "--journal-rotate", str(rotate)],
+        input="".join(line + "\n" for line in lines),
+        capture_output=True,
+        text=True,
+        env=full_env,
+        timeout=120,
+    )
+    out = [l for l in proc.stdout.splitlines() if l]
+    return proc.returncode, out
+
+
+def interact(serve, journal, script_suffix, rotate=4):
+    """Recover a journal, replay the suffix, return the report line."""
+    proc = subprocess.Popen(
+        [serve, "--journal", journal, "--journal-rotate", str(rotate)],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        bufsize=1,
+    )
+    try:
+        for line in script_suffix:
+            proc.stdin.write(line + "\n")
+        proc.stdin.write(REPORT_REQ + "\n")
+        proc.stdin.close()
+        replies = [l for l in proc.stdout.read().splitlines() if l]
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"recovery process exited {proc.returncode}: "
+            f"{proc.stderr.read()}"
+        )
+    return replies[-1]
+
+
+def processed_events(serve, journal):
+    """Ask a recovered session how many events its journal replayed."""
+    code, out = run_session(serve, journal, ['{"op":"stats"}'])
+    if code != 0 or not out:
+        raise SystemExit(f"stats probe failed (exit {code})")
+    return json.loads(out[-1])["processed"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--serve", required=True,
+                    help="path to the sharch-serve binary")
+    ap.add_argument("--seeds", type=int, default=5,
+                    help="randomized crash points to try")
+    ap.add_argument("--seed-base", type=int, default=0,
+                    help="offset into the seed sequence")
+    args = ap.parse_args()
+
+    work = tempfile.mkdtemp(prefix="sharch-chaos-")
+    failures = 0
+    torn_runs = 0
+    try:
+        # Uninterrupted baseline.
+        base_dir = os.path.join(work, "baseline")
+        code, out = run_session(args.serve, base_dir,
+                                SCRIPT + [REPORT_REQ])
+        if code != 0:
+            raise SystemExit(f"baseline run exited {code}")
+        baseline = out[-1]
+        if '"schema":"sharch-report-v1"' not in baseline:
+            raise SystemExit("baseline reply is not a report")
+
+        for i in range(args.seeds):
+            rng = random.Random(args.seed_base + i)
+            crash_after = rng.randint(1, len(SCRIPT))
+            torn = rng.random() < 0.5
+            torn_runs += torn
+            jdir = os.path.join(work, f"seed{i}")
+            env = {"SHARCH_CRASH_AFTER": str(crash_after)}
+            if torn:
+                env["SHARCH_CRASH_TORN"] = "1"
+
+            code, _ = run_session(args.serve, jdir,
+                                  SCRIPT + [REPORT_REQ], env=env)
+            if code != 137:
+                print(f"seed {i}: FAIL crash run exited {code}, "
+                      f"want 137", file=sys.stderr)
+                failures += 1
+                continue
+
+            # A torn n-th write never became durable; a clean crash
+            # made exactly n events durable.  Trust the recovered
+            # engine's own counter rather than re-deriving it.
+            done = processed_events(args.serve, jdir)
+            expect = crash_after - 1 if torn else crash_after
+            if done != expect:
+                print(f"seed {i}: FAIL recovered {done} events, "
+                      f"want {expect} (crash_after={crash_after} "
+                      f"torn={torn})", file=sys.stderr)
+                failures += 1
+                continue
+
+            report = interact(args.serve, jdir, SCRIPT[done:])
+            if report != baseline:
+                print(f"seed {i}: FAIL report diverged after crash "
+                      f"at write {crash_after} (torn={torn})",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            print(f"seed {i}: ok (crash after {crash_after} writes, "
+                  f"torn={torn}, replayed {done})")
+
+        if torn_runs == 0 and args.seeds >= 4:
+            # Randomization should exercise both crash flavors.
+            print("note: no torn-write runs in this seed range")
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+    if failures:
+        print(f"{failures}/{args.seeds} seeds FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"all {args.seeds} seeds recovered byte-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
