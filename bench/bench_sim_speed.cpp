@@ -14,8 +14,10 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cache/cache_model.hh"
 #include "common/random.hh"
@@ -26,6 +28,7 @@
 #include "study/registry.hh"
 #include "study/study.hh"
 #include "trace/generator.hh"
+#include "trace/inst_source.hh"
 #include "trace/profile.hh"
 
 using namespace sharch;
@@ -105,6 +108,27 @@ class SimSpeedStudy final : public study::Study
             }));
         }
 
+        // The same instruction stream pulled through the fused
+        // (streaming) path: no Trace vector is ever materialized, the
+        // consumer drains window()/consume() batches directly.
+        for (std::size_t n : {std::size_t(10000),
+                              std::size_t(100000)}) {
+            TraceGenerator gen(p, 1);
+            addRateRow(t, "trace_generation_fused", n, measure([&] {
+                StreamingTraceSource src(gen, n);
+                std::uint64_t acc = 0;
+                while (!src.exhausted()) {
+                    std::size_t avail = 0;
+                    const TraceInst *w = src.window(avail);
+                    for (std::size_t i = 0; i < avail; ++i)
+                        acc += w[i].pc;
+                    src.consume(avail);
+                }
+                g_sink = g_sink + acc;
+                return static_cast<std::uint64_t>(n);
+            }));
+        }
+
         {
             CacheConfig cfg{64 * 1024, 64, 4, 4};
             CacheModel cache(cfg);
@@ -131,11 +155,38 @@ class SimSpeedStudy final : public study::Study
             }));
         }
 
+        // End-to-end throughput in the default (streaming) mode: the
+        // trace is generated inside the sim loop, one refill buffer
+        // at a time, never materialized.
+        {
+            TraceGenerator gen(p, 1);
+            for (unsigned slices : {1u, 4u, 8u}) {
+                addRateRow(t, "end_to_end", slices, measure([&] {
+                    SimConfig cfg;
+                    cfg.numSlices = slices;
+                    cfg.numL2Banks = 4;
+                    VmSim vm(cfg, 1);
+                    std::vector<std::unique_ptr<InstSource>> sources;
+                    sources.push_back(
+                        std::make_unique<StreamingTraceSource>(gen,
+                                                               20000));
+                    VmResult res = vm.run(sources);
+                    g_sink = g_sink + res.cycles;
+                    return std::uint64_t(20000);
+                }));
+            }
+        }
+
+        // The materialized replay path (--trace-mode materialize):
+        // a pre-generated Trace vector is re-simulated each
+        // iteration, the pre-streaming behavior.  The gap between
+        // this and end_to_end is the cost of bundle copies and
+        // vector traffic that fusion removes.
         {
             TraceGenerator gen(p, 1);
             const Trace trace = gen.generate(20000);
             for (unsigned slices : {1u, 4u, 8u}) {
-                addRateRow(t, "end_to_end", slices, measure([&] {
+                addRateRow(t, "end_to_end_replay", slices, measure([&] {
                     SimConfig cfg;
                     cfg.numSlices = slices;
                     cfg.numL2Banks = 4;

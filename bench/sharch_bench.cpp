@@ -159,8 +159,10 @@ main(int argc, char **argv)
                               : study::envInstructions();
     engine.seed = opts.seedSet ? opts.seed : study::envSeed();
     engine.threads = exec::resolveThreadCount(opts.threads);
+    engine.traceMode = opts.traceMode;
 
     PerfModel pm(engine.instructions, engine.seed);
+    pm.setTraceMode(engine.traceMode);
     study::enableSharedDiskCache(pm);
 
     // One batch for the union of the selected grids; each study's own

@@ -15,66 +15,10 @@ CacheModel::CacheModel(const CacheConfig &cfg) : cfg_(cfg)
     SHARCH_ASSERT(num_lines >= cfg.associativity,
                   "cache smaller than one set");
     numSets_ = static_cast<std::uint32_t>(num_lines / cfg.associativity);
+    setsPow2_ = isPow2(numSets_);
+    setMask_ = setsPow2_ ? numSets_ - 1 : 0;
     blockShift_ = floorLog2(cfg.blockBytes);
     lines_.resize(num_lines);
-}
-
-CacheModel::Line *
-CacheModel::findLine(Addr addr)
-{
-    const Addr line = lineAddr(addr);
-    const std::uint32_t set = setIndex(line);
-    Line *base = &lines_[static_cast<std::size_t>(set) *
-                         cfg_.associativity];
-    for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const CacheModel::Line *
-CacheModel::findLine(Addr addr) const
-{
-    return const_cast<CacheModel *>(this)->findLine(addr);
-}
-
-AccessResult
-CacheModel::access(Addr addr, bool is_write)
-{
-    ++accesses_;
-    ++stamp_;
-    AccessResult res;
-    if (Line *line = findLine(addr)) {
-        line->lruStamp = stamp_;
-        line->dirty = line->dirty || is_write;
-        res.hit = true;
-        return res;
-    }
-    ++misses_;
-    // Fill: evict the LRU way of the set.
-    const Addr line = lineAddr(addr);
-    const std::uint32_t set = setIndex(line);
-    Line *base = &lines_[static_cast<std::size_t>(set) *
-                         cfg_.associativity];
-    Line *victim = &base[0];
-    for (std::uint32_t w = 1; w < cfg_.associativity; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lruStamp < victim->lruStamp && victim->valid)
-            victim = &base[w];
-    }
-    if (victim->valid && victim->dirty) {
-        res.writebackVictim = true;
-        res.victimLine = victim->tag;
-    }
-    victim->tag = line;
-    victim->valid = true;
-    victim->dirty = is_write;
-    victim->lruStamp = stamp_;
-    return res;
 }
 
 bool

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/math_util.hh"
 #include "obs/obs.hh"
 
 namespace sharch {
@@ -41,6 +42,11 @@ L2System::L2System(const SimConfig &cfg,
     : cfg_(cfg), placements_(std::move(placements))
 {
     SHARCH_ASSERT(!placements_.empty(), "L2System needs >= 1 VCore");
+    blockPow2_ = cfg_.l2Bank.blockBytes > 0 &&
+                 isPow2(cfg_.l2Bank.blockBytes);
+    blockShift_ = blockPow2_ ? floorLog2(cfg_.l2Bank.blockBytes) : 0;
+    banksPow2_ = cfg_.numL2Banks > 0 && isPow2(cfg_.numL2Banks);
+    bankMask_ = banksPow2_ ? cfg_.numL2Banks - 1 : 0;
     banks_.reserve(cfg_.numL2Banks);
     for (std::uint32_t b = 0; b < cfg_.numL2Banks; ++b) {
         banks_.emplace_back(cfg_.l2Bank);
@@ -64,15 +70,6 @@ L2System::registerL1s(VCoreId vc, std::vector<CacheModel *> l1ds)
     l1ds_[vc] = std::move(l1ds);
 }
 
-BankId
-L2System::bankFor(Addr addr) const
-{
-    // Hot loop: one bank sort per L1 miss and store drain.
-    SHARCH_DCHECK(!banks_.empty(), "no banks attached");
-    const Addr line = addr / cfg_.l2Bank.blockBytes;
-    return static_cast<BankId>(line % banks_.size());
-}
-
 unsigned
 L2System::hopsTo(VCoreId vc, SliceId slice, BankId bank) const
 {
@@ -86,7 +83,7 @@ L2System::access(VCoreId vc, SliceId slice, Addr addr, bool is_write,
 {
     L2AccessResult res;
     const bool multi_vcore = placements_.size() > 1;
-    const Addr line = addr / cfg_.l2Bank.blockBytes;
+    const Addr line = lineOf(addr);
 
     // Directory maintenance (coherence point between L1 and L2).
     if (multi_vcore) {
@@ -170,10 +167,8 @@ L2System::prefill(VCoreId vc, Addr addr)
     if (banks_.empty())
         return;
     banks_[bankFor(addr)].access(addr, false);
-    if (placements_.size() > 1) {
-        const Addr line = addr / cfg_.l2Bank.blockBytes;
-        directory_[line] |= 1u << vc;
-    }
+    if (placements_.size() > 1)
+        directory_[lineOf(addr)] |= 1u << vc;
 }
 
 std::size_t

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cache/cache_model.hh"
+#include "common/logging.hh"
 #include "common/scheduling.hh"
 #include "common/types.hh"
 #include "config/sim_config.hh"
@@ -65,7 +66,17 @@ class L2System
     { return static_cast<unsigned>(banks_.size()); }
 
     /** The bank serving @p addr (low-order line interleave). */
-    BankId bankFor(Addr addr) const;
+    BankId
+    bankFor(Addr addr) const
+    {
+        // Hot loop: one bank sort per L1 miss and store drain.  Block
+        // sizes and the common bank counts are powers of two, so the
+        // divide/modulo collapse to shifts and masks.
+        SHARCH_DCHECK(!banks_.empty(), "no banks attached");
+        const Addr line = lineOf(addr);
+        return static_cast<BankId>(
+            banksPow2_ ? line & bankMask_ : line % banks_.size());
+    }
 
     /**
      * Handle an L1 miss from Slice @p slice of VCore @p vc at time
@@ -100,6 +111,18 @@ class L2System
     std::vector<FabricPlacement> placements_;
     std::vector<CacheModel> banks_;
     std::vector<SlottedPort> bankPort_; //!< 1 access/cycle per bank
+    std::uint32_t blockShift_ = 0;  //!< log2(blockBytes) when pow2
+    bool blockPow2_ = false;
+    Addr bankMask_ = 0;             //!< banks-1 when pow2
+    bool banksPow2_ = false;
+
+    /** The 64 B-line index of @p addr. */
+    Addr
+    lineOf(Addr addr) const
+    {
+        return blockPow2_ ? addr >> blockShift_
+                          : addr / cfg_.l2Bank.blockBytes;
+    }
     /** line address -> bitmask of VCores caching it in an L1. */
     std::unordered_map<Addr, std::uint32_t> directory_;
     std::vector<std::vector<CacheModel *>> l1ds_; //!< [vcore][slice]

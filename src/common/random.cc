@@ -18,12 +18,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -31,45 +25,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t s = seed;
     for (auto &w : state_)
         w = splitmix64(s);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBounded(std::uint64_t bound)
-{
-    SHARCH_ASSERT(bound > 0, "nextBounded requires a positive bound");
-    // Rejection sampling to remove modulo bias.
-    const std::uint64_t threshold = -bound % bound;
-    for (;;) {
-        const std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 std::uint64_t
@@ -109,6 +64,17 @@ Rng::nextZipf(std::uint64_t n, double alpha)
     if (k >= n)
         k = n - 1;
     return k;
+}
+
+ZipfDist::ZipfDist(std::uint64_t n, double alpha)
+    : n_(n), unitAlpha_(alpha == 1.0)
+{
+    SHARCH_ASSERT(n > 0, "zipf needs a nonempty range");
+    if (!unitAlpha_) {
+        const double exp = 1.0 - alpha;
+        nmax_ = std::pow(static_cast<double>(n), exp);
+        invExp_ = 1.0 / exp;
+    }
 }
 
 } // namespace sharch

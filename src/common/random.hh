@@ -6,13 +6,23 @@
  * flows through Rng so that a given seed reproduces a simulation
  * cycle-for-cycle.  The generator is xoshiro256**, which is fast,
  * well-distributed, and trivially serializable.
+ *
+ * The draw primitives (next, nextBounded, nextDouble, nextBool) are
+ * defined inline: trace generation draws several of them per emitted
+ * instruction, and with the streaming pipeline that is the simulator's
+ * per-instruction hot path.  The inline bodies are bit-identical to
+ * the historical out-of-line ones -- every golden file and disk-cache
+ * row depends on that.
  */
 
 #ifndef SHARCH_COMMON_RANDOM_HH
 #define SHARCH_COMMON_RANDOM_HH
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+
+#include "common/logging.hh"
 
 namespace sharch {
 
@@ -24,16 +34,53 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x5eed5eedULL);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) without modulo bias. bound > 0. */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        SHARCH_DCHECK(bound > 0, "nextBounded requires a positive bound");
+        // Power-of-two bounds (the common case in trace synthesis)
+        // need no rejection: the generic threshold -bound % bound is 0
+        // and r % bound == r & (bound - 1), so this path consumes the
+        // same single draw and returns the same value.
+        if ((bound & (bound - 1)) == 0)
+            return next() & (bound - 1);
+        // Rejection sampling to remove modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability p of true. */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
 
     /**
      * Geometric draw: number of failures before the first success with
@@ -48,7 +95,54 @@ class Rng
     std::uint64_t nextZipf(std::uint64_t n, double alpha);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * A Zipf distribution with precomputed inversion constants.
+ *
+ * Rng::nextZipf recomputes pow(n, 1 - alpha) on every draw; a trace
+ * generator draws from the same (n, alpha) pair millions of times, so
+ * hoisting the constants halves the pow() count.  draw() performs the
+ * identical floating-point operations on identical values, so its
+ * results are bit-for-bit the same as Rng::nextZipf(n, alpha).
+ */
+class ZipfDist
+{
+  public:
+    ZipfDist(std::uint64_t n, double alpha);
+
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        if (n_ == 1)
+            return 0;
+        const double u = rng.nextDouble();
+        if (unitAlpha_) {
+            const double v = std::pow(static_cast<double>(n_), u);
+            const auto k = static_cast<std::uint64_t>(v) - 1;
+            return k >= n_ ? n_ - 1 : k;
+        }
+        const double v = std::pow(u * (nmax_ - 1.0) + 1.0, invExp_);
+        auto k = static_cast<std::uint64_t>(v);
+        if (k >= n_)
+            k = n_ - 1;
+        return k;
+    }
+
+    std::uint64_t n() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    bool unitAlpha_;  //!< alpha == 1.0 uses the simpler inversion
+    double nmax_ = 0.0;   //!< pow(n, 1 - alpha)
+    double invExp_ = 0.0; //!< 1 / (1 - alpha)
 };
 
 } // namespace sharch

@@ -37,36 +37,22 @@ SlottedPort::slide(Cycles new_base)
         // The whole window is stale; every slot recycles.
         std::fill(ring_.begin(), ring_.end(), 0);
     } else {
-        for (Cycles c = base_; c != new_base; ++c)
-            ring_[c & kWindowMask] = 0;
+        // The recycled range [base_, new_base) wraps at most once in
+        // the ring, so it is one or two contiguous spans -- memset
+        // them instead of zeroing a byte per loop iteration (steady
+        // forward progress slides the window by one slot per cycle of
+        // advance per port, so this is warm-path work).
+        const Cycles lo = base_ & kWindowMask;
+        const Cycles len = new_base - base_;
+        const Cycles first = std::min(len, kWindow - lo);
+        std::fill_n(ring_.begin() + static_cast<std::ptrdiff_t>(lo),
+                    static_cast<std::ptrdiff_t>(first), 0);
+        if (first < len) {
+            std::fill_n(ring_.begin(),
+                        static_cast<std::ptrdiff_t>(len - first), 0);
+        }
     }
     base_ = new_base;
-}
-
-Cycles
-SlottedPort::schedule(Cycles ready)
-{
-    Cycles c = std::max(ready, watermark_);
-    for (;;) {
-        if (c >= base_ + kWindow) {
-            // Overflow fallback: a pathological ready-time spread (or
-            // a fully saturated window) ran past the ring; slide it.
-            slide(c + 1 - kWindow);
-        }
-        std::uint8_t &used = ring_[c & kWindowMask];
-        if (used < width_) {
-            ++used;
-            break;
-        }
-        ++c;
-    }
-    // Carry the watermark: slots far behind the scheduling frontier
-    // can never be claimed again (ready times trail the frontier by a
-    // bounded window).  Same policy the map version enforced by
-    // erasing entries below now - kLag.
-    if (c >= watermark_ + 2 * kLag)
-        watermark_ = c - kLag;
-    return c;
 }
 
 void

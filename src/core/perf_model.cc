@@ -40,6 +40,10 @@ PerfModel::PerfModel(std::size_t instructions_per_thread,
 void
 PerfModel::evictTracesLocked()
 {
+    // Streaming mode materializes no bundles, so there is nothing to
+    // evict -- the trace cache is a policy of the materialized path.
+    if (traceMode_ == TraceMode::Stream)
+        return;
     while (traces_.size() > traceCapacity_) {
         auto victim = traces_.begin();
         for (auto it = std::next(victim); it != traces_.end(); ++it) {
@@ -47,6 +51,20 @@ PerfModel::evictTracesLocked()
                 victim = it;
         }
         traces_.erase(victim);
+    }
+}
+
+void
+PerfModel::evictGeneratorsLocked()
+{
+    while (generators_.size() > traceCapacity_) {
+        auto victim = generators_.begin();
+        for (auto it = std::next(victim); it != generators_.end();
+             ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        generators_.erase(victim);
     }
 }
 
@@ -79,12 +97,42 @@ PerfModel::tracesFor(const BenchmarkProfile &p)
     return result;
 }
 
+std::shared_ptr<const TraceGenerator>
+PerfModel::generatorFor(const BenchmarkProfile &p)
+{
+    {
+        std::lock_guard<std::mutex> lock(traceMutex_);
+        auto it = generators_.find(p.name);
+        if (it != generators_.end()) {
+            it->second.lastUse = ++traceUseTick_;
+            return it->second.generator;
+        }
+    }
+    // Build outside the lock; a racing duplicate is identical (the
+    // skeleton is deterministic in (profile, seed)) and discarded.
+    auto gen = std::make_shared<const TraceGenerator>(p, seed_);
+    std::lock_guard<std::mutex> lock(traceMutex_);
+    auto [it, inserted] = generators_.try_emplace(p.name);
+    if (inserted)
+        it->second.generator = std::move(gen);
+    it->second.lastUse = ++traceUseTick_;
+    std::shared_ptr<const TraceGenerator> result = it->second.generator;
+    evictGeneratorsLocked();
+    return result;
+}
+
 void
 PerfModel::setTraceCacheCapacity(std::size_t benchmarks)
 {
     SHARCH_ASSERT(benchmarks > 0, "trace cache needs >= 1 slot");
     std::lock_guard<std::mutex> lock(traceMutex_);
     traceCapacity_ = benchmarks;
+    evictGeneratorsLocked();
+    if (traceMode_ == TraceMode::Stream) {
+        SHARCH_DEBUG("trace-bundle cache bound is a no-op in streaming "
+                     "mode: no bundles are materialized");
+        return;
+    }
     evictTracesLocked();
 }
 
@@ -110,6 +158,13 @@ PerfModel::detailedRun(const BenchmarkProfile &profile, unsigned banks,
         profile.multithreaded ? profile.numThreads : 1;
     VmSim vm(cfg, vcores);
     vm.prewarm(profile);
+    if (traceMode_ == TraceMode::Stream) {
+        // Fused path: generation happens inside the sim loop; only a
+        // refill buffer per thread is ever resident.
+        const auto sources =
+            streamSources(generatorFor(profile), instructions_);
+        return vm.run(sources);
+    }
     // Pin the bundle for the whole run; the cache may evict it.
     const TraceBundlePtr traces = tracesFor(profile);
     return vm.run(*traces);
@@ -170,8 +225,10 @@ PerfModel::performanceBatch(
     if (!missing.empty()) {
         const exec::SweepRunner runner(threads);
 
-        // Warm the trace cache for every distinct workload first, so
-        // sweep workers never race to generate the same traces.
+        // Warm the per-workload shared state first, so sweep workers
+        // never race to build the same thing: trace bundles when
+        // materializing, just the (much cheaper) generator skeletons
+        // when streaming.
         {
             std::map<std::string, const BenchmarkProfile *> profiles;
             for (std::size_t i : missing)
@@ -180,7 +237,12 @@ PerfModel::performanceBatch(
             exec::ThreadPool pool(runner.threads());
             for (const auto &[name, profile] : profiles) {
                 (void)name;
-                pool.submit([this, profile] { tracesFor(*profile); });
+                pool.submit([this, profile] {
+                    if (traceMode_ == TraceMode::Stream)
+                        generatorFor(*profile);
+                    else
+                        tracesFor(*profile);
+                });
             }
             pool.wait();
         }

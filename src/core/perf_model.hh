@@ -35,6 +35,7 @@
 #include "core/vm_sim.hh"
 #include "exec/sweep.hh"
 #include "trace/generator.hh"
+#include "trace/inst_source.hh"
 #include "trace/profile.hh"
 
 namespace sharch {
@@ -44,18 +45,6 @@ const std::vector<unsigned> &l2BankGrid();
 
 /** Cache size in KB for a bank count under the 64 KB-bank default. */
 unsigned banksToKb(unsigned banks);
-
-/**
- * An immutable, shareable set of generated per-thread traces.  Trace
- * storage is the dominant memory consumer of long multi-benchmark
- * batches (instructions x threads x 32 B per benchmark), so generated
- * bundles are reference-counted: PerfModel's cache keeps at most a
- * bounded number of benchmarks hot and in-flight simulations pin the
- * bundle they replay, while evicted benchmarks regenerate
- * deterministically on next use.
- */
-using TraceBundle = std::vector<Trace>;
-using TraceBundlePtr = std::shared_ptr<const TraceBundle>;
 
 /** Memoized, thread-safe SSim runner over (benchmark, banks, slices). */
 class PerfModel
@@ -105,6 +94,19 @@ class PerfModel
     std::uint64_t seed() const { return seed_; }
 
     /**
+     * How simulations obtain their instruction streams.  The default,
+     * TraceMode::Stream, fuses generation into the sim loop: no trace
+     * bundle is ever materialized and resident trace storage is
+     * O(StreamingTraceSource::kBufferInsts) per running simulation.
+     * TraceMode::Materialize restores the bundle cache for multi-pass
+     * consumers.  Both modes produce bit-identical results (same
+     * instruction bytes, same SimStats); set before running -- the
+     * mode is not meant to change mid-batch.
+     */
+    void setTraceMode(TraceMode mode) { traceMode_ = mode; }
+    TraceMode traceMode() const { return traceMode_; }
+
+    /**
      * Persist performance results to @p path (CSV) and preload any
      * existing entries whose (instructions, seed) match.  Lets several
      * benchmark harnesses share one simulated surface.
@@ -116,10 +118,17 @@ class PerfModel
      * workloads (>= 1); least-recently-used bundles are dropped.
      * Simulations already holding a bundle keep it alive; an evicted
      * benchmark regenerates bit-identically on next use.
+     *
+     * The bundle cache is a policy of the materialized path only: in
+     * streaming mode no bundles exist, so this records the bound (for
+     * a later switch to TraceMode::Materialize) and otherwise no-ops.
+     * The bound also limits the streaming path's generator cache,
+     * which holds O(codeBytes) skeletons, not traces.
      */
     void setTraceCacheCapacity(std::size_t benchmarks);
 
-    /** Distinct benchmarks currently held by the trace cache. */
+    /** Distinct benchmarks currently held by the trace cache
+     *  (always 0 in streaming mode: no bundles are materialized). */
     std::size_t traceCacheSize() const;
 
     /** Default trace-cache bound (distinct benchmarks). */
@@ -164,10 +173,19 @@ class PerfModel
         std::uint64_t lastUse = 0;
     };
 
+    /** One cached generator (skeleton only) plus its recency stamp. */
+    struct GenCacheEntry
+    {
+        std::shared_ptr<const TraceGenerator> generator;
+        std::uint64_t lastUse = 0;
+    };
+
     std::size_t instructions_;
     std::uint64_t seed_;
+    TraceMode traceMode_ = TraceMode::Stream;
     std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
     std::unordered_map<std::string, TraceCacheEntry> traces_;
+    std::unordered_map<std::string, GenCacheEntry> generators_;
     std::size_t traceCapacity_ = kDefaultTraceCacheCapacity;
     std::uint64_t traceUseTick_ = 0;
     std::string cachePath_;
@@ -185,10 +203,19 @@ class PerfModel
                        double perf) const;
 
     /** Drop least-recently-used bundles down to the capacity.
-     *  Caller holds traceMutex_. */
+     *  Caller holds traceMutex_.  No-op in streaming mode (the cache
+     *  never holds bundles there). */
     void evictTracesLocked();
 
+    /** As above for the generator cache.  Caller holds traceMutex_. */
+    void evictGeneratorsLocked();
+
     TraceBundlePtr tracesFor(const BenchmarkProfile &p);
+
+    /** Shared generator for @p p (streaming path), LRU-cached so grid
+     *  sweeps do not rebuild the skeleton per point. */
+    std::shared_ptr<const TraceGenerator> generatorFor(
+        const BenchmarkProfile &p);
 };
 
 } // namespace sharch

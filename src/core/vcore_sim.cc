@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
@@ -538,22 +539,37 @@ VCoreSim::processOne(const TraceInst &ti)
 }
 
 std::size_t
-VCoreSim::step(const Trace &trace, std::size_t max_instructions)
+VCoreSim::step(InstSource &src, std::size_t max_instructions)
 {
+    // Batched pull: walk the source's contiguous windows so the
+    // per-instruction loop pays no virtual dispatch -- refill() runs
+    // once per window (every StreamingTraceSource::kBufferInsts
+    // instructions when streaming, once in total when materialized).
     std::size_t n = 0;
-    while (cursor_ < trace.size() && n < max_instructions) {
-        processOne(trace[cursor_]);
-        ++cursor_;
-        ++n;
+    while (n < max_instructions) {
+        std::size_t avail;
+        const TraceInst *w = src.window(avail);
+        if (!w)
+            break;
+        const std::size_t run =
+            std::min(avail, max_instructions - n);
+        for (std::size_t i = 0; i < run; ++i)
+            processOne(w[i]);
+        src.consume(run);
+        n += run;
     }
+    done_ = src.exhausted();
     stats_.cycles = lastCommit_;
     return n;
 }
 
 const SimStats &
-VCoreSim::run(const Trace &trace)
+VCoreSim::run(InstSource &src)
 {
-    step(trace, trace.size());
+    while (!src.exhausted())
+        step(src, std::numeric_limits<std::size_t>::max());
+    done_ = true;
+    stats_.cycles = lastCommit_;
     return stats_;
 }
 

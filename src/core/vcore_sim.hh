@@ -40,6 +40,7 @@
 #include "noc/network.hh"
 #include "noc/placement.hh"
 #include "stats/stats.hh"
+#include "trace/inst_source.hh"
 #include "trace/instruction.hh"
 #include "uarch/branch_predictor.hh"
 #include "uarch/mem_dep.hh"
@@ -71,16 +72,25 @@ class VCoreSim
      */
     void prefillLine(Addr addr);
 
-    /** Process up to @p max_instructions of @p trace starting at the
-     *  internal cursor.  @return instructions actually processed. */
-    std::size_t step(const Trace &trace, std::size_t max_instructions);
+    /**
+     * Process up to @p max_instructions pulled from @p src.
+     *
+     * Contract: instructions are consumed from @p src in order, one
+     * timing walk per instruction; the return value is the number
+     * actually processed, which is less than @p max_instructions only
+     * when @p src ran out.  Stream progress lives in the source
+     * (InstSource::consumed()), not the core: callers may resume the
+     * same source on this core, or -- between step calls -- charge
+     * reconfigurations.  After a step that drains @p src, done()
+     * reports true until the next step() with a non-exhausted source.
+     */
+    std::size_t step(InstSource &src, std::size_t max_instructions);
 
-    /** Run @p trace to completion and return the final statistics. */
-    const SimStats &run(const Trace &trace);
+    /** Run @p src to exhaustion and return the final statistics. */
+    const SimStats &run(InstSource &src);
 
-    /** True when the cursor reached the end of the last trace given. */
-    bool done(const Trace &trace) const
-    { return cursor_ >= trace.size(); }
+    /** True when the last step() drained its source. */
+    bool done() const { return done_; }
 
     /** Cycle of the most recent commit (the completion frontier). */
     Cycles currentCycle() const { return lastCommit_; }
@@ -140,7 +150,7 @@ class VCoreSim
     unsigned groupUsed_ = 0;     //!< instructions fetched this group
     Cycles lastCommit_ = 0;
     SeqNum seq_ = 0;
-    std::size_t cursor_ = 0;
+    bool done_ = false; //!< the last step() drained its source
     Addr lastFetchLine_ = ~Addr{0};
 
     SimStats stats_;

@@ -80,17 +80,18 @@ VmSim::prewarm(const BenchmarkProfile &profile)
 }
 
 VmResult
-VmSim::run(const std::vector<Trace> &traces, std::size_t chunk)
+VmSim::run(const std::vector<std::unique_ptr<InstSource>> &sources,
+           std::size_t chunk)
 {
-    SHARCH_ASSERT(traces.size() == vcores_.size(),
-                  "one trace per VCore required");
+    SHARCH_ASSERT(sources.size() == vcores_.size(),
+                  "one instruction source per VCore required");
     SHARCH_ASSERT(chunk > 0, "chunk must be positive");
 
     bool progress = true;
     while (progress) {
         progress = false;
         for (std::size_t v = 0; v < vcores_.size(); ++v) {
-            if (vcores_[v]->step(traces[v], chunk) > 0)
+            if (vcores_[v]->step(*sources[v], chunk) > 0)
                 progress = true;
         }
     }
@@ -104,6 +105,16 @@ VmSim::run(const std::vector<Trace> &traces, std::size_t chunk)
     }
     res.aggregate.cycles = res.cycles;
     return res;
+}
+
+VmResult
+VmSim::run(const std::vector<Trace> &traces, std::size_t chunk)
+{
+    std::vector<std::unique_ptr<InstSource>> sources;
+    sources.reserve(traces.size());
+    for (const Trace &t : traces)
+        sources.push_back(std::make_unique<MaterializedTraceSource>(t));
+    return run(sources, chunk);
 }
 
 } // namespace sharch

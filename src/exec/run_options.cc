@@ -106,6 +106,13 @@ const SharedSpec kSharedSpecs[] = {
          out->threads = static_cast<unsigned>(v);
          return true;
      }},
+    {"--trace-mode", " (want stream or materialize)",
+     [](const char *val, SharedFlagValues *out) {
+         if (!parseTraceMode(val, out->traceMode))
+             return false;
+         out->traceModeSet = true;
+         return true;
+     }},
 };
 
 } // namespace
@@ -134,8 +141,12 @@ handleSharedFlag(int argc, const char *const *argv, int *i,
 std::string
 sharedFlagUsage()
 {
-    return "  --instructions N (trace length), --seed N, and "
-           "--threads N are shared\n"
+    return "  --instructions N (trace length), --seed N, --threads N, "
+           "and\n"
+           "  --trace-mode stream|materialize (default stream: fuse "
+           "generation\n"
+           "  into the sim loop; results are bit-identical either "
+           "way) are shared\n"
            "  by every sharch binary: same spellings, same "
            "validation, same errors.\n";
 }
@@ -146,8 +157,8 @@ runUsage(const std::string &prog)
     return "usage: " + prog +
            " <benchmark> [--config FILE] [--instructions N]\n"
            "            [--slices LIST] [--banks LIST] [--seed N]\n"
-           "            [--threads N] [--json] [--trace-out FILE]\n"
-           "            [--metrics]\n"
+           "            [--threads N] [--trace-mode stream|materialize]\n"
+           "            [--json] [--trace-out FILE] [--metrics]\n"
            "       " + prog +
            " --inject-faults SPEC [--fabric WxH] [--slices LIST]\n"
            "            [--banks LIST] [--json]\n"
@@ -304,6 +315,8 @@ parseRunOptions(int argc, const char *const *argv)
     }
     if (shared.threads != 0)
         opts.threads = shared.threads;
+    if (shared.traceModeSet)
+        opts.traceMode = shared.traceMode;
     // Fault replay (--inject-faults) is a degradation study of the
     // fabric allocator itself; a benchmark is optional there.
     if (opts.ok() && !opts.dumpConfig && !opts.listBenchmarks &&
@@ -320,8 +333,8 @@ benchUsage(const std::string &prog)
            "       " + prog +
            " --run GLOB [--run GLOB ...] [--format text|csv|json]\n"
            "            [--out DIR] [--instructions N] [--seed N]\n"
-           "            [--threads N] [--metrics-out DIR]\n"
-           "            [--trace-out FILE]\n"
+           "            [--threads N] [--trace-mode stream|materialize]\n"
+           "            [--metrics-out DIR] [--trace-out FILE]\n"
            "\n"
            "  Runs the registered paper studies (figures, tables,\n"
            "  ablations).  --run takes shell-style globs over study\n"
@@ -332,7 +345,7 @@ benchUsage(const std::string &prog)
            std::string("sharch_perf_cache.csv") + " in the\n"
            "  working directory.  With --out, one <study>.<ext> file\n"
            "  is written per study; JSON/CSV reports are bit-identical\n"
-           "  across --threads values.\n"
+           "  across --threads values and --trace-mode settings.\n"
            "  --metrics-out writes one <study>.metrics.json of telemetry\n"
            "  counters per study; --trace-out writes a Chrome trace-event\n"
            "  timeline for the whole invocation.  Both need a build with\n"
@@ -409,6 +422,8 @@ parseBenchOptions(int argc, const char *const *argv)
     }
     if (shared.threads != 0)
         opts.threads = shared.threads;
+    if (shared.traceModeSet)
+        opts.traceMode = shared.traceMode;
     if (opts.ok() && !opts.list && opts.patterns.empty())
         opts.error = "nothing to do: give --list or --run GLOB";
     return opts;
@@ -419,6 +434,7 @@ serveUsage(const std::string &prog)
 {
     return "usage: " + prog +
            " [--instructions N] [--seed N] [--threads N]\n"
+           "            [--trace-mode stream|materialize]\n"
            "            [--fabric WxH] [--restore FILE] "
            "[--journal DIR]\n"
            "            [--journal-fsync N] [--journal-rotate N]\n"
@@ -508,6 +524,8 @@ parseServeOptions(int argc, const char *const *argv)
         opts.seed = shared.seed;
     if (shared.threads != 0)
         opts.threads = shared.threads;
+    if (shared.traceModeSet)
+        opts.traceMode = shared.traceMode;
     return opts;
 }
 

@@ -39,15 +39,17 @@
 #include <string>
 #include <vector>
 
+#include "trace/inst_source.hh"
+
 namespace sharch::exec {
 
 /**
  * The values of the flags every sharch binary shares.  ssim,
  * sharch-bench, and sharch-serve all parse --instructions, --seed,
- * and --threads through one option-spec table (handleSharedFlag), so
- * the three CLIs accept identical spellings with identical
- * validation and identical error messages -- they cannot drift
- * apart flag by flag.
+ * --threads, and --trace-mode through one option-spec table
+ * (handleSharedFlag), so the three CLIs accept identical spellings
+ * with identical validation and identical error messages -- they
+ * cannot drift apart flag by flag.
  */
 struct SharedFlagValues
 {
@@ -56,6 +58,8 @@ struct SharedFlagValues
     std::uint64_t seed = 0;
     bool seedSet = false;
     unsigned threads = 0;              //!< 0: resolveThreadCount()
+    TraceMode traceMode = TraceMode::Stream;
+    bool traceModeSet = false;
 };
 
 /**
@@ -81,6 +85,7 @@ struct RunOptions
     std::uint64_t seed = 0;
     bool seedSet = false;              //!< --seed given (else config's)
     unsigned threads = 0;              //!< 0: resolveThreadCount()
+    TraceMode traceMode = TraceMode::Stream; //!< --trace-mode
     std::string faultSpec;             //!< empty: no fault injection
     int fabricWidth = 8;               //!< --fabric geometry
     int fabricHeight = 8;
@@ -151,6 +156,7 @@ struct BenchOptions
     std::uint64_t seed = 0;
     bool seedSet = false;              //!< --seed given
     unsigned threads = 0;              //!< 0: resolveThreadCount()
+    TraceMode traceMode = TraceMode::Stream; //!< --trace-mode
     std::string metricsOut;            //!< empty: no metrics files
     std::string traceOut;              //!< empty: no timeline export
 
@@ -191,6 +197,7 @@ struct ServeOptions
     std::size_t instructions = 2000;
     std::uint64_t seed = 1;
     unsigned threads = 0;              //!< 0: resolveThreadCount()
+    TraceMode traceMode = TraceMode::Stream; //!< --trace-mode
     int fabricWidth = 8;
     int fabricHeight = 8;
     std::string restorePath;           //!< empty: fresh engine

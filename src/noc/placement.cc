@@ -30,6 +30,17 @@ FabricPlacement::FabricPlacement(unsigned num_slices, unsigned num_banks,
         const int row = 1 + static_cast<int>(b) / kBanksPerRow;
         banks_.push_back(Coord{origin.x + col, origin.y + row});
     }
+    // Precompute the hop tables the per-instruction paths index.
+    sliceSliceHops_.resize(std::size_t{num_slices} * num_slices);
+    for (unsigned a = 0; a < num_slices; ++a)
+        for (unsigned b = 0; b < num_slices; ++b)
+            sliceSliceHops_[a * num_slices + b] =
+                manhattanDistance(slices_[a], slices_[b]);
+    sliceBankHops_.resize(std::size_t{num_slices} * num_banks);
+    for (unsigned s = 0; s < num_slices; ++s)
+        for (unsigned b = 0; b < num_banks; ++b)
+            sliceBankHops_[s * num_banks + b] =
+                manhattanDistance(slices_[s], banks_[b]);
 }
 
 Coord
@@ -44,18 +55,6 @@ FabricPlacement::bankCoord(BankId b) const
 {
     SHARCH_ASSERT(b < banks_.size(), "bank id out of range");
     return banks_[b];
-}
-
-unsigned
-FabricPlacement::sliceToSliceHops(SliceId a, SliceId b) const
-{
-    return manhattanDistance(sliceCoord(a), sliceCoord(b));
-}
-
-unsigned
-FabricPlacement::sliceToBankHops(SliceId s, BankId b) const
-{
-    return manhattanDistance(sliceCoord(s), bankCoord(b));
 }
 
 double

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "noc/mesh.hh"
 
@@ -54,11 +55,29 @@ class FabricPlacement
     Coord sliceCoord(SliceId s) const;
     Coord bankCoord(BankId b) const;
 
-    /** Hops between two Slices of this VCore. */
-    unsigned sliceToSliceHops(SliceId a, SliceId b) const;
+    /**
+     * Hops between two Slices of this VCore.
+     *
+     * Placement is immutable after construction, so the pairwise
+     * Manhattan distances are precomputed in the constructor; these
+     * lookups sit on the per-instruction operand-network path.
+     */
+    unsigned
+    sliceToSliceHops(SliceId a, SliceId b) const
+    {
+        SHARCH_DCHECK(a < slices_.size() && b < slices_.size(),
+                      "slice id out of range");
+        return sliceSliceHops_[a * slices_.size() + b];
+    }
 
-    /** Hops from a Slice to an L2 bank. */
-    unsigned sliceToBankHops(SliceId s, BankId b) const;
+    /** Hops from a Slice to an L2 bank (precomputed, see above). */
+    unsigned
+    sliceToBankHops(SliceId s, BankId b) const
+    {
+        SHARCH_DCHECK(s < slices_.size() && b < banks_.size(),
+                      "slice or bank id out of range");
+        return sliceBankHops_[s * banks_.size() + b];
+    }
 
     /** Mean Slice-to-bank distance over all (slice, bank) pairs. */
     double meanBankDistance() const;
@@ -66,6 +85,10 @@ class FabricPlacement
   private:
     std::vector<Coord> slices_;
     std::vector<Coord> banks_;
+    /** Row-major [numSlices x numSlices] hop table. */
+    std::vector<unsigned> sliceSliceHops_;
+    /** Row-major [numSlices x numBanks] hop table. */
+    std::vector<unsigned> sliceBankHops_;
 };
 
 } // namespace sharch

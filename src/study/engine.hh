@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "study/study.hh"
+#include "trace/inst_source.hh"
 
 namespace sharch {
 
@@ -32,6 +33,9 @@ struct EngineOptions
     std::size_t instructions = 40000; //!< trace length per thread
     std::uint64_t seed = 1;           //!< base generation seed
     unsigned threads = 0;             //!< 0: exec::resolveThreadCount()
+    /** Studies stream by default; reports are bit-identical in both
+     *  modes, so the mode never enters Report::meta. */
+    TraceMode traceMode = TraceMode::Stream;
 };
 
 /**

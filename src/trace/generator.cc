@@ -1,7 +1,6 @@
 #include "trace/generator.hh"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -93,192 +92,208 @@ TraceGenerator::buildSkeleton()
     }
 }
 
-Trace
-TraceGenerator::generate(std::size_t num_instructions,
-                         unsigned thread_id) const
+TraceGenerator::Cursor::Cursor(const TraceGenerator &gen,
+                               unsigned thread_id)
+    : gen_(&gen),
+      rng_(gen.seed_ * 0x9e3779b9ULL + thread_id * 0x85ebca6bULL + 1),
+      hotBase_(threadBase(kHotBase, thread_id)),
+      heapBase_(threadBase(kHeapBase, thread_id)),
+      streamBase_(threadBase(kStreamBase, thread_id)),
+      hotLines_(std::max<std::uint64_t>(1, gen.profile_.hotBytes / kLine)),
+      streamLines_((32ULL << 20) / kLine),
+      wsZipf_(std::max<std::uint64_t>(
+                  1, gen.profile_.workingSetBytes / kLine),
+              gen.profile_.zipfAlpha),
+      sharedZipf_(std::max<std::uint64_t>(
+                      1, gen.profile_.sharedBytes / kLine),
+                  gen.profile_.zipfAlpha)
 {
-    Rng rng(seed_ * 0x9e3779b9ULL + thread_id * 0x85ebca6bULL + 1);
-    Trace trace;
-    trace.benchmark = profile_.name;
-    trace.threadId = thread_id;
-    trace.instructions.reserve(num_instructions);
-
-    const Addr hot_base = threadBase(kHotBase, thread_id);
-    const Addr heap_base = threadBase(kHeapBase, thread_id);
-    const Addr stream_base = threadBase(kStreamBase, thread_id);
-    const std::uint64_t hot_lines =
-        std::max<std::uint64_t>(1, profile_.hotBytes / kLine);
-    const std::uint64_t ws_lines =
-        std::max<std::uint64_t>(1, profile_.workingSetBytes / kLine);
-    const std::uint64_t shared_lines =
-        std::max<std::uint64_t>(1, profile_.sharedBytes / kLine);
-    const std::uint64_t stream_lines = (32ULL << 20) / kLine;
-
     // Non-branch op mix, normalized to the non-branch fraction.
-    const double non_branch = 1.0 - profile_.branchFrac;
-    const double p_load = profile_.loadFrac / non_branch;
-    const double p_store = profile_.storeFrac / non_branch;
-    const double p_mul = profile_.mulFrac / non_branch;
-
+    const double non_branch = 1.0 - gen.profile_.branchFrac;
+    pLoad_ = gen.profile_.loadFrac / non_branch;
+    pStore_ = gen.profile_.storeFrac / non_branch;
+    pMul_ = gen.profile_.mulFrac / non_branch;
     // meanDepDistance is the ILP knob: it sets how many independent
     // chains run concurrently.
-    const unsigned num_chains = static_cast<unsigned>(std::clamp(
-        profile_.meanDepDistance, 1.0,
+    numChains_ = static_cast<unsigned>(std::clamp(
+        gen.profile_.meanDepDistance, 1.0,
         static_cast<double>(kMaxChains)));
-    std::array<Addr, 16> recent_stores{};
-    unsigned recent_store_count = 0;
-    std::uint64_t stream_ptr = 0;
-    unsigned temp_rr = 0;
-    std::uint64_t since_base_update = 0;
+}
 
-    auto chain_reg = [&](unsigned c) -> RegIndex {
-        return static_cast<RegIndex>(kFirstChainReg + c % num_chains);
-    };
-    auto pick_chain = [&]() -> RegIndex {
-        return chain_reg(
-            static_cast<unsigned>(rng.nextBounded(num_chains)));
-    };
-    // Effective addresses flow from long-lived base registers, not the
-    // freshest results; otherwise every load chains on the previous
-    // one and memory-level parallelism disappears.
-    auto pick_addr_src = [&]() -> RegIndex {
-        return static_cast<RegIndex>(
-            kFirstBaseReg + rng.nextBounded(kNumBaseRegs));
-    };
-    auto pick_temp = [&]() -> RegIndex {
-        return static_cast<RegIndex>(kFirstTempReg +
-                                     (temp_rr++ % kNumTempRegs));
-    };
-    auto pick_temp_src = [&]() -> RegIndex {
-        // A uniformly random temp was written ~kNumTempRegs/2 temp-ops
-        // ago, so it is almost always ready: cheap scaffolding input.
-        return static_cast<RegIndex>(
-            kFirstTempReg + rng.nextBounded(kNumTempRegs));
-    };
-    auto pick_cheap_src = [&]() -> RegIndex {
-        return rng.nextBool(0.5) ? pick_temp_src() : pick_addr_src();
-    };
+RegIndex
+TraceGenerator::Cursor::pickChain()
+{
+    const auto c =
+        static_cast<unsigned>(rng_.nextBounded(numChains_));
+    return static_cast<RegIndex>(kFirstChainReg + c % numChains_);
+}
 
-    auto gen_addr = [&](bool is_load) -> Addr {
-        if (is_load && recent_store_count > 0 &&
-            rng.nextBool(profile_.storeLoadConflictFrac)) {
-            const auto n =
-                std::min<std::uint64_t>(recent_store_count, 16);
-            return recent_stores[rng.nextBounded(n)];
-        }
-        if (rng.nextBool(profile_.hotFrac)) {
-            return hot_base + rng.nextBounded(hot_lines) * kLine +
-                   rng.nextBounded(kLine / 8) * 8;
-        }
-        if (rng.nextBool(profile_.streamFrac)) {
-            // Unit-stride sweep: 8-byte elements, no temporal reuse.
-            const Addr a = stream_base +
-                           (stream_ptr * 8) % (stream_lines * kLine);
-            ++stream_ptr;
-            return a;
-        }
-        if (profile_.multithreaded &&
-            rng.nextBool(profile_.sharedFrac)) {
-            return kSharedBase +
-                   rng.nextZipf(shared_lines, profile_.zipfAlpha) *
-                       kLine;
-        }
-        return heap_base +
-               rng.nextZipf(ws_lines, profile_.zipfAlpha) * kLine +
-               rng.nextBounded(kLine / 8) * 8;
-    };
+// Effective addresses flow from long-lived base registers, not the
+// freshest results; otherwise every load chains on the previous one
+// and memory-level parallelism disappears.
+RegIndex
+TraceGenerator::Cursor::pickAddrSrc()
+{
+    return static_cast<RegIndex>(kFirstBaseReg +
+                                 rng_.nextBounded(kNumBaseRegs));
+}
 
-    std::size_t block_idx = 0;
-    while (trace.size() < num_instructions) {
-        const Block &b = blocks_[block_idx];
-        // Body instructions.
-        for (unsigned k = 0; k + 1 < b.len &&
-                             trace.size() < num_instructions; ++k) {
-            TraceInst ti;
-            ti.pc = b.startPc + static_cast<Addr>(k) * 4;
+RegIndex
+TraceGenerator::Cursor::pickTemp()
+{
+    return static_cast<RegIndex>(kFirstTempReg +
+                                 (tempRr_++ % kNumTempRegs));
+}
+
+RegIndex
+TraceGenerator::Cursor::pickTempSrc()
+{
+    // A uniformly random temp was written ~kNumTempRegs/2 temp-ops
+    // ago, so it is almost always ready: cheap scaffolding input.
+    return static_cast<RegIndex>(kFirstTempReg +
+                                 rng_.nextBounded(kNumTempRegs));
+}
+
+RegIndex
+TraceGenerator::Cursor::pickCheapSrc()
+{
+    return rng_.nextBool(0.5) ? pickTempSrc() : pickAddrSrc();
+}
+
+Addr
+TraceGenerator::Cursor::genAddr(bool is_load)
+{
+    const BenchmarkProfile &prof = gen_->profile_;
+    if (is_load && recentStoreCount_ > 0 &&
+        rng_.nextBool(prof.storeLoadConflictFrac)) {
+        const auto n = std::min<std::uint64_t>(recentStoreCount_, 16);
+        return recentStores_[rng_.nextBounded(n)];
+    }
+    if (rng_.nextBool(prof.hotFrac)) {
+        return hotBase_ + rng_.nextBounded(hotLines_) * kLine +
+               rng_.nextBounded(kLine / 8) * 8;
+    }
+    if (rng_.nextBool(prof.streamFrac)) {
+        // Unit-stride sweep: 8-byte elements, no temporal reuse.
+        const Addr a = streamBase_ +
+                       (streamPtr_ * 8) % (streamLines_ * kLine);
+        ++streamPtr_;
+        return a;
+    }
+    if (prof.multithreaded && rng_.nextBool(prof.sharedFrac)) {
+        return kSharedBase + sharedZipf_.draw(rng_) * kLine;
+    }
+    return heapBase_ + wsZipf_.draw(rng_) * kLine +
+           rng_.nextBounded(kLine / 8) * 8;
+}
+
+void
+TraceGenerator::Cursor::emit(TraceInst *out, std::size_t n)
+{
+    const std::vector<Block> &blocks = gen_->blocks_;
+    const BenchmarkProfile &prof = gen_->profile_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Block &b = blocks[blockIdx_];
+        TraceInst ti;
+        if (posInBlock_ + 1 < b.len) {
+            // Body instruction.
+            ti.pc = b.startPc + static_cast<Addr>(posInBlock_) * 4;
+            ++posInBlock_;
             // Loop induction: base registers advance periodically via
             // a dependency-free update, like `add rB, rB, #stride`.
-            if (++since_base_update >= kBaseRegUpdatePeriod) {
-                since_base_update = 0;
+            if (++sinceBaseUpdate_ >= kBaseRegUpdatePeriod) {
+                sinceBaseUpdate_ = 0;
                 ti.op = OpClass::IntAlu;
-                ti.src1 = pick_addr_src();
+                ti.src1 = pickAddrSrc();
                 ti.dst = ti.src1;
-                trace.instructions.push_back(ti);
+                out[i] = ti;
+                ++emitted_;
                 continue;
             }
-            const double u = rng.nextDouble();
-            if (u < p_load) {
+            const double u = rng_.nextDouble();
+            if (u < pLoad_) {
                 ti.op = OpClass::Load;
-                if (rng.nextBool(profile_.pointerChaseFrac)) {
+                if (rng_.nextBool(prof.pointerChaseFrac)) {
                     // Pointer chase: ptr = *ptr.  Address and result
                     // share one chain register, so consecutive misses
                     // of the chain fully serialize.
-                    const RegIndex c = pick_chain();
+                    const RegIndex c = pickChain();
                     ti.src1 = c;
                     ti.dst = c;
                 } else {
-                    ti.src1 = pick_addr_src();
+                    ti.src1 = pickAddrSrc();
                     // Half the independent loads feed a chain (their
                     // latency lands on the critical path); the rest
                     // fill temporaries.
-                    ti.dst = rng.nextBool(0.5) ? pick_chain()
-                                               : pick_temp();
+                    ti.dst = rng_.nextBool(0.5) ? pickChain()
+                                                : pickTemp();
                 }
-                ti.effAddr = gen_addr(true);
-            } else if (u < p_load + p_store) {
+                ti.effAddr = genAddr(true);
+            } else if (u < pLoad_ + pStore_) {
                 ti.op = OpClass::Store;
-                ti.src1 = pick_addr_src();
-                ti.src2 = rng.nextBool(0.5) ? pick_chain()
-                                            : pick_temp_src();
-                ti.effAddr = gen_addr(false);
-                recent_stores[recent_store_count % 16] = ti.effAddr;
-                ++recent_store_count;
-            } else if (u < p_load + p_store + p_mul) {
+                ti.src1 = pickAddrSrc();
+                ti.src2 = rng_.nextBool(0.5) ? pickChain()
+                                             : pickTempSrc();
+                ti.effAddr = genAddr(false);
+                recentStores_[recentStoreCount_ % 16] = ti.effAddr;
+                ++recentStoreCount_;
+            } else if (u < pLoad_ + pStore_ + pMul_) {
                 ti.op = OpClass::IntMul;
-                const RegIndex c = pick_chain();
+                const RegIndex c = pickChain();
                 ti.src1 = c;
-                ti.src2 = rng.nextBool(0.3) ? pick_cheap_src() : kNoReg;
+                ti.src2 = rng_.nextBool(0.3) ? pickCheapSrc() : kNoReg;
                 ti.dst = c;
-            } else if (rng.nextBool(0.85)) {
+            } else if (rng_.nextBool(0.85)) {
                 // Chain step: rC = rC op cheap.  Chains never read
                 // each other directly -- cross-chain coupling would
                 // lock every chain to the slowest frontier and erase
                 // the ILP the chain count is supposed to express.
                 ti.op = OpClass::IntAlu;
-                const RegIndex c = pick_chain();
+                const RegIndex c = pickChain();
                 ti.src1 = c;
-                if (rng.nextBool(0.4))
-                    ti.src2 = pick_cheap_src();
+                if (rng_.nextBool(0.4))
+                    ti.src2 = pickCheapSrc();
                 ti.dst = c;
             } else {
                 // Scaffolding: temporaries computed from bases/temps.
                 ti.op = OpClass::IntAlu;
-                ti.src1 = pick_cheap_src();
-                if (rng.nextBool(0.4))
-                    ti.src2 = pick_temp_src();
-                ti.dst = pick_temp();
+                ti.src1 = pickCheapSrc();
+                if (rng_.nextBool(0.4))
+                    ti.src2 = pickTempSrc();
+                ti.dst = pickTemp();
             }
-            trace.instructions.push_back(ti);
+        } else {
+            // Terminating branch.
+            ti.pc = b.startPc + static_cast<Addr>(b.len - 1) * 4;
+            ti.op = OpClass::Branch;
+            // Loop exits and most ifs test induction variables or
+            // freshly computed temporaries, which resolve early; only
+            // a minority hang off a long dependence chain.
+            ti.src1 = rng_.nextBool(0.75) ? pickAddrSrc() : pickTemp();
+            if (rng_.nextBool(0.2))
+                ti.src2 = pickChain();
+            ti.taken = rng_.nextBool(b.takenBias);
+            const std::size_t next =
+                ti.taken ? b.takenTarget : b.fallthrough;
+            ti.target = blocks[next].startPc;
+            blockIdx_ = next;
+            posInBlock_ = 0;
         }
-        if (trace.size() >= num_instructions)
-            break;
-        // Terminating branch.
-        TraceInst br;
-        br.pc = b.startPc + static_cast<Addr>(b.len - 1) * 4;
-        br.op = OpClass::Branch;
-        // Loop exits and most ifs test induction variables or freshly
-        // computed temporaries, which resolve early; only a minority
-        // hang off a long dependence chain.
-        br.src1 = rng.nextBool(0.75) ? pick_addr_src() : pick_temp();
-        if (rng.nextBool(0.2))
-            br.src2 = pick_chain();
-        br.taken = rng.nextBool(b.takenBias);
-        const std::size_t next =
-            br.taken ? b.takenTarget : b.fallthrough;
-        br.target = blocks_[next].startPc;
-        trace.instructions.push_back(br);
-        block_idx = next;
+        out[i] = ti;
+        ++emitted_;
     }
+}
+
+Trace
+TraceGenerator::generate(std::size_t num_instructions,
+                         unsigned thread_id) const
+{
+    Trace trace;
+    trace.benchmark = profile_.name;
+    trace.threadId = thread_id;
+    trace.instructions.resize(num_instructions);
+    Cursor cursor(*this, thread_id);
+    cursor.emit(trace.instructions.data(), num_instructions);
     return trace;
 }
 

@@ -1,12 +1,23 @@
 #include "uarch/mem_dep.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "common/math_util.hh"
 
 namespace sharch {
 
+namespace {
+
+/** A word no real store record can carry: addresses are word indices
+ *  (addr >> 3), so the all-ones pattern is unreachable. */
+constexpr Addr kNoWord = ~Addr{0};
+
+} // namespace
+
 MemDepTracker::MemDepTracker(std::size_t window)
-    : window_(window), ring_(ceilPow2(window)), mask_(ring_.size() - 1)
+    : window_(window), words_(ceilPow2(window), kNoWord),
+      ring_(words_.size()), mask_(words_.size() - 1)
 {
     SHARCH_ASSERT(window > 0, "window must be nonempty");
 }
@@ -15,7 +26,8 @@ void
 MemDepTracker::recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
                            Cycles data_ready)
 {
-    ring_[head_] = StoreEntry{addr >> 3, seq, addr_ready, data_ready};
+    words_[head_] = addr >> 3;
+    ring_[head_] = StoreEntry{seq, addr_ready, data_ready};
     head_ = (head_ + 1) & mask_;
     if (live_ < window_)
         ++live_;
@@ -27,10 +39,15 @@ MemDepTracker::queryLoad(Addr addr, SeqNum load_seq) const
     MemDepResult res;
     const Addr word = addr >> 3;
     // Scan newest to oldest; the first (youngest) older store wins.
+    // The common case matches nothing, so the hot sweep touches only
+    // the dense word ring (empty slots hold kNoWord, which never
+    // compares equal); payload loads happen only on a candidate hit.
     for (std::size_t i = 0; i < live_; ++i) {
-        const std::size_t idx = (head_ + ring_.size() - 1 - i) & mask_;
+        const std::size_t idx = (head_ + words_.size() - 1 - i) & mask_;
+        if (words_[idx] != word)
+            continue;
         const StoreEntry &e = ring_[idx];
-        if (e.word == word && e.seq < load_seq) {
+        if (e.seq < load_seq) {
             res.conflict = true;
             res.storeAddrReady = e.addrReady;
             res.storeDataReady = e.dataReady;
@@ -44,6 +61,7 @@ MemDepTracker::queryLoad(Addr addr, SeqNum load_seq) const
 void
 MemDepTracker::reset()
 {
+    std::fill(words_.begin(), words_.end(), kNoWord);
     for (auto &e : ring_)
         e = StoreEntry{};
     head_ = 0;

@@ -65,14 +65,18 @@ class MemDepTracker
   private:
     struct StoreEntry
     {
-        Addr word = 0;
         SeqNum seq = 0;
         Cycles addrReady = 0;
         Cycles dataReady = 0;
     };
 
     std::size_t window_; //!< searchable depth (as requested)
-    std::vector<StoreEntry> ring_; //!< pow2-sized backing store
+    /** Store words separate from the payload: queryLoad scans every
+     *  word on every load and almost always matches none, so the
+     *  word sweep should touch one dense array, not stride through
+     *  32-byte entries. */
+    std::vector<Addr> words_;      //!< pow2-sized ring of store words
+    std::vector<StoreEntry> ring_; //!< parallel payload ring
     std::size_t mask_;   //!< ring_.size() - 1
     std::size_t head_ = 0;
     std::size_t live_ = 0;

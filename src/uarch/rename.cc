@@ -1,36 +1,8 @@
 #include "uarch/rename.hh"
 
-#include "common/logging.hh"
-
 namespace sharch {
 
-unsigned
-renameDepth(unsigned num_slices)
-{
-    SHARCH_ASSERT(num_slices >= 1, "need at least one Slice");
-    if (num_slices == 1)
-        return 1;
-    if (num_slices <= 4)
-        return 2;
-    return 3;
-}
-
 RenameState::RenameState() = default;
-
-const Producer &
-RenameState::lookup(RegIndex arch_reg) const
-{
-    SHARCH_ASSERT(arch_reg < kArchRegs, "architectural reg out of range");
-    return table_[arch_reg];
-}
-
-void
-RenameState::define(RegIndex arch_reg, SliceId slice, Cycles ready,
-                    SeqNum seq)
-{
-    SHARCH_ASSERT(arch_reg < kArchRegs, "architectural reg out of range");
-    table_[arch_reg] = Producer{ready, slice, seq};
-}
 
 void
 RenameState::flushTo(SliceId slice, Cycles ready)

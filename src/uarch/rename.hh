@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace sharch {
@@ -37,7 +38,16 @@ struct Producer
  * and broadcast-correct steps (one extra stage each once the VCore
  * spans more than one/four Slices).
  */
-unsigned renameDepth(unsigned num_slices);
+inline unsigned
+renameDepth(unsigned num_slices)
+{
+    SHARCH_DCHECK(num_slices >= 1, "need at least one Slice");
+    if (num_slices == 1)
+        return 1;
+    if (num_slices <= 4)
+        return 2;
+    return 3;
+}
 
 /** Global RAT timing model: arch reg -> producer. */
 class RenameState
@@ -47,11 +57,22 @@ class RenameState
 
     RenameState();
 
-    const Producer &lookup(RegIndex arch_reg) const;
+    const Producer &
+    lookup(RegIndex arch_reg) const
+    {
+        SHARCH_DCHECK(arch_reg < kArchRegs,
+                      "architectural reg out of range");
+        return table_[arch_reg];
+    }
 
     /** Record that @p arch_reg is produced on @p slice at @p ready. */
-    void define(RegIndex arch_reg, SliceId slice, Cycles ready,
-                SeqNum seq);
+    void
+    define(RegIndex arch_reg, SliceId slice, Cycles ready, SeqNum seq)
+    {
+        SHARCH_DCHECK(arch_reg < kArchRegs,
+                      "architectural reg out of range");
+        table_[arch_reg] = Producer{ready, slice, seq};
+    }
 
     /**
      * Mark every live register as resident on @p slice at @p ready --

@@ -12,28 +12,6 @@ OccupancyLimiter::OccupancyLimiter(std::uint32_t capacity)
     SHARCH_ASSERT(capacity > 0, "structure needs at least one entry");
 }
 
-Cycles
-OccupancyLimiter::allocConstraint() const
-{
-    if (allocated_ < capacity_)
-        return 0;
-    // The slot we are about to overwrite holds the release time of the
-    // allocation `capacity_` steps ago.
-    return releases_[head_];
-}
-
-void
-OccupancyLimiter::allocate(Cycles release_cycle)
-{
-    releases_[head_] = release_cycle;
-    // Branchy wrap instead of a modulo: capacities are arbitrary
-    // (not power-of-two), and this runs once per committed
-    // instruction per structure.
-    if (++head_ == releases_.size())
-        head_ = 0;
-    ++allocated_;
-}
-
 std::uint32_t
 OccupancyLimiter::occupancy(Cycles now) const
 {
@@ -55,66 +33,20 @@ OccupancyLimiter::reset()
 }
 
 UnorderedOccupancy::UnorderedOccupancy(std::uint32_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity), releases_(capacity, 0)
 {
     SHARCH_ASSERT(capacity > 0, "structure needs at least one entry");
-    releases_.reserve(capacity);
-}
-
-Cycles
-UnorderedOccupancy::allocate(Cycles ready, Cycles release)
-{
-    // Drop entries already free at `ready`.
-    while (!releases_.empty() && releases_.front() <= ready) {
-        std::pop_heap(releases_.begin(), releases_.end(),
-                      std::greater<>{});
-        releases_.pop_back();
-    }
-    Cycles granted = ready;
-    if (releases_.size() >= capacity_) {
-        // Wait for the earliest release among live entries.
-        granted = std::max(granted, releases_.front());
-        std::pop_heap(releases_.begin(), releases_.end(),
-                      std::greater<>{});
-        releases_.pop_back();
-    }
-    releases_.push_back(std::max(release, granted));
-    std::push_heap(releases_.begin(), releases_.end(),
-                   std::greater<>{});
-    return granted;
 }
 
 void
 UnorderedOccupancy::reset()
 {
-    releases_.clear();
+    size_ = 0;
 }
 
 UnitPort::UnitPort(std::uint32_t width) : width_(width)
 {
     SHARCH_ASSERT(width > 0, "unit needs at least one port");
-}
-
-Cycles
-UnitPort::schedule(Cycles ready)
-{
-    if (ready > busyCycle_) {
-        busyCycle_ = ready;
-        used_ = 1;
-        return ready;
-    }
-    if (ready == busyCycle_ && used_ < width_) {
-        ++used_;
-        return ready;
-    }
-    // The unit is saturated at `ready`; take the next free slot.
-    if (used_ < width_ && busyCycle_ > ready) {
-        ++used_;
-        return busyCycle_;
-    }
-    ++busyCycle_;
-    used_ = 1;
-    return busyCycle_;
 }
 
 void

@@ -8,13 +8,20 @@
  * (k - capacity) has been released.  UnitPort models a fully pipelined
  * unit that accepts one operation per cycle (an ALU, an LSU port, a
  * cache port).
+ *
+ * The allocate/schedule paths are defined inline: each committed
+ * instruction touches several of these structures, and the streaming
+ * pipeline made the call overhead of the out-of-line versions a
+ * measurable share of end-to-end instr/s.  Grant semantics are
+ * unchanged.
  */
 
 #ifndef SHARCH_UARCH_STRUCTURES_HH
 #define SHARCH_UARCH_STRUCTURES_HH
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <vector>
 
 #include "common/scheduling.hh"
@@ -32,10 +39,28 @@ class OccupancyLimiter
      * Earliest cycle at which the next allocation may proceed given
      * occupancy (0 when the structure is not yet full).
      */
-    Cycles allocConstraint() const;
+    Cycles
+    allocConstraint() const
+    {
+        if (allocated_ < capacity_)
+            return 0;
+        // The slot we are about to overwrite holds the release time
+        // of the allocation `capacity_` steps ago.
+        return releases_[head_];
+    }
 
     /** Record an allocation whose entry frees at @p release_cycle. */
-    void allocate(Cycles release_cycle);
+    void
+    allocate(Cycles release_cycle)
+    {
+        releases_[head_] = release_cycle;
+        // Branchy wrap instead of a modulo: capacities are arbitrary
+        // (not power-of-two), and this runs once per committed
+        // instruction per structure.
+        if (++head_ == releases_.size())
+            head_ = 0;
+        ++allocated_;
+    }
 
     std::uint32_t capacity() const { return capacity_; }
 
@@ -66,7 +91,40 @@ class UnorderedOccupancy
      * Allocate an entry no earlier than @p ready that frees at
      * @p release.  @return the granted allocation cycle (>= ready).
      */
-    Cycles allocate(Cycles ready, Cycles release);
+    Cycles
+    allocate(Cycles ready, Cycles release)
+    {
+        // One pass over an unsorted array: drop entries already free
+        // at `ready` while tracking the earliest release among the
+        // survivors.  Capacities here are tiny (8..32 entries), so
+        // the linear sweep beats the historical binary heap's
+        // pop/push cascades -- and grants are identical: same eager
+        // drop, same earliest-release wait when full.
+        std::size_t n = 0;
+        std::size_t min_idx = 0;
+        Cycles min_release = ~Cycles{0};
+        for (std::size_t i = 0; i < size_; ++i) {
+            const Cycles r = releases_[i];
+            if (r <= ready)
+                continue;
+            releases_[n] = r;
+            if (r < min_release) {
+                min_release = r;
+                min_idx = n;
+            }
+            ++n;
+        }
+        Cycles granted = ready;
+        if (n >= capacity_) {
+            // Wait for the earliest release among live entries (all
+            // survivors are > ready, so the max() is just the min).
+            granted = min_release;
+            releases_[min_idx] = releases_[--n];
+        }
+        releases_[n] = std::max(release, granted);
+        size_ = n + 1;
+        return granted;
+    }
 
     std::uint32_t capacity() const { return capacity_; }
 
@@ -74,8 +132,9 @@ class UnorderedOccupancy
 
   private:
     std::uint32_t capacity_;
-    /** Min-heap of live entries' release times. */
+    /** Live entries' release times, unsorted; first size_ are valid. */
     std::vector<Cycles> releases_;
+    std::size_t size_ = 0;
 };
 
 /** A fully pipelined unit accepting @p width operations per cycle. */
@@ -88,7 +147,27 @@ class UnitPort
      * Schedule an operation that becomes ready at @p ready.
      * @return the cycle the unit actually accepts it.
      */
-    Cycles schedule(Cycles ready);
+    Cycles
+    schedule(Cycles ready)
+    {
+        if (ready > busyCycle_) {
+            busyCycle_ = ready;
+            used_ = 1;
+            return ready;
+        }
+        if (ready == busyCycle_ && used_ < width_) {
+            ++used_;
+            return ready;
+        }
+        // The unit is saturated at `ready`; take the next free slot.
+        if (used_ < width_ && busyCycle_ > ready) {
+            ++used_;
+            return busyCycle_;
+        }
+        ++busyCycle_;
+        used_ = 1;
+        return busyCycle_;
+    }
 
     void reset();
 

@@ -110,10 +110,12 @@ TEST(VCoreSim, StepInterfaceIsIncremental)
     VCoreSim sim(cfg, 0, placement, l2);
     TraceGenerator gen(profileFor("gcc"), 1);
     const Trace t = gen.generate(1000);
-    EXPECT_EQ(sim.step(t, 400), 400u);
-    EXPECT_FALSE(sim.done(t));
-    EXPECT_EQ(sim.step(t, 1000), 600u);
-    EXPECT_TRUE(sim.done(t));
+    MaterializedTraceSource src(t);
+    EXPECT_EQ(sim.step(src, 400), 400u);
+    EXPECT_FALSE(sim.done());
+    EXPECT_EQ(src.consumed(), 400u);
+    EXPECT_EQ(sim.step(src, 1000), 600u);
+    EXPECT_TRUE(sim.done());
     EXPECT_EQ(sim.stats().instructionsCommitted, 1000u);
 }
 
@@ -138,12 +140,12 @@ TEST(VCoreSim, ReconfigurationChargesCycles)
     L2System l2(cfg, {placement});
     VCoreSim sim(cfg, 0, placement, l2);
     TraceGenerator gen(profileFor("gcc"), 1);
-    const Trace t = gen.generate(2000);
-    sim.step(t, 1000);
+    StreamingTraceSource src(gen, 2000);
+    sim.step(src, 1000);
     const Cycles before = sim.currentCycle();
     sim.chargeReconfiguration(10000);
     EXPECT_GE(sim.currentCycle(), before + 10000);
-    sim.step(t, 1000);
+    sim.step(src, 1000);
     EXPECT_EQ(sim.stats().instructionsCommitted, 2000u);
 }
 
@@ -292,9 +294,12 @@ TEST(PerfModel, EvictedTracesRegenerateIdentically)
 {
     // Eviction must be invisible in the results: a capacity-1 model
     // (every switch regenerates) matches an unbounded one bit-for-bit.
+    // The bundle cache only exists on the materialized path.
     PerfModel bounded(2000);
+    bounded.setTraceMode(TraceMode::Materialize);
     bounded.setTraceCacheCapacity(1);
     PerfModel roomy(2000);
+    roomy.setTraceMode(TraceMode::Materialize);
     for (unsigned banks : {1u, 4u}) {
         for (const char *b : {"gcc", "hmmer", "gcc", "hmmer"}) {
             EXPECT_DOUBLE_EQ(bounded.performance(b, banks, 2),

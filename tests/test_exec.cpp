@@ -213,6 +213,56 @@ TEST(CliParse, SharedFlagsErrorIdenticallyAcrossBinaries)
               parseServeOptions(3, serveInstr).error);
     EXPECT_EQ(parseRunOptions(4, runInstr).error,
               "bad --instructions '0'");
+
+    const char *runMode[] = {"ssim", "gcc", "--trace-mode", "eager"};
+    const char *benchMode[] = {"sharch-bench", "fig13", "--trace-mode",
+                               "eager"};
+    const char *serveMode[] = {"sharch-serve", "--trace-mode",
+                               "eager"};
+    EXPECT_EQ(parseRunOptions(4, runMode).error,
+              parseBenchOptions(4, benchMode).error);
+    EXPECT_EQ(parseRunOptions(4, runMode).error,
+              parseServeOptions(3, serveMode).error);
+    EXPECT_EQ(parseRunOptions(4, runMode).error,
+              "bad --trace-mode 'eager' (want stream or materialize)");
+}
+
+TEST(CliParse, TraceModeFlagReachesAllBinaries)
+{
+    // Default is streaming everywhere; --trace-mode switches all
+    // three binaries through the shared spec table.
+    const char *runDefault[] = {"ssim", "gcc"};
+    EXPECT_EQ(parseRunOptions(2, runDefault).traceMode,
+              TraceMode::Stream);
+    const char *serveDefault[] = {"sharch-serve"};
+    EXPECT_EQ(parseServeOptions(1, serveDefault).traceMode,
+              TraceMode::Stream);
+    const char *benchDefault[] = {"sharch-bench", "fig13"};
+    EXPECT_EQ(parseBenchOptions(2, benchDefault).traceMode,
+              TraceMode::Stream);
+
+    const char *runMat[] = {"ssim", "gcc", "--trace-mode",
+                            "materialize"};
+    const RunOptions r = parseRunOptions(4, runMat);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(r.traceMode, TraceMode::Materialize);
+
+    const char *benchMat[] = {"sharch-bench", "fig13", "--trace-mode",
+                              "materialize"};
+    const BenchOptions b = parseBenchOptions(4, benchMat);
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_EQ(b.traceMode, TraceMode::Materialize);
+
+    const char *serveMat[] = {"sharch-serve", "--trace-mode",
+                              "materialize"};
+    const ServeOptions s = parseServeOptions(3, serveMat);
+    ASSERT_TRUE(s.ok()) << s.error;
+    EXPECT_EQ(s.traceMode, TraceMode::Materialize);
+
+    const char *runStream[] = {"ssim", "gcc", "--trace-mode",
+                               "stream"};
+    EXPECT_EQ(parseRunOptions(4, runStream).traceMode,
+              TraceMode::Stream);
 }
 
 TEST(ServeParse, FlagsAndDefaults)

@@ -150,6 +150,7 @@ main(int argc, char **argv)
     }
 
     PerfModel pm(opts.instructions, opts.seed);
+    pm.setTraceMode(opts.traceMode);
     AreaModel am;
     UtilityOptimizer opt(pm, am);
 

@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -146,8 +147,17 @@ runSingle(const exec::RunOptions &opts, const SimConfig &cfg,
 
     VmSim vm(cfg, vcores);
     vm.prewarm(profile);
-    TraceGenerator gen(profile, cfg.seed);
-    const VmResult res = vm.run(gen.generateThreads(opts.instructions));
+    // Both modes produce bit-identical VmResults (the differential
+    // tests enforce it); streaming just never materializes the trace.
+    VmResult res;
+    if (opts.traceMode == TraceMode::Stream) {
+        const auto gen =
+            std::make_shared<const TraceGenerator>(profile, cfg.seed);
+        res = vm.run(streamSources(gen, opts.instructions));
+    } else {
+        TraceGenerator gen(profile, cfg.seed);
+        res = vm.run(gen.generateThreads(opts.instructions));
+    }
 
 #if SHARCH_OBS
     if (fabric) {
@@ -209,6 +219,7 @@ runSweep(const exec::RunOptions &opts, const SimConfig &cfg,
                      opts.configPath.c_str());
     }
     PerfModel pm(opts.instructions, cfg.seed);
+    pm.setTraceMode(opts.traceMode);
     const std::vector<exec::SweepPoint> grid =
         exec::sweepGrid(std::vector<BenchmarkProfile>{profile}, banks,
                         slices);
