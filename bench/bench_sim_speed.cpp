@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "common/random.hh"
 #include "common/scheduling.hh"
 #include "core/perf_model.hh"
+#include "core/sampling.hh"
 #include "core/vm_sim.hh"
 #include "exec/sweep.hh"
 #include "study/registry.hh"
@@ -198,6 +200,53 @@ class SimSpeedStudy final : public study::Study
             }
         }
 
+        // The functional fast-forward alone: architectural warm
+        // state (cache tags, predictor, mem-dep history) advances,
+        // no timing.  This is the floor for sampled throughput --
+        // the sampled rate approaches it as U/(W+M) grows.
+        {
+            TraceGenerator gen(p, 1);
+            for (unsigned slices : {1u, 4u, 8u}) {
+                addRateRow(t, "functional_fastforward", slices,
+                           measure([&] {
+                    SimConfig cfg;
+                    cfg.numSlices = slices;
+                    cfg.numL2Banks = 4;
+                    VmSim vm(cfg, 1);
+                    StreamingTraceSource src(gen, 200000);
+                    while (vm.vcore(0).fastForward(src, 2000) > 0) {
+                    }
+                    g_sink = g_sink + vm.vcore(0).warmStateDigest();
+                    return std::uint64_t(200000);
+                }));
+            }
+        }
+
+        // End-to-end SMARTS-sampled throughput at the default U:W:M
+        // schedule (--sample): detailed warm-up + measure windows,
+        // functional fast-forward between them, extrapolated stats.
+        {
+            TraceGenerator gen(p, 1);
+            for (unsigned slices : {1u, 4u, 8u}) {
+                addRateRow(t, "end_to_end_sampled", slices,
+                           measure([&] {
+                    SimConfig cfg;
+                    cfg.numSlices = slices;
+                    cfg.numL2Banks = 4;
+                    VmSim vm(cfg, 1);
+                    std::vector<std::unique_ptr<InstSource>> sources;
+                    sources.push_back(
+                        std::make_unique<StreamingTraceSource>(gen,
+                                                               20000));
+                    SamplingController controller(
+                        kDefaultSampleSchedule, 1);
+                    VmResult res = controller.run(vm, sources);
+                    g_sink = g_sink + res.cycles;
+                    return std::uint64_t(20000);
+                }));
+            }
+        }
+
         // The acceptance workload in miniature: a multi-benchmark
         // grid batched through PerfModel::performanceBatch with a
         // varying worker count.  A fresh model per iteration keeps
@@ -206,13 +255,26 @@ class SimSpeedStudy final : public study::Study
             const auto grid = exec::sweepGrid(
                 {std::string("gcc"), "hmmer", "sjeng"}, {0, 2, 8},
                 exec::sliceRange(4));
+            // On a single-core host the multi-worker rows measure
+            // nothing but scheduling overhead and would bake
+            // "negative scaling" into a committed baseline; emit the
+            // 1-thread row only and say so.
+            const unsigned hw = std::thread::hardware_concurrency();
             for (unsigned threads : {1u, 2u, 4u, 8u}) {
+                if (hw == 1 && threads > 1)
+                    continue;
                 addRateRow(t, "parallel_sweep", threads, measure([&] {
                     PerfModel pm(8000);
                     auto results = pm.performanceBatch(grid, threads);
                     g_sink = g_sink + results.size();
                     return static_cast<std::uint64_t>(grid.size());
                 }));
+            }
+            if (hw == 1) {
+                ctx.report.addNote(
+                    "hardware_concurrency() == 1: multi-thread "
+                    "parallel_sweep rows omitted (they would only "
+                    "measure scheduling overhead).");
             }
         }
 

@@ -160,9 +160,15 @@ main(int argc, char **argv)
     engine.seed = opts.seedSet ? opts.seed : study::envSeed();
     engine.threads = exec::resolveThreadCount(opts.threads);
     engine.traceMode = opts.traceMode;
+    engine.sample = opts.sample;
+    engine.sampleSet = opts.sampleSet;
 
     PerfModel pm(engine.instructions, engine.seed);
     pm.setTraceMode(engine.traceMode);
+    if (opts.sampleSet)
+        pm.setSampleMode(SampleMode::Sampled, opts.sample);
+    // No-op (with a note) for sampled models: estimates must not mix
+    // with the exact rows other invocations share.
     study::enableSharedDiskCache(pm);
 
     // One batch for the union of the selected grids; each study's own

@@ -38,6 +38,21 @@ CacheModel::invalidate(Addr addr)
     return false;
 }
 
+std::uint64_t
+CacheModel::stateDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    for (const Line &l : lines_) {
+        h = digestMix(h, l.valid ? 1u : 0u);
+        if (!l.valid)
+            continue;
+        h = digestMix(h, l.tag);
+        h = digestMix(h, l.dirty ? 1u : 0u);
+        h = digestMix(h, l.lruStamp);
+    }
+    return h;
+}
+
 std::size_t
 CacheModel::flushAll()
 {

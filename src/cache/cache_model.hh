@@ -95,6 +95,16 @@ class CacheModel
     Count accesses() const { return accesses_; }
     Count misses() const { return misses_; }
 
+    /**
+     * Digest of the architectural tag state: valid/dirty bits, tags,
+     * and LRU order of every way.  Two caches that saw the same access
+     * sequence digest identically; the sampling tests use this to show
+     * a functional fast-forward leaves the same warm state as the
+     * detailed walk.  Counters are excluded (they are statistics, not
+     * state).
+     */
+    std::uint64_t stateDigest() const;
+
   private:
     struct Line
     {

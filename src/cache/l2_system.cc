@@ -153,6 +153,73 @@ L2System::access(VCoreId vc, SliceId slice, Addr addr, bool is_write,
     return res;
 }
 
+L2AccessResult
+L2System::accessFunctional(VCoreId vc, Addr addr, bool is_write)
+{
+    // Mirror of access() minus ports and latency: the directory and
+    // bank mutations below are copied from it line for line, so the
+    // two paths cannot diverge architecturally.
+    L2AccessResult res;
+    const bool multi_vcore = placements_.size() > 1;
+    const Addr line = lineOf(addr);
+
+    if (multi_vcore) {
+        std::uint32_t &sharers = directory_[line];
+        if (is_write) {
+            for (std::size_t other = 0; other < l1ds_.size(); ++other) {
+                if (other == vc || !(sharers & (1u << other)))
+                    continue;
+                for (CacheModel *l1 : l1ds_[other]) {
+                    if (l1 && l1->invalidate(addr)) {
+                        ++res.invalidations;
+                        ++invalidations_;
+                    }
+                }
+            }
+            sharers = 1u << vc;
+        } else {
+            sharers |= 1u << vc;
+        }
+    }
+
+    if (banks_.empty()) {
+        ++memoryAccesses_;
+        res.wentToMemory = true;
+        return res;
+    }
+
+    ++accesses_;
+    const AccessResult bank_res =
+        banks_[bankFor(addr)].access(addr, is_write);
+    if (!bank_res.hit) {
+        ++misses_;
+        ++memoryAccesses_;
+        res.wentToMemory = true;
+    }
+    res.l2Hit = bank_res.hit;
+    return res;
+}
+
+std::uint64_t
+L2System::stateDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    for (const CacheModel &b : banks_)
+        h = digestMix(h, b.stateDigest());
+    // unordered_map iteration order is not deterministic across
+    // containers with different insertion histories; sort by line.
+    std::vector<std::pair<Addr, std::uint32_t>> dir(directory_.begin(),
+                                                    directory_.end());
+    std::sort(dir.begin(), dir.end());
+    for (const auto &[line, sharers] : dir) {
+        // Entries whose sharer mask went empty-equivalent still
+        // compare: access() never erases, so both walks keep them.
+        h = digestMix(h, line);
+        h = digestMix(h, sharers);
+    }
+    return h;
+}
+
 bool
 L2System::probeHit(Addr addr) const
 {

@@ -87,10 +87,33 @@ class L2System
                           bool is_write, Cycles now);
 
     /**
+     * The functional twin of access(): performs exactly the same
+     * architectural mutations -- directory sharers, remote-L1
+     * invalidations on writes, bank tag fill/eviction, access and
+     * miss counters -- but no port scheduling and no latency math.
+     * Every mutation access() makes is independent of its @p now
+     * argument, so a fast-forward built on this call leaves the L2 in
+     * the identical tag/directory state a detailed walk would
+     * (asserted by the warm-state differential tests).
+     *
+     * The returned result carries the architectural outcome (hit,
+     * wentToMemory, invalidations) with doneCycle = 0; the sampling
+     * controller counts these to know exact whole-stream miss totals.
+     */
+    L2AccessResult accessFunctional(VCoreId vc, Addr addr,
+                                    bool is_write);
+
+    /**
      * Install @p addr's line functionally (no timing, no statistics)
      * -- used to start runs from steady-state cache contents.
      */
     void prefill(VCoreId vc, Addr addr);
+
+    /**
+     * Digest of bank tag state plus the coherence directory (sorted
+     * by line so unordered_map iteration order cannot leak in).
+     */
+    std::uint64_t stateDigest() const;
 
     /** Tag peek: would @p addr hit right now?  False with no banks. */
     bool probeHit(Addr addr) const;

@@ -42,6 +42,23 @@ std::uint64_t divCeil(std::uint64_t a, std::uint64_t b);
 /** a/b, or fallback when b == 0. */
 double safeDiv(double a, double b, double fallback = 0.0);
 
+/**
+ * Fold @p value into the FNV-1a style digest @p h.  Used by the
+ * warm-state digests that the sampling tests compare: two digests are
+ * equal exactly when the folded word sequences are equal (up to hash
+ * collisions, which the 64-bit space makes irrelevant for tests).
+ */
+inline std::uint64_t
+digestMix(std::uint64_t h, std::uint64_t value)
+{
+    h ^= value;
+    h *= 0x100000001b3ULL; // FNV-1a prime
+    return h;
+}
+
+/** Seed for digestMix() chains (FNV-1a offset basis). */
+inline constexpr std::uint64_t kDigestSeed = 0xcbf29ce484222325ULL;
+
 } // namespace sharch
 
 #endif // SHARCH_COMMON_MATH_UTIL_HH

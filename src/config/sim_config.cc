@@ -1,5 +1,7 @@
 #include "config/sim_config.hh"
 
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -191,6 +193,48 @@ simConfigToXml(const SimConfig &cfg)
               cfg.reconfigSliceOnlyCycles);
     addScalar(root, "seed", cfg.seed);
     return writeXml(root);
+}
+
+bool
+parseSampleSchedule(const std::string &text, SampleSchedule *out)
+{
+    // Strict "U:W:M": three base-10 fields, no signs, no garbage.
+    auto field = [](const std::string &s, std::uint64_t *v) {
+        if (s.empty() || s[0] == '-' || s[0] == '+')
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(s.c_str(), &end, 10);
+        if (errno != 0 || end == s.c_str() || *end != '\0')
+            return false;
+        *v = parsed;
+        return true;
+    };
+    const std::size_t c1 = text.find(':');
+    if (c1 == std::string::npos)
+        return false;
+    const std::size_t c2 = text.find(':', c1 + 1);
+    if (c2 == std::string::npos ||
+        text.find(':', c2 + 1) != std::string::npos) {
+        return false;
+    }
+    SampleSchedule s;
+    if (!field(text.substr(0, c1), &s.fastForward) ||
+        !field(text.substr(c1 + 1, c2 - c1 - 1), &s.warmup) ||
+        !field(text.substr(c2 + 1), &s.measure) || s.measure == 0) {
+        return false;
+    }
+    *out = s;
+    return true;
+}
+
+std::string
+sampleScheduleName(const SampleSchedule &s)
+{
+    return std::to_string(s.fastForward) + ":" +
+           std::to_string(s.warmup) + ":" +
+           std::to_string(s.measure);
 }
 
 } // namespace sharch

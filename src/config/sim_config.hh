@@ -107,6 +107,49 @@ struct SimConfig
 };
 
 /**
+ * SMARTS-style sampling window schedule, in instructions.
+ *
+ * A sampled run repeats [warm-up W, measure M, fast-forward U]
+ * periods: W and M instructions run through the detailed timing walk
+ * (only M is measured), then U instructions advance functionally --
+ * caches, branch predictor, and memory-dependence history update, but
+ * no cycles pass.  The schedule is part of a run's identity: the same
+ * (profile, seed, U:W:M) always measures the same windows.
+ */
+struct SampleSchedule
+{
+    // Default 6000:2000:4000: W and M are multiples of VmSim::run's
+    // 2000-instruction rotation chunk, so detailed windows cover
+    // whole turns and multithreaded contention is sampled with the
+    // full run's interleaving (DESIGN.md §11 -- schedules that break
+    // this alignment lose accuracy on multithreaded workloads).
+    // Tuned on the fig13 grid at 1.6M instructions: max relative IPC
+    // error 1.9%, mean 0.34% (the sampling_accuracy study re-checks
+    // this in CI).
+    std::uint64_t fastForward = 6000; //!< functional instructions (U)
+    std::uint64_t warmup = 2000;      //!< detailed, unmeasured (W)
+    std::uint64_t measure = 4000;     //!< detailed, measured (M)
+
+    std::uint64_t period() const
+    { return fastForward + warmup + measure; }
+
+    bool operator==(const SampleSchedule &) const = default;
+};
+
+/** The default U:W:M schedule (tuning recipe in EXPERIMENTS.md). */
+inline constexpr SampleSchedule kDefaultSampleSchedule{};
+
+/**
+ * Parse "U:W:M" (e.g. "6000:2000:4000") into @p out.  All three fields
+ * are required; the measure window must be >= 1 instruction.
+ * @return false on malformed input (@p out untouched).
+ */
+bool parseSampleSchedule(const std::string &text, SampleSchedule *out);
+
+/** Canonical "U:W:M" spelling of @p s. */
+std::string sampleScheduleName(const SampleSchedule &s);
+
+/**
  * Parse a SimConfig from an XML tree rooted at <ssim>.
  *
  * Unknown elements are ignored; missing elements keep their defaults.

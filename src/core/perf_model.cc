@@ -158,16 +158,18 @@ PerfModel::detailedRun(const BenchmarkProfile &profile, unsigned banks,
         profile.multithreaded ? profile.numThreads : 1;
     VmSim vm(cfg, vcores);
     vm.prewarm(profile);
-    if (traceMode_ == TraceMode::Stream) {
-        // Fused path: generation happens inside the sim loop; only a
-        // refill buffer per thread is ever resident.
-        const auto sources =
-            streamSources(generatorFor(profile), instructions_);
-        return vm.run(sources);
-    }
     // Pin the bundle for the whole run; the cache may evict it.
-    const TraceBundlePtr traces = tracesFor(profile);
-    return vm.run(*traces);
+    // Streamed and materialized sources emit identical bytes, so both
+    // feed either the full detailed walk or the sampling controller.
+    const auto sources =
+        traceMode_ == TraceMode::Stream
+            ? streamSources(generatorFor(profile), instructions_)
+            : materializedSources(tracesFor(profile));
+    if (sampleMode_ == SampleMode::Sampled) {
+        SamplingController controller(sampleSchedule_, cfg.seed);
+        return controller.run(vm, sources);
+    }
+    return vm.run(sources);
 }
 
 double
@@ -196,7 +198,10 @@ PerfModel::performance(const BenchmarkProfile &profile, unsigned banks,
     const double perf = simulatePoint(profile, banks, slices);
     std::lock_guard<std::mutex> lock(memoMutex_);
     auto [it, inserted] = memo_.emplace(key, perf);
-    if (inserted && !cachePath_.empty()) {
+    // Sampled values are estimates: keep them out of the CSV cache,
+    // whose rows have no mode column and must stay exact.
+    if (inserted && !cachePath_.empty() &&
+        sampleMode_ == SampleMode::Full) {
         std::ofstream out(cachePath_, std::ios::app);
         if (out)
             writeCacheRow(out, profile.name, banks, slices, perf);
@@ -261,7 +266,9 @@ PerfModel::performanceBatch(
         // and CSV contents are independent of worker count.
         std::lock_guard<std::mutex> lock(memoMutex_);
         std::ofstream out;
-        if (!cachePath_.empty())
+        // Sampled estimates never reach the CSV cache (no mode
+        // column; exact full-run rows only).
+        if (!cachePath_.empty() && sampleMode_ == SampleMode::Full)
             out.open(cachePath_, std::ios::app);
         for (std::size_t j = 0; j < jobs.size(); ++j) {
             const exec::SweepPoint &pt = jobs[j];
@@ -297,6 +304,14 @@ void
 PerfModel::enableDiskCache(const std::string &path)
 {
     std::lock_guard<std::mutex> lock(memoMutex_);
+    if (sampleMode_ == SampleMode::Sampled) {
+        // Cache rows are exact full-run results; a sampled model must
+        // neither serve them (they would hide the estimator) nor add
+        // its estimates to them (they would poison full runs).
+        SHARCH_INFORM("disk cache disabled for sampled runs (", path,
+                      " holds exact full-run results only)");
+        return;
+    }
     cachePath_ = path;
     std::ifstream in(path);
     if (!in)

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "config/sim_config.hh"
+#include "core/sampling.hh"
 #include "core/vm_sim.hh"
 #include "exec/sweep.hh"
 #include "trace/generator.hh"
@@ -105,6 +106,29 @@ class PerfModel
      */
     void setTraceMode(TraceMode mode) { traceMode_ = mode; }
     TraceMode traceMode() const { return traceMode_; }
+
+    /**
+     * How simulations obtain their SimStats.  The default,
+     * SampleMode::Full, detailed-times every instruction and is
+     * byte-identical to the historical output.  SampleMode::Sampled
+     * routes every run through a SamplingController with @p schedule:
+     * only the measure windows are detailed-timed; the rest of the
+     * stream advances through the functional fast-forward, and
+     * whole-run counters are ratio-extrapolated.  Sampled IPCs are
+     * estimates, so they never enter or leave the disk cache (its
+     * rows carry no mode column and must stay exact).  Set before
+     * running -- not meant to change mid-batch.
+     */
+    void
+    setSampleMode(SampleMode mode,
+                  const SampleSchedule &schedule = kDefaultSampleSchedule)
+    {
+        sampleMode_ = mode;
+        sampleSchedule_ = schedule;
+    }
+    SampleMode sampleMode() const { return sampleMode_; }
+    const SampleSchedule &sampleSchedule() const
+    { return sampleSchedule_; }
 
     /**
      * Persist performance results to @p path (CSV) and preload any
@@ -183,6 +207,8 @@ class PerfModel
     std::size_t instructions_;
     std::uint64_t seed_;
     TraceMode traceMode_ = TraceMode::Stream;
+    SampleMode sampleMode_ = SampleMode::Full;
+    SampleSchedule sampleSchedule_ = kDefaultSampleSchedule;
     std::unordered_map<MemoKey, double, MemoKeyHash> memo_;
     std::unordered_map<std::string, TraceCacheEntry> traces_;
     std::unordered_map<std::string, GenCacheEntry> generators_;

@@ -62,6 +62,8 @@ VCoreSim::VCoreSim(const SimConfig &cfg, VCoreId vc,
       // diagnostic below instead of panicking in floorLog2.
       l1dBlockShift_(cfg.l1d.blockBytes > 0
                          ? floorLog2(cfg.l1d.blockBytes) : 0),
+      l1iBlockShift_(cfg.l1i.blockBytes > 0
+                         ? floorLog2(cfg.l1i.blockBytes) : 0),
       operandNet_(cfg.numSlices, cfg.network.baseOperandLatency,
                   cfg.network.perHopLatency,
                   cfg.network.operandNetworks *
@@ -197,7 +199,7 @@ VCoreSim::fetchOne(const TraceInst &ti, SliceId slice)
     Cycles fc = curGroupCycle_;
 
     // One L1 I-cache access per new fetch line.
-    const Addr line = ti.pc / cfg_.l1i.blockBytes;
+    const Addr line = ti.pc >> l1iBlockShift_;
     if (line != lastFetchLine_) {
         ++stats_.l1iAccesses;
         const AccessResult r = l1i_[slice].access(ti.pc, false);
@@ -561,6 +563,136 @@ VCoreSim::step(InstSource &src, std::size_t max_instructions)
     done_ = src.exhausted();
     stats_.cycles = lastCommit_;
     return n;
+}
+
+void
+VCoreSim::fastForwardOne(const TraceInst &ti)
+{
+    // Functional twin of processOne: the same architectural state
+    // transitions in the same order -- seq numbering, the per-line
+    // L1I access dedup, predictor training, the conflict-gated L1D
+    // access for loads, and the post-commit store drain -- with every
+    // timing computation removed.  Any new architectural touch added
+    // to processOne must be mirrored here (the warm-state
+    // differential tests catch a miss).
+    ++seq_;
+
+    const Addr line = ti.pc >> l1iBlockShift_;
+    if (line != lastFetchLine_) {
+        ++funcStats_.l1iAccesses;
+        const SliceId slice = fetchSliceOf(ti.pc);
+        if (!l1i_[slice].access(ti.pc, false).hit) {
+            ++funcStats_.l1iMisses;
+            ++funcStats_.l2Accesses;
+            if (l2_->accessFunctional(vc_, ti.pc, false).wentToMemory)
+                ++funcStats_.l2Misses;
+        }
+        lastFetchLine_ = line;
+    }
+
+    switch (ti.op) {
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+        break;
+      case OpClass::Branch: {
+        // Mispredict detection is architectural: predictor state is a
+        // pure function of the trained history, so looking it up here
+        // counts exactly the mispredicts the detailed walk would see.
+        const BranchPrediction pred = predictor_.predict(ti.pc);
+        ++funcStats_.branches;
+        if (pred.predictTaken != ti.taken ||
+            (ti.taken && pred.btbHit && pred.target != ti.target)) {
+            ++funcStats_.branchMispredicts;
+        }
+        predictor_.update(ti.pc, ti.taken, ti.target);
+        break;
+      }
+      case OpClass::Load: {
+        ++funcStats_.loads;
+        // A conflicting older store forwards (or squashes) the load:
+        // in both cases the detailed walk skips the D-cache access.
+        if (memDep_.queryLoad(ti.effAddr, seq_).conflict)
+            break;
+        const SliceId m = homeSliceOf(ti.effAddr);
+        ++funcStats_.l1dAccesses;
+        const AccessResult r = l1d_[m].access(ti.effAddr, false);
+        if (!r.hit) {
+            ++funcStats_.l1dMisses;
+            ++funcStats_.l2Accesses;
+            const L2AccessResult l2r =
+                l2_->accessFunctional(vc_, ti.effAddr, false);
+            if (l2r.wentToMemory)
+                ++funcStats_.l2Misses;
+            funcStats_.coherenceInvalidations += l2r.invalidations;
+            if (r.writebackVictim) {
+                l2_->accessFunctional(
+                    vc_, r.victimLine * cfg_.l1d.blockBytes, true);
+            }
+        }
+        break;
+      }
+      case OpClass::Store: {
+        ++funcStats_.stores;
+        // Cycle payloads are zero: conflict detection reads only the
+        // (word, seq) pair (see MemDepTracker::architecturalDigest).
+        memDep_.recordStore(ti.effAddr, seq_, 0, 0);
+        const SliceId m = homeSliceOf(ti.effAddr);
+        ++funcStats_.l1dAccesses;
+        const AccessResult r = l1d_[m].access(ti.effAddr, true);
+        if (!r.hit) {
+            ++funcStats_.l1dMisses;
+            ++funcStats_.l2Accesses;
+            const L2AccessResult l2r =
+                l2_->accessFunctional(vc_, ti.effAddr, true);
+            if (l2r.wentToMemory)
+                ++funcStats_.l2Misses;
+            funcStats_.coherenceInvalidations += l2r.invalidations;
+        }
+        if (r.writebackVictim) {
+            l2_->accessFunctional(
+                vc_, r.victimLine * cfg_.l1d.blockBytes, true);
+        }
+        break;
+      }
+    }
+    ++funcStats_.instructionsCommitted;
+}
+
+std::size_t
+VCoreSim::fastForward(InstSource &src, std::size_t max_instructions)
+{
+    // Same batched pull as step(): no virtual dispatch per
+    // instruction, refill() once per window.
+    std::size_t n = 0;
+    while (n < max_instructions) {
+        std::size_t avail;
+        const TraceInst *w = src.window(avail);
+        if (!w)
+            break;
+        const std::size_t run =
+            std::min(avail, max_instructions - n);
+        for (std::size_t i = 0; i < run; ++i)
+            fastForwardOne(w[i]);
+        src.consume(run);
+        n += run;
+    }
+    done_ = src.exhausted();
+    return n;
+}
+
+std::uint64_t
+VCoreSim::warmStateDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    for (const CacheModel &c : l1i_)
+        h = digestMix(h, c.stateDigest());
+    for (const CacheModel &c : l1d_)
+        h = digestMix(h, c.stateDigest());
+    h = digestMix(h, predictor_.stateDigest());
+    h = digestMix(h, memDep_.architecturalDigest());
+    h = digestMix(h, lastFetchLine_);
+    h = digestMix(h, seq_);
+    return h;
 }
 
 const SimStats &

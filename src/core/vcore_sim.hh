@@ -86,6 +86,30 @@ class VCoreSim
      */
     std::size_t step(InstSource &src, std::size_t max_instructions);
 
+    /**
+     * Consume up to @p max_instructions from @p src *functionally*:
+     * only architectural warm state advances -- L1/L2 tag contents
+     * (via the same access sequence the detailed walk performs),
+     * branch-predictor and BTB training, memory-dependence history,
+     * and the fetch-line tracker.  No port scheduling, no occupancy,
+     * no network timing, and crucially no cycle progress:
+     * lastCommit_/nextFetchCycle_ stay where the last detailed window
+     * left them, so timed windows resumed after a fast-forward remain
+     * on one continuous clock.  stats() is untouched; the purely
+     * architectural events (cache accesses/misses, branch outcomes,
+     * invalidations) are tallied separately in functionalStats() so
+     * the sampling controller knows *exact* whole-stream totals for
+     * every timing-independent counter.
+     *
+     * This is the SMARTS functional-warming phase; it runs near
+     * generator speed because each instruction costs a few cache tag
+     * probes instead of the full timing walk.
+     *
+     * @return instructions consumed (< max only when @p src ran out)
+     */
+    std::size_t fastForward(InstSource &src,
+                            std::size_t max_instructions);
+
     /** Run @p src to exhaustion and return the final statistics. */
     const SimStats &run(InstSource &src);
 
@@ -98,11 +122,31 @@ class VCoreSim
     const SimStats &stats() const { return stats_; }
 
     /**
+     * Architectural events observed during fast-forward phases only
+     * (never mixed into stats()): instructionsCommitted counts
+     * fast-forwarded instructions; branches/branchMispredicts, loads/
+     * stores, and the L1/L2 access/miss/invalidation counters mirror
+     * the detailed walk's counting sites exactly, so
+     * stats() + functionalStats() are the exact whole-stream totals
+     * of every timing-independent counter.
+     */
+    const SimStats &functionalStats() const { return funcStats_; }
+
+    /**
      * Charge a reconfiguration penalty: all future activity starts
      * after @p penalty extra cycles, and architectural register state
      * collapses onto Slice 0 (the Register Flush of section 3.8).
      */
     void chargeReconfiguration(Cycles penalty);
+
+    /**
+     * Digest of the warm architectural state a fast-forward must
+     * reproduce: L1 I/D tags, branch predictor, memory-dependence
+     * window, and the fetch-line tracker.  The sampling tests compare
+     * this (plus L2System::stateDigest()) between a detailed and a
+     * functional pass over the same stream prefix.
+     */
+    std::uint64_t warmStateDigest() const;
 
   private:
     SimConfig cfg_;
@@ -116,6 +160,7 @@ class VCoreSim
     bool slicePow2_;         //!< s_ is a power of two
     unsigned sliceMask_;     //!< s_ - 1 when slicePow2_
     unsigned l1dBlockShift_; //!< log2(cfg.l1d.blockBytes)
+    unsigned l1iBlockShift_; //!< log2(cfg.l1i.blockBytes)
 
     // Networks (operand, LS-sorting; rename rides its own network but
     // its cost is the added pipeline depth).
@@ -154,6 +199,7 @@ class VCoreSim
     Addr lastFetchLine_ = ~Addr{0};
 
     SimStats stats_;
+    SimStats funcStats_; //!< architectural events seen in fast-forward
 
     // Helpers.
     SliceId fetchSliceOf(Addr pc) const;
@@ -163,6 +209,7 @@ class VCoreSim
     void writeDest(RegIndex reg, SliceId slice, Cycles ready);
     Cycles fetchOne(const TraceInst &ti, SliceId slice);
     void processOne(const TraceInst &ti);
+    void fastForwardOne(const TraceInst &ti);
 };
 
 } // namespace sharch

@@ -80,6 +80,12 @@ class VmSim
 
     L2System &l2() { return *l2_; }
 
+    /** Number of VCores (one per workload thread). */
+    std::size_t numVCores() const { return vcores_.size(); }
+
+    /** Direct access to VCore @p i (sampling controller, benches). */
+    VCoreSim &vcore(std::size_t i) { return *vcores_[i]; }
+
   private:
     SimConfig cfg_;
     std::vector<FabricPlacement> placements_;

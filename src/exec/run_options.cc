@@ -113,6 +113,13 @@ const SharedSpec kSharedSpecs[] = {
          out->traceModeSet = true;
          return true;
      }},
+    {"--sample", " (want U:W:M instruction counts, measure >= 1)",
+     [](const char *val, SharedFlagValues *out) {
+         if (!parseSampleSchedule(val, &out->sample))
+             return false;
+         out->sampleSet = true;
+         return true;
+     }},
 };
 
 } // namespace
@@ -141,14 +148,19 @@ handleSharedFlag(int argc, const char *const *argv, int *i,
 std::string
 sharedFlagUsage()
 {
-    return "  --instructions N (trace length), --seed N, --threads N, "
-           "and\n"
+    return "  --instructions N (trace length), --seed N, --threads N,\n"
            "  --trace-mode stream|materialize (default stream: fuse "
            "generation\n"
            "  into the sim loop; results are bit-identical either "
-           "way) are shared\n"
-           "  by every sharch binary: same spellings, same "
-           "validation, same errors.\n";
+           "way), and\n"
+           "  --sample U:W:M (SMARTS sampling: fast-forward U, warm "
+           "up W, measure M\n"
+           "  instructions per period; default " +
+           sampleScheduleName(kDefaultSampleSchedule) +
+           " when U:W:M is omitted... give\n"
+           "  the flag to enable) are shared by every sharch binary: "
+           "same\n"
+           "  spellings, same validation, same errors.\n";
 }
 
 std::string
@@ -158,7 +170,8 @@ runUsage(const std::string &prog)
            " <benchmark> [--config FILE] [--instructions N]\n"
            "            [--slices LIST] [--banks LIST] [--seed N]\n"
            "            [--threads N] [--trace-mode stream|materialize]\n"
-           "            [--json] [--trace-out FILE] [--metrics]\n"
+           "            [--sample U:W:M] [--json] [--trace-out FILE]\n"
+           "            [--metrics]\n"
            "       " + prog +
            " --inject-faults SPEC [--fabric WxH] [--slices LIST]\n"
            "            [--banks LIST] [--json]\n"
@@ -317,6 +330,10 @@ parseRunOptions(int argc, const char *const *argv)
         opts.threads = shared.threads;
     if (shared.traceModeSet)
         opts.traceMode = shared.traceMode;
+    if (shared.sampleSet) {
+        opts.sample = shared.sample;
+        opts.sampleSet = true;
+    }
     // Fault replay (--inject-faults) is a degradation study of the
     // fabric allocator itself; a benchmark is optional there.
     if (opts.ok() && !opts.dumpConfig && !opts.listBenchmarks &&
@@ -334,7 +351,8 @@ benchUsage(const std::string &prog)
            " --run GLOB [--run GLOB ...] [--format text|csv|json]\n"
            "            [--out DIR] [--instructions N] [--seed N]\n"
            "            [--threads N] [--trace-mode stream|materialize]\n"
-           "            [--metrics-out DIR] [--trace-out FILE]\n"
+           "            [--sample U:W:M] [--metrics-out DIR]\n"
+           "            [--trace-out FILE]\n"
            "\n"
            "  Runs the registered paper studies (figures, tables,\n"
            "  ablations).  --run takes shell-style globs over study\n"
@@ -424,6 +442,10 @@ parseBenchOptions(int argc, const char *const *argv)
         opts.threads = shared.threads;
     if (shared.traceModeSet)
         opts.traceMode = shared.traceMode;
+    if (shared.sampleSet) {
+        opts.sample = shared.sample;
+        opts.sampleSet = true;
+    }
     if (opts.ok() && !opts.list && opts.patterns.empty())
         opts.error = "nothing to do: give --list or --run GLOB";
     return opts;
@@ -434,7 +456,8 @@ serveUsage(const std::string &prog)
 {
     return "usage: " + prog +
            " [--instructions N] [--seed N] [--threads N]\n"
-           "            [--trace-mode stream|materialize]\n"
+           "            [--trace-mode stream|materialize] "
+           "[--sample U:W:M]\n"
            "            [--fabric WxH] [--restore FILE] "
            "[--journal DIR]\n"
            "            [--journal-fsync N] [--journal-rotate N]\n"
@@ -526,6 +549,10 @@ parseServeOptions(int argc, const char *const *argv)
         opts.threads = shared.threads;
     if (shared.traceModeSet)
         opts.traceMode = shared.traceMode;
+    if (shared.sampleSet) {
+        opts.sample = shared.sample;
+        opts.sampleSet = true;
+    }
     return opts;
 }
 

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "config/sim_config.hh"
 #include "trace/inst_source.hh"
 
 namespace sharch::exec {
@@ -60,6 +61,8 @@ struct SharedFlagValues
     unsigned threads = 0;              //!< 0: resolveThreadCount()
     TraceMode traceMode = TraceMode::Stream;
     bool traceModeSet = false;
+    SampleSchedule sample;             //!< --sample U:W:M schedule
+    bool sampleSet = false;
 };
 
 /**
@@ -86,6 +89,8 @@ struct RunOptions
     bool seedSet = false;              //!< --seed given (else config's)
     unsigned threads = 0;              //!< 0: resolveThreadCount()
     TraceMode traceMode = TraceMode::Stream; //!< --trace-mode
+    SampleSchedule sample;             //!< --sample schedule
+    bool sampleSet = false;            //!< --sample given (else full)
     std::string faultSpec;             //!< empty: no fault injection
     int fabricWidth = 8;               //!< --fabric geometry
     int fabricHeight = 8;
@@ -157,6 +162,8 @@ struct BenchOptions
     bool seedSet = false;              //!< --seed given
     unsigned threads = 0;              //!< 0: resolveThreadCount()
     TraceMode traceMode = TraceMode::Stream; //!< --trace-mode
+    SampleSchedule sample;             //!< --sample schedule
+    bool sampleSet = false;            //!< --sample given (else full)
     std::string metricsOut;            //!< empty: no metrics files
     std::string traceOut;              //!< empty: no timeline export
 
@@ -198,6 +205,8 @@ struct ServeOptions
     std::uint64_t seed = 1;
     unsigned threads = 0;              //!< 0: resolveThreadCount()
     TraceMode traceMode = TraceMode::Stream; //!< --trace-mode
+    SampleSchedule sample;             //!< --sample schedule
+    bool sampleSet = false;            //!< --sample given (else full)
     int fabricWidth = 8;
     int fabricHeight = 8;
     std::string restorePath;           //!< empty: fresh engine

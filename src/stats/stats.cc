@@ -137,6 +137,27 @@ SimStats::merge(const SimStats &other)
     sumExecLatency += other.sumExecLatency;
     for (std::size_t i = 0; i < stallCycles.size(); ++i)
         stallCycles[i] += other.stallCycles[i];
+    if (other.sampling.active) {
+        // Conservative aggregate: counts add, interval widths take
+        // the max.  SamplingController overwrites this with the CI it
+        // computes from cross-VCore window sums, which is tighter.
+        sampling.active = true;
+        sampling.windows += other.sampling.windows;
+        sampling.measuredInstructions +=
+            other.sampling.measuredInstructions;
+        sampling.warmupInstructions +=
+            other.sampling.warmupInstructions;
+        sampling.fastForwardInstructions +=
+            other.sampling.fastForwardInstructions;
+        sampling.ciCpi = std::max(sampling.ciCpi, other.sampling.ciCpi);
+        sampling.ciL1dMissRate = std::max(
+            sampling.ciL1dMissRate, other.sampling.ciL1dMissRate);
+        sampling.ciL2MissRate = std::max(
+            sampling.ciL2MissRate, other.sampling.ciL2MissRate);
+        sampling.ciBranchMispredictRate =
+            std::max(sampling.ciBranchMispredictRate,
+                     other.sampling.ciBranchMispredictRate);
+    }
 }
 
 std::string
@@ -175,6 +196,15 @@ SimStats::report() const
          i < static_cast<std::size_t>(Stage::NumStages); ++i) {
         oss << "  " << stageName(static_cast<Stage>(i)) << ": "
             << stallCycles[i] << "\n";
+    }
+    if (sampling.active) {
+        oss << "sampled run:           " << sampling.windows
+            << " windows, " << sampling.measuredInstructions
+            << " measured / " << sampling.warmupInstructions
+            << " warm-up / " << sampling.fastForwardInstructions
+            << " fast-forwarded\n"
+            << "  ci95(cpi):           +/-"
+            << sampling.ciCpi * 100.0 << "%\n";
     }
     return oss.str();
 }
@@ -237,7 +267,27 @@ SimStats::toJson() const
             << stageName(static_cast<Stage>(i))
             << "\":" << stallCycles[i];
     }
-    oss << "}}";
+    oss << "}";
+    if (sampling.active) {
+        // Appended only for sampled runs: full-run serialization stays
+        // byte-identical to the historical format (golden-file test).
+        first = true;
+        oss << ",\"sampling\":{";
+        num("windows", sampling.windows);
+        num("measured_instructions", sampling.measuredInstructions);
+        num("warmup_instructions", sampling.warmupInstructions);
+        num("fastforward_instructions",
+            sampling.fastForwardInstructions);
+        oss << ",\"ci95_rel\":{";
+        first = true;
+        real("cpi", sampling.ciCpi);
+        real("l1d_miss_rate", sampling.ciL1dMissRate);
+        real("l2_miss_rate", sampling.ciL2MissRate);
+        real("branch_mispredict_rate",
+             sampling.ciBranchMispredictRate);
+        oss << "}}";
+    }
+    oss << "}";
     return oss.str();
 }
 

@@ -84,6 +84,30 @@ class Histogram
     std::uint64_t samples_ = 0;
 };
 
+/**
+ * Provenance of a sampled (SMARTS-style) run: how much of the stream
+ * was measured vs. fast-forwarded, and per-counter 95% confidence
+ * intervals on the extrapolated rates.  Inactive (and absent from all
+ * serializations) for full detailed runs, so reports without --sample
+ * stay byte-identical to historical output.
+ */
+struct SamplingInfo
+{
+    bool active = false;
+    Count windows = 0;               //!< detailed measure windows
+    Count measuredInstructions = 0;  //!< instructions inside them
+    Count warmupInstructions = 0;    //!< detailed but unmeasured
+    Count fastForwardInstructions = 0;
+
+    // Relative 95% CI half-widths (1.96 * sd / (sqrt(m) * mean)) of
+    // the per-window rates behind the extrapolated counters; 0 when
+    // fewer than two windows were measured.
+    double ciCpi = 0.0;
+    double ciL1dMissRate = 0.0;
+    double ciL2MissRate = 0.0;
+    double ciBranchMispredictRate = 0.0;
+};
+
 /** Everything SSim reports at the end of one run. */
 struct SimStats
 {
@@ -125,6 +149,9 @@ struct SimStats
     /** Cycles in which commit made no progress, attributed per stage. */
     std::array<Count, static_cast<std::size_t>(Stage::NumStages)>
         stallCycles{};
+
+    /** Sampled-run provenance; inactive for full detailed runs. */
+    SamplingInfo sampling;
 
     void addStall(Stage s, Count by = 1)
     { stallCycles[static_cast<std::size_t>(s)] += by; }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "config/sim_config.hh"
 #include "study/study.hh"
 #include "trace/inst_source.hh"
 
@@ -36,6 +37,11 @@ struct EngineOptions
     /** Studies stream by default; reports are bit-identical in both
      *  modes, so the mode never enters Report::meta. */
     TraceMode traceMode = TraceMode::Stream;
+    /** --sample U:W:M: run every study point through the SMARTS
+     *  sampling estimator.  Sampled numbers are estimates, so the
+     *  schedule IS stamped into Report::meta (unlike traceMode). */
+    SampleSchedule sample;
+    bool sampleSet = false;
 };
 
 /**

@@ -95,4 +95,38 @@ DistributedBranchPredictor::update(Addr pc, bool taken, Addr target)
         btb_[s].update(pc, target);
 }
 
+std::uint64_t
+BimodalPredictor::stateDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    for (std::uint8_t c : counters_)
+        h = digestMix(h, c);
+    return h;
+}
+
+std::uint64_t
+Btb::stateDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    for (const Entry &e : entries_) {
+        h = digestMix(h, e.valid ? 1u : 0u);
+        if (!e.valid)
+            continue;
+        h = digestMix(h, e.tag);
+        h = digestMix(h, e.target);
+    }
+    return h;
+}
+
+std::uint64_t
+DistributedBranchPredictor::stateDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    for (std::size_t s = 0; s < bimodal_.size(); ++s) {
+        h = digestMix(h, bimodal_[s].stateDigest());
+        h = digestMix(h, btb_[s].stateDigest());
+    }
+    return h;
+}
+
 } // namespace sharch

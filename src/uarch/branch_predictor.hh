@@ -39,6 +39,9 @@ class BimodalPredictor
     bool predict(Addr pc) const;
     void update(Addr pc, bool taken);
 
+    /** Digest of every 2-bit counter (see CacheModel::stateDigest). */
+    std::uint64_t stateDigest() const;
+
   private:
     std::vector<std::uint8_t> counters_;
     std::uint32_t mask_;
@@ -53,6 +56,9 @@ class Btb
     /** Look up @p pc; returns true and fills @p target on a hit. */
     bool lookup(Addr pc, Addr &target) const;
     void update(Addr pc, Addr target);
+
+    /** Digest of every (tag, target, valid) entry. */
+    std::uint64_t stateDigest() const;
 
   private:
     struct Entry
@@ -86,6 +92,9 @@ class DistributedBranchPredictor
 
     unsigned numSlices() const
     { return static_cast<unsigned>(bimodal_.size()); }
+
+    /** Digest over every Slice's bimodal table and BTB. */
+    std::uint64_t stateDigest() const;
 
   private:
     std::vector<BimodalPredictor> bimodal_;

@@ -22,22 +22,10 @@ MemDepTracker::MemDepTracker(std::size_t window)
     SHARCH_ASSERT(window > 0, "window must be nonempty");
 }
 
-void
-MemDepTracker::recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
-                           Cycles data_ready)
-{
-    words_[head_] = addr >> 3;
-    ring_[head_] = StoreEntry{seq, addr_ready, data_ready};
-    head_ = (head_ + 1) & mask_;
-    if (live_ < window_)
-        ++live_;
-}
-
 MemDepResult
-MemDepTracker::queryLoad(Addr addr, SeqNum load_seq) const
+MemDepTracker::scanLoad(Addr word, SeqNum load_seq) const
 {
     MemDepResult res;
-    const Addr word = addr >> 3;
     // Scan newest to oldest; the first (youngest) older store wins.
     // The common case matches nothing, so the hot sweep touches only
     // the dense word ring (empty slots hold kNoWord, which never
@@ -58,6 +46,20 @@ MemDepTracker::queryLoad(Addr addr, SeqNum load_seq) const
     return res;
 }
 
+std::uint64_t
+MemDepTracker::architecturalDigest() const
+{
+    std::uint64_t h = kDigestSeed;
+    h = digestMix(h, live_);
+    // Newest to oldest, exactly the range queryLoad scans.
+    for (std::size_t i = 0; i < live_; ++i) {
+        const std::size_t idx = (head_ + words_.size() - 1 - i) & mask_;
+        h = digestMix(h, words_[idx]);
+        h = digestMix(h, ring_[idx].seq);
+    }
+    return h;
+}
+
 void
 MemDepTracker::reset()
 {
@@ -66,6 +68,7 @@ MemDepTracker::reset()
         e = StoreEntry{};
     head_ = 0;
     live_ = 0;
+    filter_.fill(0);
 }
 
 } // namespace sharch

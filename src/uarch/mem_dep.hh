@@ -20,6 +20,7 @@
 #ifndef SHARCH_UARCH_MEM_DEP_HH
 #define SHARCH_UARCH_MEM_DEP_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -54,13 +55,53 @@ class MemDepTracker
 
     /** Record a store whose address resolves at @p addr_ready and data
      *  at @p data_ready. */
-    void recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
-                     Cycles data_ready);
+    void
+    recordStore(Addr addr, SeqNum seq, Cycles addr_ready,
+                Cycles data_ready)
+    {
+        // Keep the counting filter in step with the searchable
+        // window: the oldest live entry ages out of scan range on
+        // this insert (with a pow2-rounded ring that slot is not
+        // necessarily the one being overwritten).
+        if (live_ == window_) {
+            const std::size_t out = (head_ - window_) & mask_;
+            --filter_[filterSlot(words_[out])];
+        }
+        const Addr word = addr >> 3;
+        ++filter_[filterSlot(word)];
+        words_[head_] = word;
+        ring_[head_] = StoreEntry{seq, addr_ready, data_ready};
+        head_ = (head_ + 1) & mask_;
+        if (live_ < window_)
+            ++live_;
+    }
 
-    /** Query the youngest older store to the same 8-byte word. */
-    MemDepResult queryLoad(Addr addr, SeqNum load_seq) const;
+    /**
+     * Query the youngest older store to the same 8-byte word.  The
+     * common case matches nothing, and the counting filter proves it
+     * without touching the ring: a zero count for the word's slot
+     * means no live store can match (no false negatives; a collision
+     * merely falls through to the exact scan).
+     */
+    MemDepResult
+    queryLoad(Addr addr, SeqNum load_seq) const
+    {
+        const Addr word = addr >> 3;
+        if (filter_[filterSlot(word)] == 0)
+            return {};
+        return scanLoad(word, load_seq);
+    }
 
     void reset();
+
+    /**
+     * Digest of the *architectural* window contents: the searchable
+     * (word, seq) pairs in age order.  Cycle payloads (addrReady /
+     * dataReady) are deliberately excluded -- they are timing state,
+     * which a functional fast-forward records as zero; conflict
+     * *detection* depends only on words and sequence numbers.
+     */
+    std::uint64_t architecturalDigest() const;
 
   private:
     struct StoreEntry
@@ -69,6 +110,18 @@ class MemDepTracker
         Cycles addrReady = 0;
         Cycles dataReady = 0;
     };
+
+    /** Filter slot for a store word (mix so striding patterns spread). */
+    static std::size_t
+    filterSlot(Addr word)
+    {
+        return (word ^ (word >> 8)) & (kFilterSlots - 1);
+    }
+
+    /** Exact newest-to-oldest ring scan behind the filter. */
+    MemDepResult scanLoad(Addr word, SeqNum load_seq) const;
+
+    static constexpr std::size_t kFilterSlots = 256;
 
     std::size_t window_; //!< searchable depth (as requested)
     /** Store words separate from the payload: queryLoad scans every
@@ -80,6 +133,8 @@ class MemDepTracker
     std::size_t mask_;   //!< ring_.size() - 1
     std::size_t head_ = 0;
     std::size_t live_ = 0;
+    /** Live-store count per filter slot; u16 so any window fits. */
+    std::array<std::uint16_t, kFilterSlots> filter_{};
 };
 
 } // namespace sharch

@@ -265,6 +265,78 @@ TEST(CliParse, TraceModeFlagReachesAllBinaries)
               TraceMode::Stream);
 }
 
+TEST(CliParse, SampleFlagErrorsIdenticallyAcrossBinaries)
+{
+    // --sample rides the same shared spec table; malformed schedules
+    // must error byte-identically from all three binaries.
+    const char *runBad[] = {"ssim", "gcc", "--sample", "1000:250"};
+    const char *benchBad[] = {"sharch-bench", "fig13", "--sample",
+                              "1000:250"};
+    const char *serveBad[] = {"sharch-serve", "--sample", "1000:250"};
+    const RunOptions r = parseRunOptions(4, runBad);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error, parseBenchOptions(4, benchBad).error);
+    EXPECT_EQ(r.error, parseServeOptions(3, serveBad).error);
+    EXPECT_EQ(r.error,
+              "bad --sample '1000:250' "
+              "(want U:W:M instruction counts, measure >= 1)");
+
+    // A zero measure window is rejected with the same message.
+    const char *runZero[] = {"ssim", "gcc", "--sample", "1000:250:0"};
+    const char *serveZero[] = {"sharch-serve", "--sample",
+                               "1000:250:0"};
+    EXPECT_EQ(parseRunOptions(4, runZero).error,
+              parseServeOptions(3, serveZero).error);
+    EXPECT_EQ(parseRunOptions(4, runZero).error,
+              "bad --sample '1000:250:0' "
+              "(want U:W:M instruction counts, measure >= 1)");
+
+    // Signs, garbage suffixes, and extra fields are all malformed.
+    for (const char *bad :
+         {"-1:250:750", "1000:250:750:9", "1000:250:75x", "a:b:c",
+          ""}) {
+        const char *argvBad[] = {"ssim", "gcc", "--sample", bad};
+        EXPECT_FALSE(parseRunOptions(4, argvBad).ok()) << bad;
+    }
+}
+
+TEST(CliParse, SampleFlagReachesAllBinaries)
+{
+    // Default everywhere: sampling off (full detailed timing).
+    const char *runDefault[] = {"ssim", "gcc"};
+    EXPECT_FALSE(parseRunOptions(2, runDefault).sampleSet);
+    const char *benchDefault[] = {"sharch-bench", "fig13"};
+    EXPECT_FALSE(parseBenchOptions(2, benchDefault).sampleSet);
+    const char *serveDefault[] = {"sharch-serve"};
+    EXPECT_FALSE(parseServeOptions(1, serveDefault).sampleSet);
+
+    const SampleSchedule want{12000, 2000, 2000};
+    const char *runS[] = {"ssim", "gcc", "--sample", "12000:2000:2000"};
+    const RunOptions r = parseRunOptions(4, runS);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.sampleSet);
+    EXPECT_EQ(r.sample, want);
+
+    const char *benchS[] = {"sharch-bench", "fig13", "--sample",
+                            "12000:2000:2000"};
+    const BenchOptions b = parseBenchOptions(4, benchS);
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_TRUE(b.sampleSet);
+    EXPECT_EQ(b.sample, want);
+
+    const char *serveS[] = {"sharch-serve", "--sample",
+                            "12000:2000:2000"};
+    const ServeOptions s = parseServeOptions(3, serveS);
+    ASSERT_TRUE(s.ok()) << s.error;
+    EXPECT_TRUE(s.sampleSet);
+    EXPECT_EQ(s.sample, want);
+
+    // Round-trip: the canonical spelling re-parses to itself.
+    SampleSchedule again;
+    ASSERT_TRUE(parseSampleSchedule(sampleScheduleName(want), &again));
+    EXPECT_EQ(again, want);
+}
+
 TEST(ServeParse, FlagsAndDefaults)
 {
     const char *defaults[] = {"sharch-serve"};

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for SMARTS-style sampled simulation: the functional
+ * fast-forward's warm-state fidelity (digest-compared against the
+ * detailed walk), exact architectural counting, the sampled
+ * estimator's accuracy and determinism, and short-stream edge cases.
+ */
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/perf_model.hh"
+#include "core/sampling.hh"
+#include "core/vm_sim.hh"
+#include "trace/generator.hh"
+#include "trace/inst_source.hh"
+#include "trace/profile.hh"
+
+using namespace sharch;
+
+namespace {
+
+/** A single-VCore rig whose warm state we can digest. */
+struct Rig
+{
+    SimConfig cfg;
+    FabricPlacement placement;
+    L2System l2;
+    VCoreSim sim;
+
+    Rig(unsigned banks, unsigned slices, std::uint64_t seed)
+        : cfg(makeCfg(banks, slices, seed)),
+          placement(cfg.numSlices, cfg.numL2Banks),
+          l2(cfg, {placement}), sim(cfg, 0, placement, l2)
+    {
+        l2.registerL1s(0, sim.l1dPointers());
+    }
+
+    static SimConfig
+    makeCfg(unsigned banks, unsigned slices, std::uint64_t seed)
+    {
+        SimConfig cfg;
+        cfg.numSlices = slices;
+        cfg.numL2Banks = banks;
+        cfg.seed = seed;
+        return cfg;
+    }
+
+    std::uint64_t
+    digest() const
+    {
+        return sim.warmStateDigest() ^ l2.stateDigest();
+    }
+};
+
+constexpr std::size_t kWarmInstr = 12000;
+
+} // namespace
+
+TEST(Sampling, FastForwardReproducesDetailedWarmState)
+{
+    // The functional fast-forward must leave every piece of
+    // architectural warm state -- L1 I/D tags, L2 banks + directory,
+    // branch predictor, memory-dependence history, fetch-line
+    // tracker -- exactly where the detailed walk leaves it, for every
+    // profile's access pattern and across trace seeds.
+    for (const std::string &name : benchmarkNames()) {
+        const BenchmarkProfile &p = profileFor(name);
+        for (std::uint64_t seed : {1ull, 7ull}) {
+            Rig detailed(8, 2, seed);
+            Rig functional(8, 2, seed);
+            TraceGenerator gen(p, seed);
+            StreamingTraceSource a(gen, kWarmInstr);
+            StreamingTraceSource b(gen, kWarmInstr);
+            ASSERT_EQ(detailed.sim.step(a, kWarmInstr), kWarmInstr);
+            ASSERT_EQ(functional.sim.fastForward(b, kWarmInstr),
+                      kWarmInstr);
+            EXPECT_EQ(detailed.digest(), functional.digest())
+                << name << " seed " << seed;
+        }
+    }
+}
+
+TEST(Sampling, FunctionalCountsMatchDetailedStats)
+{
+    // functionalStats() mirrors the detailed walk's counting sites,
+    // so over the same stream the two passes agree on every
+    // timing-independent counter -- this is what lets the sampled
+    // estimator report those counters exactly instead of scaled.
+    for (const std::string &name : benchmarkNames()) {
+        const BenchmarkProfile &p = profileFor(name);
+        Rig detailed(8, 2, 1);
+        Rig functional(8, 2, 1);
+        TraceGenerator gen(p, 1);
+        StreamingTraceSource a(gen, kWarmInstr);
+        StreamingTraceSource b(gen, kWarmInstr);
+        detailed.sim.step(a, kWarmInstr);
+        functional.sim.fastForward(b, kWarmInstr);
+        const SimStats &d = detailed.sim.stats();
+        const SimStats &f = functional.sim.functionalStats();
+        EXPECT_EQ(d.instructionsCommitted, f.instructionsCommitted)
+            << name;
+        EXPECT_EQ(d.branches, f.branches) << name;
+        EXPECT_EQ(d.branchMispredicts, f.branchMispredicts) << name;
+        EXPECT_EQ(d.loads, f.loads) << name;
+        EXPECT_EQ(d.stores, f.stores) << name;
+        EXPECT_EQ(d.l1dAccesses, f.l1dAccesses) << name;
+        EXPECT_EQ(d.l1dMisses, f.l1dMisses) << name;
+        EXPECT_EQ(d.l1iAccesses, f.l1iAccesses) << name;
+        EXPECT_EQ(d.l1iMisses, f.l1iMisses) << name;
+        EXPECT_EQ(d.l2Accesses, f.l2Accesses) << name;
+        EXPECT_EQ(d.l2Misses, f.l2Misses) << name;
+        // The detailed side must not have leaked anything into the
+        // functional tallies, or vice versa.
+        EXPECT_EQ(detailed.sim.functionalStats().instructionsCommitted,
+                  0u)
+            << name;
+        EXPECT_EQ(functional.sim.stats().instructionsCommitted, 0u)
+            << name;
+    }
+}
+
+namespace {
+
+/** Full and sampled VmResults for one (profile, banks, slices). */
+std::pair<VmResult, VmResult>
+runBothWays(const std::string &bench, unsigned banks, unsigned slices,
+            std::size_t n, const SampleSchedule &sched,
+            std::uint64_t seed = 1)
+{
+    const BenchmarkProfile &p = profileFor(bench);
+    SimConfig cfg;
+    cfg.numSlices = slices;
+    cfg.numL2Banks = banks;
+    cfg.seed = seed;
+    const unsigned vcores = p.multithreaded ? p.numThreads : 1;
+    auto gen = std::make_shared<TraceGenerator>(p, seed);
+
+    VmSim full(cfg, vcores);
+    full.prewarm(p);
+    const VmResult f = full.run(streamSources(gen, n));
+
+    VmSim samp(cfg, vcores);
+    samp.prewarm(p);
+    SamplingController ctl(sched, seed);
+    const VmResult s = ctl.run(samp, streamSources(gen, n));
+    return {f, s};
+}
+
+} // namespace
+
+TEST(Sampling, ArchitecturalCountersAreExact)
+{
+    // The sampled estimate substitutes exact whole-stream totals for
+    // every timing-independent counter, so those match the full run
+    // bit for bit (and their CIs are zero); cycles is an estimate.
+    const SampleSchedule sched{6000, 2000, 2000};
+    const auto [f, s] = runBothWays("gcc", 8, 2, 100000, sched);
+    EXPECT_EQ(f.aggregate.instructionsCommitted,
+              s.aggregate.instructionsCommitted);
+    EXPECT_EQ(f.aggregate.branches, s.aggregate.branches);
+    EXPECT_EQ(f.aggregate.branchMispredicts,
+              s.aggregate.branchMispredicts);
+    EXPECT_EQ(f.aggregate.l1dAccesses, s.aggregate.l1dAccesses);
+    EXPECT_EQ(f.aggregate.l1dMisses, s.aggregate.l1dMisses);
+    EXPECT_EQ(f.aggregate.l1iMisses, s.aggregate.l1iMisses);
+    EXPECT_EQ(f.aggregate.l2Accesses, s.aggregate.l2Accesses);
+    EXPECT_EQ(f.aggregate.l2Misses, s.aggregate.l2Misses);
+    EXPECT_TRUE(s.aggregate.sampling.active);
+    EXPECT_GT(s.aggregate.sampling.windows, 0u);
+    EXPECT_EQ(s.aggregate.sampling.ciL1dMissRate, 0.0);
+    EXPECT_EQ(s.aggregate.sampling.ciL2MissRate, 0.0);
+    EXPECT_EQ(s.aggregate.sampling.ciBranchMispredictRate, 0.0);
+    // Measured + warm-up + fast-forwarded partition the stream.
+    EXPECT_EQ(s.aggregate.sampling.measuredInstructions +
+                  s.aggregate.sampling.warmupInstructions +
+                  s.aggregate.sampling.fastForwardInstructions,
+              s.aggregate.instructionsCommitted);
+}
+
+TEST(Sampling, SampledCpiWithinTolerance)
+{
+    // End-to-end accuracy on three profiles spanning the interesting
+    // regimes: cache-sensitive single-thread (mcf), compute-bound
+    // single-thread (gcc), and multithreaded with coherence traffic
+    // (dedup).  Deterministic -- fixed seeds, fixed schedule -- so
+    // the bound is a regression fence, not a statistical hope.
+    const SampleSchedule sched{6000, 2000, 2000};
+    for (const char *bench : {"gcc", "mcf", "dedup"}) {
+        const auto [f, s] = runBothWays(bench, 8, 2, 200000, sched);
+        const double fullIpc = f.throughput();
+        const double sampIpc = s.throughput();
+        const double err =
+            100.0 * std::fabs(sampIpc - fullIpc) / fullIpc;
+        EXPECT_LT(err, 3.0) << bench << ": full " << fullIpc
+                            << " sampled " << sampIpc;
+    }
+}
+
+TEST(Sampling, DeterministicAcrossSweepThreadCounts)
+{
+    // A sampled sweep is a pure function of the point identity: the
+    // worker count must not change a single bit of any estimate.
+    PerfModel one(50000, 1);
+    PerfModel four(50000, 1);
+    one.setSampleMode(SampleMode::Sampled, kDefaultSampleSchedule);
+    four.setSampleMode(SampleMode::Sampled, kDefaultSampleSchedule);
+    const std::vector<exec::SweepPoint> points = exec::sweepGrid(
+        {"gcc", "mcf", "sjeng"}, {4, 32}, {2});
+    const auto a = one.performanceBatch(points, 1);
+    const auto b = four.performanceBatch(points, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].ipc, b[i].ipc) << points[i].profile.name;
+}
+
+TEST(Sampling, ShortStreamStillMeasures)
+{
+    // A stream shorter than one warm-up + measure period must still
+    // produce a usable estimate (the schedule leads with warm-up +
+    // measure, and a partial measure window is flushed at the end).
+    const SampleSchedule sched{100000, 2000, 2000};
+    const auto [f, s] = runBothWays("gcc", 8, 2, 3000, sched);
+    EXPECT_EQ(s.aggregate.instructionsCommitted, 3000u);
+    EXPECT_TRUE(s.aggregate.sampling.active);
+    EXPECT_GE(s.aggregate.sampling.windows, 1u);
+    EXPECT_GT(s.cycles, 0u);
+    // A stream this short is measured from one partial window, so
+    // the estimate is coarse (the un-measured prefix carries the
+    // predictor-training transient) -- but it must stay the right
+    // order of magnitude, not collapse or explode.
+    EXPECT_GT(s.cycles, f.cycles / 2);
+    EXPECT_LT(s.cycles, f.cycles * 2);
+}
+
+TEST(Sampling, ScheduleIsPartOfTheEstimate)
+{
+    // Different schedules measure different windows; both are valid
+    // estimates of the same run, and the exact counters agree even
+    // when the CPI estimates differ.
+    const SampleSchedule a{6000, 2000, 2000};
+    const SampleSchedule b{14000, 2000, 2000};
+    const auto [fa, sa] = runBothWays("astar", 8, 2, 100000, a);
+    const auto [fb, sb] = runBothWays("astar", 8, 2, 100000, b);
+    EXPECT_EQ(fa.cycles, fb.cycles); // same full run
+    EXPECT_EQ(sa.aggregate.l1dMisses, sb.aggregate.l1dMisses);
+    EXPECT_EQ(sa.aggregate.l2Misses, sb.aggregate.l2Misses);
+    EXPECT_GT(sa.aggregate.sampling.fastForwardInstructions, 0u);
+    EXPECT_GT(sb.aggregate.sampling.fastForwardInstructions,
+              sa.aggregate.sampling.fastForwardInstructions);
+}

@@ -30,9 +30,9 @@ const std::vector<std::string> kExpectedStudies = {
     "ablate_son", "fault_degradation", "fig10_11",
     "fig12",      "fig13",             "fig14",
     "fig15",      "fig16",             "fig17",
-    "journal_recovery", "serve_replay", "sim_speed",
-    "tab1",       "tab4",              "tab6",
-    "tab7",
+    "journal_recovery", "sampling_accuracy", "serve_replay",
+    "sim_speed",  "tab1",              "tab4",
+    "tab6",       "tab7",
 };
 
 TEST(StudyRegistry, ListsEveryPortedHarness)

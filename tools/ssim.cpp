@@ -29,6 +29,7 @@
 
 #include "config/sim_config.hh"
 #include "core/perf_model.hh"
+#include "core/sampling.hh"
 #include "core/vm_sim.hh"
 #include "exec/run_options.hh"
 #include "exec/sweep.hh"
@@ -149,14 +150,23 @@ runSingle(const exec::RunOptions &opts, const SimConfig &cfg,
     vm.prewarm(profile);
     // Both modes produce bit-identical VmResults (the differential
     // tests enforce it); streaming just never materializes the trace.
-    VmResult res;
+    std::vector<std::unique_ptr<InstSource>> sources;
     if (opts.traceMode == TraceMode::Stream) {
         const auto gen =
             std::make_shared<const TraceGenerator>(profile, cfg.seed);
-        res = vm.run(streamSources(gen, opts.instructions));
+        sources = streamSources(gen, opts.instructions);
     } else {
         TraceGenerator gen(profile, cfg.seed);
-        res = vm.run(gen.generateThreads(opts.instructions));
+        sources = materializedSources(
+            std::make_shared<const std::vector<Trace>>(
+                gen.generateThreads(opts.instructions)));
+    }
+    VmResult res;
+    if (opts.sampleSet) {
+        SamplingController controller(opts.sample, cfg.seed);
+        res = controller.run(vm, sources);
+    } else {
+        res = vm.run(sources);
     }
 
 #if SHARCH_OBS
@@ -220,6 +230,8 @@ runSweep(const exec::RunOptions &opts, const SimConfig &cfg,
     }
     PerfModel pm(opts.instructions, cfg.seed);
     pm.setTraceMode(opts.traceMode);
+    if (opts.sampleSet)
+        pm.setSampleMode(SampleMode::Sampled, opts.sample);
     const std::vector<exec::SweepPoint> grid =
         exec::sweepGrid(std::vector<BenchmarkProfile>{profile}, banks,
                         slices);
