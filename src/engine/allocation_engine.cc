@@ -3,35 +3,17 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/state_json.hh"
 #include "trace/profile.hh"
 
 namespace sharch::engine {
 
 AllocationEngine::AllocationEngine(UtilityOptimizer &opt,
                                    const EngineConfig &cfg)
-    : opt_(&opt), cfg_(cfg),
+    : EngineBase(cfg.maxPending), opt_(&opt), cfg_(cfg),
       fabric_(cfg.fabricWidth, cfg.fabricHeight),
       market_(opt, fabric_.totalSlices(), fabric_.totalBanks())
 {
-}
-
-bool
-AllocationEngine::laterThan(const Queued &a, const Queued &b)
-{
-    if (a.event.at != b.event.at)
-        return a.event.at > b.event.at;
-    return a.seq > b.seq;
-}
-
-std::uint64_t
-AllocationEngine::post(Event e)
-{
-    Queued q;
-    q.event = std::move(e);
-    q.seq = nextSeq_++;
-    queue_.push_back(std::move(q));
-    std::push_heap(queue_.begin(), queue_.end(), laterThan);
-    return queue_.back().seq;
 }
 
 void
@@ -45,51 +27,8 @@ AllocationEngine::postFaultSchedule(
 }
 
 void
-AllocationEngine::runUntil(Cycles cycle)
+AllocationEngine::dispatchEvent(const Event &e)
 {
-    while (!queue_.empty() && queue_.front().event.at <= cycle) {
-        std::pop_heap(queue_.begin(), queue_.end(), laterThan);
-        Queued q = std::move(queue_.back());
-        queue_.pop_back();
-        dispatch(q.event, q.seq);
-    }
-}
-
-void
-AllocationEngine::run()
-{
-    while (!queue_.empty()) {
-        std::pop_heap(queue_.begin(), queue_.end(), laterThan);
-        Queued q = std::move(queue_.back());
-        queue_.pop_back();
-        dispatch(q.event, q.seq);
-    }
-}
-
-EventOutcome
-AllocationEngine::execute(Event e)
-{
-    // A request cannot rewrite history: it fires now at the earliest.
-    if (e.at < clock_)
-        e.at = clock_;
-    Cycles upTo = e.at;
-    post(std::move(e));
-    runUntil(upTo);
-    return lastOutcome_;
-}
-
-void
-AllocationEngine::dispatch(const Event &e, std::uint64_t seq)
-{
-    // Write-ahead: the journal hook makes the record durable before
-    // any state changes, so a crash mid-apply replays the event.
-    if (dispatchHook_ && !replaying_)
-        dispatchHook_(e, seq);
-    if (e.at > clock_)
-        clock_ = e.at;
-    stats_.processed++;
-    lastOutcome_ = EventOutcome{};
-    lastOutcome_.kind = e.kind;
     switch (e.kind) {
       case EventKind::TenantArrive: handleArrive(e); break;
       case EventKind::TenantDepart: handleDepart(e); break;
@@ -97,27 +36,16 @@ AllocationEngine::dispatch(const Event &e, std::uint64_t seq)
       case EventKind::FaultStrike: handleFault(e); break;
       case EventKind::Heal: handleHeal(e); break;
       case EventKind::AuctionEpoch: handleEpoch(); break;
-      case EventKind::Checkpoint: handleCheckpoint(e); break;
+      case EventKind::Checkpoint:
+        break; // EngineBase consumes Checkpoints before this point
+      case EventKind::FleetArrive:
+      case EventKind::FleetDepart:
+      case EventKind::EpochAuction:
+        lastOutcome_.detail =
+            std::string(eventKindName(e.kind)) +
+            " is a fleet event; this is a single-chip engine";
+        break;
     }
-}
-
-void
-AllocationEngine::replayDispatch(const Event &e, std::uint64_t seq)
-{
-    // The snapshot's queue may hold the same posting: drop it so the
-    // event fires exactly once.
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->seq == seq) {
-            queue_.erase(it);
-            std::make_heap(queue_.begin(), queue_.end(), laterThan);
-            break;
-        }
-    }
-    if (seq >= nextSeq_)
-        nextSeq_ = seq + 1;
-    replaying_ = true;
-    dispatch(e, seq);
-    replaying_ = false;
 }
 
 void
@@ -180,7 +108,7 @@ AllocationEngine::handleArrive(const Event &e)
     lease.hasCustomer = hasCustomer;
     lease.slices = fa->slices.count;
     lease.banks = static_cast<unsigned>(fa->banks.size());
-    lease.arrivedAt = clock_;
+    lease.arrivedAt = now();
     leases_.emplace(*id, std::move(lease));
     stats_.admitted++;
     lastOutcome_.applied = true;
@@ -230,6 +158,7 @@ AllocationEngine::handleFault(const Event &e)
         fabric_.markFaulty(e.fault, e.tile);
     stats_.faults++;
     lastOutcome_.applied = true;
+    lastOutcome_.actions = acts;
     degradeBookkeeping(acts);
 
     double slicesLost = e.fault == fault::FaultKind::Slice ? 1.0 : 0.0;
@@ -275,19 +204,6 @@ AllocationEngine::handleEpoch()
     stats_.epochs++;
     stats_.auctionRounds += rounds.size();
     lastOutcome_.applied = true;
-}
-
-void
-AllocationEngine::handleCheckpoint(const Event &e)
-{
-    stats_.checkpoints++;
-    lastOutcome_.applied = true;
-    // Capture *after* consuming the event, so restoring this state
-    // resumes with exactly the remaining stream.
-    lastCheckpointLabel_ = e.label;
-    lastCheckpoint_ = saveState();
-    if (checkpointHook_)
-        checkpointHook_(lastCheckpointLabel_, lastCheckpoint_);
 }
 
 void
@@ -339,98 +255,16 @@ AllocationEngine::handleReshape(const Event &e)
     lastOutcome_.cost = *cost;
 }
 
-std::optional<Cycles>
-AllocationEngine::reshapeLease(std::uint64_t lease, unsigned slices,
-                               unsigned banks)
-{
-    const EventOutcome out =
-        execute(reshapeEvent(clock_, lease, slices, banks));
-    if (!out.applied)
-        return std::nullopt;
-    return out.cost;
-}
-
-namespace {
-
-json::Value
-coordList(const std::vector<Coord> &coords)
-{
-    json::Value a = json::Value::array();
-    for (const Coord &c : coords) {
-        json::Value &pair = a.push(json::Value::array());
-        pair.push(json::Value::number(std::int64_t{c.x}));
-        pair.push(json::Value::number(std::int64_t{c.y}));
-    }
-    return a;
-}
-
-} // namespace
-
 std::string
 AllocationEngine::saveState() const
 {
     json::Value root = json::Value::object();
     root.add("schema", json::Value::string(kStateSchema));
-    root.add("clock", json::Value::number(std::uint64_t{clock_}));
-    root.add("next_seq", json::Value::number(nextSeq_));
-
-    json::Value &stats = root.add("stats", json::Value::object());
-    stats.add("processed", json::Value::number(stats_.processed));
-    stats.add("arrivals", json::Value::number(stats_.arrivals));
-    stats.add("admitted", json::Value::number(stats_.admitted));
-    stats.add("rejected", json::Value::number(stats_.rejected));
-    stats.add("departures", json::Value::number(stats_.departures));
-    stats.add("unmatched_departs",
-              json::Value::number(stats_.unmatchedDeparts));
-    stats.add("faults", json::Value::number(stats_.faults));
-    stats.add("heals", json::Value::number(stats_.heals));
-    stats.add("evictions", json::Value::number(stats_.evictions));
-    stats.add("epochs", json::Value::number(stats_.epochs));
-    stats.add("auction_rounds",
-              json::Value::number(stats_.auctionRounds));
-    stats.add("checkpoints", json::Value::number(stats_.checkpoints));
-    stats.add("reconfig_cycles",
-              json::Value::number(
-                  std::uint64_t{stats_.reconfigCycles}));
-    stats.add("refunds_paid",
-              json::Value::number(stats_.refundsPaid));
-
-    FabricSnapshot fs = fabric_.snapshot();
-    json::Value &fab = root.add("fabric", json::Value::object());
-    fab.add("width", json::Value::number(std::int64_t{fs.width}));
-    fab.add("height", json::Value::number(std::int64_t{fs.height}));
-    fab.add("next_id", json::Value::number(fs.next));
-    json::Value &allocs =
-        fab.add("allocations", json::Value::array());
-    for (const FabricAllocation &fa : fs.allocations) {
-        json::Value &a = allocs.push(json::Value::object());
-        a.add("id", json::Value::number(fa.id));
-        a.add("row", json::Value::number(std::int64_t{fa.slices.row}));
-        a.add("col", json::Value::number(std::int64_t{fa.slices.col}));
-        a.add("count", json::Value::number(fa.slices.count));
-        a.add("banks", coordList(fa.banks));
-    }
-    fab.add("faulty_slices", coordList(fs.faultySliceTiles));
-    fab.add("faulty_banks", coordList(fs.faultyBankTiles));
-    fab.add("faulty_links", coordList(fs.faultyLinkTiles));
-
-    SpotMarketSnapshot ms = market_.snapshot();
-    json::Value &mkt = root.add("market", json::Value::object());
-    mkt.add("slice_capacity",
-            json::Value::number(ms.sliceCapacity));
-    mkt.add("bank_capacity", json::Value::number(ms.bankCapacity));
-    mkt.add("round", json::Value::number(ms.round));
-    mkt.add("prices", marketToJson(ms.prices));
-    json::Value &book = mkt.add("customers", json::Value::array());
-    for (const SpotCustomer &c : ms.customers) {
-        json::Value &v = book.push(json::Value::object());
-        v.add("name", json::Value::string(c.name));
-        v.add("benchmark", json::Value::string(c.benchmark));
-        v.add("utility",
-              json::Value::string(utilityName(c.utility)));
-        v.add("budget", json::Value::number(c.budget));
-        v.add("active", json::Value::boolean_(c.active));
-    }
+    root.add("clock", json::Value::number(std::uint64_t{now()}));
+    root.add("next_seq", json::Value::number(nextSeq()));
+    root.add("stats", statsToJson());
+    root.add("fabric", fabricToJson(fabric_.snapshot()));
+    root.add("market", marketStateToJson(market_.snapshot()));
 
     json::Value &leases = root.add("leases", json::Value::array());
     for (const auto &[id, lease] : leases_) {
@@ -448,15 +282,7 @@ AllocationEngine::saveState() const
               json::Value::number(std::uint64_t{lease.arrivedAt}));
     }
 
-    std::vector<Queued> pending = queue_;
-    std::sort(pending.begin(), pending.end(),
-              [](const Queued &a, const Queued &b) {
-                  return laterThan(b, a);
-              });
-    json::Value &queue = root.add("queue", json::Value::array());
-    for (const Queued &q : pending)
-        queue.push(eventToJson(q.event, q.seq));
-
+    root.add("queue", queueToJson());
     return root.dump();
 }
 
@@ -481,53 +307,6 @@ stateU64(const json::Value &v, const char *key, std::uint64_t *out,
     return true;
 }
 
-bool
-stateI64(const json::Value &v, const char *key, std::int64_t *out,
-         std::string *error)
-{
-    const json::Value *f = v.get(key);
-    if (!f || !f->asI64(out))
-        return fail(error,
-                    std::string(key) + " missing or not an integer");
-    return true;
-}
-
-bool
-stateDouble(const json::Value &v, const char *key, double *out,
-            std::string *error)
-{
-    const json::Value *f = v.get(key);
-    if (!f || !f->isNumber())
-        return fail(error,
-                    std::string(key) + " missing or not a number");
-    *out = f->asDouble();
-    return true;
-}
-
-bool
-stateCoords(const json::Value &v, const char *key,
-            std::vector<Coord> *out, std::string *error)
-{
-    const json::Value *f = v.get(key);
-    if (!f || !f->isArray())
-        return fail(error,
-                    std::string(key) + " missing or not an array");
-    out->clear();
-    for (std::size_t i = 0; i < f->items.size(); ++i) {
-        const json::Value &pair = f->items[i];
-        std::int64_t x = 0, y = 0;
-        if (!pair.isArray() || pair.items.size() != 2 ||
-            !pair.items[0].asI64(&x) || !pair.items[1].asI64(&y)) {
-            return fail(error, std::string(key) + "[" +
-                                   std::to_string(i) +
-                                   "] is not an [x,y] pair");
-        }
-        out->push_back(
-            Coord{static_cast<int>(x), static_cast<int>(y)});
-    }
-    return true;
-}
-
 } // namespace
 
 bool
@@ -549,6 +328,15 @@ AllocationEngine::restoreState(const std::string &text,
         return fail(error, "unsupported schema '" + schema->text +
                                "' (this build reads " +
                                std::string(kStateSchema) + ")");
+    // Fleet documents share the schema tag but carry a kind marker;
+    // loading one into a single-chip engine must fail loudly, not
+    // half-parse.
+    if (const json::Value *kind = root.get("kind")) {
+        if (!kind->isString() || kind->text != "chip")
+            return fail(error,
+                        "state document is not a single-chip "
+                        "engine state (kind marker present)");
+    }
 
     std::uint64_t clock = 0, nextSeq = 0;
     if (!stateU64(root, "clock", &clock, error) ||
@@ -556,81 +344,17 @@ AllocationEngine::restoreState(const std::string &text,
         return false;
     }
 
-    const json::Value *stats = root.get("stats");
-    if (!stats || !stats->isObject())
-        return fail(error, "stats missing or not an object");
     EngineStats st;
-    std::uint64_t reconfig = 0;
-    if (!stateU64(*stats, "processed", &st.processed, error) ||
-        !stateU64(*stats, "arrivals", &st.arrivals, error) ||
-        !stateU64(*stats, "admitted", &st.admitted, error) ||
-        !stateU64(*stats, "rejected", &st.rejected, error) ||
-        !stateU64(*stats, "departures", &st.departures, error) ||
-        !stateU64(*stats, "unmatched_departs", &st.unmatchedDeparts,
-                  error) ||
-        !stateU64(*stats, "faults", &st.faults, error) ||
-        !stateU64(*stats, "heals", &st.heals, error) ||
-        !stateU64(*stats, "evictions", &st.evictions, error) ||
-        !stateU64(*stats, "epochs", &st.epochs, error) ||
-        !stateU64(*stats, "auction_rounds", &st.auctionRounds,
-                  error) ||
-        !stateU64(*stats, "checkpoints", &st.checkpoints, error) ||
-        !stateU64(*stats, "reconfig_cycles", &reconfig, error) ||
-        !stateDouble(*stats, "refunds_paid", &st.refundsPaid,
-                     error)) {
-        if (error)
-            *error = "stats." + *error;
+    if (!statsFromJson(root, &st, error))
         return false;
-    }
-    st.reconfigCycles = reconfig;
 
     // --- Fabric --------------------------------------------------
     const json::Value *fab = root.get("fabric");
     if (!fab || !fab->isObject())
         return fail(error, "fabric missing or not an object");
     FabricSnapshot fs;
-    std::int64_t width = 0, height = 0;
-    if (!stateI64(*fab, "width", &width, error) ||
-        !stateI64(*fab, "height", &height, error) ||
-        !stateU64(*fab, "next_id", &fs.next, error) ||
-        !stateCoords(*fab, "faulty_slices", &fs.faultySliceTiles,
-                     error) ||
-        !stateCoords(*fab, "faulty_banks", &fs.faultyBankTiles,
-                     error) ||
-        !stateCoords(*fab, "faulty_links", &fs.faultyLinkTiles,
-                     error)) {
-        if (error)
-            *error = "fabric." + *error;
+    if (!fabricFromJson(*fab, "fabric", &fs, error))
         return false;
-    }
-    fs.width = static_cast<int>(width);
-    fs.height = static_cast<int>(height);
-    const json::Value *allocs = fab->get("allocations");
-    if (!allocs || !allocs->isArray())
-        return fail(error,
-                    "fabric.allocations missing or not an array");
-    for (std::size_t i = 0; i < allocs->items.size(); ++i) {
-        const json::Value &a = allocs->items[i];
-        const std::string where =
-            "fabric.allocations[" + std::to_string(i) + "]: ";
-        if (!a.isObject())
-            return fail(error, where + "not an object");
-        FabricAllocation fa;
-        std::int64_t row = 0, col = 0;
-        std::uint64_t count = 0;
-        std::string sub;
-        if (!stateU64(a, "id", &fa.id, &sub) ||
-            !stateI64(a, "row", &row, &sub) ||
-            !stateI64(a, "col", &col, &sub) ||
-            !stateU64(a, "count", &count, &sub) ||
-            !stateCoords(a, "banks", &fa.banks, &sub)) {
-            return fail(error, where + sub);
-        }
-        fa.slices.row = static_cast<int>(row);
-        fa.slices.col = static_cast<int>(col);
-        fa.slices.count = static_cast<unsigned>(count);
-        fs.allocations.push_back(std::move(fa));
-    }
 
     // Side-build: validate every claim without touching fabric_.
     FabricManager fabric = fabric_;
@@ -643,63 +367,8 @@ AllocationEngine::restoreState(const std::string &text,
     if (!mkt || !mkt->isObject())
         return fail(error, "market missing or not an object");
     SpotMarketSnapshot ms;
-    std::uint64_t round = 0;
-    if (!stateDouble(*mkt, "slice_capacity", &ms.sliceCapacity,
-                     error) ||
-        !stateDouble(*mkt, "bank_capacity", &ms.bankCapacity,
-                     error) ||
-        !stateU64(*mkt, "round", &round, error)) {
-        if (error)
-            *error = "market." + *error;
+    if (!marketStateFromJson(*mkt, "market", &ms, error))
         return false;
-    }
-    ms.round = static_cast<unsigned>(round);
-    if (ms.sliceCapacity <= 0.0 || ms.bankCapacity <= 0.0)
-        return fail(error,
-                    "market: capacities must be positive (a "
-                    "provider with nothing to sell has no market)");
-    const json::Value *prices = mkt->get("prices");
-    std::string merr;
-    if (!prices || !marketFromJson(*prices, &ms.prices, &merr))
-        return fail(error, "market.prices: " +
-                               (prices ? merr : "missing"));
-    const json::Value *book = mkt->get("customers");
-    if (!book || !book->isArray())
-        return fail(error,
-                    "market.customers missing or not an array");
-    for (std::size_t i = 0; i < book->items.size(); ++i) {
-        const json::Value &c = book->items[i];
-        const std::string where =
-            "market.customers[" + std::to_string(i) + "]: ";
-        if (!c.isObject())
-            return fail(error, where + "not an object");
-        SpotCustomer sc;
-        const json::Value *name = c.get("name");
-        const json::Value *benchmark = c.get("benchmark");
-        const json::Value *utility = c.get("utility");
-        const json::Value *budget = c.get("budget");
-        const json::Value *active = c.get("active");
-        if (!name || !name->isString())
-            return fail(error, where + "name missing");
-        if (!benchmark || !benchmark->isString())
-            return fail(error, where + "benchmark missing");
-        if (!hasProfile(benchmark->text))
-            return fail(error, where + "unknown benchmark '" +
-                                   benchmark->text + "'");
-        if (!utility || !utility->isString() ||
-            !parseUtilityName(utility->text, &sc.utility)) {
-            return fail(error, where + "unknown utility");
-        }
-        if (!budget || !budget->isNumber())
-            return fail(error, where + "budget missing");
-        if (!active || !active->isBool())
-            return fail(error, where + "active missing");
-        sc.name = name->text;
-        sc.benchmark = benchmark->text;
-        sc.budget = budget->asDouble();
-        sc.active = active->boolean;
-        ms.customers.push_back(std::move(sc));
-    }
 
     // --- Leases --------------------------------------------------
     const json::Value *leases = root.get("leases");
@@ -757,37 +426,16 @@ AllocationEngine::restoreState(const std::string &text,
     }
 
     // --- Queue ---------------------------------------------------
-    const json::Value *queue = root.get("queue");
-    if (!queue || !queue->isArray())
-        return fail(error, "queue missing or not an array");
     std::vector<Queued> pending;
-    for (std::size_t i = 0; i < queue->items.size(); ++i) {
-        Queued q;
-        std::string qerr;
-        if (!eventFromJson(queue->items[i], &q.event, &q.seq,
-                           &qerr)) {
-            return fail(error, "queue[" + std::to_string(i) +
-                                   "]: " + qerr);
-        }
-        if (q.seq >= nextSeq)
-            return fail(error,
-                        "queue[" + std::to_string(i) + "]: seq " +
-                            std::to_string(q.seq) + " >= next_seq " +
-                            std::to_string(nextSeq));
-        pending.push_back(std::move(q));
-    }
+    if (!queueFromJson(root.get("queue"), nextSeq, &pending, error))
+        return false;
 
     // Everything validated: commit atomically.
     fabric_ = std::move(fabric);
     SpotMarketSnapshot msCopy = std::move(ms);
     market_.restore(msCopy);
     leases_ = std::move(book2);
-    queue_ = std::move(pending);
-    std::make_heap(queue_.begin(), queue_.end(), laterThan);
-    clock_ = clock;
-    nextSeq_ = nextSeq;
-    stats_ = st;
-    lastOutcome_ = EventOutcome{};
+    adoptRestoredSpine(std::move(pending), clock, nextSeq, st);
     return true;
 }
 
@@ -850,12 +498,12 @@ AllocationEngine::checkInvariants(std::string *error) const
                             "') references departed customer " +
                             std::to_string(lease.customer));
         }
-        if (lease.arrivedAt > clock_)
+        if (lease.arrivedAt > now())
             return fail("lease " + std::to_string(fa.id) +
                         " arrived at cycle " +
                         std::to_string(lease.arrivedAt) +
                         ", after the clock (" +
-                        std::to_string(clock_) + ")");
+                        std::to_string(now()) + ")");
     }
 
     // The occupancy arithmetic must close exactly.
@@ -897,6 +545,43 @@ AllocationEngine::checkInvariants(std::string *error) const
     return true;
 }
 
+void
+AllocationEngine::addPriceReply(json::Value *reply) const
+{
+    const Market &m = market_.prices();
+    reply->add("slice_price", json::Value::number(m.slicePrice));
+    reply->add("bank_price", json::Value::number(m.bankPrice));
+    reply->add("round",
+               json::Value::number(unsigned{market_.round()}));
+}
+
+void
+AllocationEngine::addStatsReply(json::Value *reply) const
+{
+    const EngineStats &s = stats();
+    reply->add("leases",
+               json::Value::number(std::uint64_t{leases_.size()}));
+    reply->add("active_customers",
+               json::Value::number(
+                   unsigned{market_.activeCustomers()}));
+    reply->add("processed", json::Value::number(s.processed));
+    reply->add("arrivals", json::Value::number(s.arrivals));
+    reply->add("admitted", json::Value::number(s.admitted));
+    reply->add("rejected", json::Value::number(s.rejected));
+    reply->add("departures", json::Value::number(s.departures));
+    reply->add("faults", json::Value::number(s.faults));
+    reply->add("heals", json::Value::number(s.heals));
+    reply->add("evictions", json::Value::number(s.evictions));
+    reply->add("epochs", json::Value::number(s.epochs));
+    reply->add("checkpoints", json::Value::number(s.checkpoints));
+    reply->add("free_slices",
+               json::Value::number(
+                   unsigned{fabric_.freeSlices()}));
+    reply->add("free_banks",
+               json::Value::number(
+                   unsigned{fabric_.freeBanks()}));
+}
+
 study::Report
 AllocationEngine::finalReport() const
 {
@@ -907,7 +592,7 @@ AllocationEngine::finalReport() const
     r.addMeta("fabric", std::to_string(fabric_.width()) + "x" +
                             std::to_string(fabric_.height()));
     r.addMeta("clock",
-              study::Value(static_cast<unsigned long long>(clock_)));
+              study::Value(static_cast<unsigned long long>(now())));
 
     study::Table &counters =
         r.addTable("engine_counters", "Event counters");

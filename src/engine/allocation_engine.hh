@@ -17,26 +17,27 @@
  * in a fresh process emits a final report byte-identical to the
  * uninterrupted run.  That is what makes multi-day churn experiments
  * resumable and the serve daemon restartable.
+ *
+ * The queue/clock/hook machinery itself lives in EngineBase
+ * (engine_base.hh), shared with the fleet engine; this class adds
+ * the single-chip event semantics and state document.
  */
 
 #ifndef SHARCH_ENGINE_ALLOCATION_ENGINE_HH
 #define SHARCH_ENGINE_ALLOCATION_ENGINE_HH
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "engine/engine_base.hh"
 #include "engine/event.hh"
 #include "hyper/fabric_manager.hh"
 #include "hyper/spot_market.hh"
 #include "study/report.hh"
 
 namespace sharch::engine {
-
-/** The document version saveState() writes and restoreState() reads. */
-inline constexpr const char *kStateSchema = "sharch-state-v1";
 
 /** Fixed parameters of one engine (not part of mutable state). */
 struct EngineConfig
@@ -53,6 +54,8 @@ struct EngineConfig
      * next AuctionEpoch reprices.
      */
     bool reauctionOnFault = false;
+    /** Pending-event bound: posts past it are refused (0: default). */
+    std::size_t maxPending = kDefaultMaxPending;
 };
 
 /** One admitted tenant: fabric claim + market identity. */
@@ -67,36 +70,7 @@ struct Lease
     Cycles arrivedAt = 0;
 };
 
-/** Monotonic counters over the whole run (serialized state). */
-struct EngineStats
-{
-    std::uint64_t processed = 0;   //!< events consumed
-    std::uint64_t arrivals = 0;
-    std::uint64_t admitted = 0;
-    std::uint64_t rejected = 0;    //!< no contiguous run fit
-    std::uint64_t departures = 0;
-    std::uint64_t unmatchedDeparts = 0;
-    std::uint64_t faults = 0;      //!< newly-faulty strikes
-    std::uint64_t heals = 0;
-    std::uint64_t evictions = 0;   //!< leases lost to degradation
-    std::uint64_t epochs = 0;
-    std::uint64_t auctionRounds = 0;
-    std::uint64_t checkpoints = 0;
-    Cycles reconfigCycles = 0;     //!< degradation + reshape costs
-    double refundsPaid = 0.0;
-};
-
-/** What processing one event did (the serve layer's result). */
-struct EventOutcome
-{
-    EventKind kind = EventKind::AuctionEpoch;
-    bool applied = false;      //!< admitted / released / newly-faulty
-    std::uint64_t lease = 0;   //!< lease touched (0: none)
-    Cycles cost = 0;           //!< reconfiguration cycles (Reshape)
-    std::string detail;        //!< human-readable "why not" etc.
-};
-
-class AllocationEngine
+class AllocationEngine : public EngineBase
 {
   public:
     /**
@@ -106,120 +80,24 @@ class AllocationEngine
      */
     AllocationEngine(UtilityOptimizer &opt, const EngineConfig &cfg);
 
-    // --- The event API (the only mutation path) ------------------
-
-    /**
-     * Enqueue @p e.  Events may be posted at any cycle (including
-     * the past: they fire on the next run, still after everything
-     * already processed).  @return the posting order, which breaks
-     * cycle ties deterministically.
-     */
-    std::uint64_t post(Event e);
-
     /** Expand a fault schedule into FaultStrike/Heal events. */
     void postFaultSchedule(const std::vector<fault::FaultEvent> &fs);
 
-    /** Process every queued event with at <= @p cycle, in order. */
-    void runUntil(Cycles cycle);
-
-    /** Drain the queue completely. */
-    void run();
-
-    /**
-     * Post @p e and process the queue up to its cycle immediately
-     * (the serve path: request in, outcome out).
-     */
-    EventOutcome execute(Event e);
-
-    /**
-     * Reshape a live lease in place (grow/shrink Slices and banks).
-     * Routed through the event queue as an EventKind::Reshape at the
-     * current clock, so journals and checkpoints capture it like any
-     * other mutation.
-     * @return the reconfiguration cost, or nullopt when the lease is
-     *         unknown or the fabric cannot satisfy the new shape.
-     */
-    std::optional<Cycles> reshapeLease(std::uint64_t lease,
-                                       unsigned slices,
-                                       unsigned banks);
-
-    /**
-     * Re-apply one event exactly as a previous process dispatched it
-     * (journal recovery).  The pending copy with the same posting
-     * order -- restored from the snapshot's queue section -- is
-     * removed first so the event is not applied twice, and the
-     * dispatch hook is NOT invoked (the record is already durable).
-     */
-    void replayDispatch(const Event &e, std::uint64_t seq);
-
     // --- Queries -------------------------------------------------
 
-    Cycles now() const { return clock_; }
-    std::size_t pendingEvents() const { return queue_.size(); }
     const EngineConfig &config() const { return cfg_; }
     const FabricManager &fabric() const { return fabric_; }
     const SpotMarket &market() const { return market_; }
-    const EngineStats &stats() const { return stats_; }
     const std::map<std::uint64_t, Lease> &leases() const
     {
         return leases_;
     }
-    const EventOutcome &lastOutcome() const { return lastOutcome_; }
 
-    // --- Checkpoint / restore ------------------------------------
+    // --- EngineBase state contract -------------------------------
 
-    /**
-     * The full engine state as one sharch-state-v1 JSON line.  A
-     * pure function of the processed event history: byte-identical
-     * across runs, thread counts, and checkpoint/resume cuts.
-     */
-    std::string saveState() const;
-
-    /**
-     * Replace the engine's state with a parsed sharch-state-v1
-     * document.  Validation is strict -- schema tag, field types,
-     * fabric claim consistency, lease/customer cross-references --
-     * and on failure the engine is untouched and @p error names the
-     * first offending record (actionable, not just "bad JSON").
-     */
-    bool restoreState(const std::string &text, std::string *error);
-
-    /**
-     * State captured by the most recent Checkpoint event (empty
-     * until one fires).  Taken *after* the event is consumed, so
-     * restoring it resumes with exactly the remaining stream.
-     */
-    const std::string &lastCheckpoint() const
-    {
-        return lastCheckpoint_;
-    }
-    const std::string &lastCheckpointLabel() const
-    {
-        return lastCheckpointLabel_;
-    }
-
-    /** Hook invoked on every Checkpoint event (label, state). */
-    using CheckpointHook =
-        std::function<void(const std::string &, const std::string &)>;
-    void onCheckpoint(CheckpointHook hook)
-    {
-        checkpointHook_ = std::move(hook);
-    }
-
-    /**
-     * Hook invoked immediately *before* each event is applied, with
-     * the event and its posting order -- the write-ahead point.  A
-     * journal appends (and fsyncs) the record here, so a crash at
-     * any later instant can only lose events that were never applied
-     * or leave a torn final record; either way replay reconverges.
-     * Not invoked during replayDispatch().
-     */
-    using DispatchHook =
-        std::function<void(const Event &, std::uint64_t)>;
-    void onDispatch(DispatchHook hook)
-    {
-        dispatchHook_ = std::move(hook);
-    }
+    std::string saveState() const override;
+    bool restoreState(const std::string &text,
+                      std::string *error) override;
 
     /**
      * Cross-layer consistency audit: the fabric occupancy grids
@@ -230,50 +108,35 @@ class AllocationEngine
      * resolves to an active bidder, and the occupancy arithmetic
      * closes (leased + free + faulty == total, for Slices and
      * banks).  Recovery refuses to serve a state that fails this.
-     * @return false with @p error naming the first violation.
      */
-    bool checkInvariants(std::string *error) const;
+    bool checkInvariants(std::string *error) const override;
 
-    /**
-     * The deterministic end-of-run report (sharch-report-v1):
-     * counters, prices, live leases, fabric health.  Two engines
-     * that processed the same events render identical bytes -- the
-     * property the checkpoint tests pin down.
-     */
-    study::Report finalReport() const;
+    study::Report finalReport() const override;
+
+    bool hasLease(std::uint64_t id) const override
+    {
+        return leases_.count(id) != 0;
+    }
+    std::size_t leaseCount() const override { return leases_.size(); }
+    void addPriceReply(json::Value *reply) const override;
+    void addStatsReply(json::Value *reply) const override;
+
+  protected:
+    void dispatchEvent(const Event &e) override;
 
   private:
-    struct Queued
-    {
-        Event event;
-        std::uint64_t seq = 0;
-    };
-
     UtilityOptimizer *opt_;
     EngineConfig cfg_;
     FabricManager fabric_;
     SpotMarket market_;
     std::map<std::uint64_t, Lease> leases_;
-    std::vector<Queued> queue_; //!< min-heap on (at, seq)
-    Cycles clock_ = 0;
-    std::uint64_t nextSeq_ = 0;
-    EngineStats stats_;
-    EventOutcome lastOutcome_;
-    std::string lastCheckpoint_;
-    std::string lastCheckpointLabel_;
-    CheckpointHook checkpointHook_;
-    DispatchHook dispatchHook_;
-    bool replaying_ = false; //!< suppress the hook during recovery
 
-    static bool laterThan(const Queued &a, const Queued &b);
-    void dispatch(const Event &e, std::uint64_t seq);
     void handleArrive(const Event &e);
     void handleDepart(const Event &e);
     void handleReshape(const Event &e);
     void handleFault(const Event &e);
     void handleHeal(const Event &e);
     void handleEpoch();
-    void handleCheckpoint(const Event &e);
     void degradeBookkeeping(const std::vector<DegradeAction> &acts);
 };
 

@@ -13,6 +13,9 @@ eventKindName(EventKind kind)
       case EventKind::Heal: return "heal";
       case EventKind::AuctionEpoch: return "auction_epoch";
       case EventKind::Checkpoint: return "checkpoint";
+      case EventKind::FleetArrive: return "fleet_arrive";
+      case EventKind::FleetDepart: return "fleet_depart";
+      case EventKind::EpochAuction: return "epoch_auction";
     }
     return "?";
 }
@@ -34,6 +37,12 @@ parseEventKind(const std::string &name, EventKind *out)
         *out = EventKind::AuctionEpoch;
     else if (name == "checkpoint")
         *out = EventKind::Checkpoint;
+    else if (name == "fleet_arrive")
+        *out = EventKind::FleetArrive;
+    else if (name == "fleet_depart")
+        *out = EventKind::FleetDepart;
+    else if (name == "epoch_auction")
+        *out = EventKind::EpochAuction;
     else
         return false;
     return true;
@@ -117,6 +126,36 @@ checkpoint(Cycles at, std::string label)
     return e;
 }
 
+Event
+fleetArrive(Cycles at, std::string tenant, std::string benchmark,
+            UtilityKind utility, double budget, unsigned slices,
+            unsigned banks, Cycles lifetime)
+{
+    Event e = tenantArrive(at, std::move(tenant),
+                           std::move(benchmark), utility, budget,
+                           slices, banks);
+    e.kind = EventKind::FleetArrive;
+    e.lifetime = lifetime;
+    return e;
+}
+
+Event
+fleetDepart(Cycles at, std::string tenant)
+{
+    Event e = tenantDepart(at, std::move(tenant));
+    e.kind = EventKind::FleetDepart;
+    return e;
+}
+
+Event
+epochAuction(Cycles at)
+{
+    Event e;
+    e.at = at;
+    e.kind = EventKind::EpochAuction;
+    return e;
+}
+
 json::Value
 eventToJson(const Event &e, std::uint64_t seq)
 {
@@ -149,12 +188,31 @@ eventToJson(const Event &e, std::uint64_t seq)
         json::Value &tile = v.add("tile", json::Value::array());
         tile.push(json::Value::number(std::int64_t{e.tile.x}));
         tile.push(json::Value::number(std::int64_t{e.tile.y}));
+        // Only fleet events carry a chip: the single-chip engine's
+        // serialization stays byte-stable.
+        if (e.chip >= 0)
+            v.add("chip", json::Value::number(std::int64_t{e.chip}));
         break;
       }
       case EventKind::AuctionEpoch:
+      case EventKind::EpochAuction:
         break;
       case EventKind::Checkpoint:
         v.add("label", json::Value::string(e.label));
+        break;
+      case EventKind::FleetArrive:
+        v.add("tenant", json::Value::string(e.tenant));
+        v.add("benchmark", json::Value::string(e.benchmark));
+        v.add("utility",
+              json::Value::string(utilityName(e.utility)));
+        v.add("budget", json::Value::number(e.budget));
+        v.add("slices", json::Value::number(e.slices));
+        v.add("banks", json::Value::number(e.banks));
+        v.add("lifetime",
+              json::Value::number(std::uint64_t{e.lifetime}));
+        break;
+      case EventKind::FleetDepart:
+        v.add("tenant", json::Value::string(e.tenant));
         break;
     }
     return v;
@@ -272,12 +330,52 @@ eventFromJson(const json::Value &v, Event *out, std::uint64_t *seq,
                          "event.tile must be an [x,y] pair");
         }
         e.tile = Coord{static_cast<int>(x), static_cast<int>(y)};
+        if (const json::Value *chip = v.get("chip")) {
+            std::int64_t c = 0;
+            if (!chip->asI64(&c) || c < 0)
+                return wrong(error, "event.chip must be an "
+                                    "unsigned chip index");
+            e.chip = static_cast<int>(c);
+        }
         break;
       }
       case EventKind::AuctionEpoch:
+      case EventKind::EpochAuction:
         break;
       case EventKind::Checkpoint:
         if (!readString(v, "label", &e.label, error))
+            return false;
+        break;
+      case EventKind::FleetArrive: {
+        if (!readString(v, "tenant", &e.tenant, error) ||
+            !readString(v, "benchmark", &e.benchmark, error)) {
+            return false;
+        }
+        std::string utility;
+        if (!readString(v, "utility", &utility, error))
+            return false;
+        if (!parseUtilityName(utility, &e.utility))
+            return wrong(error,
+                         "unknown utility '" + utility + "'");
+        const json::Value *budget = v.get("budget");
+        if (!budget || !budget->isNumber())
+            return wrong(error,
+                         "event.budget missing or not a number");
+        e.budget = budget->asDouble();
+        std::uint64_t n = 0;
+        if (!readU64(v, "slices", &n, error))
+            return false;
+        e.slices = static_cast<unsigned>(n);
+        if (!readU64(v, "banks", &n, error))
+            return false;
+        e.banks = static_cast<unsigned>(n);
+        if (!readU64(v, "lifetime", &n, error))
+            return false;
+        e.lifetime = n;
+        break;
+      }
+      case EventKind::FleetDepart:
+        if (!readString(v, "tenant", &e.tenant, error))
             return false;
         break;
     }

@@ -26,7 +26,7 @@
 
 namespace sharch::engine {
 
-/** The seven mutations the engine understands. */
+/** The mutations the engines understand. */
 enum class EventKind
 {
     TenantArrive, //!< admit a tenant: market book entry + VCore
@@ -36,6 +36,13 @@ enum class EventKind
     Heal,         //!< a faulty tile or link returns to service
     AuctionEpoch, //!< run the tatonnement to a new clearing
     Checkpoint,   //!< serialize engine state (sharch-state-v1)
+
+    // Fleet vocabulary (src/fleet): the same queue drives thousands
+    // of chips, with placement deciding *which* chip an arrival
+    // lands on.
+    FleetArrive,  //!< place a tenant somewhere in the fleet
+    FleetDepart,  //!< a fleet tenant leaves (global lease lookup)
+    EpochAuction, //!< re-clear every chip whose membership changed
 };
 
 /** "tenant_arrive" / "tenant_depart" / "fault_strike" / ... */
@@ -72,6 +79,16 @@ struct Event
 
     // Checkpoint.
     std::string label;
+
+    // FleetArrive: cycles until the tenant departs on its own (0:
+    // stays until an explicit FleetDepart).  Admission posts the
+    // departure, so a churn stream is arrivals all the way down.
+    Cycles lifetime = 0;
+
+    // Fleet FaultStrike / Heal: which chip the tile belongs to.
+    // -1 targets the single-chip engine's only fabric (and is
+    // omitted from serialization, keeping pre-fleet bytes stable).
+    int chip = -1;
 };
 
 // --- Factories (keep study/test scripts terse) -------------------
@@ -86,6 +103,12 @@ Event faultStrike(Cycles at, fault::FaultKind kind, Coord tile);
 Event healFault(Cycles at, fault::FaultKind kind, Coord tile);
 Event auctionEpoch(Cycles at);
 Event checkpoint(Cycles at, std::string label);
+Event fleetArrive(Cycles at, std::string tenant,
+                  std::string benchmark, UtilityKind utility,
+                  double budget, unsigned slices, unsigned banks,
+                  Cycles lifetime);
+Event fleetDepart(Cycles at, std::string tenant);
+Event epochAuction(Cycles at);
 
 /**
  * Serialize for the sharch-state-v1 "queue" section: kind first,

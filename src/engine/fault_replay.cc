@@ -1,8 +1,13 @@
-#include "hyper/fault_replay.hh"
+#include "engine/fault_replay.hh"
 
 #include <cstdio>
 
+#include "area/area_model.hh"
 #include "common/logging.hh"
+#include "core/perf_model.hh"
+#include "econ/optimizer.hh"
+#include "engine/allocation_engine.hh"
+#include "engine/event.hh"
 
 namespace sharch {
 
@@ -18,17 +23,39 @@ replayFaults(const fault::FaultSpec &spec, int width, int height,
     result.fabricWidth = width;
     result.fabricHeight = height;
 
-    FabricManager fm(width, height);
+    // The replay tenants are fabric-only (zero budget), so the
+    // optimizer is never consulted; it exists because the engine's
+    // auction path needs one in general.
+    PerfModel pm(2000, 1);
+    AreaModel am;
+    UtilityOptimizer opt(pm, am);
+    engine::EngineConfig cfg;
+    cfg.fabricWidth = width;
+    cfg.fabricHeight = height;
+    engine::AllocationEngine eng(opt, cfg);
 
     // Populate the chip with identical tenants until allocation
-    // fails, so the schedule always hits live state.
-    while (fm.allocate(vcore_slices, vcore_banks))
+    // fails, so the schedule always hits live state.  Admissions are
+    // TenantArrive events: the same dispatch path a journaled or
+    // served run takes.
+    for (;;) {
+        const engine::EventOutcome out = eng.execute(
+            engine::tenantArrive(0,
+                                 "vcore" + std::to_string(
+                                               result.tenants),
+                                 "", UtilityKind::Throughput, 0.0,
+                                 vcore_slices, vcore_banks));
+        if (!out.applied)
+            break;
         ++result.tenants;
+    }
 
     fault::FaultModel model(spec, width, height);
     for (const fault::FaultEvent &ev : model.schedule()) {
-        std::vector<DegradeAction> actions = fm.apply(ev);
-        for (const DegradeAction &a : actions) {
+        const engine::EventOutcome out = eng.execute(
+            ev.heal ? engine::healFault(ev.at, ev.kind, ev.tile)
+                    : engine::faultStrike(ev.at, ev.kind, ev.tile));
+        for (const DegradeAction &a : out.actions) {
             result.replaced += a.kind == DegradeKind::Replaced;
             result.shrunk += a.kind == DegradeKind::Shrunk;
             result.evicted += a.kind == DegradeKind::Evicted;
@@ -36,9 +63,10 @@ replayFaults(const fault::FaultSpec &spec, int width, int height,
             result.banksLost += a.banksLost;
             result.reconfigCycles += a.cost;
         }
-        result.events.emplace_back(ev, std::move(actions));
+        result.events.emplace_back(ev, out.actions);
     }
 
+    const FabricManager &fm = eng.fabric();
     result.faultySlices = fm.faultySlices();
     result.totalSlices = fm.totalSlices();
     result.faultyBanks = fm.faultyBanks();

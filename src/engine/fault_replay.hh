@@ -1,18 +1,20 @@
 /**
  * @file
- * Library form of ssim's `--inject-faults` replay: populate a fabric
- * with identical tenants, run a fault schedule through
- * FabricManager::apply(), and report the graceful-degradation
+ * Library form of ssim's `--inject-faults` replay: populate an
+ * AllocationEngine with identical tenants, run a fault schedule
+ * through the typed-event queue, and report the graceful-degradation
  * outcome.
  *
- * Extracted from tools/ssim.cpp so the replay itself -- placement,
- * event loop, totals, and the exact JSON report bytes -- is unit
- * testable without spawning the binary.  The CLI keeps only argument
- * handling and printing.
+ * Originally extracted from tools/ssim.cpp as a hand-rolled loop over
+ * FabricManager::apply(); now routed through the engine's event path
+ * (TenantArrive / FaultStrike / Heal via AllocationEngine::execute),
+ * so the replay exercises the same dispatch machinery journals and
+ * checkpoints see, while the report bytes -- pinned by test_hyper --
+ * stay identical.
  */
 
-#ifndef SHARCH_HYPER_FAULT_REPLAY_HH
-#define SHARCH_HYPER_FAULT_REPLAY_HH
+#ifndef SHARCH_ENGINE_FAULT_REPLAY_HH
+#define SHARCH_ENGINE_FAULT_REPLAY_HH
 
 #include <cstddef>
 #include <string>
@@ -56,7 +58,7 @@ struct FaultReplayResult
 };
 
 /**
- * Replay @p spec against a fresh @p width x @p height fabric packed
+ * Replay @p spec against a fresh @p width x @p height engine packed
  * with as many (@p vcore_slices, @p vcore_banks) tenants as fit.
  * @pre spec.ok() and !spec.empty().
  */
@@ -80,4 +82,4 @@ study::Report faultReplayReport(const FaultReplayResult &result);
 
 } // namespace sharch
 
-#endif // SHARCH_HYPER_FAULT_REPLAY_HH
+#endif // SHARCH_ENGINE_FAULT_REPLAY_HH

@@ -169,7 +169,7 @@ Journal::walPath(std::uint64_t gen) const
 }
 
 bool
-Journal::open(AllocationEngine &engine, JournalRecovery *out,
+Journal::open(EngineBase &engine, JournalRecovery *out,
               std::string *error)
 {
     engine_ = &engine;
@@ -272,7 +272,7 @@ Journal::open(AllocationEngine &engine, JournalRecovery *out,
 }
 
 bool
-Journal::replaySegment(AllocationEngine &engine, std::uint64_t gen,
+Journal::replaySegment(EngineBase &engine, std::uint64_t gen,
                        bool newest, JournalRecovery *out,
                        std::string *error)
 {

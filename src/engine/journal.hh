@@ -6,7 +6,7 @@
  * The engine's checkpoint/restore machinery makes a run resumable
  * from explicit Checkpoint events, but a crash between checkpoints
  * still loses everything since the last one.  The journal closes
- * that gap: hooked into AllocationEngine::onDispatch(), it makes
+ * that gap: hooked into EngineBase::onDispatch(), it makes
  * every event durable *before* the event mutates engine state, so a
  * process killed at any instruction boundary can be restarted and
  * replayed to exactly the state it died in -- the final report of
@@ -55,7 +55,7 @@
 #include <string>
 #include <vector>
 
-#include "engine/allocation_engine.hh"
+#include "engine/engine_base.hh"
 
 namespace sharch::engine {
 
@@ -112,7 +112,7 @@ class Journal
      * caller should surface).  On failure the engine may hold a
      * partially-restored state and must not be served from.
      */
-    bool open(AllocationEngine &engine, JournalRecovery *out,
+    bool open(EngineBase &engine, JournalRecovery *out,
               std::string *error);
 
     /**
@@ -142,7 +142,7 @@ class Journal
                        std::string *error);
     bool openSegment(std::uint64_t gen, bool fresh,
                      std::string *error);
-    bool replaySegment(AllocationEngine &engine, std::uint64_t gen,
+    bool replaySegment(EngineBase &engine, std::uint64_t gen,
                        bool newest, JournalRecovery *out,
                        std::string *error);
     void compact();
@@ -150,7 +150,7 @@ class Journal
     std::string walPath(std::uint64_t gen) const;
 
     JournalConfig cfg_;
-    AllocationEngine *engine_ = nullptr;
+    EngineBase *engine_ = nullptr;
     int fd_ = -1;
     std::uint64_t generation_ = 0;
     std::uint64_t recordsInSegment_ = 0;

@@ -132,9 +132,10 @@ ServeSession::handleAllocate(const json::Value &req)
     Cycles at = 0;
     if (!requestCycle(req, engine_->now(), &at, &err))
         return errorReply(err);
-    std::uint64_t slices = 0, banks = 0;
+    std::uint64_t slices = 0, banks = 0, lifetime = 0;
     if (!optionalU64(req, "slices", &slices, &err) ||
-        !optionalU64(req, "banks", &banks, &err)) {
+        !optionalU64(req, "banks", &banks, &err) ||
+        !optionalU64(req, "lifetime", &lifetime, &err)) {
         return errorReply(err);
     }
     double budget = 0.0;
@@ -158,10 +159,10 @@ ServeSession::handleAllocate(const json::Value &req)
         }
     }
 
-    const EventOutcome out = engine_->execute(tenantArrive(
+    const EventOutcome out = engine_->execute(engine_->arriveEvent(
         at, tenant->text, benchmark, utility, budget,
         static_cast<unsigned>(slices),
-        static_cast<unsigned>(banks)));
+        static_cast<unsigned>(banks), lifetime));
     json::Value v = okReply("allocate");
     addOutcome(&v, out);
     return v.dump();
@@ -178,7 +179,7 @@ ServeSession::handleRelease(const json::Value &req)
     if (!requestCycle(req, engine_->now(), &at, &err))
         return errorReply(err);
     const EventOutcome out =
-        engine_->execute(tenantDepart(at, tenant->text));
+        engine_->execute(engine_->departEvent(at, tenant->text));
     json::Value v = okReply("release");
     addOutcome(&v, out);
     return v.dump();
@@ -206,7 +207,7 @@ ServeSession::handleReshape(const json::Value &req)
     } else {
         v.add("detail",
               json::Value::string(
-                  engine_->leases().count(lease)
+                  engine_->hasLease(lease)
                       ? "fabric cannot satisfy the new shape"
                       : "no lease with id " +
                             std::to_string(lease)));
@@ -221,13 +222,9 @@ ServeSession::handlePrice(const json::Value &req)
     Cycles at = 0;
     if (!requestCycle(req, engine_->now(), &at, &err))
         return errorReply(err);
-    engine_->execute(auctionEpoch(at));
+    engine_->execute(engine_->priceEvent(at));
     json::Value v = okReply("price");
-    const Market &m = engine_->market().prices();
-    v.add("slice_price", json::Value::number(m.slicePrice));
-    v.add("bank_price", json::Value::number(m.bankPrice));
-    v.add("round",
-          json::Value::number(unsigned{engine_->market().round()}));
+    engine_->addPriceReply(&v);
     return v.dump();
 }
 
@@ -306,41 +303,20 @@ ServeSession::handleRestore(const json::Value &req)
     v.add("clock",
           json::Value::number(std::uint64_t{engine_->now()}));
     v.add("leases", json::Value::number(
-                        std::uint64_t{engine_->leases().size()}));
+                        std::uint64_t{engine_->leaseCount()}));
     return v.dump();
 }
 
 std::string
 ServeSession::handleStats() const
 {
-    const EngineStats &s = engine_->stats();
     json::Value v = okReply("stats");
     v.add("clock",
           json::Value::number(std::uint64_t{engine_->now()}));
     v.add("pending_events",
           json::Value::number(
               std::uint64_t{engine_->pendingEvents()}));
-    v.add("leases", json::Value::number(
-                        std::uint64_t{engine_->leases().size()}));
-    v.add("active_customers",
-          json::Value::number(
-              unsigned{engine_->market().activeCustomers()}));
-    v.add("processed", json::Value::number(s.processed));
-    v.add("arrivals", json::Value::number(s.arrivals));
-    v.add("admitted", json::Value::number(s.admitted));
-    v.add("rejected", json::Value::number(s.rejected));
-    v.add("departures", json::Value::number(s.departures));
-    v.add("faults", json::Value::number(s.faults));
-    v.add("heals", json::Value::number(s.heals));
-    v.add("evictions", json::Value::number(s.evictions));
-    v.add("epochs", json::Value::number(s.epochs));
-    v.add("checkpoints", json::Value::number(s.checkpoints));
-    v.add("free_slices",
-          json::Value::number(
-              unsigned{engine_->fabric().freeSlices()}));
-    v.add("free_banks",
-          json::Value::number(
-              unsigned{engine_->fabric().freeBanks()}));
+    engine_->addStatsReply(&v);
     return v.dump();
 }
 

@@ -38,7 +38,7 @@
 
 #include <string>
 
-#include "engine/allocation_engine.hh"
+#include "engine/engine_base.hh"
 
 namespace sharch::engine {
 
@@ -55,11 +55,16 @@ inline constexpr std::size_t kMaxRequestBytes = 1u << 20;
 /** The refusal reply for a line that breaches kMaxRequestBytes. */
 std::string oversizedLineReply(std::size_t size);
 
-/** One sharch-serve conversation over an AllocationEngine. */
+/**
+ * One sharch-serve conversation over an engine.  The session speaks
+ * EngineBase only -- event factories, lease queries, reply
+ * contributions -- so the same eight operations drive a single-chip
+ * AllocationEngine or a fleet::FleetEngine (sharch-serve --fleet).
+ */
 class ServeSession
 {
   public:
-    explicit ServeSession(AllocationEngine &engine)
+    explicit ServeSession(EngineBase &engine)
         : engine_(&engine)
     {
     }
@@ -84,7 +89,7 @@ class ServeSession
     std::uint64_t requestsHandled() const { return requests_; }
 
   private:
-    AllocationEngine *engine_;
+    EngineBase *engine_;
     Journal *journal_ = nullptr;
     std::uint64_t requests_ = 0;
 

@@ -458,7 +458,7 @@ serveUsage(const std::string &prog)
            " [--instructions N] [--seed N] [--threads N]\n"
            "            [--trace-mode stream|materialize] "
            "[--sample U:W:M]\n"
-           "            [--fabric WxH] [--restore FILE] "
+           "            [--fabric WxH] [--fleet N] [--restore FILE] "
            "[--journal DIR]\n"
            "            [--journal-fsync N] [--journal-rotate N]\n"
            "\n"
@@ -519,6 +519,17 @@ parseServeOptions(int argc, const char *const *argv)
                              "count)";
             } else {
                 opts.journalRotate = n;
+            }
+        } else if (arg == "--fleet") {
+            const char *val = flagValue(argc, argv, &i, &opts);
+            if (!val)
+                continue;
+            std::uint64_t n = 0;
+            if (!parseU64(val, &n) || n == 0 || n > 1u << 20) {
+                opts.error = std::string("bad --fleet '") + val +
+                             "' (want a chip count in [1, 2^20])";
+            } else {
+                opts.fleetChips = n;
             }
         } else if (arg == "--fabric") {
             const char *val = flagValue(argc, argv, &i, &opts);

@@ -209,6 +209,7 @@ struct ServeOptions
     bool sampleSet = false;            //!< --sample given (else full)
     int fabricWidth = 8;
     int fabricHeight = 8;
+    std::uint64_t fleetChips = 0;      //!< 0: single-chip engine
     std::string restorePath;           //!< empty: fresh engine
     std::string journalDir;            //!< empty: no journal
     unsigned journalFsync = 1;         //!< 0 never, N every N records

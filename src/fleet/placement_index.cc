@@ -1,0 +1,60 @@
+#include "fleet/placement_index.hh"
+
+#include "common/logging.hh"
+
+namespace sharch::fleet {
+
+void
+PlacementIndex::insert(ChipId chip, unsigned run, unsigned banks)
+{
+    SHARCH_ASSERT(run < tiers_.size(),
+                  "placement key exceeds the chip width");
+    if (keys_.size() <= chip)
+        keys_.resize(chip + 1, {kUnfiled, 0});
+    SHARCH_ASSERT(keys_[chip].first == kUnfiled,
+                  "chip is already filed");
+    tiers_[run].emplace(banks, chip);
+    keys_[chip] = {run, banks};
+    filed_++;
+}
+
+void
+PlacementIndex::update(ChipId chip, unsigned run, unsigned banks)
+{
+    SHARCH_ASSERT(chip < keys_.size() &&
+                      keys_[chip].first != kUnfiled,
+                  "cannot update an unfiled chip");
+    const auto [oldRun, oldBanks] = keys_[chip];
+    if (oldRun == run && oldBanks == banks)
+        return;
+    tiers_[oldRun].erase({oldBanks, chip});
+    SHARCH_ASSERT(run < tiers_.size(),
+                  "placement key exceeds the chip width");
+    tiers_[run].emplace(banks, chip);
+    keys_[chip] = {run, banks};
+}
+
+std::optional<std::pair<unsigned, unsigned>>
+PlacementIndex::keys(ChipId chip) const
+{
+    if (chip >= keys_.size() || keys_[chip].first == kUnfiled)
+        return std::nullopt;
+    return keys_[chip];
+}
+
+std::optional<ChipId>
+PlacementIndex::find(unsigned slices, unsigned banks)
+{
+    lookups_++;
+    for (unsigned run = slices;
+         run < static_cast<unsigned>(tiers_.size()); ++run) {
+        tierProbes_++;
+        const auto &tier = tiers_[run];
+        auto it = tier.lower_bound({banks, 0});
+        if (it != tier.end())
+            return it->second;
+    }
+    return std::nullopt;
+}
+
+} // namespace sharch::fleet

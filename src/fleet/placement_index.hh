@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The fleet's sharded placement index: admit-time chip selection in
+ * O(log chips) instead of a full-fleet scan.
+ *
+ * Every chip is summarized by two numbers -- its largest allocatable
+ * contiguous Slice run L and its free-bank count B -- and filed into
+ * the tier for L: one ordered set of (B, chip) pairs per possible run
+ * length (0..maxRun, and maxRun is the chip *width*, a small
+ * constant).  A request for (slices, banks) probes tiers L = slices
+ * upward and takes the first tier holding a chip with B >= banks via
+ * one lower_bound: best-fit on the run length first (minimize the
+ * contiguity we break), then on banks, then lowest chip id.  Each
+ * lookup therefore costs at most `width` ordered-set probes of
+ * O(log chips) each -- per-event placement work that grows
+ * logarithmically, not linearly, with fleet size (the datacenter_churn
+ * study measures exactly this).
+ *
+ * The index is derived state: it is rebuilt from the chips on
+ * restore, and FleetEngine::checkInvariants() re-derives every key
+ * and compares.  Probe counters are part of the deterministic report
+ * surface, so they serialize with the engine.
+ */
+
+#ifndef SHARCH_FLEET_PLACEMENT_INDEX_HH
+#define SHARCH_FLEET_PLACEMENT_INDEX_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace sharch::fleet {
+
+/** Stable identifier of one chip in the fleet (dense, 0-based). */
+using ChipId = std::uint32_t;
+
+class PlacementIndex
+{
+  public:
+    /** @param maxRun longest possible run (the chip width). */
+    explicit PlacementIndex(unsigned maxRun)
+        : tiers_(maxRun + 1)
+    {
+    }
+
+    /** File @p chip under (run, banks); the chip must not be filed. */
+    void insert(ChipId chip, unsigned run, unsigned banks);
+
+    /** Re-file @p chip under new keys (after any chip mutation). */
+    void update(ChipId chip, unsigned run, unsigned banks);
+
+    /** The filed keys of @p chip (nullopt: not filed). */
+    std::optional<std::pair<unsigned, unsigned>> keys(ChipId chip)
+        const;
+
+    /**
+     * Best-fit lookup: the chip in the smallest adequate run tier
+     * with the fewest free banks >= @p banks (lowest id breaking
+     * ties), or nullopt when no chip fits.  Counts one lookup plus
+     * one tier probe per ordered set examined.
+     */
+    std::optional<ChipId> find(unsigned slices, unsigned banks);
+
+    std::size_t size() const { return filed_; }
+
+    // --- Probe accounting (deterministic report surface) ---------
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t tierProbes() const { return tierProbes_; }
+    void setProbeCounters(std::uint64_t lookups,
+                          std::uint64_t tierProbes)
+    {
+        lookups_ = lookups;
+        tierProbes_ = tierProbes;
+    }
+
+  private:
+    /** tiers_[L]: chips whose largest free run is exactly L. */
+    std::vector<std::set<std::pair<unsigned, ChipId>>> tiers_;
+    /** keys_[chip]: (run, banks) as filed; run == kUnfiled if not. */
+    std::vector<std::pair<unsigned, unsigned>> keys_;
+    std::size_t filed_ = 0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t tierProbes_ = 0;
+
+    static constexpr unsigned kUnfiled = ~0u;
+};
+
+} // namespace sharch::fleet
+
+#endif // SHARCH_FLEET_PLACEMENT_INDEX_HH

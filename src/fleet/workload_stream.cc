@@ -1,0 +1,86 @@
+#include "fleet/workload_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "exec/sweep.hh"
+#include "trace/profile.hh"
+
+namespace sharch::fleet {
+
+WorkloadStream::WorkloadStream(const WorkloadConfig &cfg)
+    : cfg_(cfg),
+      benchmarks_(benchmarkNames())
+{
+    SHARCH_ASSERT(cfg.meanGap > 0.0 && cfg.meanLifetime > 0.0,
+                  "workload means must be positive");
+    SHARCH_ASSERT(cfg.diurnalAmplitude >= 0.0 &&
+                      cfg.diurnalAmplitude < 1.0,
+                  "diurnal amplitude must be in [0, 1)");
+    SHARCH_ASSERT(cfg.maxSlices >= 1 && cfg.maxBanks >= 1,
+                  "tenant shapes need at least one tile");
+    SHARCH_ASSERT(cfg.maxBudget >= cfg.minBudget &&
+                      cfg.minBudget >= 0.0,
+                  "budget range is inverted");
+    SHARCH_ASSERT(!benchmarks_.empty(),
+                  "the profile table is empty");
+}
+
+std::string
+WorkloadStream::tenantName(std::uint64_t index)
+{
+    return "t" + std::to_string(index);
+}
+
+FleetTenant
+WorkloadStream::tenant(std::uint64_t index, Cycles prevArrival) const
+{
+    Rng rng(exec::deriveJobSeed(
+        cfg_.seed, "fleet-tenant",
+        static_cast<unsigned>(index >> 32),
+        static_cast<unsigned>(index & 0xffffffffu)));
+
+    FleetTenant t;
+    t.index = index;
+    t.name = tenantName(index);
+
+    // Attributes first, gap last: the attribute stream stays aligned
+    // however many thinning draws the gap needs.
+    t.slices = static_cast<unsigned>(
+                   rng.nextZipf(cfg_.maxSlices, cfg_.zipfAlpha)) +
+               1;
+    t.slices = std::min(t.slices, cfg_.maxSlices);
+    t.banks =
+        1 + static_cast<unsigned>(rng.nextBounded(cfg_.maxBanks));
+    t.benchmark = benchmarks_[rng.nextBounded(benchmarks_.size())];
+    t.utility = kAllUtilities[rng.nextBounded(3)];
+    t.budget = cfg_.minBudget +
+               rng.nextDouble() * (cfg_.maxBudget - cfg_.minBudget);
+    t.lifetime = std::max<Cycles>(
+        1, static_cast<Cycles>(
+               rng.nextExponential(cfg_.meanLifetime)));
+
+    // Diurnal Poisson gap by thinning against the peak rate.
+    const double peak = 1.0 + cfg_.diurnalAmplitude;
+    const double twoPi = 6.283185307179586;
+    double gap = 0.0;
+    for (int draws = 0; draws < 64; ++draws) {
+        gap += rng.nextExponential(cfg_.meanGap / peak);
+        const double phase =
+            twoPi *
+            (static_cast<double>(prevArrival) + gap) /
+            static_cast<double>(cfg_.dayLength);
+        const double rate =
+            1.0 + cfg_.diurnalAmplitude * std::sin(phase);
+        if (rng.nextBool(rate / peak))
+            break;
+        // After 64 rejections (vanishingly unlikely for A < 1) the
+        // last candidate stands, bounding the loop.
+    }
+    t.at = prevArrival + std::max<Cycles>(1, static_cast<Cycles>(gap));
+    return t;
+}
+
+} // namespace sharch::fleet

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The fleet's tenant-churn generator: a seeded, diurnal Poisson
+ * stream of IaaS tenants.
+ *
+ * Determinism contract (DESIGN.md section 12): tenant i is a pure
+ * function of (base seed, i, arrival time of tenant i-1).  Every
+ * draw for tenant i comes from one Rng seeded via
+ * exec::deriveJobSeed(seed, "fleet-tenant", hi32(i), lo32(i)) --
+ * the same identity-derived scheme the sweep executor uses -- so the
+ * stream is independent of thread count, platform, and how many
+ * tenants were generated before a checkpoint cut.  FleetEngine keeps
+ * exactly one pending FleetArrive in its queue (dispatching arrival
+ * i posts arrival i+1), so a restored checkpoint resumes the stream
+ * mid-flight without serializing any generator state: the pending
+ * event *is* the cursor.
+ *
+ * Arrival gaps are exponential at a diurnally modulated rate,
+ * lambda(t) = (1 + A * sin(2*pi*t / day)) / meanGap, sampled by
+ * thinning against the peak rate: candidate gaps are drawn at the
+ * peak rate and accepted with probability lambda(t)/lambdaPeak.  All
+ * candidate draws come from tenant i's own Rng, so the thinning loop
+ * is deterministic too.
+ */
+
+#ifndef SHARCH_FLEET_WORKLOAD_STREAM_HH
+#define SHARCH_FLEET_WORKLOAD_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "econ/utility.hh"
+
+namespace sharch::fleet {
+
+/** Shape of the tenant population (fixed per stream). */
+struct WorkloadConfig
+{
+    std::uint64_t seed = 1;
+    double meanGap = 400.0;        //!< mean inter-arrival at rate 1x
+    double diurnalAmplitude = 0.6; //!< A in [0, 1): day/night swing
+    Cycles dayLength = 1 << 20;    //!< cycles per diurnal period
+    double meanLifetime = 60000.0; //!< mean tenant residency
+    unsigned maxSlices = 6;        //!< VCore Slices drawn in [1, max]
+    unsigned maxBanks = 8;         //!< L2 banks drawn in [1, max]
+    double zipfAlpha = 1.1;        //!< small VCores dominate
+    double minBudget = 4.0;        //!< spot budget, uniform in
+    double maxBudget = 24.0;       //!< [min, max]
+};
+
+/** One generated tenant (FleetEngine turns this into FleetArrive). */
+struct FleetTenant
+{
+    std::uint64_t index = 0;
+    std::string name;          //!< "t<index>"
+    Cycles at = 0;             //!< arrival cycle
+    Cycles lifetime = 1;       //!< departs at `at + lifetime`
+    unsigned slices = 1;
+    unsigned banks = 1;
+    std::string benchmark;
+    UtilityKind utility = UtilityKind::Throughput;
+    double budget = 0.0;
+};
+
+class WorkloadStream
+{
+  public:
+    explicit WorkloadStream(const WorkloadConfig &cfg);
+
+    const WorkloadConfig &config() const { return cfg_; }
+
+    /** The stream name of tenant @p index ("t<index>"). */
+    static std::string tenantName(std::uint64_t index);
+
+    /**
+     * Generate tenant @p index given the previous tenant's arrival
+     * cycle (@p prevArrival; 0 for tenant 0).  Pure function.
+     */
+    FleetTenant tenant(std::uint64_t index, Cycles prevArrival) const;
+
+  private:
+    WorkloadConfig cfg_;
+    std::vector<std::string> benchmarks_; //!< profile table order
+};
+
+} // namespace sharch::fleet
+
+#endif // SHARCH_FLEET_WORKLOAD_STREAM_HH

@@ -11,9 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.hh"
 #include "hyper/autotuner.hh"
 #include "hyper/fabric_manager.hh"
-#include "hyper/fault_replay.hh"
+#include "engine/fault_replay.hh"
 #include "hyper/spot_market.hh"
 
 using namespace sharch;
@@ -384,4 +385,150 @@ TEST(FaultReplay, ReportCarriesSummaryAndEvents)
     EXPECT_NE(doc.find("\"events\""), std::string::npos);
     EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
               std::count(doc.begin(), doc.end(), '}'));
+}
+
+// --- Churn invariants (ISSUE 10 satellite) -------------------------
+//
+// The fleet engine leans on FabricManager::defragment and
+// SpotMarket::reauctionAfterFailure holding their invariants not just
+// after one operation but after *thousands* of interleaved
+// arrive/depart/fault/heal cycles.  These two tests churn the
+// hypervisor layer the way datacenter_churn does and audit closure
+// after every composite step.
+
+namespace {
+
+/** Occupied + free + faulty must tile the chip exactly. */
+void
+expectOccupancyClosure(const FabricManager &fm)
+{
+    unsigned heldSlices = 0, heldBanks = 0;
+    for (const FabricAllocation &a : fm.allocations()) {
+        heldSlices += a.slices.count;
+        heldBanks += static_cast<unsigned>(a.banks.size());
+    }
+    EXPECT_EQ(heldSlices + fm.freeSlices() + fm.faultySlices(),
+              fm.totalSlices());
+    EXPECT_EQ(heldBanks + fm.freeBanks() + fm.faultyBanks(),
+              fm.totalBanks());
+}
+
+} // namespace
+
+TEST(FabricManager, DefragmentInvariantsUnderChurn)
+{
+    FabricManager fm(8, 8); // 32 Slices, 32 banks
+    Rng rng(1234);
+    std::vector<AllocationId> live;
+
+    for (int step = 0; step < 4000; ++step) {
+        const bool arrive =
+            live.empty() || rng.nextBool(0.55);
+        if (arrive) {
+            const unsigned s =
+                1 + static_cast<unsigned>(rng.nextBounded(6));
+            const unsigned b =
+                static_cast<unsigned>(rng.nextBounded(5));
+            const auto id = fm.allocate(s, b);
+            if (id.has_value())
+                live.push_back(*id);
+        } else {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.nextBounded(live.size()));
+            ASSERT_TRUE(fm.release(live[pick]));
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+        }
+
+        if (step % 97 == 0) {
+            // Shapes must survive compaction move for move.
+            std::vector<std::pair<AllocationId, VCoreShape>> before;
+            for (const AllocationId id : live) {
+                const FabricAllocation *a = fm.find(id);
+                ASSERT_NE(a, nullptr);
+                before.emplace_back(id, a->shape());
+            }
+            const double fragBefore = fm.fragmentation();
+            fm.defragment();
+            EXPECT_LE(fm.fragmentation(), fragBefore);
+            for (const auto &[id, shape] : before) {
+                const FabricAllocation *a = fm.find(id);
+                ASSERT_NE(a, nullptr) << "lease lost to defrag";
+                EXPECT_EQ(a->shape().slices, shape.slices);
+                EXPECT_EQ(a->shape().banks, shape.banks);
+            }
+        }
+
+        std::string err;
+        ASSERT_TRUE(fm.checkConsistency(&err))
+            << "step " << step << ": " << err;
+        expectOccupancyClosure(fm);
+    }
+    EXPECT_FALSE(live.empty()) << "churn never held an allocation";
+}
+
+TEST(SpotMarket, ReauctionInvariantsUnderFaultChurn)
+{
+    FabricManager fm(8, 8);
+    SpotMarket market(hyperOpt(), fm.totalSlices(),
+                      fm.totalBanks());
+    Rng rng(99);
+    const char *benches[] = {"gcc", "apache", "bzip"};
+    std::vector<CustomerId> active;
+    std::vector<Coord> faulted; // Slice tiles currently down
+    int joined = 0;
+
+    for (int step = 0; step < 1500; ++step) {
+        const double roll = rng.nextDouble();
+        if (roll < 0.45 || active.empty()) {
+            active.push_back(market.addCustomer(SpotCustomer{
+                "churn" + std::to_string(joined++),
+                benches[rng.nextBounded(3)],
+                kAllUtilities[rng.nextBounded(3)],
+                4.0 + rng.nextDouble() * 20.0}));
+        } else if (roll < 0.75) {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.nextBounded(active.size()));
+            market.deactivateCustomer(active[pick]);
+            active.erase(active.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+        } else if (roll < 0.90 && faulted.size() < 16) {
+            // Strike a random healthy Slice tile and reauction.
+            const Coord tile{
+                static_cast<int>(rng.nextBounded(8)),
+                2 * static_cast<int>(rng.nextBounded(4))};
+            if (!fm.isFaulty(fault::FaultKind::Slice, tile)) {
+                fm.markFaulty(fault::FaultKind::Slice, tile);
+                faulted.push_back(tile);
+                const double priceBefore =
+                    market.prices().slicePrice;
+                const ReauctionResult r =
+                    market.reauctionAfterFailure(1.0, 0.0, 0.15, 6);
+                EXPECT_NEAR(r.refundTotal, priceBefore, 1e-9)
+                    << "refund must be the lost capacity at the "
+                       "pre-fault price";
+            }
+        } else if (!faulted.empty()) {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.nextBounded(faulted.size()));
+            ASSERT_TRUE(fm.heal(fault::FaultKind::Slice,
+                                faulted[pick]));
+            market.restoreCapacity(1.0, 0.0);
+            faulted.erase(faulted.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        }
+
+        // Capacity closure: the market sells exactly the healthy
+        // fabric, cycle after cycle.
+        EXPECT_DOUBLE_EQ(market.sliceCapacity(),
+                         static_cast<double>(fm.totalSlices() -
+                                             fm.faultySlices()));
+        EXPECT_EQ(market.activeCustomers(), active.size());
+        std::string err;
+        ASSERT_TRUE(market.checkConsistency(&err))
+            << "step " << step << ": " << err;
+        ASSERT_TRUE(fm.checkConsistency(&err))
+            << "step " << step << ": " << err;
+    }
+    EXPECT_GT(joined, 100);
 }

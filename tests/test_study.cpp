@@ -27,11 +27,12 @@ namespace {
 
 /** Every figure/table harness ported onto the registry, sorted. */
 const std::vector<std::string> kExpectedStudies = {
-    "ablate_son", "fault_degradation", "fig10_11",
-    "fig12",      "fig13",             "fig14",
-    "fig15",      "fig16",             "fig17",
+    "ablate_son", "datacenter_churn", "datacenter_churn_short",
+    "fault_degradation", "fig10_11",  "fig12",
+    "fig13",      "fig14",            "fig15",
+    "fig16",      "fig17",            "fleet_scale",
     "journal_recovery", "sampling_accuracy", "serve_replay",
-    "sim_speed",  "tab1",              "tab4",
+    "sim_speed",  "tab1",             "tab4",
     "tab6",       "tab7",
 };
 

@@ -51,13 +51,15 @@ SCRIPT = [
 REPORT_REQ = '{"op":"report"}'
 
 
-def run_session(serve, journal, lines, env=None, rotate=4):
+def run_session(serve, journal, lines, env=None, rotate=4,
+                serve_args=()):
     """Feed lines to one serve process; return (exit, stdout lines)."""
     full_env = dict(os.environ)
     if env:
         full_env.update(env)
     proc = subprocess.run(
-        [serve, "--journal", journal, "--journal-rotate", str(rotate)],
+        [serve, "--journal", journal, "--journal-rotate",
+         str(rotate), *serve_args],
         input="".join(line + "\n" for line in lines),
         capture_output=True,
         text=True,
@@ -68,10 +70,12 @@ def run_session(serve, journal, lines, env=None, rotate=4):
     return proc.returncode, out
 
 
-def interact(serve, journal, script_suffix, rotate=4):
+def interact(serve, journal, script_suffix, rotate=4,
+             serve_args=()):
     """Recover a journal, replay the suffix, return the report line."""
     proc = subprocess.Popen(
-        [serve, "--journal", journal, "--journal-rotate", str(rotate)],
+        [serve, "--journal", journal, "--journal-rotate",
+         str(rotate), *serve_args],
         stdin=subprocess.PIPE,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
@@ -96,9 +100,10 @@ def interact(serve, journal, script_suffix, rotate=4):
     return replies[-1]
 
 
-def processed_events(serve, journal):
+def processed_events(serve, journal, serve_args=()):
     """Ask a recovered session how many events its journal replayed."""
-    code, out = run_session(serve, journal, ['{"op":"stats"}'])
+    code, out = run_session(serve, journal, ['{"op":"stats"}'],
+                            serve_args=serve_args)
     if code != 0 or not out:
         raise SystemExit(f"stats probe failed (exit {code})")
     return json.loads(out[-1])["processed"]
@@ -112,6 +117,10 @@ def main():
                     help="randomized crash points to try")
     ap.add_argument("--seed-base", type=int, default=0,
                     help="offset into the seed sequence")
+    ap.add_argument("--serve-arg", action="append", default=[],
+                    help="extra flag passed through to every serve "
+                         "invocation (repeatable), e.g. "
+                         "--serve-arg=--fleet --serve-arg=256")
     args = ap.parse_args()
 
     work = tempfile.mkdtemp(prefix="sharch-chaos-")
@@ -121,7 +130,8 @@ def main():
         # Uninterrupted baseline.
         base_dir = os.path.join(work, "baseline")
         code, out = run_session(args.serve, base_dir,
-                                SCRIPT + [REPORT_REQ])
+                                SCRIPT + [REPORT_REQ],
+                                serve_args=args.serve_arg)
         if code != 0:
             raise SystemExit(f"baseline run exited {code}")
         baseline = out[-1]
@@ -139,7 +149,8 @@ def main():
                 env["SHARCH_CRASH_TORN"] = "1"
 
             code, _ = run_session(args.serve, jdir,
-                                  SCRIPT + [REPORT_REQ], env=env)
+                                  SCRIPT + [REPORT_REQ], env=env,
+                                  serve_args=args.serve_arg)
             if code != 137:
                 print(f"seed {i}: FAIL crash run exited {code}, "
                       f"want 137", file=sys.stderr)
@@ -149,7 +160,8 @@ def main():
             # A torn n-th write never became durable; a clean crash
             # made exactly n events durable.  Trust the recovered
             # engine's own counter rather than re-deriving it.
-            done = processed_events(args.serve, jdir)
+            done = processed_events(args.serve, jdir,
+                                    serve_args=args.serve_arg)
             expect = crash_after - 1 if torn else crash_after
             if done != expect:
                 print(f"seed {i}: FAIL recovered {done} events, "
@@ -158,7 +170,8 @@ def main():
                 failures += 1
                 continue
 
-            report = interact(args.serve, jdir, SCRIPT[done:])
+            report = interact(args.serve, jdir, SCRIPT[done:],
+                              serve_args=args.serve_arg)
             if report != baseline:
                 print(f"seed {i}: FAIL report diverged after crash "
                       f"at write {crash_after} (torn={torn})",

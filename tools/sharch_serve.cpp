@@ -32,6 +32,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -44,6 +45,7 @@
 #include "engine/journal.hh"
 #include "engine/serve_session.hh"
 #include "exec/run_options.hh"
+#include "fleet/fleet_engine.hh"
 
 using namespace sharch;
 
@@ -156,10 +158,26 @@ main(int argc, char **argv)
     AreaModel am;
     UtilityOptimizer opt(pm, am);
 
-    engine::EngineConfig cfg;
-    cfg.fabricWidth = opts.fabricWidth;
-    cfg.fabricHeight = opts.fabricHeight;
-    engine::AllocationEngine engine(opt, cfg);
+    // --fleet N serves a FleetEngine (N chips of --fabric geometry)
+    // through the same session/journal stack; everything below only
+    // speaks EngineBase.
+    std::unique_ptr<engine::EngineBase> engineStorage;
+    if (opts.fleetChips > 0) {
+        fleet::FleetEngineConfig fcfg;
+        fcfg.fleet.chips =
+            static_cast<fleet::ChipId>(opts.fleetChips);
+        fcfg.fleet.chipWidth = opts.fabricWidth;
+        fcfg.fleet.chipHeight = opts.fabricHeight;
+        engineStorage =
+            std::make_unique<fleet::FleetEngine>(opt, fcfg);
+    } else {
+        engine::EngineConfig cfg;
+        cfg.fabricWidth = opts.fabricWidth;
+        cfg.fabricHeight = opts.fabricHeight;
+        engineStorage =
+            std::make_unique<engine::AllocationEngine>(opt, cfg);
+    }
+    engine::EngineBase &engine = *engineStorage;
 
     if (!opts.restorePath.empty()) {
         std::ifstream in(opts.restorePath, std::ios::binary);

@@ -35,7 +35,7 @@
 #include "exec/sweep.hh"
 #include "fault/fault_model.hh"
 #include "hyper/fabric_manager.hh"
-#include "hyper/fault_replay.hh"
+#include "engine/fault_replay.hh"
 #include "obs/obs.hh"
 #include "study/metrics_report.hh"
 #include "study/report.hh"
